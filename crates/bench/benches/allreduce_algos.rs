@@ -1,0 +1,50 @@
+//! Ablation: allreduce algorithm choice on the threaded runtime.
+//!
+//! Reproduces the classic latency/bandwidth crossover that motivates
+//! Horovod's (and our engines') algorithm selection: recursive doubling
+//! wins for small tensors, ring for large ones.
+
+use collectives::{AllreduceAlgo, ReduceOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ulfm::{Proc, Topology, Universe};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    for &elems in &[256usize, 262_144] {
+        for algo in [
+            AllreduceAlgo::Ring,
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::Rabenseifner,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), elems),
+                &elems,
+                |b, &elems| {
+                    b.iter(|| {
+                        let u = Universe::without_faults(Topology::flat());
+                        let handles = u.spawn_batch(8, move |p: Proc| {
+                            let comm = p.init_comm();
+                            let mut buf = vec![1.0f32; elems];
+                            for _ in 0..4 {
+                                comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+                            }
+                            buf[0]
+                        });
+                        handles.into_iter().map(|h| h.join()).sum::<f32>()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_allreduce
+}
+criterion_main!(benches);

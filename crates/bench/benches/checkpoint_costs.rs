@@ -1,0 +1,45 @@
+//! Checkpoint save/restore costs vs model size — the baseline's rollback
+//! terms in Eq. (1), and why they grow with the Table 1 models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnn::{Checkpoint, Model, Sgd, SyntheticDataset};
+
+fn model_of_size(hidden: usize) -> (Model, Sgd) {
+    let mut m = Model::mlp(64, &[hidden, hidden], 8, 7);
+    let mut o = Sgd::new(0.05, 0.9);
+    let ds = SyntheticDataset::new(64, 8, 3);
+    // One step so momentum buffers exist (checkpoints carry them).
+    m.compute_gradients(&ds.batch(0, 8));
+    o.step(&mut m.params_mut());
+    (m, o)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    for &hidden in &[64usize, 256, 1024] {
+        let (m, o) = model_of_size(hidden);
+        let bytes = Checkpoint::capture(&m, &o).size_bytes() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("capture", hidden), &hidden, |b, _| {
+            b.iter(|| Checkpoint::capture(&m, &o).size_bytes());
+        });
+        let ckpt = Checkpoint::capture(&m, &o);
+        group.bench_with_input(BenchmarkId::new("restore", hidden), &hidden, |b, _| {
+            let (mut m2, mut o2) = model_of_size(hidden);
+            b.iter(|| {
+                ckpt.restore(&mut m2, &mut o2);
+                o2.step_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_checkpoint
+}
+criterion_main!(benches);

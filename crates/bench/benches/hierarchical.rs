@@ -1,0 +1,63 @@
+//! Flat vs hierarchical allreduce on the threaded runtime — the Horovod
+//! optimization for Summit's 6-GPUs-per-node shape.
+
+use collectives::{AllreduceAlgo, ReduceOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ulfm::{Hierarchy, Proc, Topology, Universe};
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_vs_hierarchical");
+    group.sample_size(10);
+    let elems = 65_536usize;
+    for &(workers, rpn) in &[(8usize, 4usize), (12, 4), (12, 6)] {
+        group.bench_with_input(
+            BenchmarkId::new("flat", format!("{workers}w_{rpn}pn")),
+            &(workers, rpn),
+            |b, &(workers, rpn)| {
+                b.iter(|| {
+                    let u = Universe::without_faults(Topology::new(rpn));
+                    let handles = u.spawn_batch(workers, move |p: Proc| {
+                        let comm = p.init_comm();
+                        let mut buf = vec![1.0f32; elems];
+                        for _ in 0..3 {
+                            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                .unwrap();
+                        }
+                        buf[0]
+                    });
+                    handles.into_iter().map(|h| h.join()).sum::<f32>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", format!("{workers}w_{rpn}pn")),
+            &(workers, rpn),
+            |b, &(workers, rpn)| {
+                b.iter(|| {
+                    let u = Universe::without_faults(Topology::new(rpn));
+                    let handles = u.spawn_batch(workers, move |p: Proc| {
+                        let comm = p.init_comm();
+                        let h = Hierarchy::build(&comm).unwrap();
+                        let mut buf = vec![1.0f32; elems];
+                        for _ in 0..3 {
+                            h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                .unwrap();
+                        }
+                        buf[0]
+                    });
+                    handles.into_iter().map(|h| h.join()).sum::<f32>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_hierarchical
+}
+criterion_main!(benches);

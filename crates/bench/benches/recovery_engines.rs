@@ -1,0 +1,59 @@
+//! The headline comparison on the threaded runtime: end-to-end training
+//! through one failure, forward recovery vs backward recovery (the
+//! wall-clock analogue of the paper's Figures 5–7 bars).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec};
+
+fn scenario(engine: Engine, policy: RecoveryPolicy) -> ScenarioConfig {
+    ScenarioConfig {
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            ..TrainSpec::default()
+        },
+        workers: 6,
+        ranks_per_node: 3,
+        policy,
+        victim: 4,
+        fail_at_op: 7,
+        ..ScenarioConfig::quick(engine, ScenarioKind::Downscale)
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("downscale_recovery");
+    group.sample_size(10);
+    for (engine, name) in [
+        (Engine::UlfmForward, "ulfm_forward"),
+        (Engine::GlooBackward, "gloo_backward"),
+    ] {
+        for (policy, level) in [
+            (RecoveryPolicy::DropProcess, "process"),
+            (RecoveryPolicy::DropNode, "node"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, level),
+                &(engine, policy),
+                |b, &(engine, policy)| {
+                    b.iter(|| {
+                        let res = run_scenario(&scenario(engine, policy));
+                        assert!(res.completed() > 0);
+                        res.wall
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_recovery
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! The crux of the paper's Fig. 4: rebuilding the communication context by
+//! KV rendezvous + full-mesh Gloo reconnect vs ULFM's shrink. Measured on
+//! the threaded runtime at matching group sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gloo::{rendezvous, Context, KvStore, RendezvousConfig};
+use std::sync::Arc;
+use std::time::Duration;
+use transport::{Endpoint, Fabric, Topology};
+use ulfm::{Proc, Universe};
+
+fn bench_gloo_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_rebuild");
+    group.sample_size(10);
+    for &p in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("gloo_rendezvous", p), &p, |b, &p| {
+            b.iter(|| {
+                let fabric = Fabric::without_faults(Topology::new(4));
+                let ranks = fabric.register_ranks(p);
+                let store = KvStore::shared();
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = ranks
+                        .iter()
+                        .map(|&r| {
+                            let fabric = Arc::clone(&fabric);
+                            let store = Arc::clone(&store);
+                            let ranks = ranks.clone();
+                            s.spawn(move || {
+                                let cfg = RendezvousConfig {
+                                    run_id: "bench".into(),
+                                    epoch: 0,
+                                    expected: ranks.len(),
+                                    timeout: Duration::from_secs(10),
+                                };
+                                let rep =
+                                    rendezvous(&store, &cfg, r, Topology::new(4)).unwrap();
+                                let ep = Endpoint::new(fabric, r);
+                                let ctx =
+                                    Context::connect(ep, 1, rep.members, rep.my_rank).unwrap();
+                                ctx.size()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ulfm_shrink", p), &p, |b, &p| {
+            b.iter(|| {
+                let u = Universe::without_faults(Topology::new(4));
+                let handles = u.spawn_batch(p, |proc: Proc| {
+                    let comm = proc.init_comm();
+                    comm.revoke();
+                    comm.shrink().unwrap().size()
+                });
+                handles.into_iter().map(|h| h.join()).sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_gloo_rebuild
+}
+criterion_main!(benches);

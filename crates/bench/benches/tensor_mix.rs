@@ -1,0 +1,51 @@
+//! Per-step allreduce cost of the Table 1 models' tensor-size mixes
+//! (scaled down 1000×): VGG-16's few huge tensors vs NasNetMobile's 1126
+//! tiny ones. This is the paper's §4.1 rationale for choosing those
+//! models — "their trainable parameter size directly influences the count
+//! of Allreduce operations".
+
+use collectives::{AllreduceAlgo, ReduceOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnn::paper_models;
+use ulfm::{Proc, Topology, Universe};
+
+fn bench_tensor_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_allreduce_mix");
+    group.sample_size(10);
+    for profile in paper_models() {
+        let scaled = profile.scaled_down(1000);
+        let sizes: Vec<usize> = scaled.tensor_sizes().iter().map(|&s| s as usize).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name),
+            &sizes,
+            |b, sizes| {
+                b.iter(|| {
+                    let u = Universe::without_faults(Topology::flat());
+                    let sizes = sizes.clone();
+                    let handles = u.spawn_batch(4, move |p: Proc| {
+                        let comm = p.init_comm();
+                        let mut sum = 0.0f32;
+                        for &n in &sizes {
+                            let mut buf = vec![1.0f32; n];
+                            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                .unwrap();
+                            sum += buf[0];
+                        }
+                        sum
+                    });
+                    handles.into_iter().map(|h| h.join()).sum::<f32>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_tensor_mix
+}
+criterion_main!(benches);

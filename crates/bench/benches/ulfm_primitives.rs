@@ -1,0 +1,53 @@
+//! Cost of the ULFM recovery primitives (agree, shrink, revoke+shrink) as
+//! a function of group size — the mechanism behind the flat ULFM bars in
+//! the paper's figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ulfm::{Proc, Topology, Universe};
+
+fn bench_agree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agree");
+    group.sample_size(10);
+    for &p in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let u = Universe::without_faults(Topology::flat());
+                let handles = u.spawn_batch(p, |proc: Proc| {
+                    let comm = proc.init_comm();
+                    comm.agree(u64::MAX, proc.rank().0 as u64).unwrap().min
+                });
+                handles.into_iter().map(|h| h.join()).sum::<u64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revoke_shrink");
+    group.sample_size(10);
+    for &p in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let u = Universe::without_faults(Topology::flat());
+                let handles = u.spawn_batch(p, |proc: Proc| {
+                    let comm = proc.init_comm();
+                    comm.revoke();
+                    let shrunk = comm.shrink().unwrap();
+                    shrunk.size()
+                });
+                handles.into_iter().map(|h| h.join()).sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_agree, bench_shrink
+}
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p bench --bin repro --release -- all
+//! cargo run -p bench --bin repro --release -- table1 table2 fig2 fig4 fig5 fig6 fig7 eq1
+//! ```
+//!
+//! Tables print in paper layout; figures print as the data series behind
+//! the paper's bar charts (one row per bar, one column per cost segment).
+//! Table 2 and Fig. 2 are *executed* on the threaded runtime; Figs. 4–7
+//! come from the Summit-calibrated simulator (see DESIGN.md §1 for the
+//! substitution argument).
+
+use bench::{demonstrate_cell, fmt_s, paper_capability, render_table, TABLE2_ROWS};
+use dnn::paper_models;
+use elastic::profiler::RecoveryKind;
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, Eq1Params, ScenarioConfig, TrainSpec};
+use simnet::{fig4_rows, figure_rows, ClusterModel, Level, SimScenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wants = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+
+    if wants("table1") {
+        table1();
+    }
+    if wants("table2") {
+        table2();
+    }
+    if wants("fig2") {
+        fig2();
+    }
+    if wants("fig4") {
+        fig4();
+    }
+    for (key, idx) in [("fig5", 0usize), ("fig6", 1), ("fig7", 2)] {
+        if wants(key) {
+            figure(key, idx);
+        }
+    }
+    if wants("eq1") {
+        eq1();
+    }
+    if wants("ablate") {
+        ablate();
+    }
+    if wants("scenario3") {
+        scenario3();
+    }
+}
+
+/// Ablations beyond the paper: allreduce-algorithm crossover and
+/// detection-latency sensitivity of the two recovery paths.
+fn ablate() {
+    use simnet::network::{recursive_doubling_allreduce_time, ring_allreduce_time};
+    use simnet::{backward_breakdown, forward_breakdown, EpisodeConfig};
+
+    println!("== Ablation A: allreduce algorithm crossover (α–β model, 64 workers) ==\n");
+    let c = ClusterModel::summit();
+    let rows: Vec<Vec<String>> = [1usize, 16, 256, 4 << 10, 64 << 10, 1 << 20, 16 << 20]
+        .iter()
+        .map(|&bytes| {
+            let ring = ring_allreduce_time(bytes as f64, 64, c.alpha, c.beta);
+            let recdbl = recursive_doubling_allreduce_time(bytes as f64, 64, c.alpha, c.beta);
+            vec![
+                format!("{bytes}"),
+                format!("{:.2e}", ring),
+                format!("{:.2e}", recdbl),
+                if ring < recdbl { "ring" } else { "rec-dbl" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Message (B)", "Ring (s)", "RecDbl (s)", "winner"], &rows)
+    );
+
+    println!("== Ablation B: detection-latency sensitivity (ResNet-50, 96 GPUs, node drop) ==\n");
+    let rows: Vec<Vec<String>> = [0.005f64, 0.05, 0.5, 2.0]
+        .iter()
+        .map(|&detect| {
+            let mut cluster = ClusterModel::summit();
+            cluster.ulfm_detect = detect;
+            cluster.catch_exception = detect.max(0.6); // Gloo can't go below its timeout
+            let cfg = EpisodeConfig {
+                cluster,
+                model: dnn::ModelProfile::resnet50v2(),
+                workers_before: 96,
+                scenario: SimScenario::Down,
+                level: Level::Node,
+            };
+            vec![
+                format!("{detect}"),
+                format!("{:.3}", forward_breakdown(&cfg).total()),
+                format!("{:.3}", backward_breakdown(&cfg).total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Detect latency (s)", "ULFM total (s)", "EH total (s)"], &rows)
+    );
+    println!("ULFM's recovery cost is dominated by detection latency itself — the protocol");
+    println!("work is milliseconds — while the baseline keeps its teardown/rebuild floor.\n");
+}
+
+/// Scenario III economics (paper §3.3.3): start-with-available vs
+/// wait-for-all under stochastic worker arrivals.
+fn scenario3() {
+    use simnet::arrivals::scenario3_sweep;
+    println!("== Scenario III: start-with-available vs wait-for-all (24 workers, 1 h horizon) ==\n");
+    let rows: Vec<Vec<String>> = scenario3_sweep(
+        24,
+        3600.0,
+        &ClusterModel::summit(),
+        dnn::ModelProfile::resnet50v2().state_bytes() as f64,
+    )
+    .into_iter()
+    .map(|(spread, o)| {
+        vec![
+            format!("{:.0}", spread),
+            format!("{:.0}", o.last_arrival),
+            format!("{}", o.joins),
+            format!("{:.0}", o.elastic_work),
+            format!("{:.0}", o.wait_work),
+            format!("{:.2}x", o.advantage()),
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Arrival spread (s)", "Last arrival (s)", "Join events",
+                "Elastic work (w·s)", "Wait-for-all (w·s)", "Advantage",
+            ],
+            &rows
+        )
+    );
+    println!("Starting with available workers strictly dominates; the advantage grows with");
+    println!("arrival spread — the paper's rationale for automated upscaling.");
+}
+
+/// Table 1: Keras benchmark applications.
+fn table1() {
+    println!("== Table 1: Keras benchmark applications ==\n");
+    let rows: Vec<Vec<String>> = paper_models()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.trainable_tensors.to_string(),
+                m.depth.to_string(),
+                format!("{:.1}M", m.total_params as f64 / 1e6),
+                format!("{:.0}", m.size_mb),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Model", "Trainable", "Depth", "Total Parameters", "Size (MB)"],
+            &rows
+        )
+    );
+}
+
+/// Table 2: recovery capabilities — each supported cell is *executed* on
+/// the threaded runtime, not just asserted.
+fn table2() {
+    println!("== Table 2: recovery capabilities of different communication libraries ==");
+    println!("   (✓* = capability demonstrated by actually running the scenario)\n");
+    let mut rows = Vec::new();
+    for (i, label) in TABLE2_ROWS.iter().enumerate() {
+        let mut row = vec![label.to_string()];
+        for ulfm in [false, true] {
+            let claimed = paper_capability(i, ulfm);
+            let cell = if !claimed {
+                "×".to_string()
+            } else if demonstrate_cell(i, ulfm) {
+                "✓*".to_string()
+            } else {
+                "✓ (claimed; demo FAILED)".to_string()
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Dynamic training scenarios", "Elastic Horovod", "ULFM MPI"],
+            &rows
+        )
+    );
+}
+
+/// Fig. 2: recovery granularity — backward rollback vs forward
+/// collective-level retry, measured on the threaded runtime.
+fn fig2() {
+    println!("== Fig. 2: backward vs forward recovery granularity (executed) ==\n");
+    let spec = TrainSpec {
+        total_steps: 8,
+        steps_per_epoch: 4,
+        ..TrainSpec::default()
+    };
+    let mk = |engine| ScenarioConfig {
+        spec: spec.clone(),
+        ..ScenarioConfig::quick(engine, ScenarioKind::Downscale)
+    };
+
+    let fwd = run_scenario(&mk(Engine::UlfmForward));
+    let bwd = run_scenario(&mk(Engine::GlooBackward));
+
+    let fwd_redo = fwd
+        .breakdowns
+        .iter()
+        .filter(|b| b.kind == RecoveryKind::Forward)
+        .count();
+    println!("ULFM forward recovery:");
+    println!("  rollback                  : none (no checkpoint taken)");
+    println!("  re-executed               : the failed collective(s) only");
+    println!("  recovery episodes recorded: {fwd_redo}");
+    println!("  survivors completed       : {}/{}", fwd.completed(), 6);
+
+    let rolled: Vec<String> = bwd
+        .breakdowns
+        .iter()
+        .filter(|b| b.kind == RecoveryKind::Backward)
+        .map(|b| format!("step {}", b.at_step))
+        .collect();
+    println!("\nElastic-Horovod backward recovery:");
+    println!("  rollback                  : to last per-batch checkpoint");
+    println!("  re-executed               : the whole mini-batch (exceptions at {rolled:?})");
+    println!("  survivors completed       : {}/{}", bwd.completed(), 6);
+    println!(
+        "\nwall-clock for the whole run: forward {:?} vs backward {:?}\n",
+        fwd.wall, bwd.wall
+    );
+}
+
+/// Fig. 4: detailed cost breakdown, Scenario I, ResNet-50, 24 GPUs.
+fn fig4() {
+    println!("== Fig. 4: Scenario I cost breakdown, ResNet-50 on 24 GPUs (simulated, Summit constants) ==\n");
+    for (label, b) in fig4_rows(&ClusterModel::summit()) {
+        println!("{label}:");
+        println!("{b}\n");
+    }
+}
+
+/// Figs. 5–7: recovery/reconfiguration costs per model, all scenarios,
+/// 12 → 192 GPUs.
+fn figure(key: &str, model_idx: usize) {
+    let model = &paper_models()[model_idx];
+    println!(
+        "== {}: recovery/reconfiguration costs (s), {} — simulated, Summit constants ==\n",
+        key.replace("fig", "Fig. "),
+        model.name
+    );
+    let rows = figure_rows(model, &ClusterModel::summit());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                match r.scenario {
+                    SimScenario::Down => "Down",
+                    SimScenario::Same => "Same",
+                    SimScenario::Up => "Up",
+                }
+                .to_string(),
+                match r.level {
+                    Level::Process => "process",
+                    Level::Node => "node",
+                }
+                .to_string(),
+                if r.ulfm { "ULFM MPI" } else { "Elastic Horovod" }.to_string(),
+                r.gpus.to_string(),
+                fmt_s(r.comm_reconstruction),
+                fmt_s(r.state_reinit),
+                fmt_s(r.recompute),
+                fmt_s(r.total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Scenario", "Level", "Library", "GPUs",
+                "CommReconstr+Rdv", "StateReinit", "Recompute", "Total",
+            ],
+            &table
+        )
+    );
+}
+
+/// Eq. 1: the checkpoint-recovery cost model, swept over the checkpoint
+/// interval.
+fn eq1() {
+    println!("== Eq. (1): checkpoint-based fault-recovery cost model ==\n");
+    println!("window: 1000 steps of 0.25 s; 2 faults; save 0.05 s; load 0.5 s; reconfig 3 s\n");
+    let rows: Vec<Vec<String>> = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0]
+        .iter()
+        .map(|&interval| {
+            let p = Eq1Params::with_interval(1000.0, interval, 0.25, 0.05, 2.0, 0.5, 3.0, 0.0);
+            vec![
+                format!("{interval}"),
+                format!("{:.1}", p.ckpt_save * p.saving_freq),
+                format!("{:.1}", p.fault_count * p.recompute),
+                format!("{:.1}", p.total()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Ckpt interval (steps)", "Saving cost (s)", "Recompute cost (s)", "Eq.1 total (s)"],
+            &rows
+        )
+    );
+    println!("Forward recovery eliminates the saving, loading and recompute terms entirely;");
+    println!("its per-fault cost is the shrink + one redone collective (see fig4).");
+}

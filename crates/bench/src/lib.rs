@@ -1,0 +1,169 @@
+//! Shared helpers for the `repro` binary and the Criterion benches:
+//! plain-text table rendering and the capability matrix derived from the
+//! paper's Table 2.
+
+#![warn(missing_docs)]
+
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
+
+/// Render an aligned text table: `header` then `rows`.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&line(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// One cell of the paper's Table 2: is the combination supported by the
+/// *real* system, and did our reproduction demonstrate it?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapabilityCell {
+    /// What the paper's Table 2 claims for the real system.
+    pub paper_supported: bool,
+    /// Whether executing the scenario on our reproduction succeeded
+    /// (`None` if not executed because the real system does not support it).
+    pub demonstrated: Option<bool>,
+}
+
+/// Row labels of Table 2, in paper order.
+pub const TABLE2_ROWS: [&str; 4] = [
+    "Recovery by process",
+    "Recovery by node",
+    "Autoscaling by process",
+    "Autoscaling by node",
+];
+
+/// What the paper's Table 2 claims: Elastic Horovod = node-level only.
+pub fn paper_capability(row: usize, ulfm: bool) -> bool {
+    ulfm || row == 1 || row == 3
+}
+
+/// Execute one Table 2 cell on the threaded runtime and report whether the
+/// scenario completed as expected.
+pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
+    let engine = if ulfm {
+        Engine::UlfmForward
+    } else {
+        Engine::GlooBackward
+    };
+    let (kind, policy) = match row {
+        0 => (ScenarioKind::Downscale, RecoveryPolicy::DropProcess),
+        1 => (ScenarioKind::Downscale, RecoveryPolicy::DropNode),
+        2 => (ScenarioKind::Upscale, RecoveryPolicy::DropProcess),
+        3 => (ScenarioKind::Upscale, RecoveryPolicy::DropNode),
+        _ => unreachable!("Table 2 has four rows"),
+    };
+    let joiners = match row {
+        2 => 1,                      // grow by one process
+        3 => 3,                      // grow by one (3-rank) node
+        _ => 0,
+    };
+    let cfg = ScenarioConfig {
+        spec: TrainSpec {
+            total_steps: 8,
+            steps_per_epoch: 4,
+            ..TrainSpec::default()
+        },
+        engine,
+        workers: 6,
+        ranks_per_node: 3,
+        policy,
+        kind,
+        victim: 4,
+        fail_at_op: 7,
+        joiners,
+        renormalize: false,
+    };
+    let res = run_scenario(&cfg);
+    let expected_completed = match (kind, policy) {
+        (ScenarioKind::Downscale, RecoveryPolicy::DropProcess) => cfg.workers - 1,
+        (ScenarioKind::Downscale, RecoveryPolicy::DropNode) => cfg.workers - cfg.ranks_per_node,
+        (ScenarioKind::Upscale, _) => cfg.workers + joiners,
+        _ => unreachable!(),
+    };
+    let ok = res.completed() == expected_completed
+        && res
+            .exits
+            .iter()
+            .filter(|e| e.completed())
+            .all(|e| matches!(e, WorkerExit::Completed(_)));
+    if ok {
+        res.assert_consistent_state();
+    }
+    ok
+}
+
+/// Format seconds compactly for the figure tables.
+pub fn fmt_s(v: f64) -> String {
+    if v == 0.0 {
+        "-".to_string()
+    } else if v < 0.01 {
+        format!("{:.4}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a       bbbb"));
+    }
+
+    #[test]
+    fn paper_capability_matches_table2() {
+        // Elastic Horovod: only node-level rows.
+        assert!(!paper_capability(0, false));
+        assert!(paper_capability(1, false));
+        assert!(!paper_capability(2, false));
+        assert!(paper_capability(3, false));
+        // ULFM: everything.
+        for row in 0..4 {
+            assert!(paper_capability(row, true));
+        }
+    }
+
+    #[test]
+    fn fmt_s_handles_ranges() {
+        assert_eq!(fmt_s(0.0), "-");
+        assert_eq!(fmt_s(0.001), "0.0010");
+        assert_eq!(fmt_s(12.345), "12.35");
+    }
+}

@@ -1,0 +1,411 @@
+//! Allreduce algorithms: ring, recursive doubling, and Rabenseifner.
+//!
+//! Allreduce dominates data-parallel training traffic (every gradient tensor
+//! of every mini-batch), so we provide the three classic algorithms used by
+//! MPI implementations and Horovod:
+//!
+//! * **ring** — bandwidth-optimal, `2(p-1)` steps; what NCCL/Horovod use for
+//!   large tensors;
+//! * **recursive doubling** — latency-optimal, `⌈log₂ p⌉` steps on the full
+//!   vector; best for small tensors;
+//! * **Rabenseifner** — reduce-scatter by recursive halving + allgather by
+//!   recursive doubling; bandwidth-optimal with logarithmic step count.
+//!
+//! All three place a `"allreduce.step"` fault point before every
+//! communication step, so a [`transport::FaultPlan`] can kill a rank at any
+//! point inside the collective — the scenario at the heart of the paper's
+//! forward-recovery argument.
+
+use crate::comm::PeerComm;
+use crate::elem::{reduce_into, Elem, ReduceOp};
+use crate::error::CollError;
+
+/// Which allreduce algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AllreduceAlgo {
+    /// Bandwidth-optimal ring (default; Horovod's choice for large tensors).
+    #[default]
+    Ring,
+    /// Latency-optimal recursive doubling.
+    RecursiveDoubling,
+    /// Rabenseifner's reduce-scatter + allgather.
+    Rabenseifner,
+}
+
+/// Element range of logical chunk `i` when `n` elements are split `p` ways.
+/// Balanced to within one element; empty when `n < p` for high `i`.
+fn chunk_range(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
+    (i * n / p)..((i + 1) * n / p)
+}
+
+/// In-place allreduce of `buf` across the group, using `algo`.
+///
+/// On success every surviving rank holds the identical element-wise
+/// reduction of all ranks' inputs. On [`CollError::PeerFailed`] the local
+/// buffer holds a partially-reduced value; the ULFM recovery path in the
+/// `elastic` crate re-runs the collective from the *saved input* on the
+/// shrunk communicator, so partial state here is never observed by training.
+pub fn allreduce<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    op: ReduceOp,
+    algo: AllreduceAlgo,
+    tag_base: u64,
+) -> Result<(), CollError> {
+    match algo {
+        AllreduceAlgo::Ring => ring_allreduce(comm, buf, op, tag_base),
+        AllreduceAlgo::RecursiveDoubling => recursive_doubling_allreduce(comm, buf, op, tag_base),
+        AllreduceAlgo::Rabenseifner => rabenseifner_allreduce(comm, buf, op, tag_base),
+    }
+}
+
+/// Bandwidth-optimal ring allreduce (reduce-scatter ring + allgather ring).
+pub fn ring_allreduce<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    op: ReduceOp,
+    tag_base: u64,
+) -> Result<(), CollError> {
+    let p = comm.size();
+    let r = comm.rank();
+    if p == 1 {
+        return Ok(());
+    }
+    let n = buf.len();
+    let right = (r + 1) % p;
+    let left = (r + p - 1) % p;
+
+    // Phase 1: reduce-scatter. After p-1 steps rank r holds the fully
+    // reduced chunk (r+1) mod p.
+    for step in 0..p - 1 {
+        comm.fault_point("allreduce.step")?;
+        let send_chunk = (r + p - step) % p;
+        let recv_chunk = (r + p - step - 1) % p;
+        let tag = tag_base + step as u64;
+        comm.send(right, tag, &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]))?;
+        let data = comm.recv(left, tag)?;
+        let vals = E::decode_slice(&data);
+        reduce_into(op, &mut buf[chunk_range(n, p, recv_chunk)], &vals);
+    }
+
+    // Phase 2: allgather ring. Rank r starts by forwarding its owned chunk.
+    for step in 0..p - 1 {
+        comm.fault_point("allreduce.step")?;
+        let send_chunk = (r + 1 + p - step) % p;
+        let recv_chunk = (r + p - step) % p;
+        let tag = tag_base + (p - 1 + step) as u64;
+        comm.send(right, tag, &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]))?;
+        let data = comm.recv(left, tag)?;
+        let vals = E::decode_slice(&data);
+        buf[chunk_range(n, p, recv_chunk)].copy_from_slice(&vals);
+    }
+    Ok(())
+}
+
+/// Map a virtual rank (dense `0..pof2`) back to a real group index, given
+/// `rem = p - pof2` folded pairs at the front of the group.
+fn unmap_vrank(v: usize, rem: usize) -> usize {
+    if v < rem {
+        2 * v + 1
+    } else {
+        v + rem
+    }
+}
+
+/// Fold phase shared by the logarithmic algorithms: ranks in the first
+/// `2*rem` positions pair up (even sends to odd, odd reduces), leaving a
+/// power-of-two set of active virtual ranks. Returns `Some(vrank)` if this
+/// rank stays active.
+fn fold<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    op: ReduceOp,
+    rem: usize,
+    tag: u64,
+) -> Result<Option<usize>, CollError> {
+    let r = comm.rank();
+    if r < 2 * rem {
+        comm.fault_point("allreduce.step")?;
+        if r % 2 == 0 {
+            comm.send(r + 1, tag, &E::encode_slice(buf))?;
+            Ok(None)
+        } else {
+            let data = comm.recv(r - 1, tag)?;
+            reduce_into(op, buf, &E::decode_slice(&data));
+            Ok(Some(r / 2))
+        }
+    } else {
+        Ok(Some(r - rem))
+    }
+}
+
+/// Unfold phase: active odd ranks push the final result back to their folded
+/// even partner.
+fn unfold<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    rem: usize,
+    active: bool,
+    tag: u64,
+) -> Result<(), CollError> {
+    let r = comm.rank();
+    if r < 2 * rem {
+        comm.fault_point("allreduce.step")?;
+        if active {
+            comm.send(r - 1, tag, &E::encode_slice(buf))?;
+        } else {
+            let data = comm.recv(r + 1, tag)?;
+            buf.copy_from_slice(&E::decode_slice(&data));
+        }
+    }
+    Ok(())
+}
+
+/// Latency-optimal recursive-doubling allreduce; handles non-power-of-two
+/// group sizes with the standard fold/unfold.
+pub fn recursive_doubling_allreduce<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    op: ReduceOp,
+    tag_base: u64,
+) -> Result<(), CollError> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let pof2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+    let rem = p - pof2;
+
+    let vrank = fold(comm, buf, op, rem, tag_base)?;
+
+    if let Some(v) = vrank {
+        let mut mask = 1usize;
+        let mut step = 0u64;
+        while mask < pof2 {
+            comm.fault_point("allreduce.step")?;
+            let vpartner = v ^ mask;
+            let partner = unmap_vrank(vpartner, rem);
+            let tag = tag_base + 1 + step;
+            comm.send(partner, tag, &E::encode_slice(buf))?;
+            let data = comm.recv(partner, tag)?;
+            reduce_into(op, buf, &E::decode_slice(&data));
+            mask <<= 1;
+            step += 1;
+        }
+    }
+
+    unfold(comm, buf, rem, vrank.is_some(), tag_base + 100)
+}
+
+/// Rabenseifner's allreduce: recursive-halving reduce-scatter followed by a
+/// recursive-doubling allgather. Bandwidth-optimal at `O(log p)` steps.
+pub fn rabenseifner_allreduce<E: Elem, C: PeerComm>(
+    comm: &C,
+    buf: &mut [E],
+    op: ReduceOp,
+    tag_base: u64,
+) -> Result<(), CollError> {
+    let p = comm.size();
+    if p == 1 {
+        return Ok(());
+    }
+    let pof2 = p.next_power_of_two() >> usize::from(!p.is_power_of_two());
+    let rem = p - pof2;
+    let n = buf.len();
+
+    // Element range covered by logical chunks [a, b) of the pof2 split.
+    let block = |a: usize, b: usize| (a * n / pof2)..(b * n / pof2);
+
+    let vrank = fold(comm, buf, op, rem, tag_base)?;
+
+    if let Some(v) = vrank {
+        // Reduce-scatter by recursive halving. The active block of chunk
+        // indices [lo, hi) narrows by half each step; after log2(pof2) steps
+        // lo == v and this rank owns the fully reduced chunk v.
+        let (mut lo, mut hi) = (0usize, pof2);
+        let mut mask = pof2 >> 1;
+        let mut step = 0u64;
+        while mask >= 1 {
+            comm.fault_point("allreduce.step")?;
+            let vpartner = v ^ mask;
+            let partner = unmap_vrank(vpartner, rem);
+            let mid = lo + (hi - lo) / 2;
+            let tag = tag_base + 1 + step;
+            if v & mask == 0 {
+                // Keep the lower half, give away the upper half.
+                comm.send(partner, tag, &E::encode_slice(&buf[block(mid, hi)]))?;
+                let data = comm.recv(partner, tag)?;
+                reduce_into(op, &mut buf[block(lo, mid)], &E::decode_slice(&data));
+                hi = mid;
+            } else {
+                comm.send(partner, tag, &E::encode_slice(&buf[block(lo, mid)]))?;
+                let data = comm.recv(partner, tag)?;
+                reduce_into(op, &mut buf[block(mid, hi)], &E::decode_slice(&data));
+                lo = mid;
+            }
+            mask >>= 1;
+            step += 1;
+            if mask == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(lo, v);
+        debug_assert_eq!(hi, v + 1);
+
+        // Allgather by recursive doubling over aligned chunk blocks.
+        let mut m = 1usize;
+        while m < pof2 {
+            comm.fault_point("allreduce.step")?;
+            let vpartner = v ^ m;
+            let partner = unmap_vrank(vpartner, rem);
+            let my_lo = (v / m) * m;
+            let their_lo = (vpartner / m) * m;
+            let tag = tag_base + 200 + step;
+            comm.send(partner, tag, &E::encode_slice(&buf[block(my_lo, my_lo + m)]))?;
+            let data = comm.recv(partner, tag)?;
+            buf[block(their_lo, their_lo + m)].copy_from_slice(&E::decode_slice(&data));
+            m <<= 1;
+            step += 1;
+        }
+    }
+
+    unfold(comm, buf, rem, vrank.is_some(), tag_base + 500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{expected_sum, input_for, run_group};
+    use transport::FaultPlan;
+
+    fn check_allreduce(algo: AllreduceAlgo, p: usize, n: usize) {
+        let results = run_group(p, FaultPlan::none(), |comm| {
+            let mut buf = input_for(comm.rank(), n);
+            allreduce(&comm, &mut buf, ReduceOp::Sum, algo, 0).map(|()| buf)
+        });
+        let want = expected_sum(0..p, n);
+        for (r, got) in results.into_iter().enumerate() {
+            let got = got.unwrap_or_else(|e| panic!("rank {r} failed: {e}"));
+            assert_eq!(got, want, "rank {r} result mismatch (p={p}, n={n})");
+        }
+    }
+
+    #[test]
+    fn ring_various_sizes() {
+        for &p in &[1, 2, 3, 4, 5, 8] {
+            for &n in &[0, 1, 7, 64, 1000] {
+                check_allreduce(AllreduceAlgo::Ring, p, n);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_various_sizes() {
+        for &p in &[1, 2, 3, 4, 5, 6, 7, 8] {
+            for &n in &[0, 1, 16, 257] {
+                check_allreduce(AllreduceAlgo::RecursiveDoubling, p, n);
+            }
+        }
+    }
+
+    #[test]
+    fn rabenseifner_various_sizes() {
+        for &p in &[1, 2, 3, 4, 5, 6, 7, 8, 16] {
+            for &n in &[0, 1, 16, 64, 1000] {
+                check_allreduce(AllreduceAlgo::Rabenseifner, p, n);
+            }
+        }
+    }
+
+    #[test]
+    fn max_and_min_ops() {
+        let p = 4;
+        let results = run_group(p, FaultPlan::none(), |comm| {
+            let mut buf = vec![comm.rank() as f32, -(comm.rank() as f32)];
+            ring_allreduce(&comm, &mut buf, ReduceOp::Max, 0).unwrap();
+            buf
+        });
+        for got in results {
+            assert_eq!(got, vec![3.0, 0.0]);
+        }
+        let results = run_group(p, FaultPlan::none(), |comm| {
+            let mut buf = vec![comm.rank() as f32];
+            recursive_doubling_allreduce(&comm, &mut buf, ReduceOp::Min, 0).unwrap();
+            buf
+        });
+        for got in results {
+            assert_eq!(got, vec![0.0]);
+        }
+    }
+
+    #[test]
+    fn bitand_over_u64_for_agreement() {
+        // The agreement protocol reduces flags with BitAnd.
+        let results = run_group(5, FaultPlan::none(), |comm| {
+            let mut buf = vec![if comm.rank() == 3 { 0b1101u64 } else { 0b1111 }];
+            recursive_doubling_allreduce(&comm, &mut buf, ReduceOp::BitAnd, 0).unwrap();
+            buf[0]
+        });
+        for got in results {
+            assert_eq!(got, 0b1101);
+        }
+    }
+
+    #[test]
+    fn failure_mid_ring_is_reported_to_survivors() {
+        let p = 4;
+        let n = 64;
+        // Rank 2 dies at its second allreduce step.
+        let plan = FaultPlan::none().kill_at_point(transport::RankId(2), "allreduce.step", 2);
+        let results = run_group(p, plan, |comm| {
+            let mut buf = input_for(comm.rank(), n);
+            ring_allreduce(&comm, &mut buf, ReduceOp::Sum, 0)
+        });
+        assert_eq!(results[2], Err(CollError::SelfDied));
+        // At least the ring neighbours of rank 2 must observe the failure.
+        let failures = results
+            .iter()
+            .enumerate()
+            .filter(|(r, res)| *r != 2 && res.is_err())
+            .count();
+        assert!(failures > 0, "no survivor observed the failure: {results:?}");
+        for (r, res) in results.iter().enumerate() {
+            if r != 2 {
+                assert!(
+                    matches!(res, Ok(()) | Err(CollError::PeerFailed { .. })),
+                    "rank {r}: unexpected outcome {res:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failure_mid_recursive_doubling_is_reported() {
+        let p = 8;
+        let plan = FaultPlan::none().kill_at_point(transport::RankId(5), "allreduce.step", 2);
+        let results = run_group(p, plan, |comm| {
+            let mut buf = input_for(comm.rank(), 32);
+            recursive_doubling_allreduce(&comm, &mut buf, ReduceOp::Sum, 0)
+        });
+        assert_eq!(results[5], Err(CollError::SelfDied));
+        let failures = results
+            .iter()
+            .enumerate()
+            .filter(|(r, res)| *r != 5 && res.is_err())
+            .count();
+        assert!(failures > 0);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for &(n, p) in &[(10usize, 3usize), (0, 4), (5, 8), (1000, 7)] {
+            let mut covered = 0;
+            for i in 0..p {
+                let r = chunk_range(n, p, i);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+}

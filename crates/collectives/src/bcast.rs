@@ -1,0 +1,140 @@
+//! Binomial-tree broadcast.
+
+use crate::comm::PeerComm;
+use crate::error::CollError;
+
+/// Broadcast `buf` from group rank `root` to all ranks along a binomial
+/// tree (`⌈log₂ p⌉` rounds). Non-root ranks' buffers are overwritten;
+/// `buf.len()` must match on all ranks.
+pub fn binomial_bcast<C: PeerComm>(
+    comm: &C,
+    root: usize,
+    buf: &mut Vec<u8>,
+    tag_base: u64,
+) -> Result<(), CollError> {
+    let p = comm.size();
+    assert!(root < p, "broadcast root {root} out of range (size {p})");
+    if p == 1 {
+        return Ok(());
+    }
+    let vrank = (comm.rank() + p - root) % p;
+
+    // Non-roots receive once from the parent: the rank obtained by clearing
+    // the lowest set bit of vrank. `recv_bit` is that bit; the root acts as
+    // if it had received at the top of the tree.
+    let recv_bit = if vrank == 0 {
+        p.next_power_of_two()
+    } else {
+        let bit = vrank & vrank.wrapping_neg(); // lowest set bit
+        comm.fault_point("bcast.step")?;
+        let parent = ((vrank & !bit) + root) % p;
+        *buf = comm.recv(parent, tag_base)?;
+        bit
+    };
+
+    // Forward to children vrank + m for every bit m below recv_bit.
+    let mut m = recv_bit >> 1;
+    while m >= 1 {
+        let vchild = vrank + m;
+        if vchild < p {
+            comm.fault_point("bcast.step")?;
+            let child = (vchild + root) % p;
+            comm.send(child, tag_base, buf)?;
+        }
+        m >>= 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::run_group;
+    use transport::FaultPlan;
+
+    fn check(p: usize, root: usize) {
+        let payload: Vec<u8> = (0..17u8).collect();
+        let want = payload.clone();
+        let results = run_group(p, FaultPlan::none(), move |comm| {
+            let mut buf = if comm.rank() == root {
+                payload.clone()
+            } else {
+                Vec::new()
+            };
+            binomial_bcast(&comm, root, &mut buf, 0).map(|()| buf)
+        });
+        for (r, got) in results.into_iter().enumerate() {
+            assert_eq!(got.unwrap(), want, "rank {r} (p={p}, root={root})");
+        }
+    }
+
+    #[test]
+    fn all_roots_all_sizes() {
+        for p in 1..=9 {
+            for root in 0..p {
+                check(p, root);
+            }
+        }
+    }
+
+    #[test]
+    fn large_payload() {
+        let payload = vec![0xabu8; 1 << 16];
+        let want = payload.clone();
+        let results = run_group(6, FaultPlan::none(), move |comm| {
+            let mut buf = if comm.rank() == 2 { payload.clone() } else { vec![] };
+            binomial_bcast(&comm, 2, &mut buf, 0).map(|()| buf)
+        });
+        for got in results {
+            assert_eq!(got.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn dead_child_surfaces_peer_failed_at_parent() {
+        // Rank 1 dies before the bcast begins; root (0) observes PeerFailed
+        // when it tries to forward. The sleep on every other rank makes the
+        // ordering deterministic (rank 1 is certainly dead by then).
+        let plan = FaultPlan::none().kill_at_point(transport::RankId(1), "bcast.step", 1);
+        let results = run_group(4, plan, |comm| {
+            if comm.rank() != 1 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            let mut buf = if comm.rank() == 0 { vec![9u8; 4] } else { vec![] };
+            binomial_bcast(&comm, 0, &mut buf, 0)
+        });
+        assert_eq!(results[1], Err(CollError::SelfDied));
+        assert!(
+            results
+                .iter()
+                .any(|r| matches!(r, Err(CollError::PeerFailed { .. }))),
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn bad_root_panics() {
+        struct NoComm;
+        impl crate::PeerComm for NoComm {
+            fn size(&self) -> usize {
+                2
+            }
+            fn rank(&self) -> usize {
+                0
+            }
+            fn send(&self, _: usize, _: u64, _: &[u8]) -> Result<(), CollError> {
+                unreachable!()
+            }
+            fn recv(&self, _: usize, _: u64) -> Result<Vec<u8>, CollError> {
+                unreachable!()
+            }
+        }
+        let err = std::panic::catch_unwind(|| {
+            let mut buf = vec![];
+            let _ = binomial_bcast(&NoComm, 5, &mut buf, 0);
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("out of range"), "unexpected panic: {msg}");
+    }
+}

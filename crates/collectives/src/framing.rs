@@ -1,0 +1,77 @@
+//! Framing of multiple indexed byte blocks into a single message.
+//!
+//! Allgather-style collectives move *per-rank blocks* that may differ in
+//! size (an `allgatherv`). Blocks travel as `(origin index, bytes)` frames
+//! packed into one message.
+
+use transport::Wire;
+
+/// Encode `(index, block)` pairs into one buffer.
+pub fn encode_blocks<'a>(blocks: impl Iterator<Item = (usize, &'a [u8])>) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut count = 0u64;
+    let mut body = Vec::new();
+    for (idx, block) in blocks {
+        (idx as u64).write(&mut body);
+        (block.len() as u64).write(&mut body);
+        body.extend_from_slice(block);
+        count += 1;
+    }
+    count.write(&mut out);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a buffer produced by [`encode_blocks`].
+///
+/// # Panics
+/// Panics on a malformed buffer (framing is internal; a malformed buffer is
+/// a logic error, not an input error).
+pub fn decode_blocks(bytes: &[u8]) -> Vec<(usize, Vec<u8>)> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| {
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        s
+    };
+    let count = u64::read(take(&mut pos, 8)) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let idx = u64::read(take(&mut pos, 8)) as usize;
+        let len = u64::read(take(&mut pos, 8)) as usize;
+        let block = take(&mut pos, len).to_vec();
+        out.push((idx, block));
+    }
+    assert_eq!(pos, bytes.len(), "trailing bytes in framed message");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let buf = encode_blocks(std::iter::empty());
+        assert!(decode_blocks(&buf).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_mixed_sizes() {
+        let blocks: Vec<(usize, Vec<u8>)> = vec![
+            (3, vec![1, 2, 3]),
+            (0, vec![]),
+            (7, vec![0xff; 100]),
+        ];
+        let buf = encode_blocks(blocks.iter().map(|(i, b)| (*i, b.as_slice())));
+        assert_eq!(decode_blocks(&buf), blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing")]
+    fn trailing_garbage_detected() {
+        let mut buf = encode_blocks(std::iter::once((0usize, &b"x"[..])));
+        buf.push(0);
+        decode_blocks(&buf);
+    }
+}

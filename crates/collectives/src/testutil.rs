@@ -1,0 +1,100 @@
+//! In-crate test harness: runs a closure on `n` rank threads over the
+//! in-memory transport, with an optional fault plan.
+
+use crate::comm::PeerComm;
+use crate::error::CollError;
+use std::sync::Arc;
+use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, RankId, Topology, TransportError};
+
+/// A `PeerComm` over the raw fabric where the group is all registered ranks.
+pub struct TestComm {
+    ep: Endpoint,
+    group: Vec<RankId>,
+    my_idx: usize,
+}
+
+impl TestComm {
+    fn map_err(&self, e: TransportError) -> CollError {
+        match e {
+            TransportError::SelfDied => CollError::SelfDied,
+            TransportError::PeerDead(r) => CollError::PeerFailed {
+                peer: self.group.iter().position(|&g| g == r).unwrap_or(usize::MAX),
+            },
+            other => panic!("unexpected transport error in test: {other}"),
+        }
+    }
+}
+
+impl PeerComm for TestComm {
+    fn size(&self) -> usize {
+        self.group.len()
+    }
+    fn rank(&self) -> usize {
+        self.my_idx
+    }
+    fn send(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), CollError> {
+        self.ep
+            .send(self.group[peer], tag, data)
+            .map_err(|e| self.map_err(e))
+    }
+    fn recv(&self, peer: usize, tag: u64) -> Result<Vec<u8>, CollError> {
+        self.ep
+            .recv(self.group[peer], tag)
+            .map_err(|e| self.map_err(e))
+    }
+    fn fault_point(&self, name: &str) -> Result<(), CollError> {
+        self.ep.fault_point(name).map_err(|e| self.map_err(e))
+    }
+}
+
+/// Run `f` on `n` rank threads sharing one fabric; returns per-rank results
+/// in rank order.
+pub fn run_group<R, F>(n: usize, plan: FaultPlan, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(TestComm) -> R + Send + Sync,
+{
+    let fabric = Fabric::new(Topology::flat(), FaultInjector::new(plan));
+    let group = fabric.register_ranks(n);
+    let f = &f;
+    let group_ref = &group;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let fabric = Arc::clone(&fabric);
+                s.spawn(move || {
+                    let comm = TestComm {
+                        ep: Endpoint::new(Arc::clone(&fabric), group_ref[i]),
+                        group: group_ref.clone(),
+                        my_idx: i,
+                    };
+                    let out = f(comm);
+                    // Model process exit: a rank that returned (e.g. after
+                    // observing a failure) stops participating; peers
+                    // blocked on it must see PeerDead rather than hang.
+                    fabric.kill_rank(group_ref[i]);
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Deterministic pseudo-random input vector for rank `r`.
+pub fn input_for(rank: usize, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((rank * 31 + i * 7 + 13) % 101) as f32 * 0.25 - 12.0)
+        .collect()
+}
+
+/// The element-wise sum of `input_for(r, len)` over ranks `rs`.
+pub fn expected_sum(rs: impl Iterator<Item = usize> + Clone, len: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; len];
+    for r in rs {
+        for (o, v) in out.iter_mut().zip(input_for(r, len)) {
+            *o += v;
+        }
+    }
+    out
+}

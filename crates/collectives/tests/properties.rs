@@ -1,0 +1,262 @@
+//! Property-based tests: collective results must equal their sequential
+//! specifications for arbitrary group sizes, payload lengths, and values —
+//! and under arbitrary single-fault schedules every surviving rank either
+//! succeeds with the exact result or reports a failure (never a wrong
+//! value).
+
+use collectives::{
+    allgather, allreduce, binomial_bcast, binomial_reduce, AllgatherAlgo, AllreduceAlgo,
+    CollError, PeerComm, ReduceOp,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, RankId, Topology};
+
+/// Minimal PeerComm over the fabric for property runs.
+struct PropComm {
+    ep: Endpoint,
+    group: Vec<RankId>,
+    my_idx: usize,
+}
+
+impl PeerComm for PropComm {
+    fn size(&self) -> usize {
+        self.group.len()
+    }
+    fn rank(&self) -> usize {
+        self.my_idx
+    }
+    fn send(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), CollError> {
+        self.ep.send(self.group[peer], tag, data).map_err(|e| match e {
+            transport::TransportError::PeerDead(_) => CollError::PeerFailed { peer },
+            transport::TransportError::SelfDied => CollError::SelfDied,
+            o => unreachable!("{o}"),
+        })
+    }
+    fn recv(&self, peer: usize, tag: u64) -> Result<Vec<u8>, CollError> {
+        self.ep.recv(self.group[peer], tag).map_err(|e| match e {
+            transport::TransportError::PeerDead(_) => CollError::PeerFailed { peer },
+            transport::TransportError::SelfDied => CollError::SelfDied,
+            o => unreachable!("{o}"),
+        })
+    }
+    fn fault_point(&self, name: &str) -> Result<(), CollError> {
+        self.ep.fault_point(name).map_err(|_| CollError::SelfDied)
+    }
+}
+
+fn run_group<R: Send>(
+    n: usize,
+    plan: FaultPlan,
+    f: impl Fn(PropComm) -> R + Send + Sync,
+) -> Vec<R> {
+    let fabric = Fabric::new(Topology::flat(), FaultInjector::new(plan));
+    let group = fabric.register_ranks(n);
+    let f = &f;
+    let group_ref = &group;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let fabric = Arc::clone(&fabric);
+                s.spawn(move || {
+                    let comm = PropComm {
+                        ep: Endpoint::new(Arc::clone(&fabric), group_ref[i]),
+                        group: group_ref.clone(),
+                        my_idx: i,
+                    };
+                    let out = f(comm);
+                    fabric.kill_rank(group_ref[i]);
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+fn inputs(p: usize, n: usize, seed: u64) -> Vec<Vec<i64>> {
+    // Integer payloads make the reduction exactly associative, so equality
+    // checks are exact regardless of algorithm-imposed ordering.
+    (0..p)
+        .map(|r| {
+            (0..n)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((r * 1_000_003 + i) as u64);
+                    (x % 2001) as i64 - 1000
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn algo_strategy() -> impl Strategy<Value = AllreduceAlgo> {
+    prop_oneof![
+        Just(AllreduceAlgo::Ring),
+        Just(AllreduceAlgo::RecursiveDoubling),
+        Just(AllreduceAlgo::Rabenseifner),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = ReduceOp> {
+    prop_oneof![
+        Just(ReduceOp::Sum),
+        Just(ReduceOp::Max),
+        Just(ReduceOp::Min),
+        Just(ReduceOp::BitOr),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Allreduce == sequential element-wise fold, for every algorithm, any
+    /// group size 1..=9 and any payload length 0..=67.
+    #[test]
+    fn allreduce_matches_sequential_fold(
+        p in 1usize..=9,
+        n in 0usize..=67,
+        seed in any::<u64>(),
+        algo in algo_strategy(),
+        op in op_strategy(),
+    ) {
+        let ins = inputs(p, n, seed);
+        let ins2 = ins.clone();
+        let results = run_group(p, FaultPlan::none(), move |comm| {
+            let mut buf = ins2[comm.rank()].clone();
+            let buf_u: Vec<u64> = buf.iter().map(|&v| v as u64).collect();
+            // BitOr needs unsigned; run both domains through the same path.
+            if op == ReduceOp::BitOr {
+                let mut b = buf_u;
+                allreduce(&comm, &mut b, op, algo, 0).unwrap();
+                return b.iter().map(|&v| v as i64).collect::<Vec<i64>>();
+            }
+            allreduce(&comm, &mut buf, op, algo, 0).unwrap();
+            buf
+        });
+        // Sequential specification.
+        let mut want: Vec<i64> = ins[0].clone();
+        if op == ReduceOp::BitOr {
+            let mut acc: Vec<u64> = ins[0].iter().map(|&v| v as u64).collect();
+            for r in &ins[1..] {
+                for (a, &b) in acc.iter_mut().zip(r) {
+                    *a |= b as u64;
+                }
+            }
+            want = acc.iter().map(|&v| v as i64).collect();
+        } else {
+            for r in &ins[1..] {
+                for (a, &b) in want.iter_mut().zip(r) {
+                    *a = match op {
+                        ReduceOp::Sum => a.wrapping_add(b),
+                        ReduceOp::Max => (*a).max(b),
+                        ReduceOp::Min => (*a).min(b),
+                        _ => unreachable!(),
+                    };
+                }
+            }
+        }
+        for (r, got) in results.iter().enumerate() {
+            prop_assert_eq!(got, &want, "rank {} (p={}, n={}, {:?}, {:?})", r, p, n, algo, op);
+        }
+    }
+
+    /// Allgather returns every rank's block, in rank order, for both
+    /// algorithms and arbitrary (small) block contents.
+    #[test]
+    fn allgather_collects_all_blocks(
+        p in 1usize..=8,
+        sizes in proptest::collection::vec(0usize..32, 1..=8),
+        ring in any::<bool>(),
+    ) {
+        let sizes = Arc::new(sizes);
+        let sz = Arc::clone(&sizes);
+        let algo = if ring { AllgatherAlgo::Ring } else { AllgatherAlgo::Bruck };
+        let results = run_group(p, FaultPlan::none(), move |comm| {
+            let len = sz[comm.rank() % sz.len()];
+            let mine: Vec<u8> = (0..len).map(|i| (comm.rank() * 7 + i) as u8).collect();
+            allgather(&comm, &mine, algo, 0).unwrap()
+        });
+        for got in results {
+            prop_assert_eq!(got.len(), p);
+            for (r, block) in got.iter().enumerate() {
+                let len = sizes[r % sizes.len()];
+                let want: Vec<u8> = (0..len).map(|i| (r * 7 + i) as u8).collect();
+                prop_assert_eq!(block, &want);
+            }
+        }
+    }
+
+    /// Broadcast delivers the root's exact bytes to everyone, for any root.
+    #[test]
+    fn bcast_delivers_root_payload(
+        p in 1usize..=9,
+        root_pick in any::<usize>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let root = root_pick % p;
+        let payload = Arc::new(payload);
+        let pl = Arc::clone(&payload);
+        let results = run_group(p, FaultPlan::none(), move |comm| {
+            let mut buf = if comm.rank() == root { pl.to_vec() } else { vec![] };
+            binomial_bcast(&comm, root, &mut buf, 0).unwrap();
+            buf
+        });
+        for got in results {
+            prop_assert_eq!(&got, &*payload);
+        }
+    }
+
+    /// Reduce: the root holds the exact sum for any root choice.
+    #[test]
+    fn reduce_sums_at_root(p in 1usize..=8, root_pick in any::<usize>(), n in 1usize..=32) {
+        let root = root_pick % p;
+        let results = run_group(p, FaultPlan::none(), move |comm| {
+            let mut buf: Vec<i64> = (0..n).map(|i| (comm.rank() + i) as i64).collect();
+            binomial_reduce(&comm, root, &mut buf, ReduceOp::Sum, 0).unwrap();
+            buf
+        });
+        let want: Vec<i64> = (0..n)
+            .map(|i| (0..p).map(|r| (r + i) as i64).sum())
+            .collect();
+        prop_assert_eq!(&results[root], &want);
+    }
+
+    /// Single-fault safety: kill one arbitrary rank at one arbitrary
+    /// protocol step. Every surviving rank either gets the *correct full
+    /// result* (it finished before the failure mattered) or an error —
+    /// never silently wrong data of the wrong shape.
+    #[test]
+    fn fault_injection_never_yields_corrupt_results(
+        p in 2usize..=7,
+        n in 1usize..=32,
+        victim_pick in any::<usize>(),
+        step in 1u64..=12,
+        algo in algo_strategy(),
+    ) {
+        let victim = victim_pick % p;
+        let ins = inputs(p, n, 42);
+        let ins2 = ins.clone();
+        let plan = FaultPlan::none().kill_at_point(RankId(victim), "allreduce.step", step);
+        let results = run_group(p, plan, move |comm| {
+            let mut buf = ins2[comm.rank()].clone();
+            allreduce(&comm, &mut buf, ReduceOp::Sum, algo, 0).map(|()| buf)
+        });
+        let mut want = ins[0].clone();
+        for r in &ins[1..] {
+            for (a, &b) in want.iter_mut().zip(r) {
+                *a += b;
+            }
+        }
+        for (r, res) in results.iter().enumerate() {
+            match res {
+                Ok(buf) if r != victim => prop_assert_eq!(buf, &want, "rank {}", r),
+                Ok(buf) => prop_assert_eq!(buf, &want, "victim survived (step too late)"),
+                Err(CollError::SelfDied) => prop_assert_eq!(r, victim),
+                Err(CollError::PeerFailed { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+            }
+        }
+    }
+}

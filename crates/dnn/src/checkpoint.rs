@@ -1,0 +1,199 @@
+//! In-memory checkpoints of the full training state.
+//!
+//! The paper's baseline (Elastic Horovod) recovers by rolling back to a
+//! checkpoint taken at minimum every mini-batch (§3.2, Fig. 2); for
+//! comparability its evaluation uses **memory** checkpoints, excluding
+//! parallel-file-system cost (§4.1). We reproduce that: a checkpoint is a
+//! serialized byte image of (step, model parameters, optimizer state), and
+//! the store is a shared in-memory slot.
+
+use crate::model::Model;
+use crate::optim::Sgd;
+use crate::tensor::Tensor;
+use std::sync::{Arc, Mutex};
+use transport::Wire;
+
+/// A serialized training-state snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Optimizer step at which the snapshot was taken.
+    pub step: u64,
+    /// Serialized payload.
+    pub bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Capture model + optimizer into a checkpoint.
+    pub fn capture(model: &Model, opt: &Sgd) -> Self {
+        let (step, velocity) = opt.state_vec();
+        let flat = model.state_flat();
+        let mut payload: Vec<u8> = Vec::new();
+        // Header: step, #param floats, #velocity tensors.
+        step.write(&mut payload);
+        (flat.len() as u64).write(&mut payload);
+        (velocity.len() as u64).write(&mut payload);
+        payload.extend_from_slice(&f32::encode_slice(&flat));
+        for v in &velocity {
+            (v.len() as u64).write(&mut payload);
+            payload.extend_from_slice(&f32::encode_slice(v.data()));
+        }
+        Self {
+            step,
+            bytes: payload,
+        }
+    }
+
+    /// Restore model + optimizer from this checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the byte image does not match the model's architecture —
+    /// checkpoints are only valid for the run that produced them.
+    pub fn restore(&self, model: &mut Model, opt: &mut Sgd) {
+        let b = &self.bytes;
+        let mut pos = 0usize;
+        let read_u64 = |pos: &mut usize| {
+            let v = u64::read(&b[*pos..*pos + 8]);
+            *pos += 8;
+            v
+        };
+        let step = read_u64(&mut pos);
+        let n_flat = read_u64(&mut pos) as usize;
+        let n_vel = read_u64(&mut pos) as usize;
+        let flat = f32::decode_slice(&b[pos..pos + n_flat * 4]);
+        pos += n_flat * 4;
+        model.load_state_flat(&flat);
+        let mut velocity = Vec::with_capacity(n_vel);
+        for _ in 0..n_vel {
+            let len = u64::read(&b[pos..pos + 8]) as usize;
+            pos += 8;
+            let vals = f32::decode_slice(&b[pos..pos + len * 4]);
+            pos += len * 4;
+            velocity.push(Tensor::from_vec(&[len], vals));
+        }
+        assert_eq!(pos, b.len(), "trailing bytes in checkpoint");
+        opt.restore(step, velocity);
+    }
+
+    /// Size of the serialized image in bytes (drives the cost model).
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// A shared single-slot in-memory checkpoint store (latest wins), as the
+/// paper's memory-checkpoint setup uses.
+#[derive(Clone, Default)]
+pub struct InMemoryCheckpointStore {
+    slot: Arc<Mutex<Option<Checkpoint>>>,
+}
+
+impl InMemoryCheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Save (replacing any previous checkpoint).
+    pub fn save(&self, ckpt: Checkpoint) {
+        *self.slot.lock().unwrap() = Some(ckpt);
+    }
+
+    /// Load the most recent checkpoint, if any.
+    pub fn load(&self) -> Option<Checkpoint> {
+        self.slot.lock().unwrap().clone()
+    }
+
+    /// The step of the most recent checkpoint.
+    pub fn latest_step(&self) -> Option<u64> {
+        self.slot.lock().unwrap().as_ref().map(|c| c.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+
+    fn trained_pair() -> (Model, Sgd, SyntheticDataset) {
+        let mut m = Model::mlp(6, &[12], 3, 5);
+        let mut o = Sgd::new(0.05, 0.9);
+        let ds = SyntheticDataset::new(6, 3, 8);
+        for step in 0..5 {
+            m.compute_gradients(&ds.batch(step, 16));
+            o.step(&mut m.params_mut());
+        }
+        (m, o, ds)
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_bitexact() {
+        let (mut m, mut o, ds) = trained_pair();
+        let ckpt = Checkpoint::capture(&m, &o);
+        assert_eq!(ckpt.step, 5);
+
+        // Continue training the original for 3 steps → trajectory A.
+        let mut trajectory_a = Vec::new();
+        for step in 5..8 {
+            let r = m.compute_gradients(&ds.batch(step, 16));
+            o.step(&mut m.params_mut());
+            trajectory_a.push(r.loss);
+        }
+
+        // Restore into fresh objects and replay → must match bit-exactly.
+        let mut m2 = Model::mlp(6, &[12], 3, 999);
+        let mut o2 = Sgd::new(0.05, 0.9);
+        ckpt.restore(&mut m2, &mut o2);
+        assert_eq!(o2.step_count(), 5);
+        let mut trajectory_b = Vec::new();
+        for step in 5..8 {
+            let r = m2.compute_gradients(&ds.batch(step, 16));
+            o2.step(&mut m2.params_mut());
+            trajectory_b.push(r.loss);
+        }
+        assert_eq!(trajectory_a, trajectory_b);
+    }
+
+    #[test]
+    fn checkpoint_size_scales_with_params() {
+        let (m, o, _) = trained_pair();
+        let ckpt = Checkpoint::capture(&m, &o);
+        let params = m.num_params();
+        // params + velocities ≈ 2× params of f32, plus small headers.
+        let expected = params * 4 * 2;
+        assert!(
+            ckpt.size_bytes() >= expected && ckpt.size_bytes() < expected + 256,
+            "size {} vs expected ≈{}",
+            ckpt.size_bytes(),
+            expected
+        );
+    }
+
+    #[test]
+    fn store_keeps_latest() {
+        let store = InMemoryCheckpointStore::new();
+        assert!(store.load().is_none());
+        let (m, o, _) = trained_pair();
+        let c1 = Checkpoint::capture(&m, &o);
+        store.save(c1.clone());
+        assert_eq!(store.latest_step(), Some(5));
+        let c2 = Checkpoint {
+            step: 9,
+            bytes: c1.bytes.clone(),
+        };
+        store.save(c2);
+        assert_eq!(store.latest_step(), Some(9));
+    }
+
+    #[test]
+    fn restore_before_any_velocity_works() {
+        // Checkpoint taken before the first optimizer step has no velocity.
+        let m = Model::mlp(4, &[], 2, 1);
+        let o = Sgd::new(0.1, 0.9);
+        let ckpt = Checkpoint::capture(&m, &o);
+        let mut m2 = Model::mlp(4, &[], 2, 2);
+        let mut o2 = Sgd::new(0.1, 0.9);
+        ckpt.restore(&mut m2, &mut o2);
+        assert_eq!(m2.state_flat(), m.state_flat());
+        assert_eq!(o2.step_count(), 0);
+    }
+}

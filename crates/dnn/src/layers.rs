@@ -1,0 +1,411 @@
+//! Network layers with manual forward/backward passes.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient of the current mini-batch (zeroed by the optimizer step).
+    pub grad: Tensor,
+}
+
+impl Param {
+    fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+}
+
+/// A layer in a sequential network. Forward caches whatever backward needs.
+pub trait Layer: Send {
+    /// Forward pass on a batch (first dimension = batch).
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// Backward pass: receives dL/d(output), returns dL/d(input), and
+    /// accumulates parameter gradients.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Trainable parameters (empty for stateless layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+    /// Mutable trainable parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+    /// Human-readable name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected layer: `y = x·W + b`.
+pub struct Dense {
+    w: Param,
+    b: Param,
+    cached_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// A dense layer with He initialization.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            w: Param::new(Tensor::he_init(&[in_dim, out_dim], in_dim, seed)),
+            b: Param::new(Tensor::zeros(&[1, out_dim])),
+            cached_x: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "Dense expects a 2-D batch");
+        let mut y = x.matmul(&self.w.value);
+        let out_dim = self.b.value.len();
+        for row in y.data_mut().chunks_mut(out_dim) {
+            for (v, b) in row.iter_mut().zip(self.b.value.data()) {
+                *v += b;
+            }
+        }
+        self.cached_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_x
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = xᵀ · g ; db = column sums of g ; dx = g · Wᵀ
+        let dw = x.transpose().matmul(grad_out);
+        self.w.grad.add_scaled(&dw, 1.0);
+        let out_dim = self.b.value.len();
+        for row in grad_out.data().chunks(out_dim) {
+            for (g, r) in self.b.grad.data_mut().iter_mut().zip(row) {
+                *g += r;
+            }
+        }
+        grad_out.matmul(&self.w.value.transpose())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        for v in y.data_mut() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+/// Collapse trailing dimensions into one (batch stays first).
+#[derive(Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.in_shape = x.shape().to_vec();
+        let batch = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        let mut y = x.clone();
+        y.reshape(&[batch, rest]);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        g.reshape(&self.in_shape);
+        g
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+/// 2-D convolution, stride 1, valid padding, NCHW layout.
+///
+/// Direct nested-loop implementation — shapes in this repo are small; this
+/// exists so the "image model" examples genuinely run convolutions.
+pub struct Conv2d {
+    w: Param, // [out_c, in_c, kh, kw] flattened
+    b: Param, // [out_c]
+    in_c: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    cached_x: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// A conv layer with He initialization.
+    pub fn new(in_c: usize, out_c: usize, kh: usize, kw: usize, seed: u64) -> Self {
+        let fan_in = in_c * kh * kw;
+        Self {
+            w: Param::new(Tensor::he_init(&[out_c, in_c, kh, kw], fan_in, seed)),
+            b: Param::new(Tensor::zeros(&[out_c])),
+            in_c,
+            out_c,
+            kh,
+            kw,
+            cached_x: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 1 - self.kh, w + 1 - self.kw)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "Conv2d expects NCHW");
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert_eq!(c, self.in_c, "channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let mut y = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let wd = self.w.value.data();
+        let xd = x.data();
+        let yd = y.data_mut();
+        for img in 0..n {
+            for oc in 0..self.out_c {
+                let bias = self.b.value.data()[oc];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias;
+                        for ic in 0..c {
+                            for ky in 0..self.kh {
+                                for kx in 0..self.kw {
+                                    let xi = ((img * c + ic) * h + oy + ky) * w + ox + kx;
+                                    let wi = ((oc * c + ic) * self.kh + ky) * self.kw + kx;
+                                    acc += xd[xi] * wd[wi];
+                                }
+                            }
+                        }
+                        yd[((img * self.out_c + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_x = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_x
+            .as_ref()
+            .expect("backward called before forward");
+        let s = x.shape();
+        let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut dx = Tensor::zeros(s);
+        let gd = grad_out.data();
+        let xd = x.data();
+        let wd = self.w.value.data();
+        let dwd = self.w.grad.data_mut();
+        let dbd = self.b.grad.data_mut();
+        let dxd = dx.data_mut();
+        for img in 0..n {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[((img * self.out_c + oc) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        dbd[oc] += g;
+                        for ic in 0..c {
+                            for ky in 0..self.kh {
+                                for kx in 0..self.kw {
+                                    let xi = ((img * c + ic) * h + oy + ky) * w + ox + kx;
+                                    let wi = ((oc * c + ic) * self.kh + ky) * self.kw + kx;
+                                    dwd[wi] += g * xd[xi];
+                                    dxd[xi] += g * wd[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_known() {
+        let mut d = Dense::new(2, 2, 1);
+        // Overwrite with known weights.
+        d.w.value = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        d.b.value = Tensor::from_vec(&[1, 2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1., 1.]);
+        let y = d.forward(&x);
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_backward_shapes_and_grads() {
+        let mut d = Dense::new(3, 2, 7);
+        let x = Tensor::from_vec(&[2, 3], vec![1., 0., -1., 2., 2., 2.]);
+        let _ = d.forward(&x);
+        let g = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        let dx = d.backward(&g);
+        assert_eq!(dx.shape(), &[2, 3]);
+        assert_eq!(d.w.grad.shape(), &[3, 2]);
+        // db = column sums of g = [1, 1].
+        assert_eq!(d.b.grad.data(), &[1., 1.]);
+    }
+
+    /// Finite-difference check of Dense gradients.
+    #[test]
+    fn dense_gradient_check() {
+        let mut d = Dense::new(3, 2, 11);
+        let x = Tensor::from_vec(&[1, 3], vec![0.3, -0.7, 0.9]);
+        // Loss = sum(y). dL/dy = ones.
+        let y0 = d.forward(&x);
+        let ones = Tensor::from_vec(y0.shape(), vec![1.0; y0.len()]);
+        d.backward(&ones);
+        let analytic = d.w.grad.data()[2]; // dL/dW[1,0]
+        let eps = 1e-3;
+        let idx = 2;
+        d.w.value.data_mut()[idx] += eps;
+        let yp = d.forward(&x).sum();
+        d.w.value.data_mut()[idx] -= 2.0 * eps;
+        let ym = d.forward(&x).sum();
+        let numeric = (yp - ym) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn relu_masks_negative_paths() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1., 2., -3., 4.]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0., 2., 0., 4.]);
+        let g = Tensor::from_vec(&[1, 4], vec![1., 1., 1., 1.]);
+        let dx = r.backward(&g);
+        assert_eq!(dx.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let dx = f.backward(&y);
+        assert_eq!(dx.shape(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn conv_output_shape_and_identity_kernel() {
+        let mut c = Conv2d::new(1, 1, 1, 1, 3);
+        c.w.value = Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]);
+        c.b.value = Tensor::from_vec(&[1], vec![1.0]);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3., 5., 7., 9.]);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut c = Conv2d::new(1, 1, 2, 2, 5);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as f32 * 0.1).collect());
+        let y0 = c.forward(&x);
+        let ones = Tensor::from_vec(y0.shape(), vec![1.0; y0.len()]);
+        c.backward(&ones);
+        let analytic = c.w.grad.data()[0];
+        let eps = 1e-3;
+        c.w.value.data_mut()[0] += eps;
+        let yp = c.forward(&x).sum();
+        c.w.value.data_mut()[0] -= 2.0 * eps;
+        let ym = c.forward(&x).sum();
+        let numeric = (yp - ym) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn conv_backward_input_grad_shape() {
+        let mut c = Conv2d::new(2, 3, 2, 2, 5);
+        let x = Tensor::he_init(&[1, 2, 4, 4], 8, 1);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 3, 3]);
+        let dx = c.backward(&Tensor::from_vec(y.shape(), vec![1.0; y.len()]));
+        assert_eq!(dx.shape(), &[1, 2, 4, 4]);
+    }
+}

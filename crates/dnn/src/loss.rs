@@ -1,0 +1,140 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Numerically-stable softmax over the last dimension of a 2-D batch.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [batch, classes]");
+    let classes = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(classes) {
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` against integer `labels`, plus the
+/// gradient with respect to the logits (already divided by batch size).
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let batch = logits.shape()[0];
+    let classes = logits.shape()[1];
+    assert_eq!(labels.len(), batch, "one label per batch row");
+    let probs = softmax(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range");
+        let p = probs.data()[i * classes + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * classes + label] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    for g in grad.data_mut() {
+        *g *= scale;
+    }
+    (loss * scale, grad)
+}
+
+/// Fraction of rows whose argmax matches the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let classes = logits.shape()[1];
+    let correct = logits
+        .data()
+        .chunks(classes)
+        .zip(labels)
+        .filter(|(row, label)| {
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            argmax == **label
+        })
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let p = softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1000., 1001.]);
+        let p = softmax(&logits);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+        assert!((p.data()[1] - 0.731).abs() < 0.01);
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10., -10., -10.]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-4, "loss = {loss}");
+    }
+
+    #[test]
+    fn uniform_prediction_has_ln_c_loss() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_points_away_from_wrong_class() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(grad.data()[0] < 0.0, "true-class grad must be negative");
+        assert!(grad.data()[1] > 0.0);
+        // Gradient rows sum to zero for softmax-CE.
+        assert!((grad.data()[0] + grad.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_finite_difference() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.5, -0.3, 0.1]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (up, _) = softmax_cross_entropy(&lp, &[1]);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (um, _) = softmax_cross_entropy(&lm, &[1]);
+            let numeric = (up - um) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "component {i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(&[2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+}

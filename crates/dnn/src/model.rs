@@ -1,0 +1,258 @@
+//! Sequential model: layers + loss + gradient access for data-parallel
+//! training.
+
+use crate::data::Batch;
+use crate::layers::{Dense, Layer, ReLU};
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::tensor::Tensor;
+
+/// What one local training step produced (before gradient averaging).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss over the local mini-batch shard.
+    pub loss: f32,
+    /// Top-1 accuracy over the shard.
+    pub accuracy: f32,
+}
+
+/// A sequential feed-forward network.
+pub struct Model {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Model {
+    /// Build from explicit layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// A small MLP classifier: `in_dim → hidden… → classes`, ReLU between.
+    /// The workhorse model for tests and examples.
+    pub fn mlp(in_dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Self {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut prev = in_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            layers.push(Box::new(Dense::new(prev, h, seed.wrapping_add(i as u64))));
+            layers.push(Box::new(ReLU::new()));
+            prev = h;
+        }
+        layers.push(Box::new(Dense::new(
+            prev,
+            classes,
+            seed.wrapping_add(hidden.len() as u64),
+        )));
+        Self::new(layers)
+    }
+
+    /// Forward pass only.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward + backward on a batch: accumulates parameter gradients and
+    /// returns loss/accuracy. Does **not** apply the optimizer — in
+    /// data-parallel training the gradients are allreduced first.
+    pub fn compute_gradients(&mut self, batch: &Batch) -> TrainReport {
+        let logits = self.forward(&batch.inputs);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, &batch.labels);
+        let acc = accuracy(&logits, &batch.labels);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        TrainReport {
+            loss,
+            accuracy: acc,
+        }
+    }
+
+    /// Zero all accumulated gradients. Needed before recomputing a step
+    /// (the optimizer also zeroes after applying).
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Number of trainable tensors (the paper's "Trainable" column).
+    pub fn num_tensors(&self) -> usize {
+        self.layers.iter().map(|l| l.params().len()).sum()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.value.len())
+            .sum()
+    }
+
+    /// Gradients of every trainable tensor, in declaration order. These are
+    /// the buffers handed to allreduce each step.
+    pub fn grads(&self) -> Vec<&Tensor> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| &p.grad)
+            .collect()
+    }
+
+    /// Overwrite the gradient tensors (after allreduce) in order.
+    pub fn set_grads(&mut self, grads: &[Vec<f32>]) {
+        let mut it = grads.iter();
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let g = it.next().expect("gradient list too short");
+                assert_eq!(g.len(), p.grad.len(), "gradient size mismatch");
+                p.grad.data_mut().copy_from_slice(g);
+            }
+        }
+        assert!(it.next().is_none(), "gradient list too long");
+    }
+
+    /// All trainable parameters, mutably (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut crate::layers::Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// All trainable parameters, immutably.
+    pub fn params(&self) -> Vec<&crate::layers::Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Flatten every parameter value into one vector (state transfer to new
+    /// workers, checkpointing).
+    pub fn state_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for p in self.params() {
+            out.extend_from_slice(p.value.data());
+        }
+        out
+    }
+
+    /// Load a flat state vector produced by [`Model::state_flat`].
+    pub fn load_state_flat(&mut self, flat: &[f32]) {
+        let mut pos = 0;
+        for p in self.params_mut() {
+            let n = p.value.len();
+            p.value
+                .data_mut()
+                .copy_from_slice(&flat[pos..pos + n]);
+            pos += n;
+        }
+        assert_eq!(pos, flat.len(), "state vector length mismatch");
+    }
+
+    /// Layer names (summaries).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+    use crate::optim::Sgd;
+
+    fn tiny_model() -> Model {
+        Model::mlp(8, &[16], 4, 42)
+    }
+
+    #[test]
+    fn mlp_shape_and_counts() {
+        let m = tiny_model();
+        assert_eq!(m.num_tensors(), 4); // 2 dense layers × (W, b)
+        assert_eq!(m.num_params(), 8 * 16 + 16 + 16 * 4 + 4);
+        assert_eq!(m.layer_names(), vec!["Dense", "ReLU", "Dense"]);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = tiny_model();
+        let mut opt = Sgd::new(0.1, 0.9);
+        let ds = SyntheticDataset::new(8, 4, 7);
+        let first = {
+            let batch = ds.batch(0, 32);
+            m.compute_gradients(&batch).loss
+        };
+        for step in 0..60 {
+            let batch = ds.batch(step % 4, 32);
+            m.compute_gradients(&batch);
+            opt.step(&mut m.params_mut());
+        }
+        let last = {
+            let batch = ds.batch(0, 32);
+            let logits = m.forward(&batch.inputs);
+            crate::loss::softmax_cross_entropy(&logits, &batch.labels).0
+        };
+        assert!(
+            last < first * 0.7,
+            "loss did not decrease: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn state_flat_roundtrip() {
+        let mut a = tiny_model();
+        let mut b = Model::mlp(8, &[16], 4, 99); // different init
+        let ds = SyntheticDataset::new(8, 4, 7);
+        let batch = ds.batch(3, 16);
+        a.compute_gradients(&batch);
+        let mut opt = Sgd::new(0.05, 0.0);
+        opt.step(&mut a.params_mut());
+
+        b.load_state_flat(&a.state_flat());
+        let batch2 = ds.batch(5, 16);
+        let la = {
+            let logits = a.forward(&batch2.inputs);
+            crate::loss::softmax_cross_entropy(&logits, &batch2.labels).0
+        };
+        let lb = {
+            let logits = b.forward(&batch2.inputs);
+            crate::loss::softmax_cross_entropy(&logits, &batch2.labels).0
+        };
+        assert_eq!(la, lb, "identical state must give identical loss");
+    }
+
+    #[test]
+    fn set_grads_overwrites_in_order() {
+        let mut m = tiny_model();
+        let sizes: Vec<usize> = m.grads().iter().map(|g| g.len()).collect();
+        let fake: Vec<Vec<f32>> = sizes.iter().map(|&n| vec![0.5; n]).collect();
+        m.set_grads(&fake);
+        for g in m.grads() {
+            assert!(g.data().iter().all(|&v| v == 0.5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn set_grads_checks_count() {
+        let mut m = tiny_model();
+        m.set_grads(&[vec![0.0; 8 * 16]]);
+    }
+
+    #[test]
+    fn gradients_are_deterministic() {
+        let ds = SyntheticDataset::new(8, 4, 7);
+        let batch = ds.batch(0, 16);
+        let mut m1 = tiny_model();
+        let mut m2 = tiny_model();
+        let r1 = m1.compute_gradients(&batch);
+        let r2 = m2.compute_gradients(&batch);
+        assert_eq!(r1, r2);
+        let g1: Vec<f32> = m1.grads().iter().flat_map(|g| g.data().to_vec()).collect();
+        let g2: Vec<f32> = m2.grads().iter().flat_map(|g| g.data().to_vec()).collect();
+        assert_eq!(g1, g2);
+    }
+}

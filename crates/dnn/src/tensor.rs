@@ -1,0 +1,244 @@
+//! Dense row-major `f32` tensors with the handful of operations the layers
+//! need. Deliberately simple: correctness and determinism over speed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor from explicit data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {:?} does not match data length {}",
+            shape,
+            data.len()
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Deterministic He-style initialization: normal(0, sqrt(2/fan_in)).
+    pub fn he_init(shape: &[usize], fan_in: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let std = (2.0 / fan_in.max(1) as f32).sqrt();
+        let n: usize = shape.iter().product();
+        // Box-Muller from uniform draws keeps us independent of rand's
+        // distribution API surface.
+        let data = (0..n)
+            .map(|_| {
+                let u1: f32 = rng.random::<f32>().max(1e-7f32);
+                let u2: f32 = rng.random::<f32>();
+                (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
+            })
+            .collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the tensor empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data access.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data access.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshape in place (element count must be preserved).
+    pub fn reshape(&mut self, shape: &[usize]) {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape must preserve element count"
+        );
+        self.shape = shape.to_vec();
+    }
+
+    /// 2-D matrix multiply: `self (m×k) · rhs (k×n) → (m×n)`.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Transpose a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data: out,
+        }
+    }
+
+    /// Element-wise `self += other * scale`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// L2 norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![3., 1., 4., 1.]);
+        let i = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dim_check() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn he_init_is_deterministic_and_scaled() {
+        let a = Tensor::he_init(&[100, 100], 100, 42);
+        let b = Tensor::he_init(&[100, 100], 100, 42);
+        let c = Tensor::he_init(&[100, 100], 100, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Std should be near sqrt(2/100) ≈ 0.141.
+        let mean = a.sum() / a.len() as f32;
+        let var = a.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / a.len() as f32;
+        assert!((var.sqrt() - 0.1414).abs() < 0.02, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let b = Tensor::from_vec(&[3], vec![10., 10., 10.]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6., 7., 8.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        a.reshape(&[3, 2]);
+        assert_eq!(a.shape(), &[3, 2]);
+        assert_eq!(a.data()[4], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve")]
+    fn reshape_checks_count() {
+        Tensor::zeros(&[2, 2]).reshape(&[5]);
+    }
+
+    #[test]
+    fn norm_matches_manual() {
+        let a = Tensor::from_vec(&[2], vec![3., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the DL framework: checkpoint fidelity, profile
+//! invariants, sharding algebra, and gradient correctness on random
+//! networks.
+
+use dnn::{Checkpoint, Model, ModelProfile, Sgd, SyntheticDataset, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint round-trips restore training bit-exactly for arbitrary
+    /// architectures and training prefixes.
+    #[test]
+    fn checkpoint_roundtrip_any_architecture(
+        hidden in proptest::collection::vec(1usize..24, 0..3),
+        features in 1usize..12,
+        classes in 2usize..6,
+        warm_steps in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut m = Model::mlp(features, &hidden, classes, seed);
+        let mut o = Sgd::new(0.05, 0.9);
+        let ds = SyntheticDataset::new(features, classes, seed ^ 1);
+        for s in 0..warm_steps {
+            m.zero_grads();
+            m.compute_gradients(&ds.batch(s, 8));
+            o.step(&mut m.params_mut());
+        }
+        let ckpt = Checkpoint::capture(&m, &o);
+
+        // Continue original.
+        m.zero_grads();
+        m.compute_gradients(&ds.batch(warm_steps, 8));
+        o.step(&mut m.params_mut());
+        let after_original = m.state_flat();
+
+        // Restore into a fresh differently-seeded model and replay.
+        let mut m2 = Model::mlp(features, &hidden, classes, seed ^ 99);
+        let mut o2 = Sgd::new(0.05, 0.9);
+        ckpt.restore(&mut m2, &mut o2);
+        m2.zero_grads();
+        m2.compute_gradients(&ds.batch(warm_steps, 8));
+        o2.step(&mut m2.params_mut());
+        prop_assert_eq!(m2.state_flat(), after_original);
+    }
+
+    /// Profile tensor-size lists always sum exactly to the parameter count
+    /// and stay positive, for any downscaling factor.
+    #[test]
+    fn profile_sizes_invariant_under_scaling(factor in 1u64..100_000) {
+        for m in dnn::paper_models() {
+            let scaled = m.scaled_down(factor);
+            let sizes = scaled.tensor_sizes();
+            prop_assert_eq!(sizes.len(), m.trainable_tensors);
+            prop_assert_eq!(sizes.iter().sum::<u64>(), scaled.total_params);
+            prop_assert!(sizes.iter().all(|&s| s >= 1));
+            // Descending order preserved.
+            prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    /// Shards tile the global batch exactly for any (batch, world) combo.
+    #[test]
+    fn shards_tile_global_batch(
+        global in 1usize..64,
+        world in 1usize..12,
+        index in 0usize..100,
+    ) {
+        let ds = SyntheticDataset::new(4, 3, 9);
+        let full = ds.batch(index, global);
+        let mut labels = Vec::new();
+        let mut data = Vec::new();
+        for r in 0..world {
+            let s = ds.shard(index, global, r, world);
+            labels.extend(s.labels);
+            data.extend_from_slice(s.inputs.data());
+        }
+        prop_assert_eq!(labels, full.labels);
+        prop_assert_eq!(data, full.inputs.data().to_vec());
+    }
+
+    /// Dense-layer gradients agree with finite differences on random
+    /// inputs (sampled coordinates).
+    #[test]
+    fn dense_gradients_match_finite_differences(
+        seed in any::<u64>(),
+        x0 in -1.0f32..1.0,
+        x1 in -1.0f32..1.0,
+    ) {
+        use dnn::{Dense, Layer};
+        let mut d = Dense::new(2, 3, seed);
+        let x = Tensor::from_vec(&[1, 2], vec![x0, x1]);
+        let y = d.forward(&x);
+        let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        d.backward(&ones);
+        let analytic = d.params()[0].grad.data()[1]; // dSum/dW[0,1] = x0
+        prop_assert!((analytic - x0).abs() < 1e-4, "analytic {} vs x0 {}", analytic, x0);
+        let bias_grad = d.params()[1].grad.data()[0]; // dSum/db = 1
+        prop_assert!((bias_grad - 1.0).abs() < 1e-5);
+    }
+
+    /// Softmax-CE loss is minimized by predicting the label: pushing the
+    /// true-class logit up never increases the loss.
+    #[test]
+    fn loss_monotone_in_true_logit(
+        base in proptest::collection::vec(-3.0f32..3.0, 3),
+        label in 0usize..3,
+        bump in 0.01f32..2.0,
+    ) {
+        use dnn::loss::softmax_cross_entropy;
+        let logits = Tensor::from_vec(&[1, 3], base.clone());
+        let (l0, _) = softmax_cross_entropy(&logits, &[label]);
+        let mut bumped = base;
+        bumped[label] += bump;
+        let (l1, _) = softmax_cross_entropy(&Tensor::from_vec(&[1, 3], bumped), &[label]);
+        prop_assert!(l1 <= l0 + 1e-6, "raising the true logit increased loss: {} -> {}", l0, l1);
+    }
+
+    /// state_flat / load_state_flat round-trip for arbitrary architectures.
+    #[test]
+    fn state_flat_roundtrip(
+        hidden in proptest::collection::vec(1usize..16, 0..3),
+        seed in any::<u64>(),
+    ) {
+        let m = Model::mlp(5, &hidden, 3, seed);
+        let flat = m.state_flat();
+        let mut m2 = Model::mlp(5, &hidden, 3, seed.wrapping_add(1));
+        m2.load_state_flat(&flat);
+        prop_assert_eq!(m2.state_flat(), flat);
+    }
+}

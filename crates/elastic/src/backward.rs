@@ -1,0 +1,523 @@
+//! Backward recovery: the Elastic-Horovod-style baseline.
+//!
+//! Reproduces the recovery pipeline the paper profiles in Fig. 4 (left),
+//! phase by phase:
+//!
+//! 1. **catch exception** — a Gloo collective raises on a dead peer, or a
+//!    receive times out (Gloo has no failure detector; silence *is* the
+//!    signal);
+//! 2. **shutdown** — the context is poisoned; the worker abandons the
+//!    configuration and reports to the elastic driver;
+//! 3. **re-init elastic mode** — the driver blacklists the failed node (or
+//!    just the process — included for symmetric comparison, even though
+//!    real Elastic Horovod only supports node granularity, cf. Table 2),
+//!    bumps the configuration epoch, and publishes the new member list;
+//! 4. **rendezvous** — all members run the global + node-local KV-store
+//!    rendezvous for the new epoch;
+//! 5. **reinit Gloo** — a fresh full-mesh context;
+//! 6. **load checkpoint + recompute** — training state rolls back to the
+//!    last per-batch in-memory checkpoint and the lost steps are redone.
+//!
+//! New workers (replacement/upscale) register with the driver, pay a
+//! simulated initialization delay (library loading on real systems), and
+//! are adopted at the next reconfiguration or epoch boundary.
+
+use crate::config::{state_fingerprint, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
+use crate::profiler::{RecoveryBreakdown, RecoveryKind};
+use collectives::ReduceOp;
+use dnn::{Checkpoint, InMemoryCheckpointStore};
+use gloo::{rendezvous, Context, GlooError, KvStore, RendezvousConfig};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+use transport::{Endpoint, RankId, Topology};
+
+/// Configuration of the backward-recovery engine.
+#[derive(Clone, Debug)]
+pub struct BackwardConfig {
+    /// The shared training workload.
+    pub spec: TrainSpec,
+    /// Eviction policy (Elastic Horovod itself only supports
+    /// [`RecoveryPolicy::DropNode`]; process granularity is provided for
+    /// the comparison matrix).
+    pub policy: RecoveryPolicy,
+    /// Save an in-memory checkpoint every N steps (the paper's minimum —
+    /// and our default — is every step).
+    pub checkpoint_every: u64,
+    /// Gloo receive timeout (exception-catch latency for silent peers).
+    pub op_timeout: Duration,
+    /// Rendezvous timeout.
+    pub rendezvous_timeout: Duration,
+    /// Simulated new-worker initialization delay (library loading etc.).
+    pub worker_init_delay: Duration,
+    /// How many new workers this run expects over its lifetime. Until that
+    /// many have *registered*, workers hold at epoch boundaries so the
+    /// leader can adopt them — deterministic admission, mirroring the
+    /// forward engine's `expected_joiners`. Zero never waits.
+    pub expected_new_workers: usize,
+}
+
+impl BackwardConfig {
+    /// Defaults mirroring the paper's setup.
+    pub fn new(spec: TrainSpec) -> Self {
+        Self {
+            spec,
+            policy: RecoveryPolicy::DropNode,
+            checkpoint_every: 1,
+            op_timeout: Duration::from_millis(800),
+            rendezvous_timeout: Duration::from_secs(20),
+            worker_init_delay: Duration::ZERO,
+            expected_new_workers: 0,
+        }
+    }
+}
+
+struct DriverState {
+    epoch: u64,
+    members: BTreeSet<RankId>,
+    blacklisted_nodes: BTreeSet<usize>,
+    removed: BTreeSet<RankId>,
+    pending_new: BTreeSet<RankId>,
+}
+
+/// The elastic driver: the central coordinator Elastic Horovod runs on the
+/// launch host. Tracks membership epochs, blacklists failures, adopts new
+/// workers, and owns the shared KV store and checkpoint store.
+pub struct ElasticDriver {
+    topology: Topology,
+    store: Arc<KvStore>,
+    ckpts: InMemoryCheckpointStore,
+    state: Mutex<DriverState>,
+    cv: Condvar,
+    /// Monotone count of successful new-worker registrations.
+    announced: std::sync::atomic::AtomicU64,
+}
+
+impl ElasticDriver {
+    /// A driver whose initial membership is `initial` workers.
+    pub fn new(topology: Topology, initial: Vec<RankId>) -> Arc<Self> {
+        Arc::new(Self {
+            topology,
+            store: KvStore::shared(),
+            ckpts: InMemoryCheckpointStore::new(),
+            state: Mutex::new(DriverState {
+                epoch: 0,
+                members: initial.into_iter().collect(),
+                blacklisted_nodes: BTreeSet::new(),
+                removed: BTreeSet::new(),
+                pending_new: BTreeSet::new(),
+            }),
+            cv: Condvar::new(),
+            announced: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The shared rendezvous store.
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The shared in-memory checkpoint store.
+    pub fn checkpoints(&self) -> &InMemoryCheckpointStore {
+        &self.ckpts
+    }
+
+    /// Current configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Current member list (sorted).
+    pub fn members(&self) -> Vec<RankId> {
+        self.state.lock().members.iter().copied().collect()
+    }
+
+    /// A worker reports a failure it observed (or suspected via timeout).
+    /// The driver removes the victim — and, under the node policy, its
+    /// whole node — and starts a new configuration epoch. Idempotent per
+    /// victim, so every member can report the same failure.
+    pub fn report_failure(&self, victim: RankId, policy: RecoveryPolicy) {
+        let mut st = self.state.lock();
+        // Ignore stale or nonsensical reports: already handled, or a rank
+        // that was never part of this job.
+        if st.removed.contains(&victim)
+            || !(st.members.contains(&victim) || st.pending_new.contains(&victim))
+        {
+            return;
+        }
+        let evicted: Vec<RankId> = match policy {
+            RecoveryPolicy::DropProcess => vec![victim],
+            RecoveryPolicy::DropNode => {
+                let node = self.topology.node_of(victim);
+                st.blacklisted_nodes.insert(node.0);
+                let max = st
+                    .members
+                    .iter()
+                    .chain(st.pending_new.iter())
+                    .map(|r| r.0 + 1)
+                    .max()
+                    .unwrap_or(0);
+                self.topology.ranks_on_node(node, max)
+            }
+        };
+        for r in evicted {
+            st.members.remove(&r);
+            st.pending_new.remove(&r);
+            st.removed.insert(r);
+        }
+        st.epoch += 1;
+        self.cv.notify_all();
+    }
+
+    /// A new worker announces itself (after its init delay). It is adopted
+    /// at the next epoch boundary / reconfiguration.
+    pub fn register_new_worker(&self, rank: RankId) {
+        let mut st = self.state.lock();
+        let node = self.topology.node_of(rank);
+        if st.blacklisted_nodes.contains(&node.0) || st.removed.contains(&rank) {
+            return; // blacklisted hosts are not re-admitted
+        }
+        st.pending_new.insert(rank);
+        self.announced
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Total new workers that have ever registered (monotone).
+    pub fn announced_new_workers(&self) -> u64 {
+        self.announced.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Adopt all pending new workers (called by the leader at epoch
+    /// boundaries — Horovod's periodic host-discovery check). Returns true
+    /// if membership changed (a new configuration epoch started).
+    pub fn adopt_pending(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.pending_new.is_empty() {
+            return false;
+        }
+        let pending = std::mem::take(&mut st.pending_new);
+        st.members.extend(pending);
+        st.epoch += 1;
+        self.cv.notify_all();
+        true
+    }
+
+    /// Are any new workers waiting for adoption?
+    pub fn has_pending(&self) -> bool {
+        !self.state.lock().pending_new.is_empty()
+    }
+
+    /// Block until `me` is a member, returning the (epoch, members)
+    /// configuration to rendezvous under. Returns `None` if `me` has been
+    /// removed (evicted workers exit).
+    pub fn wait_for_membership(&self, me: RankId) -> Option<(u64, Vec<RankId>)> {
+        let mut st = self.state.lock();
+        loop {
+            if st.removed.contains(&me) {
+                return None;
+            }
+            if st.members.contains(&me) {
+                return Some((st.epoch, st.members.iter().copied().collect()));
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// Run one worker under backward recovery. Returns its exit plus the
+/// per-episode phase breakdowns.
+pub fn run_backward_worker(
+    ep: &Endpoint,
+    cfg: &BackwardConfig,
+    driver: &ElasticDriver,
+    is_new_worker: bool,
+) -> (WorkerExit, Vec<RecoveryBreakdown>) {
+    let spec = &cfg.spec;
+    let me = ep.rank();
+    let mut breakdowns: Vec<RecoveryBreakdown> = Vec::new();
+
+    if is_new_worker {
+        // Library loading / framework init on a fresh host.
+        std::thread::sleep(cfg.worker_init_delay);
+        driver.register_new_worker(me);
+    }
+
+    let mut model = spec.build_model();
+    let mut opt = spec.build_optimizer();
+    let ds = spec.build_dataset();
+    let mut step: u64 = 0;
+    let mut recoveries = 0usize;
+    let mut last_loss = f32::NAN;
+    let mut steps_recomputed: u64 = 0;
+    // Set when re-entering the configuration loop because of a failure
+    // (used to attribute rollback phases to a Backward episode).
+    let mut failure_episode: Option<RecoveryBreakdown> = None;
+
+    'config: loop {
+        // --- configuration epoch ------------------------------------------
+        let Some((epoch, members)) = driver.wait_for_membership(me) else {
+            // Evicted (e.g. healthy worker on a blacklisted node).
+            return (
+                WorkerExit::Excluded(WorkerStats {
+                    steps_done: step,
+                    final_loss: last_loss,
+                    recoveries,
+                    final_world: 0,
+                    state_fingerprint: state_fingerprint(&model.state_flat()),
+                    final_lr: opt.current_lr(),
+                    steps_recomputed,
+                }),
+                breakdowns,
+            );
+        };
+
+        let mut episode =
+            failure_episode.take().unwrap_or_else(|| RecoveryBreakdown::new(RecoveryKind::Join, step));
+
+        // --- rendezvous (global + node-local) -----------------------------
+        let rdv_cfg = RendezvousConfig {
+            run_id: "horovod".into(),
+            epoch,
+            expected: members.len(),
+            timeout: cfg.rendezvous_timeout,
+        };
+        let rdv = episode.time("rendezvous", || {
+            rendezvous(driver.store(), &rdv_cfg, me, driver.topology)
+        });
+        let rdv = match rdv {
+            Ok(r) => r,
+            Err(_) => {
+                // Membership changed under us (another failure during
+                // rendezvous): re-read the configuration.
+                if driver.epoch() != epoch {
+                    failure_episode = Some(episode);
+                    continue 'config;
+                }
+                panic!("rendezvous timed out without a configuration change");
+            }
+        };
+
+        // --- reinit Gloo (full-mesh context) -------------------------------
+        let ctx = episode.time("reinit_gloo", || {
+            Context::connect(ep.clone(), epoch, rdv.members.clone(), rdv.my_rank)
+                .map(|c| c.with_op_timeout(cfg.op_timeout))
+        });
+        let ctx = match ctx {
+            Ok(c) => c,
+            Err(GlooError::SelfDied) => return (WorkerExit::Died, breakdowns),
+            Err(_) => {
+                // A member died between rendezvous and connect.
+                report_any_death(driver, ep, &rdv.members, cfg.policy);
+                failure_episode = Some(episode);
+                continue 'config;
+            }
+        };
+
+        // --- load checkpoint (rollback) ------------------------------------
+        let rolled_back = episode.time("load_checkpoint", || {
+            if let Some(ck) = driver.checkpoints().load() {
+                let lost = step.saturating_sub(ck.step);
+                ck.restore(&mut model, &mut opt);
+                step = ck.step;
+                lost
+            } else {
+                let lost = step;
+                // No checkpoint yet: restart training state from scratch.
+                model = spec.build_model();
+                opt = spec.build_optimizer();
+                step = 0;
+                lost
+            }
+        });
+        steps_recomputed += rolled_back;
+        breakdowns.push(episode);
+
+        // --- training under this configuration ----------------------------
+        let world = ctx.size();
+        let my_rank = ctx.rank();
+        let mut recompute_marker = true; // first steps after rollback are recompute
+        while (step as usize) < spec.total_steps {
+            // Another failure elsewhere may have bumped the epoch while we
+            // were computing; bail out to reconfigure.
+            if driver.epoch() != epoch {
+                recoveries += 1;
+                let mut ep_rec = RecoveryBreakdown::new(RecoveryKind::Backward, step);
+                ep_rec.push("catch_exception", Duration::ZERO);
+                failure_episode = Some(ep_rec);
+                continue 'config;
+            }
+
+            let shard = ds.shard(step as usize, spec.global_batch, my_rank, world);
+            let shard_weight = shard.labels.len() as f32 / spec.global_batch as f32;
+            model.zero_grads();
+            let report = model.compute_gradients(&shard);
+            last_loss = report.loss;
+            let mut grads: Vec<Vec<f32>> = model
+                .grads()
+                .iter()
+                .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
+                .collect();
+
+            let mut failed: Option<GlooError> = None;
+            let catch_t0 = std::time::Instant::now();
+            for g in grads.iter_mut() {
+                match ctx.allreduce(g, ReduceOp::Sum, spec.algo) {
+                    Ok(()) => {}
+                    Err(GlooError::SelfDied) => return (WorkerExit::Died, breakdowns),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(err) = failed {
+                // --- exception path (paper Fig. 4 phases 1–3) -------------
+                recoveries += 1;
+                let mut ep_rec = RecoveryBreakdown::new(RecoveryKind::Backward, step);
+                ep_rec.push("catch_exception", catch_t0.elapsed());
+                ep_rec.time("shutdown", || {
+                    debug_assert!(ctx.is_poisoned());
+                });
+                ep_rec.time("reinit_elastic", || match err {
+                    // A timeout only *suspects* the awaited peer; it may be
+                    // alive and simply stuck behind the real victim. Confirm
+                    // against the runtime's dead list before blacklisting —
+                    // as Horovod's driver confirms via host discovery.
+                    GlooError::PeerFailure { global }
+                        if global.0 < usize::MAX && !ep.is_peer_alive(global) =>
+                    {
+                        driver.report_failure(global, cfg.policy)
+                    }
+                    _ => report_any_death(driver, ep, ctx.group(), cfg.policy),
+                });
+                failure_episode = Some(ep_rec);
+                continue 'config;
+            }
+
+            model.set_grads(&grads);
+            opt.step(&mut model.params_mut());
+            step += 1;
+            recompute_marker = false;
+
+            // Per-batch in-memory checkpoint (the paper's minimum interval).
+            if step % cfg.checkpoint_every == 0 && my_rank == 0 {
+                driver.checkpoints().save(Checkpoint::capture(&model, &opt));
+            }
+
+            // Epoch boundary: hold for expected new workers, then the
+            // leader adopts them (bumping the configuration epoch; the
+            // check at the top of the loop reconfigures everyone).
+            if step as usize % spec.steps_per_epoch == 0 {
+                while driver.announced_new_workers() < cfg.expected_new_workers as u64
+                    && driver.epoch() == epoch
+                {
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+                if my_rank == 0 && driver.has_pending() {
+                    driver.adopt_pending();
+                }
+            }
+        }
+        let _ = recompute_marker;
+
+        return (
+            WorkerExit::Completed(WorkerStats {
+                steps_done: step,
+                final_loss: last_loss,
+                recoveries,
+                final_world: world,
+                state_fingerprint: state_fingerprint(&model.state_flat()),
+                final_lr: opt.current_lr(),
+                steps_recomputed,
+            }),
+            breakdowns,
+        );
+    }
+}
+
+/// When the failed peer is unknown (timeout), consult the runtime's dead
+/// list — the moral equivalent of Horovod's driver noticing a host went
+/// silent.
+fn report_any_death(
+    driver: &ElasticDriver,
+    ep: &Endpoint,
+    group: &[RankId],
+    policy: RecoveryPolicy,
+) {
+    for &g in group {
+        if !ep.is_peer_alive(g) {
+            driver.report_failure(g, policy);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_drop_process_removes_only_victim() {
+        let d = ElasticDriver::new(Topology::new(3), (0..6).map(RankId).collect());
+        d.report_failure(RankId(4), RecoveryPolicy::DropProcess);
+        assert_eq!(d.epoch(), 1);
+        let m = d.members();
+        assert_eq!(m.len(), 5);
+        assert!(!m.contains(&RankId(4)));
+    }
+
+    #[test]
+    fn driver_drop_node_blacklists_whole_node() {
+        let d = ElasticDriver::new(Topology::new(3), (0..6).map(RankId).collect());
+        d.report_failure(RankId(4), RecoveryPolicy::DropNode);
+        let m = d.members();
+        assert_eq!(m, vec![RankId(0), RankId(1), RankId(2)]);
+        // Workers from the blacklisted node cannot re-register.
+        d.register_new_worker(RankId(5));
+        assert!(!d.has_pending());
+    }
+
+    #[test]
+    fn report_failure_is_idempotent() {
+        let d = ElasticDriver::new(Topology::flat(), (0..4).map(RankId).collect());
+        d.report_failure(RankId(1), RecoveryPolicy::DropProcess);
+        d.report_failure(RankId(1), RecoveryPolicy::DropProcess);
+        assert_eq!(d.epoch(), 1);
+    }
+
+    #[test]
+    fn adopt_pending_bumps_epoch_once() {
+        let d = ElasticDriver::new(Topology::flat(), (0..2).map(RankId).collect());
+        assert!(!d.adopt_pending());
+        d.register_new_worker(RankId(2));
+        d.register_new_worker(RankId(3));
+        assert!(d.adopt_pending());
+        assert_eq!(d.epoch(), 1);
+        assert_eq!(d.members().len(), 4);
+        assert!(!d.adopt_pending());
+    }
+
+    #[test]
+    fn wait_for_membership_returns_none_for_removed() {
+        let d = ElasticDriver::new(Topology::flat(), (0..2).map(RankId).collect());
+        d.report_failure(RankId(1), RecoveryPolicy::DropProcess);
+        assert!(d.wait_for_membership(RankId(1)).is_none());
+        let (e, m) = d.wait_for_membership(RankId(0)).unwrap();
+        assert_eq!(e, 1);
+        assert_eq!(m, vec![RankId(0)]);
+    }
+
+    #[test]
+    fn wait_for_membership_blocks_until_adopted() {
+        let d = ElasticDriver::new(Topology::flat(), vec![RankId(0)]);
+        let d2 = Arc::clone(&d);
+        let t = std::thread::spawn(move || d2.wait_for_membership(RankId(1)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!t.is_finished());
+        d.register_new_worker(RankId(1));
+        d.adopt_pending();
+        let got = t.join().unwrap().unwrap();
+        assert!(got.1.contains(&RankId(1)));
+    }
+}

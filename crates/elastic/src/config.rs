@@ -1,0 +1,219 @@
+//! Shared configuration and outcome types for both engines.
+
+use collectives::AllreduceAlgo;
+use transport::RankId;
+
+/// What to evict when a worker fails (paper §3.1: "we offer users a runtime
+/// command line flag that allows them to choose whether to drop a single
+/// process or the entire node").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Evict only the failed process(es). ULFM-only capability in the
+    /// paper's Table 2.
+    DropProcess,
+    /// Evict every process on a node that hosts a failure (Elastic
+    /// Horovod's behaviour; also supported by the ULFM path).
+    DropNode,
+}
+
+/// The training workload both engines run: a small MLP on the synthetic
+/// dataset. Identical across all workers (deterministic seeds).
+#[derive(Clone, Debug)]
+pub struct TrainSpec {
+    /// Input feature dimension.
+    pub features: usize,
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+    /// Model/init/data seed.
+    pub seed: u64,
+    /// Global mini-batch size (sharded over current workers).
+    pub global_batch: usize,
+    /// Steps per epoch (joins happen at epoch boundaries).
+    pub steps_per_epoch: usize,
+    /// Total optimizer steps to run.
+    pub total_steps: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// Allreduce algorithm for gradient aggregation.
+    pub algo: AllreduceAlgo,
+}
+
+impl Default for TrainSpec {
+    fn default() -> Self {
+        Self {
+            features: 16,
+            hidden: vec![32],
+            classes: 4,
+            seed: 42,
+            global_batch: 64,
+            steps_per_epoch: 4,
+            total_steps: 12,
+            lr: 0.05,
+            momentum: 0.9,
+            algo: AllreduceAlgo::Ring,
+        }
+    }
+}
+
+impl TrainSpec {
+    /// Build the (deterministic, replica-identical) model for this spec.
+    pub fn build_model(&self) -> dnn::Model {
+        dnn::Model::mlp(self.features, &self.hidden, self.classes, self.seed)
+    }
+
+    /// Build the optimizer.
+    pub fn build_optimizer(&self) -> dnn::Sgd {
+        dnn::Sgd::new(self.lr, self.momentum)
+    }
+
+    /// Build the dataset.
+    pub fn build_dataset(&self) -> dnn::SyntheticDataset {
+        dnn::SyntheticDataset::new(self.features, self.classes, self.seed ^ 0x5EED)
+    }
+}
+
+/// Per-worker statistics accumulated over a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Optimizer steps this worker participated in.
+    pub steps_done: u64,
+    /// Loss at the last step this worker saw.
+    pub final_loss: f32,
+    /// Recovery episodes this worker went through.
+    pub recoveries: usize,
+    /// World size when the worker finished (or left).
+    pub final_world: usize,
+    /// Flattened model state hash for cross-worker consistency checks.
+    pub state_fingerprint: u64,
+    /// Learning rate in effect when the worker finished (elastic LR
+    /// scaling makes this world-size dependent).
+    pub final_lr: f32,
+    /// Optimizer steps this worker re-executed because of checkpoint
+    /// rollbacks (always 0 under forward recovery — that is the point).
+    pub steps_recomputed: u64,
+}
+
+/// How a worker's run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerExit {
+    /// Trained to `total_steps`.
+    Completed(WorkerStats),
+    /// Killed by the fault plan / driver.
+    Died,
+    /// Evicted by the recovery policy (healthy rank on a failed node).
+    Excluded(WorkerStats),
+}
+
+impl WorkerExit {
+    /// Stats if the worker finished or was excluded.
+    pub fn stats(&self) -> Option<&WorkerStats> {
+        match self {
+            WorkerExit::Completed(s) | WorkerExit::Excluded(s) => Some(s),
+            WorkerExit::Died => None,
+        }
+    }
+
+    /// Did this worker train to the end?
+    pub fn completed(&self) -> bool {
+        matches!(self, WorkerExit::Completed(_))
+    }
+}
+
+/// FNV-1a over the model's flattened f32 state: a cheap fingerprint used to
+/// assert that all replicas hold bit-identical parameters.
+pub fn state_fingerprint(flat: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in flat {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Compute the additional ranks to evict for a policy, given the failed set.
+/// Deterministic: every survivor computes the same eviction list locally.
+pub fn policy_evictions(
+    policy: RecoveryPolicy,
+    failed: &[RankId],
+    topology: transport::Topology,
+    total_ranks: usize,
+) -> Vec<RankId> {
+    match policy {
+        RecoveryPolicy::DropProcess => Vec::new(),
+        RecoveryPolicy::DropNode => {
+            let mut evicted = Vec::new();
+            for &f in failed {
+                evicted.extend(topology.node_peers(f, total_ranks));
+            }
+            evicted.sort_unstable();
+            evicted.dedup();
+            evicted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transport::Topology;
+
+    #[test]
+    fn fingerprint_detects_divergence() {
+        let a = state_fingerprint(&[1.0, 2.0, 3.0]);
+        let b = state_fingerprint(&[1.0, 2.0, 3.0]);
+        let c = state_fingerprint(&[1.0, 2.0, 3.001]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn drop_process_evicts_nothing_extra() {
+        let e = policy_evictions(
+            RecoveryPolicy::DropProcess,
+            &[RankId(4)],
+            Topology::new(3),
+            9,
+        );
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn drop_node_evicts_whole_node() {
+        let e = policy_evictions(RecoveryPolicy::DropNode, &[RankId(4)], Topology::new(3), 9);
+        assert_eq!(e, vec![RankId(3), RankId(4), RankId(5)]);
+    }
+
+    #[test]
+    fn drop_node_dedups_across_failures() {
+        let e = policy_evictions(
+            RecoveryPolicy::DropNode,
+            &[RankId(3), RankId(5)],
+            Topology::new(3),
+            9,
+        );
+        assert_eq!(e, vec![RankId(3), RankId(4), RankId(5)]);
+    }
+
+    #[test]
+    fn spec_builders_are_deterministic() {
+        let spec = TrainSpec::default();
+        let a = spec.build_model().state_flat();
+        let b = spec.build_model().state_flat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_exit_accessors() {
+        let s = WorkerStats::default();
+        assert!(WorkerExit::Completed(s.clone()).completed());
+        assert!(!WorkerExit::Died.completed());
+        assert!(WorkerExit::Died.stats().is_none());
+        assert!(WorkerExit::Excluded(s).stats().is_some());
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's Eq. (1): the analytic cost of checkpoint-based fault
+//! recovery.
+//!
+//! ```text
+//! C_fault_recovery = C_checkpoint_saving × freq_saving
+//!                  + Count_fault × ( C_checkpoint_loading
+//!                                  + C_re-configuration
+//!                                  + C_re-compute_from_checkpoint
+//!                                  + C_new_worker_init )
+//! ```
+//!
+//! The forward-recovery approach removes every term except the
+//! reconfiguration (shrink) and replaces recompute-from-checkpoint with a
+//! single redone collective — which is the paper's core claim. The model
+//! here backs the checkpoint-interval ablation bench and cross-checks the
+//! simulated breakdowns.
+
+/// Parameters of Eq. (1). All costs in seconds; `saving_freq` is the number
+/// of checkpoint saves over the window being modelled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Eq1Params {
+    /// Cost of saving one checkpoint.
+    pub ckpt_save: f64,
+    /// Number of checkpoint saves in the window.
+    pub saving_freq: f64,
+    /// Number of faults in the window.
+    pub fault_count: f64,
+    /// Cost of loading a checkpoint on recovery.
+    pub ckpt_load: f64,
+    /// Cost of rebuilding the communication context (rendezvous + Gloo).
+    pub reconfiguration: f64,
+    /// Cost of recomputing the work lost since the last checkpoint.
+    pub recompute: f64,
+    /// Cost of initializing any replacement workers.
+    pub new_worker_init: f64,
+}
+
+impl Eq1Params {
+    /// Evaluate Eq. (1).
+    pub fn total(&self) -> f64 {
+        self.ckpt_save * self.saving_freq
+            + self.fault_count
+                * (self.ckpt_load + self.reconfiguration + self.recompute + self.new_worker_init)
+    }
+
+    /// Model a training window of `steps` steps with a checkpoint every
+    /// `interval` steps: saving cost scales with `steps / interval`, while
+    /// expected recompute per fault is half an interval of step time —
+    /// the inverse relationship §2.2 describes.
+    pub fn with_interval(
+        steps: f64,
+        interval: f64,
+        step_time: f64,
+        ckpt_save: f64,
+        faults: f64,
+        ckpt_load: f64,
+        reconfiguration: f64,
+        new_worker_init: f64,
+    ) -> Self {
+        assert!(interval >= 1.0, "interval must be at least one step");
+        Self {
+            ckpt_save,
+            saving_freq: steps / interval,
+            fault_count: faults,
+            ckpt_load,
+            reconfiguration,
+            recompute: (interval / 2.0) * step_time,
+            new_worker_init,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Eq1Params {
+        Eq1Params {
+            ckpt_save: 0.1,
+            saving_freq: 100.0,
+            fault_count: 2.0,
+            ckpt_load: 0.5,
+            reconfiguration: 3.0,
+            recompute: 1.0,
+            new_worker_init: 10.0,
+        }
+    }
+
+    #[test]
+    fn total_matches_hand_computation() {
+        // 0.1×100 + 2×(0.5+3+1+10) = 10 + 29 = 39
+        assert!((base().total() - 39.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_faults_leaves_only_saving_cost() {
+        let p = Eq1Params {
+            fault_count: 0.0,
+            ..base()
+        };
+        assert!((p.total() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recompute_and_saving_tradeoff_is_inverse() {
+        // Shorter interval ⇒ more saving cost, less recompute (paper §2.2).
+        let short = Eq1Params::with_interval(1000.0, 1.0, 0.5, 0.05, 1.0, 0.5, 3.0, 0.0);
+        let long = Eq1Params::with_interval(1000.0, 100.0, 0.5, 0.05, 1.0, 0.5, 3.0, 0.0);
+        assert!(short.saving_freq > long.saving_freq);
+        assert!(short.recompute < long.recompute);
+    }
+
+    #[test]
+    fn optimal_interval_is_interior() {
+        // The classic checkpoint-interval tradeoff has an interior optimum.
+        let cost = |i: f64| {
+            Eq1Params::with_interval(1000.0, i, 0.5, 0.05, 2.0, 0.5, 3.0, 0.0).total()
+        };
+        let c1 = cost(1.0);
+        let c10 = cost(10.0);
+        let c500 = cost(500.0);
+        assert!(c10 < c1, "10-step interval should beat every-step saving");
+        assert!(c10 < c500, "10-step interval should beat huge intervals");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn interval_below_one_rejected() {
+        Eq1Params::with_interval(10.0, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0);
+    }
+}

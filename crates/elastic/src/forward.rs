@@ -1,0 +1,494 @@
+//! Forward recovery over ULFM: the paper's contribution.
+//!
+//! ## The protocol (paper §3.1–3.2)
+//!
+//! Each optimizer step issues `T` gradient allreduces (one per trainable
+//! tensor) followed by a **commit barrier**, then applies the optimizer.
+//! Every operation carries a global id `step·(T+1) + local`. On any
+//! failure:
+//!
+//! 1. **revoke** the communicator (interrupts members blocked in other
+//!    operations — they join recovery via their own `Revoked` error);
+//! 2. **agree** — a fault-tolerant agreement whose `min` merge yields the
+//!    earliest failed operation id across survivors (the *restart point*),
+//!    and whose failed-set union identifies the victims;
+//! 3. **shrink** with the recovery policy (drop-process or drop-node;
+//!    evicted healthy ranks leave with [`WorkerExit::Excluded`]);
+//! 4. **redo** operations from the restart point on the shrunk
+//!    communicator, *from retained inputs* — each worker still holds the
+//!    gradient it contributed, so the re-executed allreduce aggregates the
+//!    survivors' contributions. No rollback, no checkpoint.
+//!
+//! ## Why the restart point is safe
+//!
+//! The commit barrier gates the optimizer: a worker applies step `S` only
+//! after its barrier completes, and barrier completion at *any* worker
+//! implies *every* worker entered it (dissemination property) — hence no
+//! worker failed inside step `S`'s allreduces. Consequently the agreed
+//! restart point can only reach back to the latest uncommitted work: a
+//! tensor allreduce of the current step, or the previous step's barrier.
+//! Both are idempotent to redo (allreduces are re-fed from saved inputs;
+//! the barrier carries no data), so replicas stay bit-identical — which
+//! the tests assert via state fingerprints.
+
+use crate::config::{
+    policy_evictions, state_fingerprint, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats,
+};
+use crate::profiler::{RecoveryBreakdown, RecoveryKind};
+use collectives::ReduceOp;
+use dnn::Checkpoint;
+use transport::RankId;
+use ulfm::{Communicator, Proc, ShrinkOutcome, UlfmError};
+
+/// Configuration of the forward-recovery engine.
+#[derive(Clone, Debug)]
+pub struct ForwardConfig {
+    /// The shared training workload.
+    pub spec: TrainSpec,
+    /// Eviction policy on failure.
+    pub policy: RecoveryPolicy,
+    /// Accept joiners (replacement/upscale) at epoch boundaries.
+    pub accept_joiners: bool,
+    /// How many joiners this run *expects* over its lifetime. Until that
+    /// many have been admitted, workers block at epoch boundaries for
+    /// pending announcements — making replacement/upscale admission
+    /// deterministic instead of racing training speed against joiner
+    /// startup. Zero (the default) never waits.
+    pub expected_joiners: usize,
+    /// Rescale redone gradients by the lost contribution fraction so the
+    /// degraded step keeps the same expected gradient magnitude.
+    pub renormalize_after_loss: bool,
+    /// Optional Goyal-style learning-rate re-scaling on membership change:
+    /// after a shrink or join, ramp the rate to
+    /// `spec.lr × world / base_world` over `warmup_steps` (paper §5's
+    /// convergence techniques [16][22], applied elastically).
+    pub lr_scaling: Option<LrScaling>,
+}
+
+/// Elastic learning-rate policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LrScaling {
+    /// World size at which `spec.lr` is the reference rate.
+    pub base_world: usize,
+    /// Ramp length after each membership change.
+    pub warmup_steps: u64,
+}
+
+impl ForwardConfig {
+    /// Defaults: drop-process policy, joins enabled, no renormalization.
+    pub fn new(spec: TrainSpec) -> Self {
+        Self {
+            spec,
+            policy: RecoveryPolicy::DropProcess,
+            accept_joiners: true,
+            expected_joiners: 0,
+            renormalize_after_loss: false,
+            lr_scaling: None,
+        }
+    }
+}
+
+/// Outcome plus per-episode breakdowns (for the figure benches).
+pub struct ForwardOutcome {
+    /// How the worker ended.
+    pub exit: WorkerExit,
+    /// Recovery/join episodes recorded at this worker.
+    pub breakdowns: Vec<RecoveryBreakdown>,
+}
+
+/// Internal: terminal conditions that abort the worker loop.
+enum Fatal {
+    Died,
+    Excluded,
+}
+
+/// Run one worker under forward recovery. `is_joiner` workers attach to a
+/// running group via the join service instead of the initial communicator.
+pub fn run_forward_worker(proc: &Proc, cfg: &ForwardConfig, is_joiner: bool) -> ForwardOutcome {
+    let mut breakdowns = Vec::new();
+    let exit = run_inner(proc, cfg, is_joiner, &mut breakdowns);
+    ForwardOutcome { exit, breakdowns }
+}
+
+fn run_inner(
+    proc: &Proc,
+    cfg: &ForwardConfig,
+    is_joiner: bool,
+    breakdowns: &mut Vec<RecoveryBreakdown>,
+) -> WorkerExit {
+    let spec = &cfg.spec;
+    let mut model = spec.build_model();
+    let mut opt = spec.build_optimizer();
+    let ds = spec.build_dataset();
+    let topology = proc.endpoint().fabric().topology();
+
+    // --- membership -----------------------------------------------------
+    let mut comm = if is_joiner {
+        proc.join_training()
+    } else {
+        proc.init_comm()
+    };
+    let mut step: u64 = if is_joiner {
+        // Receive (state, step) from the group leader; the paper's
+        // "reinitializing the training state for the new workers".
+        let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, 0);
+        let s = episode.time("state_sync", || sync_state(&comm, &mut model, &mut opt));
+        breakdowns.push(episode);
+        match s {
+            Ok(step) => step,
+            Err(UlfmError::SelfDied) => return WorkerExit::Died,
+            Err(e) => panic!("state sync failed for joiner: {e}"),
+        }
+    } else {
+        0
+    };
+
+    let n_tensors = model.num_tensors() as i64;
+    let mut recoveries = 0usize;
+    let mut last_loss = f32::NAN;
+    // World size the LR schedule is currently anchored to.
+    let mut lr_world = comm.size();
+    if let Some(policy) = cfg.lr_scaling {
+        let target = spec.lr * lr_world as f32 / policy.base_world as f32;
+        opt.set_schedule(dnn::LrSchedule::PiecewiseRamp {
+            from: spec.lr,
+            to: target,
+            start: step,
+            ramp: policy.warmup_steps,
+        });
+    }
+
+    while (step as usize) < spec.total_steps {
+        // The step body may be re-attempted from scratch: if this worker had
+        // raced ahead into step S+1 when a failure struck step S's commit
+        // barrier, it redoes that barrier and then *recomputes* its S+1
+        // gradients with the post-recovery membership (its pre-failure
+        // shard was cut for the old world).
+        let grads = 'attempt: loop {
+            // --- local gradient computation -------------------------------
+            let world = comm.size();
+            let my_rank = comm.rank();
+            let shard = ds.shard(step as usize, spec.global_batch, my_rank, world);
+            let shard_weight = shard.labels.len() as f32 / spec.global_batch as f32;
+            model.zero_grads();
+            let report = model.compute_gradients(&shard);
+            last_loss = report.loss;
+
+            // Weighted gradients: allreduce(SUM) of per-shard means ×
+            // weights equals the global-batch mean.
+            let mut grads: Vec<Vec<f32>> = model
+                .grads()
+                .iter()
+                .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
+                .collect();
+            // The retained inputs of §3.2 — what makes forward recovery work.
+            let saved = grads.clone();
+            let step_group: Vec<RankId> = comm.group().to_vec();
+
+            // --- resilient collective phase -------------------------------
+            // local_op ∈ [0, T]: tensor allreduces, then the commit barrier.
+            let mut local_op: i64 = 0;
+            let mut redo_from: Option<usize> = None;
+            while local_op <= n_tensors {
+                let result = if local_op == n_tensors {
+                    comm.barrier()
+                } else {
+                    comm.allreduce(&mut grads[local_op as usize], ReduceOp::Sum, spec.algo)
+                };
+                match result {
+                    Ok(()) => local_op += 1,
+                    Err(UlfmError::SelfDied) => return WorkerExit::Died,
+                    Err(UlfmError::Excluded) => unreachable!("collectives never exclude"),
+                    Err(_) => {
+                        recoveries += 1;
+                        let my_global = global_op(step, n_tensors, local_op);
+                        let mut episode = RecoveryBreakdown::new(RecoveryKind::Forward, step);
+                        let recovered = recover(proc, cfg, &comm, my_global, &mut episode, topology);
+                        breakdowns.push(breakdowns_last_fix(&mut episode));
+                        match recovered {
+                            Ok((new_comm, restart)) => {
+                                comm = new_comm;
+                                let first_of_step = global_op(step, n_tensors, 0);
+                                if restart >= first_of_step {
+                                    // Restart within this step: restore the
+                                    // retained inputs and redo from there.
+                                    let rlocal = (restart - first_of_step) as usize;
+                                    assert!(rlocal as i64 <= n_tensors);
+                                    for (i, s) in saved.iter().enumerate().skip(rlocal) {
+                                        grads[i].copy_from_slice(s);
+                                    }
+                                    redo_from = Some(redo_from.map_or(rlocal, |r| r.min(rlocal)));
+                                    local_op = rlocal as i64;
+                                } else {
+                                    // This worker raced ahead: the agreed
+                                    // restart is the previous step's commit
+                                    // barrier. Redo it (with nested recovery)
+                                    // and recompute this step from scratch.
+                                    assert_eq!(
+                                        restart,
+                                        first_of_step - 1,
+                                        "restart cannot reach into committed work"
+                                    );
+                                    loop {
+                                        match comm.barrier() {
+                                            Ok(()) => break,
+                                            Err(UlfmError::SelfDied) => {
+                                                return WorkerExit::Died
+                                            }
+                                            Err(_) => {
+                                                recoveries += 1;
+                                                let mut ep = RecoveryBreakdown::new(
+                                                    RecoveryKind::Forward,
+                                                    step,
+                                                );
+                                                let r = recover(
+                                                    proc, cfg, &comm, restart, &mut ep, topology,
+                                                );
+                                                breakdowns.push(breakdowns_last_fix(&mut ep));
+                                                match r {
+                                                    Ok((c, r2)) => {
+                                                        assert_eq!(
+                                                            r2, restart,
+                                                            "nested restart must stay at the \
+                                                             redone barrier"
+                                                        );
+                                                        comm = c;
+                                                    }
+                                                    Err(Fatal::Died) => return WorkerExit::Died,
+                                                    Err(Fatal::Excluded) => {
+                                                        return exclude_exit(
+                                                            proc, step, last_loss, recoveries,
+                                                            world, &model,
+                                                        )
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                    continue 'attempt;
+                                }
+                            }
+                            Err(Fatal::Died) => return WorkerExit::Died,
+                            Err(Fatal::Excluded) => {
+                                return exclude_exit(
+                                    proc, step, last_loss, recoveries, world, &model,
+                                )
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Degraded-step renormalization: contributions of evicted
+            // workers are gone from redone tensors; optionally scale back
+            // up. The factor derives from the step's original sharding, so
+            // every survivor applies the identical scale.
+            if let (Some(rfrom), true) = (redo_from, cfg.renormalize_after_loss) {
+                let surviving: f32 = comm
+                    .group()
+                    .iter()
+                    .map(|g| {
+                        step_group
+                            .iter()
+                            .position(|&x| x == *g)
+                            .map(|idx| shard_len(idx, step_group.len(), spec.global_batch))
+                            .unwrap_or(0) as f32
+                    })
+                    .sum::<f32>()
+                    / spec.global_batch as f32;
+                if surviving > 0.0 && surviving < 1.0 {
+                    let scale = 1.0 / surviving;
+                    let from = rfrom.min(grads.len());
+                    for g in grads.iter_mut().skip(from) {
+                        for v in g.iter_mut() {
+                            *v *= scale;
+                        }
+                    }
+                }
+            }
+            break 'attempt grads;
+        };
+
+        // --- committed: apply the update ---------------------------------
+        model.set_grads(&grads);
+        if let Some(policy) = cfg.lr_scaling {
+            // Re-anchor the rate whenever the world changed this step.
+            let world = comm.size();
+            if world != lr_world {
+                let target = spec.lr * world as f32 / policy.base_world as f32;
+                opt.set_schedule(dnn::LrSchedule::PiecewiseRamp {
+                    from: opt.current_lr(),
+                    to: target,
+                    start: step,
+                    ramp: policy.warmup_steps,
+                });
+                lr_world = world;
+            }
+        }
+        opt.step(&mut model.params_mut());
+        step += 1;
+
+        // --- epoch boundary: accept joiners (scenarios II & III) ---------
+        if cfg.accept_joiners && step as usize % spec.steps_per_epoch == 0 {
+            // Scenario II/III determinism: no epoch boundary passes until
+            // every expected joiner has announced itself. The counter is
+            // monotone and global, so all members unblock on the same
+            // condition regardless of who drains the pending list when.
+            while proc.announced_joiners() < cfg.expected_joiners as u64 {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+            match comm.accept_joiners() {
+                Ok(Some(new_comm)) => {
+                    let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, step);
+                    let res = episode.time("state_sync", || {
+                        send_state(&new_comm, &model, &opt, step)
+                    });
+                    breakdowns.push(episode);
+                    match res {
+                        Ok(()) => comm = new_comm,
+                        Err(UlfmError::SelfDied) => return WorkerExit::Died,
+                        Err(e) => panic!("state broadcast to joiners failed: {e}"),
+                    }
+                }
+                Ok(None) => {}
+                Err(UlfmError::SelfDied) => return WorkerExit::Died,
+                Err(e) => panic!("accept_joiners failed: {e}"),
+            }
+        }
+    }
+
+    // Leaving the computation cleanly: mark ourselves gone so that any
+    // concurrent recovery among slower workers does not wait for us.
+    let stats = WorkerStats {
+        steps_done: step,
+        final_loss: last_loss,
+        recoveries,
+        final_world: comm.size(),
+        state_fingerprint: state_fingerprint(&model.state_flat()),
+        final_lr: opt.current_lr(),
+        steps_recomputed: 0,
+    };
+    proc.retire();
+    WorkerExit::Completed(stats)
+}
+
+/// Work around borrowck: move the episode out (it was filled in-place).
+fn breakdowns_last_fix(episode: &mut RecoveryBreakdown) -> RecoveryBreakdown {
+    std::mem::replace(episode, RecoveryBreakdown::new(RecoveryKind::Forward, 0))
+}
+
+/// Exit path for a worker evicted by the drop-node policy.
+fn exclude_exit(
+    proc: &Proc,
+    step: u64,
+    last_loss: f32,
+    recoveries: usize,
+    world: usize,
+    model: &dnn::Model,
+) -> WorkerExit {
+    proc.retire();
+    WorkerExit::Excluded(WorkerStats {
+        steps_done: step,
+        final_loss: last_loss,
+        recoveries,
+        final_world: world,
+        state_fingerprint: state_fingerprint(&model.state_flat()),
+        final_lr: f32::NAN,
+        steps_recomputed: 0,
+    })
+}
+
+fn global_op(step: u64, n_tensors: i64, local_op: i64) -> u64 {
+    (step as i64 * (n_tensors + 1) + local_op) as u64
+}
+
+fn shard_len(rank: usize, world: usize, global: usize) -> usize {
+    (rank + 1) * global / world - rank * global / world
+}
+
+/// One recovery episode: revoke → agree(min) → shrink(policy).
+fn recover(
+    proc: &Proc,
+    cfg: &ForwardConfig,
+    comm: &Communicator,
+    my_global_op: u64,
+    episode: &mut RecoveryBreakdown,
+    topology: transport::Topology,
+) -> Result<(Communicator, u64), Fatal> {
+    episode.time("revoke", || comm.revoke());
+
+    let agreed = episode.time("agree", || comm.agree(u64::MAX, my_global_op));
+    let agreed = match agreed {
+        Ok(a) => a,
+        Err(UlfmError::SelfDied) => return Err(Fatal::Died),
+        Err(e) => unreachable!("agree only fails fatally: {e}"),
+    };
+
+    let total_ranks = proc.endpoint().fabric().total_ranks();
+    let policy = cfg.policy;
+    let shrunk = episode.time("shrink", || {
+        comm.shrink_with(|failed| policy_evictions(policy, failed, topology, total_ranks))
+    });
+    match shrunk {
+        Ok(ShrinkOutcome::Member(c)) => Ok((c, agreed.min)),
+        Ok(ShrinkOutcome::Excluded) => Err(Fatal::Excluded),
+        Err(UlfmError::SelfDied) => Err(Fatal::Died),
+        Err(e) => unreachable!("shrink only fails fatally: {e}"),
+    }
+}
+
+/// Leader side of the join state transfer: broadcast (step, checkpoint).
+fn send_state(
+    comm: &Communicator,
+    model: &dnn::Model,
+    opt: &dnn::Sgd,
+    step: u64,
+) -> Result<(), UlfmError> {
+    let mut payload = if comm.rank() == 0 {
+        let ck = Checkpoint::capture(model, opt);
+        let mut bytes = step.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&ck.bytes);
+        bytes
+    } else {
+        Vec::new()
+    };
+    comm.bcast(0, &mut payload)?;
+    Ok(())
+}
+
+/// Joiner side: receive (step, checkpoint) and load it.
+fn sync_state(
+    comm: &Communicator,
+    model: &mut dnn::Model,
+    opt: &mut dnn::Sgd,
+) -> Result<u64, UlfmError> {
+    let mut payload = Vec::new();
+    comm.bcast(0, &mut payload)?;
+    let step = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let ck = Checkpoint {
+        step,
+        bytes: payload[8..].to_vec(),
+    };
+    ck.restore(model, opt);
+    Ok(step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_op_encoding() {
+        // T = 4 tensors → 5 ops per step.
+        assert_eq!(global_op(0, 4, 0), 0);
+        assert_eq!(global_op(0, 4, 4), 4); // barrier of step 0
+        assert_eq!(global_op(1, 4, 0), 5);
+        assert_eq!(global_op(1, 4, -1), 4); // redo of step 0's barrier
+    }
+
+    #[test]
+    fn shard_len_tiles() {
+        let total: usize = (0..5).map(|r| shard_len(r, 5, 64)).sum();
+        assert_eq!(total, 64);
+    }
+}

@@ -1,0 +1,44 @@
+//! Elastic deep learning through resilient collective operations.
+//!
+//! This crate is the Rust reproduction of the paper's contribution (Li,
+//! Bosilca, Bouteiller, Nicolae — SC-W'23): data-parallel training that
+//! survives worker failures and membership changes **at the granularity of
+//! a single collective operation**, plus the Elastic-Horovod-style baseline
+//! it is evaluated against.
+//!
+//! Two engines train the same model on the same data:
+//!
+//! * [`forward`] — **forward recovery** over the ULFM runtime. A failure
+//!   inside a gradient allreduce is absorbed by revoke → agree → shrink →
+//!   *re-execute the failed collective from retained inputs* on the shrunk
+//!   communicator. The mini-batch completes in degraded mode; nothing rolls
+//!   back; checkpoints are not needed for failure recovery (paper §3.2,
+//!   Fig. 2 right).
+//! * [`backward`] — **backward recovery** over Gloo-style contexts. Any
+//!   failure poisons the context; an elastic driver catches the exception,
+//!   blacklists the failed node (or process), re-runs the KV-store
+//!   rendezvous, rebuilds the context, reloads the last per-batch
+//!   in-memory checkpoint, and recomputes lost work (paper §3.2, Fig. 2
+//!   left; §4's Elastic Horovod).
+//!
+//! Both engines support the paper's three elasticity scenarios (§3.3):
+//! *downscaling* (drop process or node), *replacement* (failed capacity
+//! rejoins), and *automated upscaling* (new workers join at epoch
+//! boundaries), and both record per-phase recovery cost breakdowns that
+//! the `bench` crate turns into the paper's Figures 4–7.
+
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod config;
+pub mod cost_model;
+pub mod forward;
+pub mod profiler;
+pub mod scenario;
+
+pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver};
+pub use config::{RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
+pub use cost_model::Eq1Params;
+pub use forward::{run_forward_worker, ForwardConfig, LrScaling};
+pub use profiler::{Phase, RecoveryBreakdown, RecoveryKind};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioKind, ScenarioResult};

@@ -1,0 +1,140 @@
+//! Per-phase recovery cost accounting — the instrumentation behind the
+//! paper's Figure 4 breakdowns.
+
+use std::time::{Duration, Instant};
+
+/// One named phase of a recovery/reconfiguration episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Phase {
+    /// Phase name (e.g. `"revoke"`, `"rendezvous"`, `"recompute"`).
+    pub name: &'static str,
+    /// Wall-clock duration of the phase at this worker.
+    pub duration: Duration,
+}
+
+/// What kind of episode produced a breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// ULFM forward recovery (revoke/agree/shrink/redo).
+    Forward,
+    /// Gloo/Elastic-Horovod backward recovery (exception/rendezvous/
+    /// rollback/recompute).
+    Backward,
+    /// Membership grew (replacement or upscale join).
+    Join,
+}
+
+/// A recovery episode's cost breakdown at one worker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryBreakdown {
+    /// Episode kind.
+    pub kind: RecoveryKind,
+    /// Optimizer step during which the episode happened.
+    pub at_step: u64,
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl RecoveryBreakdown {
+    /// Start a new episode record.
+    pub fn new(kind: RecoveryKind, at_step: u64) -> Self {
+        Self {
+            kind,
+            at_step,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Total episode duration.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Duration of a named phase (zero if absent).
+    pub fn phase(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.duration)
+            .sum()
+    }
+
+    /// Time a closure and record it as a phase; returns the closure result.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.phases.push(Phase {
+            name,
+            duration: t0.elapsed(),
+        });
+        r
+    }
+
+    /// Record an externally measured phase.
+    pub fn push(&mut self, name: &'static str, duration: Duration) {
+        self.phases.push(Phase { name, duration });
+    }
+}
+
+/// Element-wise mean of several workers' breakdowns (phases are matched by
+/// name in order of first appearance). Used by benches to report a single
+/// per-episode row, as the paper's figures do.
+pub fn mean_breakdown(items: &[RecoveryBreakdown]) -> Option<RecoveryBreakdown> {
+    let first = items.first()?;
+    let mut out = RecoveryBreakdown::new(first.kind, first.at_step);
+    let mut names: Vec<&'static str> = Vec::new();
+    for it in items {
+        for p in &it.phases {
+            if !names.contains(&p.name) {
+                names.push(p.name);
+            }
+        }
+    }
+    for name in names {
+        let total: Duration = items.iter().map(|it| it.phase(name)).sum();
+        out.push(name, total / items.len() as u32);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_phase() {
+        let mut b = RecoveryBreakdown::new(RecoveryKind::Forward, 3);
+        let v = b.time("revoke", || 7);
+        assert_eq!(v, 7);
+        assert_eq!(b.phases.len(), 1);
+        assert_eq!(b.phases[0].name, "revoke");
+    }
+
+    #[test]
+    fn total_and_phase_lookup() {
+        let mut b = RecoveryBreakdown::new(RecoveryKind::Backward, 0);
+        b.push("a", Duration::from_millis(10));
+        b.push("b", Duration::from_millis(20));
+        b.push("a", Duration::from_millis(5));
+        assert_eq!(b.total(), Duration::from_millis(35));
+        assert_eq!(b.phase("a"), Duration::from_millis(15));
+        assert_eq!(b.phase("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_over_workers() {
+        let mut x = RecoveryBreakdown::new(RecoveryKind::Forward, 1);
+        x.push("shrink", Duration::from_millis(10));
+        let mut y = RecoveryBreakdown::new(RecoveryKind::Forward, 1);
+        y.push("shrink", Duration::from_millis(30));
+        y.push("redo", Duration::from_millis(4));
+        let m = mean_breakdown(&[x, y]).unwrap();
+        assert_eq!(m.phase("shrink"), Duration::from_millis(20));
+        assert_eq!(m.phase("redo"), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(mean_breakdown(&[]).is_none());
+    }
+}

@@ -1,0 +1,284 @@
+//! Scenario orchestration: scripts the paper's three elasticity scenarios
+//! (§3.3) over either engine and collects per-worker outcomes and recovery
+//! breakdowns. Used by the integration tests, the examples, and the
+//! benches that regenerate the paper's figures.
+
+use crate::backward::{run_backward_worker, BackwardConfig, ElasticDriver};
+use crate::config::{RecoveryPolicy, TrainSpec, WorkerExit};
+use crate::forward::{run_forward_worker, ForwardConfig};
+use crate::profiler::{mean_breakdown, RecoveryBreakdown, RecoveryKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, RankId, Topology};
+use ulfm::Universe;
+
+/// Which of the paper's dynamic-training scenarios to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Scenario I — "Down": drop the failed process/node and continue with
+    /// the survivors.
+    Downscale,
+    /// Scenario II — "Same": replace the failed capacity with fresh
+    /// workers so the worker count recovers.
+    Replace,
+    /// Scenario III — "Up": no failure; new workers join mid-run and the
+    /// group grows.
+    Upscale,
+}
+
+/// Which engine to run the scenario on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// ULFM forward recovery (the paper's approach).
+    UlfmForward,
+    /// Gloo + checkpoint backward recovery (Elastic Horovod baseline).
+    GlooBackward,
+}
+
+/// Full scenario description.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Engine under test.
+    pub engine: Engine,
+    /// The training workload.
+    pub spec: TrainSpec,
+    /// Initial worker count.
+    pub workers: usize,
+    /// Workers per node (Summit: 6).
+    pub ranks_per_node: usize,
+    /// Eviction policy.
+    pub policy: RecoveryPolicy,
+    /// The scenario to script.
+    pub kind: ScenarioKind,
+    /// Victim of the injected failure (Downscale/Replace). Dies at its
+    /// `fail_at_op`-th allreduce protocol step.
+    pub victim: usize,
+    /// Which occurrence of the victim's `allreduce.step` fault point kills
+    /// it (lets tests target a specific step/tensor).
+    pub fail_at_op: u64,
+    /// How many joiners to add (Replace: usually = evicted count;
+    /// Upscale: the growth amount).
+    pub joiners: usize,
+    /// Forward engine: renormalize degraded steps.
+    pub renormalize: bool,
+}
+
+impl ScenarioConfig {
+    /// A small, fast default scenario (used by tests/examples).
+    pub fn quick(engine: Engine, kind: ScenarioKind) -> Self {
+        Self {
+            engine,
+            spec: TrainSpec::default(),
+            workers: 6,
+            ranks_per_node: 3,
+            policy: RecoveryPolicy::DropProcess,
+            kind,
+            victim: 2,
+            fail_at_op: 7,
+            joiners: 1,
+            renormalize: false,
+        }
+    }
+}
+
+/// What a scenario produced.
+#[derive(Debug)]
+pub struct ScenarioResult {
+    /// Exit of every worker, initial workers first, then joiners.
+    pub exits: Vec<WorkerExit>,
+    /// All recovery breakdowns from all workers.
+    pub breakdowns: Vec<RecoveryBreakdown>,
+    /// Wall-clock duration of the whole scenario.
+    pub wall: Duration,
+}
+
+impl ScenarioResult {
+    /// Workers that trained to completion.
+    pub fn completed(&self) -> usize {
+        self.exits.iter().filter(|e| e.completed()).count()
+    }
+
+    /// Mean breakdown over workers for a given episode kind.
+    pub fn mean_breakdown(&self, kind: RecoveryKind) -> Option<RecoveryBreakdown> {
+        let of_kind: Vec<RecoveryBreakdown> = self
+            .breakdowns
+            .iter()
+            .filter(|b| b.kind == kind)
+            .cloned()
+            .collect();
+        mean_breakdown(&of_kind)
+    }
+
+    /// Assert that every completed worker holds bit-identical model state.
+    /// Returns the common fingerprint.
+    pub fn assert_consistent_state(&self) -> u64 {
+        let fps: Vec<u64> = self
+            .exits
+            .iter()
+            .filter(|e| e.completed())
+            .filter_map(|e| e.stats().map(|s| s.state_fingerprint))
+            .collect();
+        assert!(!fps.is_empty(), "no worker completed");
+        for w in fps.windows(2) {
+            assert_eq!(w[0], w[1], "model replicas diverged");
+        }
+        fps[0]
+    }
+}
+
+/// Run a scripted scenario to completion.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    match cfg.engine {
+        Engine::UlfmForward => run_forward_scenario(cfg),
+        Engine::GlooBackward => run_backward_scenario(cfg),
+    }
+}
+
+fn fault_plan(cfg: &ScenarioConfig) -> FaultPlan {
+    match cfg.kind {
+        ScenarioKind::Upscale => FaultPlan::none(),
+        _ => FaultPlan::none().kill_at_point(
+            RankId(cfg.victim),
+            "allreduce.step",
+            cfg.fail_at_op,
+        ),
+    }
+}
+
+fn joiner_count(cfg: &ScenarioConfig) -> usize {
+    match cfg.kind {
+        ScenarioKind::Downscale => 0,
+        _ => cfg.joiners,
+    }
+}
+
+fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let t0 = Instant::now();
+    let topology = Topology::new(cfg.ranks_per_node);
+    let universe = Universe::new(topology, fault_plan(cfg));
+    let fwd_cfg = ForwardConfig {
+        spec: cfg.spec.clone(),
+        policy: cfg.policy,
+        accept_joiners: true,
+        expected_joiners: joiner_count(cfg),
+        renormalize_after_loss: cfg.renormalize,
+        lr_scaling: None,
+    };
+
+    let c1 = fwd_cfg.clone();
+    let initial = universe.spawn_batch(cfg.workers, move |proc| {
+        let out = run_forward_worker(&proc, &c1, false);
+        (out.exit, out.breakdowns)
+    });
+
+    // Spawn joiners once the trigger condition holds: after the failure
+    // (Replace) or after a fixed dwell (Upscale).
+    let joiners = joiner_count(cfg);
+    let joiner_handles = if joiners > 0 {
+        match cfg.kind {
+            ScenarioKind::Replace => {
+                while universe.fabric().dead_ranks().is_empty() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            ScenarioKind::Upscale => std::thread::sleep(Duration::from_millis(10)),
+            ScenarioKind::Downscale => unreachable!(),
+        }
+        let c2 = fwd_cfg.clone();
+        universe.spawn_joiners(joiners, move |proc| {
+            let out = run_forward_worker(&proc, &c2, true);
+            (out.exit, out.breakdowns)
+        })
+    } else {
+        Vec::new()
+    };
+
+    let mut exits = Vec::new();
+    let mut breakdowns = Vec::new();
+    for h in initial.into_iter().chain(joiner_handles) {
+        let (exit, bd) = h.join();
+        exits.push(exit);
+        breakdowns.extend(bd);
+    }
+    ScenarioResult {
+        exits,
+        breakdowns,
+        wall: t0.elapsed(),
+    }
+}
+
+fn run_backward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let t0 = Instant::now();
+    let topology = Topology::new(cfg.ranks_per_node);
+    let fabric = Fabric::new(topology, FaultInjector::new(fault_plan(cfg)));
+    let initial_ranks = fabric.register_ranks(cfg.workers);
+    let driver = ElasticDriver::new(topology, initial_ranks.clone());
+    let bwd_cfg = BackwardConfig {
+        spec: cfg.spec.clone(),
+        policy: cfg.policy,
+        checkpoint_every: 1,
+        op_timeout: Duration::from_millis(600),
+        rendezvous_timeout: Duration::from_secs(30),
+        worker_init_delay: Duration::from_millis(5),
+        expected_new_workers: joiner_count(cfg),
+    };
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for &rank in &initial_ranks {
+            let fabric = Arc::clone(&fabric);
+            let driver = Arc::clone(&driver);
+            let bwd_cfg = bwd_cfg.clone();
+            handles.push(s.spawn(move || {
+                let ep = Endpoint::new(Arc::clone(&fabric), rank);
+                let out = run_backward_worker(&ep, &bwd_cfg, &driver, false);
+                fabric.kill_rank(rank); // model process exit
+                out
+            }));
+        }
+
+        // Joiners.
+        let joiners = joiner_count(cfg);
+        let joiner_handles: Vec<_> = if joiners > 0 {
+            match cfg.kind {
+                ScenarioKind::Replace => {
+                    while fabric.dead_ranks().is_empty() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                ScenarioKind::Upscale => std::thread::sleep(Duration::from_millis(10)),
+                ScenarioKind::Downscale => unreachable!(),
+            }
+            let new_ranks = fabric.register_ranks(joiners);
+            new_ranks
+                .into_iter()
+                .map(|rank| {
+                    let fabric = Arc::clone(&fabric);
+                    let driver = Arc::clone(&driver);
+                    let bwd_cfg = bwd_cfg.clone();
+                    s.spawn(move || {
+                        let ep = Endpoint::new(Arc::clone(&fabric), rank);
+                        let out = run_backward_worker(&ep, &bwd_cfg, &driver, true);
+                        fabric.kill_rank(rank); // model process exit
+                        out
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut exits = Vec::new();
+        let mut breakdowns = Vec::new();
+        for h in handles.into_iter().chain(joiner_handles) {
+            let (exit, bd) = h.join().expect("worker thread panicked");
+            exits.push(exit);
+            breakdowns.extend(bd);
+        }
+        ScenarioResult {
+            exits,
+            breakdowns,
+            wall: t0.elapsed(),
+        }
+    })
+}

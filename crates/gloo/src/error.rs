@@ -1,0 +1,47 @@
+//! Gloo error model: coarse and terminal, unlike ULFM's.
+
+use std::fmt;
+use transport::RankId;
+
+/// Errors from Gloo-style contexts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GlooError {
+    /// A peer failed during an operation. The context is now poisoned; the
+    /// caller must tear everything down and re-rendezvous (what Elastic
+    /// Horovod's exception path does).
+    PeerFailure {
+        /// Global id of the failed peer.
+        global: RankId,
+    },
+    /// The context was already poisoned by an earlier failure.
+    Poisoned,
+    /// The calling rank itself was killed by the fault plan.
+    SelfDied,
+}
+
+impl fmt::Display for GlooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlooError::PeerFailure { global } => {
+                write!(f, "gloo: peer {global} failed; context aborted")
+            }
+            GlooError::Poisoned => write!(f, "gloo: context poisoned by earlier failure"),
+            GlooError::SelfDied => write!(f, "gloo: local rank died"),
+        }
+    }
+}
+
+impl std::error::Error for GlooError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GlooError::PeerFailure { global: RankId(2) }
+            .to_string()
+            .contains("r2"));
+        assert!(GlooError::Poisoned.to_string().contains("poisoned"));
+    }
+}

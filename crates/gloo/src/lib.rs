@@ -1,0 +1,34 @@
+//! A Gloo-style collective-communication library: **not** fault tolerant,
+//! by design.
+//!
+//! This crate reproduces the substrate Elastic Horovod runs on (paper §3.2,
+//! Fig. 3): collective *contexts* built over a key-value-store rendezvous.
+//! Its defining property — the one the paper's comparison hinges on — is
+//! that a Gloo context cannot tolerate failures or reconfigure workers at
+//! runtime:
+//!
+//! * any peer failure observed during an operation **poisons the whole
+//!   context**; every subsequent operation fails with
+//!   [`GlooError::Poisoned`];
+//! * recovery requires throwing the context away and rebuilding from
+//!   scratch: a fresh **rendezvous** through the [`KvStore`] (global, then
+//!   node-local, as Horovod does), followed by a fresh full-mesh
+//!   [`Context::connect`].
+//!
+//! The Elastic-Horovod-style *backward recovery* driver in the `elastic`
+//! crate layers exception catching, node blacklisting, and checkpoint
+//! rollback on top of exactly these pieces.
+
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+mod rendezvous;
+mod store;
+
+pub use context::{Context, ContextStats};
+pub use error::GlooError;
+pub use rendezvous::{rendezvous, RendezvousConfig, RendezvousError, RendezvousReport};
+pub use store::{KvStore, KvStoreStats};
+
+pub use transport::{NodeId, RankId, Topology};

@@ -1,0 +1,234 @@
+//! KV-store rendezvous: how Gloo/Horovod workers discover each other.
+//!
+//! Every (re)configuration in Elastic Horovod runs a **global rendezvous**
+//! (all workers agree on the member list) and then a **local rendezvous**
+//! (workers on one node discover each other for the hierarchical
+//! collectives). Both are reproduced here; the per-phase round-trip counts
+//! feed the recovery cost breakdowns of paper Fig. 4.
+
+use crate::store::KvStore;
+use std::time::{Duration, Instant};
+use transport::{RankId, Topology, Wire};
+
+/// Parameters of one rendezvous round.
+#[derive(Clone, Debug)]
+pub struct RendezvousConfig {
+    /// Namespace for this training run.
+    pub run_id: String,
+    /// Rendezvous epoch: bumped on every reconfiguration so stale keys from
+    /// the previous worker set cannot be matched.
+    pub epoch: u64,
+    /// Number of workers that must arrive.
+    pub expected: usize,
+    /// Give up after this long (stragglers / undetected failures).
+    pub timeout: Duration,
+}
+
+/// What a completed rendezvous produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RendezvousReport {
+    /// The agreed member list, sorted by global rank (dense new ranks are
+    /// the positions in this list).
+    pub members: Vec<RankId>,
+    /// This worker's dense rank within `members`.
+    pub my_rank: usize,
+    /// Members co-located on this worker's node (the local rendezvous
+    /// result), as indices into `members`.
+    pub node_locals: Vec<usize>,
+    /// KV round trips this worker performed (cost accounting).
+    pub round_trips: u64,
+}
+
+/// Rendezvous failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RendezvousError {
+    /// Fewer than `expected` workers arrived before the timeout.
+    Timeout {
+        /// How many had arrived when we gave up.
+        arrived: usize,
+    },
+}
+
+impl std::fmt::Display for RendezvousError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RendezvousError::Timeout { arrived } => {
+                write!(f, "rendezvous timed out with {arrived} arrivals")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RendezvousError {}
+
+/// Run the global + local rendezvous for `me`.
+///
+/// Protocol (mirrors Horovod's): publish `run/<epoch>/rank/<global>`; poll
+/// the prefix until `expected` keys exist; read them all to learn the
+/// member list; then publish and poll the node-local prefix likewise.
+pub fn rendezvous(
+    store: &KvStore,
+    cfg: &RendezvousConfig,
+    me: RankId,
+    topology: Topology,
+) -> Result<RendezvousReport, RendezvousError> {
+    let mut round_trips = 0u64;
+    let global_prefix = format!("{}/{}/global/", cfg.run_id, cfg.epoch);
+
+    // Publish my arrival.
+    store.set(
+        &format!("{global_prefix}{:08}", me.0),
+        u64::encode_slice(&[me.0 as u64]),
+    );
+    round_trips += 1;
+
+    // Poll until everyone arrived.
+    let deadline = Instant::now() + cfg.timeout;
+    loop {
+        let n = store.count_prefix(&global_prefix);
+        round_trips += 1;
+        if n >= cfg.expected {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(RendezvousError::Timeout { arrived: n });
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Read the member list.
+    let members: Vec<RankId> = store
+        .scan_prefix(&global_prefix)
+        .into_iter()
+        .map(|(_, v)| RankId(u64::decode_slice(&v)[0] as usize))
+        .collect();
+    round_trips += 1;
+    let my_rank = members
+        .iter()
+        .position(|&m| m == me)
+        .expect("rendezvous member list must include self");
+
+    // Local rendezvous: discover co-located members.
+    let my_node = topology.node_of(me);
+    let local_prefix = format!("{}/{}/node{}/", cfg.run_id, cfg.epoch, my_node.0);
+    store.set(
+        &format!("{local_prefix}{:08}", me.0),
+        u64::encode_slice(&[my_rank as u64]),
+    );
+    round_trips += 1;
+    let expected_local = members
+        .iter()
+        .filter(|&&m| topology.node_of(m) == my_node)
+        .count();
+    loop {
+        let n = store.count_prefix(&local_prefix);
+        round_trips += 1;
+        if n >= expected_local {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(RendezvousError::Timeout { arrived: n });
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let node_locals: Vec<usize> = store
+        .scan_prefix(&local_prefix)
+        .into_iter()
+        .map(|(_, v)| u64::decode_slice(&v)[0] as usize)
+        .collect();
+    round_trips += 1;
+
+    Ok(RendezvousReport {
+        members,
+        my_rank,
+        node_locals,
+        round_trips,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn cfg(epoch: u64, expected: usize) -> RendezvousConfig {
+        RendezvousConfig {
+            run_id: "test".into(),
+            epoch,
+            expected,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn all_workers_agree_on_member_list() {
+        let store = KvStore::shared();
+        let topo = Topology::new(2);
+        let ranks = [RankId(0), RankId(1), RankId(2), RankId(3)];
+        let reports: Vec<RendezvousReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranks
+                .iter()
+                .map(|&r| {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || rendezvous(&store, &cfg(0, 4), r, topo).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.members, ranks.to_vec());
+            assert_eq!(rep.my_rank, i);
+        }
+        // Node-local discovery: ranks 0,1 on node 0; 2,3 on node 1.
+        assert_eq!(reports[0].node_locals, vec![0, 1]);
+        assert_eq!(reports[3].node_locals, vec![2, 3]);
+    }
+
+    #[test]
+    fn sparse_global_ids_get_dense_ranks() {
+        let store = KvStore::shared();
+        let topo = Topology::flat();
+        let ranks = [RankId(3), RankId(10), RankId(42)];
+        let reports: Vec<RendezvousReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranks
+                .iter()
+                .map(|&r| {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || rendezvous(&store, &cfg(1, 3), r, topo).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(reports[0].my_rank, 0);
+        assert_eq!(reports[1].my_rank, 1);
+        assert_eq!(reports[2].my_rank, 2);
+    }
+
+    #[test]
+    fn timeout_when_worker_missing() {
+        let store = KvStore::new();
+        let mut c = cfg(2, 3);
+        c.timeout = Duration::from_millis(30);
+        let err = rendezvous(&store, &c, RankId(0), Topology::flat()).unwrap_err();
+        assert_eq!(err, RendezvousError::Timeout { arrived: 1 });
+    }
+
+    #[test]
+    fn epochs_do_not_interfere() {
+        let store = KvStore::shared();
+        let topo = Topology::flat();
+        // Stale keys from epoch 0.
+        store.set("test/0/global/00000007", u64::encode_slice(&[7]));
+        let mut c = cfg(1, 1);
+        c.timeout = Duration::from_millis(200);
+        let rep = rendezvous(&store, &c, RankId(0), topo).unwrap();
+        assert_eq!(rep.members, vec![RankId(0)]);
+    }
+
+    #[test]
+    fn round_trips_are_counted() {
+        let store = KvStore::new();
+        let rep = rendezvous(&store, &cfg(3, 1), RankId(0), Topology::flat()).unwrap();
+        assert!(rep.round_trips >= 6, "expected ≥6 RTTs, got {}", rep.round_trips);
+    }
+}

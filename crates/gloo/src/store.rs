@@ -1,0 +1,186 @@
+//! The rendezvous key-value store.
+//!
+//! Horovod's elastic mode coordinates workers through a KV store (Gloo's
+//! `Store` interface / Horovod's rendezvous server). Workers publish their
+//! address under a per-epoch key and poll for the others. We reproduce the
+//! interface and count every round trip, because rendezvous traffic is the
+//! dominant term in the baseline's recovery cost (paper Fig. 4).
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters of store traffic (one "round trip" per `set`/`get`/`wait`
+/// completion — the cost model charges an RTT each).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KvStoreStats {
+    /// Completed `set` operations.
+    pub sets: u64,
+    /// Completed `get` operations (hits and misses).
+    pub gets: u64,
+    /// Completed `wait` operations.
+    pub waits: u64,
+}
+
+/// A shared in-memory KV store with blocking waits.
+pub struct KvStore {
+    map: Mutex<HashMap<String, Vec<u8>>>,
+    cv: Condvar,
+    sets: AtomicU64,
+    gets: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl Default for KvStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            sets: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared handle constructor.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Publish `value` under `key` (overwrites).
+    pub fn set(&self, key: &str, value: Vec<u8>) {
+        self.sets.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(key.to_string(), value);
+        self.cv.notify_all();
+    }
+
+    /// Read `key` if present.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().get(key).cloned()
+    }
+
+    /// Block until `key` exists, up to `timeout`.
+    pub fn wait(&self, key: &str, timeout: Duration) -> Option<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        let mut map = self.map.lock();
+        loop {
+            if let Some(v) = map.get(key) {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                return Some(v.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.waits.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            self.cv.wait_for(&mut map, deadline - now);
+        }
+    }
+
+    /// Number of keys with the given prefix (rendezvous "how many arrived").
+    pub fn count_prefix(&self, prefix: &str) -> usize {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .count()
+    }
+
+    /// All `(key, value)` pairs under a prefix, sorted by key.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let map = self.map.lock();
+        let mut out: Vec<(String, Vec<u8>)> = map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drop all keys under a prefix (cleanup of a finished epoch).
+    pub fn clear_prefix(&self, prefix: &str) -> usize {
+        let mut map = self.map.lock();
+        let before = map.len();
+        map.retain(|k, _| !k.starts_with(prefix));
+        before - map.len()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> KvStoreStats {
+        KvStoreStats {
+            sets: self.sets.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let s = KvStore::new();
+        assert_eq!(s.get("a"), None);
+        s.set("a", vec![1, 2]);
+        assert_eq!(s.get("a"), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let s = KvStore::shared();
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.wait("k", Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        s.set("k", vec![9]);
+        assert_eq!(t.join().unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let s = KvStore::new();
+        assert_eq!(s.wait("nope", Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn prefix_operations() {
+        let s = KvStore::new();
+        s.set("rdv/0/rank/1", vec![1]);
+        s.set("rdv/0/rank/0", vec![0]);
+        s.set("other", vec![7]);
+        assert_eq!(s.count_prefix("rdv/0/"), 2);
+        let scan = s.scan_prefix("rdv/0/");
+        assert_eq!(scan[0].0, "rdv/0/rank/0");
+        assert_eq!(scan[1].0, "rdv/0/rank/1");
+        assert_eq!(s.clear_prefix("rdv/0/"), 2);
+        assert_eq!(s.count_prefix("rdv/0/"), 0);
+        assert_eq!(s.get("other"), Some(vec![7]));
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let s = KvStore::new();
+        s.set("a", vec![]);
+        s.get("a");
+        s.get("b");
+        s.wait("a", Duration::from_millis(1));
+        let st = s.stats();
+        assert_eq!(st.sets, 1);
+        assert_eq!(st.gets, 2);
+        assert_eq!(st.waits, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Named cost segments in virtual seconds.
+
+use std::fmt;
+
+/// An ordered list of `(segment name, seconds)` pairs — one recovery or
+/// reconfiguration episode's cost decomposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Breakdown {
+    segments: Vec<(&'static str, f64)>,
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self {
+            segments: Vec::new(),
+        }
+    }
+
+    /// Append a segment.
+    pub fn push(&mut self, name: &'static str, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "segment {name} has invalid duration {seconds}"
+        );
+        self.segments.push((name, seconds));
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, name: &'static str, seconds: f64) -> Self {
+        self.push(name, seconds);
+        self
+    }
+
+    /// All segments in order.
+    pub fn segments(&self) -> &[(&'static str, f64)] {
+        &self.segments
+    }
+
+    /// Sum of all segments.
+    pub fn total(&self) -> f64 {
+        self.segments.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Duration of one named segment (0 if absent; summed if repeated).
+    pub fn get(&self, name: &str) -> f64 {
+        self.segments
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+            .sum()
+    }
+
+    /// Collapse this breakdown into the paper's three aggregate segments,
+    /// given which names belong to the first two (the rest is recompute).
+    pub fn aggregate(
+        &self,
+        comm_names: &[&str],
+        state_names: &[&str],
+    ) -> (f64, f64, f64) {
+        let mut comm = 0.0;
+        let mut state = 0.0;
+        let mut rest = 0.0;
+        for (n, s) in &self.segments {
+            if comm_names.contains(n) {
+                comm += s;
+            } else if state_names.contains(n) {
+                state += s;
+            } else {
+                rest += s;
+            }
+        }
+        (comm, state, rest)
+    }
+}
+
+impl Default for Breakdown {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, s) in &self.segments {
+            writeln!(f, "  {n:<24} {s:>10.4} s")?;
+        }
+        write!(f, "  {:<24} {:>10.4} s", "TOTAL", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_lookup() {
+        let b = Breakdown::new().with("a", 1.0).with("b", 2.5).with("a", 0.5);
+        assert_eq!(b.total(), 4.0);
+        assert_eq!(b.get("a"), 1.5);
+        assert_eq!(b.get("zzz"), 0.0);
+    }
+
+    #[test]
+    fn aggregate_partitions_fully() {
+        let b = Breakdown::new()
+            .with("rendezvous", 3.0)
+            .with("reinit_gloo", 1.0)
+            .with("worker_init", 10.0)
+            .with("recompute", 0.5);
+        let (c, s, r) = b.aggregate(&["rendezvous", "reinit_gloo"], &["worker_init"]);
+        assert_eq!((c, s, r), (4.0, 10.0, 0.5));
+        assert!((c + s + r - b.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn rejects_nan() {
+        Breakdown::new().with("x", f64::NAN);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let b = Breakdown::new().with("x", 1.0);
+        assert!(b.to_string().contains("TOTAL"));
+    }
+}

@@ -1,0 +1,160 @@
+//! A small discrete-event simulation core.
+//!
+//! Events are closures scheduled at virtual times; the simulator pops them
+//! in time order (FIFO among equal times) and runs them, letting handlers
+//! schedule further events. State shared between events lives in the
+//! user's `World` type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in seconds.
+pub type SimTime = f64;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    action: Box<dyn FnOnce(&mut Simulator<W>, &mut W)>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with seq as
+        // the FIFO tiebreaker.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The event queue + clock.
+pub struct Simulator<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    events_run: u64,
+}
+
+impl<W> Default for Simulator<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Simulator<W> {
+    /// An empty simulation at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: 0.0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            events_run: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events executed so far.
+    pub fn events_run(&self) -> u64 {
+        self.events_run
+    }
+
+    /// Schedule `action` to run `delay` seconds from now.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite delays.
+    pub fn schedule(
+        &mut self,
+        delay: SimTime,
+        action: impl FnOnce(&mut Simulator<W>, &mut W) + 'static,
+    ) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "invalid event delay {delay}"
+        );
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Run until the queue drains; returns the final virtual time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_run += 1;
+            (ev.action)(self, world);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulator::<Vec<u32>>::new();
+        let mut world = Vec::new();
+        sim.schedule(3.0, |_, w| w.push(3));
+        sim.schedule(1.0, |_, w| w.push(1));
+        sim.schedule(2.0, |_, w| w.push(2));
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(end, 3.0);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut sim = Simulator::<Vec<u32>>::new();
+        let mut world = Vec::new();
+        for i in 0..5 {
+            sim.schedule(1.0, move |_, w| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut sim = Simulator::<Vec<f64>>::new();
+        let mut world = Vec::new();
+        fn tick(sim: &mut Simulator<Vec<f64>>, w: &mut Vec<f64>) {
+            w.push(sim.now());
+            if w.len() < 4 {
+                sim.schedule(0.5, tick);
+            }
+        }
+        sim.schedule(0.0, tick);
+        let end = sim.run(&mut world);
+        assert_eq!(world, vec![0.0, 0.5, 1.0, 1.5]);
+        assert_eq!(end, 1.5);
+        assert_eq!(sim.events_run(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event delay")]
+    fn negative_delay_rejected() {
+        let mut sim = Simulator::<()>::new();
+        sim.schedule(-1.0, |_, _| {});
+    }
+}

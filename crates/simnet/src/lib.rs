@@ -1,0 +1,37 @@
+//! Discrete-event cluster simulation and calibrated cost models.
+//!
+//! The paper evaluates recovery costs on Summit at 12–192 GPUs — scales and
+//! absolute timings (seconds) that an in-process threaded runtime cannot
+//! reproduce on one machine. This crate runs the *same protocol state
+//! machines* (ring allreduce, KV rendezvous, full-mesh context setup,
+//! revoke/agree/shrink, checkpoint rollback) over **virtual time** with
+//! Summit-calibrated constants, producing the paper's figures:
+//!
+//! * [`recovery`] — per-phase breakdowns of one recovery/reconfiguration
+//!   episode for both engines (Fig. 4);
+//! * [`sweep`] — the scenario × level × scale sweeps behind Figs. 5–7.
+//!
+//! Two layers keep each other honest: closed-form α–β cost formulas in
+//! [`network`], and a small discrete-event simulator ([`des`]) that
+//! executes the protocols event by event; unit tests assert that the DES
+//! reproduces the closed forms exactly in the homogeneous case and extends
+//! them under stragglers.
+//!
+//! All constants live in [`constants`], each with its provenance.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod breakdown;
+pub mod constants;
+pub mod des;
+pub mod network;
+pub mod recovery;
+pub mod rendezvous;
+pub mod sweep;
+
+pub use arrivals::{simulate_scenario3, Scenario3Outcome};
+pub use breakdown::Breakdown;
+pub use constants::ClusterModel;
+pub use recovery::{backward_breakdown, forward_breakdown, EpisodeConfig, Level, SimScenario};
+pub use sweep::{fig4_rows, figure_rows, FigureRow};

@@ -1,0 +1,214 @@
+//! α–β collective cost models, closed-form and discrete-event.
+//!
+//! Closed forms are the standard LogP-style expressions used to reason
+//! about collective algorithms; the DES variants execute the same protocol
+//! event by event and are cross-checked against the closed forms in tests
+//! (equal in the homogeneous case, and strictly more informative with
+//! per-rank start skews, e.g. stragglers re-entering after recovery).
+
+use crate::des::Simulator;
+
+/// Ring allreduce time: `2(w-1)·α + 2·((w-1)/w)·n·β` (reduce-scatter +
+/// allgather, bandwidth-optimal).
+pub fn ring_allreduce_time(n_bytes: f64, w: usize, alpha: f64, beta: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    let w_f = w as f64;
+    2.0 * (w_f - 1.0) * alpha + 2.0 * ((w_f - 1.0) / w_f) * n_bytes * beta
+}
+
+/// Recursive-doubling allreduce time: `⌈log₂ w⌉·(α + n·β)`.
+pub fn recursive_doubling_allreduce_time(n_bytes: f64, w: usize, alpha: f64, beta: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    let rounds = (w as f64).log2().ceil();
+    rounds * (alpha + n_bytes * beta)
+}
+
+/// Binomial broadcast time: `⌈log₂ w⌉·(α + n·β)`.
+pub fn bcast_time(n_bytes: f64, w: usize, alpha: f64, beta: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    (w as f64).log2().ceil() * (alpha + n_bytes * beta)
+}
+
+/// ERA-style agreement time: two sweeps of a binary tree, i.e.
+/// `2·⌈log₂ w⌉` rounds of `round_cost`.
+pub fn era_agree_time(w: usize, round_cost: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    2.0 * (w as f64).log2().ceil() * round_cost
+}
+
+#[derive(Clone)]
+struct RingWorld {
+    /// completion[r][s]: when rank r finished protocol step s.
+    completion: Vec<Vec<Option<f64>>>,
+    /// delivery[r][s]: when the step-s message from the left neighbour
+    /// arrived at rank r.
+    delivery: Vec<Vec<Option<f64>>>,
+    steps: usize,
+    msg_time: f64,
+    finish: f64,
+}
+
+/// Discrete-event simulation of a ring allreduce with per-rank start times
+/// (skews model stragglers — e.g. a rank that spent longer in recovery).
+/// Returns the time the *last* rank completes.
+pub fn simulate_ring_allreduce(
+    starts: &[f64],
+    n_bytes: f64,
+    alpha: f64,
+    beta: f64,
+) -> f64 {
+    let w = starts.len();
+    if w <= 1 {
+        return starts.first().copied().unwrap_or(0.0);
+    }
+    let steps = 2 * (w - 1);
+    let chunk = n_bytes / w as f64;
+    let msg_time = alpha + chunk * beta;
+
+    let mut world = RingWorld {
+        completion: vec![vec![None; steps + 1]; w],
+        delivery: vec![vec![None; steps + 1]; w],
+        steps,
+        msg_time,
+        finish: 0.0,
+    };
+    let mut sim = Simulator::<RingWorld>::new();
+
+    // "Step 0 completion" = the rank is ready to start (has its input).
+    for (r, &t) in starts.iter().enumerate() {
+        sim.schedule(t, move |sim, w| complete_step(sim, w, r, 0));
+    }
+    sim.run(&mut world);
+    world.finish
+}
+
+fn complete_step(sim: &mut Simulator<RingWorld>, world: &mut RingWorld, rank: usize, step: usize) {
+    let now = sim.now();
+    world.completion[rank][step] = Some(now);
+    if step == world.steps {
+        world.finish = world.finish.max(now);
+        return;
+    }
+    // Send this step's chunk to the right neighbour; it arrives msg_time
+    // later and enables the neighbour's step+1.
+    let w = world.completion.len();
+    let right = (rank + 1) % w;
+    let msg_time = world.msg_time;
+    sim.schedule(msg_time, move |sim, world| {
+        world.delivery[right][step + 1] = Some(sim.now());
+        try_advance(sim, world, right, step + 1);
+    });
+    // Also check whether our own next step is already enabled (the message
+    // from the left may have arrived while we were still busy).
+    try_advance(sim, world, rank, step + 1);
+}
+
+fn try_advance(sim: &mut Simulator<RingWorld>, world: &mut RingWorld, rank: usize, step: usize) {
+    if world.completion[rank][step].is_some() {
+        return;
+    }
+    let self_ready = world.completion[rank][step - 1];
+    let msg_ready = world.delivery[rank][step];
+    if let (Some(a), Some(b)) = (self_ready, msg_ready) {
+        let at = a.max(b);
+        let delay = at - sim.now();
+        sim.schedule(delay.max(0.0), move |sim, w| complete_step(sim, w, rank, step));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: f64 = 1.5e-6;
+    const B: f64 = 1.0 / 23.0e9;
+
+    #[test]
+    fn ring_closed_form_basics() {
+        assert_eq!(ring_allreduce_time(1e6, 1, A, B), 0.0);
+        let t4 = ring_allreduce_time(1e6, 4, A, B);
+        let t8 = ring_allreduce_time(1e6, 8, A, B);
+        // Bandwidth term saturates at 2nβ: t8 grows sublinearly vs t4.
+        assert!(t8 > t4);
+        assert!(t8 < t4 * 1.5);
+    }
+
+    #[test]
+    fn ring_bandwidth_term_dominates_large_messages() {
+        let n = 575e6; // VGG-16 gradients
+        let t = ring_allreduce_time(n, 24, A, B);
+        let pure_bw = 2.0 * n * B;
+        assert!(t > 0.9 * pure_bw && t < 1.2 * pure_bw, "t = {t}");
+    }
+
+    #[test]
+    fn recursive_doubling_beats_ring_for_tiny_messages() {
+        let n = 1024.0;
+        let w = 64;
+        assert!(
+            recursive_doubling_allreduce_time(n, w, A, B) < ring_allreduce_time(n, w, A, B)
+        );
+    }
+
+    #[test]
+    fn ring_beats_recursive_doubling_for_huge_messages() {
+        let n = 100e6;
+        let w = 64;
+        assert!(
+            ring_allreduce_time(n, w, A, B) < recursive_doubling_allreduce_time(n, w, A, B)
+        );
+    }
+
+    #[test]
+    fn des_matches_closed_form_homogeneous() {
+        for &w in &[2usize, 3, 4, 8, 13] {
+            let n = 4.0e6;
+            let des = simulate_ring_allreduce(&vec![0.0; w], n, A, B);
+            let formula = ring_allreduce_time(n, w, A, B);
+            assert!(
+                (des - formula).abs() < 1e-12 + formula * 1e-9,
+                "w={w}: des {des} vs formula {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn des_straggler_delays_completion() {
+        let n = 4.0e6;
+        let mut starts = vec![0.0; 8];
+        let base = simulate_ring_allreduce(&starts, n, A, B);
+        starts[3] = 0.5; // one rank enters half a second late
+        let delayed = simulate_ring_allreduce(&starts, n, A, B);
+        assert!(delayed >= 0.5 + base * 0.5, "straggler must gate the ring");
+        assert!(delayed <= 0.5 + base + 1e-9);
+    }
+
+    #[test]
+    fn des_single_rank_trivial() {
+        assert_eq!(simulate_ring_allreduce(&[7.0], 1e6, A, B), 7.0);
+    }
+
+    #[test]
+    fn era_time_is_logarithmic() {
+        let t24 = era_agree_time(24, 5e-4);
+        let t192 = era_agree_time(192, 5e-4);
+        assert!(t192 < t24 * 2.0, "agreement must scale logarithmically");
+        assert!(t192 > t24);
+    }
+
+    #[test]
+    fn bcast_time_scales_log() {
+        let n = 100e6;
+        let t12 = bcast_time(n, 12, A, B);
+        let t192 = bcast_time(n, 192, A, B);
+        assert!(t192 / t12 < 2.1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Discrete-event simulation of the KV-store rendezvous.
+//!
+//! Horovod's rendezvous server is a single HTTP endpoint: every `set`,
+//! `poll`, and `scan` from every worker serializes through it. That serial
+//! bottleneck is why the baseline's "resume rendezvous" phase grows
+//! *linearly* with worker count in the paper's figures, while ULFM's
+//! recovery (no rendezvous at all) does not.
+
+use crate::des::Simulator;
+
+/// Parameters of a simulated rendezvous round.
+#[derive(Clone, Copy, Debug)]
+pub struct RendezvousSim {
+    /// Number of workers arriving.
+    pub workers: usize,
+    /// Server service time per request (≈ one KV RTT).
+    pub service: f64,
+    /// Worker poll back-off between "are we all here?" checks.
+    pub poll_interval: f64,
+    /// Number of node-local rendezvous rounds piggy-backed after the
+    /// global one (1 in Horovod: local discovery).
+    pub local_rounds: usize,
+}
+
+struct World {
+    server_free_at: f64,
+    arrived: usize,
+    workers: usize,
+    finished: usize,
+    finish_time: f64,
+}
+
+/// Simulate one global + local rendezvous; returns the time the last
+/// worker finishes.
+pub fn simulate_rendezvous(cfg: &RendezvousSim) -> f64 {
+    let w = cfg.workers;
+    if w == 0 {
+        return 0.0;
+    }
+    let mut world = World {
+        server_free_at: 0.0,
+        arrived: 0,
+        workers: w,
+        finished: 0,
+        finish_time: 0.0,
+    };
+    let mut sim = Simulator::<World>::new();
+    let service = cfg.service;
+    let poll = cfg.poll_interval;
+    let local_reqs = cfg.local_rounds as f64 * 3.0; // set + poll + scan per round
+
+    // Each worker: publish (set), then poll until all arrived, then scan,
+    // then the local round(s). Worker arrival is staggered by a tiny skew
+    // so the event order is deterministic.
+    for i in 0..w {
+        let skew = i as f64 * 1e-6;
+        sim.schedule(skew, move |sim, world| {
+            // SET request through the serial server.
+            let t = request(sim.now(), world, service);
+            world.arrived += 1;
+            let delay = t - sim.now();
+            sim.schedule(delay, move |sim, world| poll_loop(sim, world, service, poll, local_reqs));
+        });
+    }
+    sim.run(&mut world);
+    world.finish_time
+}
+
+/// Serialize one request through the server; returns its completion time.
+fn request(now: f64, world: &mut World, service: f64) -> f64 {
+    let start = world.server_free_at.max(now);
+    world.server_free_at = start + service;
+    world.server_free_at
+}
+
+fn poll_loop(sim: &mut Simulator<World>, world: &mut World, service: f64, poll: f64, local: f64) {
+    // One poll request.
+    let t = request(sim.now(), world, service);
+    let all_here = world.arrived == world.workers;
+    let delay = t - sim.now();
+    if all_here {
+        // Scan + local round(s): (1 + local) further serialized requests.
+        sim.schedule(delay, move |sim, world| {
+            let mut done = sim.now();
+            for _ in 0..(1 + local as usize) {
+                done = request(done, world, service);
+            }
+            let d2 = done - sim.now();
+            sim.schedule(d2, |sim, world| {
+                world.finished += 1;
+                world.finish_time = world.finish_time.max(sim.now());
+            });
+        });
+    } else {
+        sim.schedule(delay + poll, move |sim, world| {
+            poll_loop(sim, world, service, poll, local)
+        });
+    }
+}
+
+/// Closed-form lower bound: every worker issues at least `5 + 3·local`
+/// requests through a serial server.
+pub fn rendezvous_lower_bound(cfg: &RendezvousSim) -> f64 {
+    (cfg.workers as f64) * cfg.service * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize) -> RendezvousSim {
+        RendezvousSim {
+            workers,
+            service: 1e-3,
+            poll_interval: 10e-3,
+            local_rounds: 1,
+        }
+    }
+
+    #[test]
+    fn empty_rendezvous_is_free() {
+        assert_eq!(simulate_rendezvous(&cfg(0)), 0.0);
+    }
+
+    #[test]
+    fn single_worker_is_fast() {
+        let t = simulate_rendezvous(&cfg(1));
+        // set + poll + scan + local(3) = 6 requests.
+        assert!(t >= 6.0e-3 - 1e-9, "t = {t}");
+        assert!(t < 20e-3);
+    }
+
+    #[test]
+    fn cost_grows_superlinearly_with_workers() {
+        let t12 = simulate_rendezvous(&cfg(12));
+        let t96 = simulate_rendezvous(&cfg(96));
+        assert!(t96 > t12 * 4.0, "t12={t12}, t96={t96}");
+        assert!(t96 >= rendezvous_lower_bound(&cfg(96)));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(simulate_rendezvous(&cfg(24)), simulate_rendezvous(&cfg(24)));
+    }
+
+    #[test]
+    fn faster_server_means_faster_rendezvous() {
+        let slow = simulate_rendezvous(&cfg(24));
+        let fast = simulate_rendezvous(&RendezvousSim {
+            service: 1e-4,
+            ..cfg(24)
+        });
+        assert!(fast < slow);
+    }
+}

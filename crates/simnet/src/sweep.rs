@@ -1,0 +1,212 @@
+//! Scale sweeps: the data series behind the paper's Figures 4–7.
+
+use crate::breakdown::Breakdown;
+use crate::constants::ClusterModel;
+use crate::recovery::{
+    backward_breakdown, forward_breakdown, EpisodeConfig, Level, SimScenario, COMM_SEGMENTS,
+    STATE_SEGMENTS,
+};
+use dnn::ModelProfile;
+
+/// One data point of Figs. 5–7: cost of a recovery/reconfiguration episode
+/// split into the paper's three aggregate segments.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Model name.
+    pub model: &'static str,
+    /// Scenario label as in the paper ("Down"/"Same"/"Up").
+    pub scenario: SimScenario,
+    /// Process- or node-level event.
+    pub level: Level,
+    /// Engine: `true` = ULFM forward recovery, `false` = Elastic Horovod.
+    pub ulfm: bool,
+    /// Worker (GPU) count before the event.
+    pub gpus: usize,
+    /// "Reconstructing the communicator and resuming rendezvous" (s).
+    pub comm_reconstruction: f64,
+    /// "Reinitializing the training state for the new workers" (s).
+    pub state_reinit: f64,
+    /// "Re-computation" (s).
+    pub recompute: f64,
+}
+
+impl FigureRow {
+    /// Total episode cost.
+    pub fn total(&self) -> f64 {
+        self.comm_reconstruction + self.state_reinit + self.recompute
+    }
+}
+
+/// The paper's GPU-count sweep: 12 up to 192 GPUs (§4, Figs. 5–7).
+pub const GPU_SWEEP: &[usize] = &[12, 24, 48, 96, 192];
+
+/// Generate every row of one figure (one model, all scenarios × levels ×
+/// engines × scales). `fig5 = VGG-16`, `fig6 = ResNet50V2`,
+/// `fig7 = NasNetMobile`.
+pub fn figure_rows(model: &ModelProfile, cluster: &ClusterModel) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for &gpus in GPU_SWEEP {
+        for scenario in [SimScenario::Down, SimScenario::Same, SimScenario::Up] {
+            for level in [Level::Process, Level::Node] {
+                for ulfm in [true, false] {
+                    // Table 2: Elastic Horovod only supports node-level
+                    // recovery/autoscaling; process-level rows exist only
+                    // for ULFM.
+                    if !ulfm && level == Level::Process {
+                        continue;
+                    }
+                    let cfg = EpisodeConfig {
+                        cluster: *cluster,
+                        model: model.clone(),
+                        workers_before: gpus,
+                        scenario,
+                        level,
+                    };
+                    let b = if ulfm {
+                        forward_breakdown(&cfg)
+                    } else {
+                        backward_breakdown(&cfg)
+                    };
+                    let (comm, state, rest) = b.aggregate(COMM_SEGMENTS, STATE_SEGMENTS);
+                    rows.push(FigureRow {
+                        model: model.name,
+                        scenario,
+                        level,
+                        ulfm,
+                        gpus,
+                        comm_reconstruction: comm,
+                        state_reinit: state,
+                        recompute: rest,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 4: detailed phase breakdowns for Scenario I, ResNet-50 on 24 GPUs
+/// (24 → 18 after a node drop / 24 → 23 after a process drop), for both
+/// engines and both levels. Returns `(label, breakdown)` pairs.
+pub fn fig4_rows(cluster: &ClusterModel) -> Vec<(String, Breakdown)> {
+    let model = ModelProfile::resnet50v2();
+    let mut out = Vec::new();
+    for level in [Level::Process, Level::Node] {
+        for ulfm in [true, false] {
+            if !ulfm && level == Level::Process {
+                continue; // Elastic Horovod cannot drop a single process
+            }
+            let cfg = EpisodeConfig {
+                cluster: *cluster,
+                model: model.clone(),
+                workers_before: 24,
+                scenario: SimScenario::Down,
+                level,
+            };
+            let b = if ulfm {
+                forward_breakdown(&cfg)
+            } else {
+                backward_breakdown(&cfg)
+            };
+            let engine = if ulfm { "ULFM MPI" } else { "Elastic Horovod" };
+            out.push((format!("{engine}, drop {level:?}"), b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_match_capability_matrix() {
+        let rows = figure_rows(&ModelProfile::vgg16(), &ClusterModel::summit());
+        // 5 scales × 3 scenarios × (ULFM: 2 levels + EH: 1 level) = 45.
+        assert_eq!(rows.len(), 5 * 3 * 3);
+        // No Elastic-Horovod process-level rows (Table 2).
+        assert!(rows.iter().all(|r| r.ulfm || r.level == Level::Node));
+    }
+
+    #[test]
+    fn ulfm_wins_every_comparable_row() {
+        for model in dnn::paper_models() {
+            let rows = figure_rows(&model, &ClusterModel::summit());
+            for r in rows.iter().filter(|r| !r.ulfm) {
+                let twin = rows
+                    .iter()
+                    .find(|x| {
+                        x.ulfm
+                            && x.gpus == r.gpus
+                            && x.scenario == r.scenario
+                            && x.level == r.level
+                    })
+                    .expect("matching ULFM row");
+                // Communication-context reconstruction: the paper's claim.
+                assert!(
+                    twin.comm_reconstruction < r.comm_reconstruction,
+                    "{} {:?} {:?} @{}: ULFM comm {:.3}s vs EH {:.3}s",
+                    model.name,
+                    r.scenario,
+                    r.level,
+                    r.gpus,
+                    twin.comm_reconstruction,
+                    r.comm_reconstruction
+                );
+                // Failure scenarios: the total wins too (Up totals are
+                // dominated by the shared worker-init cost on both sides).
+                if r.scenario != SimScenario::Up {
+                    assert!(
+                        twin.total() < r.total(),
+                        "{} {:?} {:?} @{}: ULFM {:.3}s vs EH {:.3}s",
+                        model.name,
+                        r.scenario,
+                        r.level,
+                        r.gpus,
+                        twin.total(),
+                        r.total()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downscale_has_no_state_reinit() {
+        let rows = figure_rows(&ModelProfile::resnet50v2(), &ClusterModel::summit());
+        for r in rows.iter().filter(|r| r.scenario == SimScenario::Down) {
+            assert_eq!(r.state_reinit, 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn fig4_has_three_bars() {
+        let rows = fig4_rows(&ClusterModel::summit());
+        assert_eq!(rows.len(), 3); // ULFM×{proc,node} + EH×node
+        for (label, b) in &rows {
+            assert!(b.total() > 0.0, "{label}: empty breakdown");
+        }
+        // EH's bar dwarfs ULFM's.
+        let eh = rows.iter().find(|(l, _)| l.contains("Horovod")).unwrap();
+        let ulfm_node = rows
+            .iter()
+            .find(|(l, _)| l.contains("ULFM") && l.contains("Node"))
+            .unwrap();
+        assert!(eh.1.total() > 5.0 * ulfm_node.1.total());
+    }
+
+    #[test]
+    fn baseline_rendezvous_grows_with_gpus() {
+        let rows = figure_rows(&ModelProfile::nasnet_mobile(), &ClusterModel::summit());
+        let eh_down: Vec<&FigureRow> = rows
+            .iter()
+            .filter(|r| !r.ulfm && r.scenario == SimScenario::Down)
+            .collect();
+        for w in eh_down.windows(2) {
+            assert!(
+                w[1].comm_reconstruction > w[0].comm_reconstruction,
+                "EH comm reconstruction must grow with scale"
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the simulator: DES vs closed form, monotonicity of
+//! the cost models, and straggler bounds.
+
+use proptest::prelude::*;
+use simnet::network::{ring_allreduce_time, simulate_ring_allreduce};
+use simnet::{
+    backward_breakdown, forward_breakdown, ClusterModel, EpisodeConfig, Level, SimScenario,
+};
+
+const A: f64 = 1.5e-6;
+const B: f64 = 1.0 / 23.0e9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The discrete-event ring equals the closed form for homogeneous
+    /// starts, for any group size and message size.
+    #[test]
+    fn des_equals_closed_form(w in 1usize..24, kb in 1u32..4096) {
+        let n = kb as f64 * 1024.0;
+        let des = simulate_ring_allreduce(&vec![0.0; w], n, A, B);
+        let formula = ring_allreduce_time(n, w, A, B);
+        prop_assert!((des - formula).abs() <= formula * 1e-9 + 1e-12,
+            "w={}, n={}: {} vs {}", w, n, des, formula);
+    }
+
+    /// With arbitrary non-negative start skews, completion is bounded below
+    /// by (max skew) and above by (max skew + closed form): the ring can
+    /// hide some skew in the pipeline but never beats the slowest entrant.
+    #[test]
+    fn straggler_bounds(
+        skews in proptest::collection::vec(0.0f64..0.5, 2..16),
+        kb in 1u32..512,
+    ) {
+        let n = kb as f64 * 1024.0;
+        let w = skews.len();
+        let t = simulate_ring_allreduce(&skews, n, A, B);
+        let max_skew = skews.iter().cloned().fold(0.0, f64::max);
+        let formula = ring_allreduce_time(n, w, A, B);
+        prop_assert!(t >= max_skew - 1e-12);
+        prop_assert!(t <= max_skew + formula + 1e-9,
+            "t={} exceeds max_skew {} + formula {}", t, max_skew, formula);
+    }
+
+    /// Cost-model monotonicity: more workers never make the baseline's
+    /// communication reconstruction cheaper, for any model and scenario.
+    #[test]
+    fn baseline_comm_cost_monotone_in_workers(
+        model_idx in 0usize..3,
+        scenario_idx in 0usize..3,
+        w1 in 2usize..64,
+        extra in 1usize..64,
+    ) {
+        let model = dnn::paper_models()[model_idx].clone();
+        let scenario = [SimScenario::Down, SimScenario::Same, SimScenario::Up][scenario_idx];
+        let mk = |w: usize| EpisodeConfig {
+            cluster: ClusterModel::summit(),
+            model: model.clone(),
+            workers_before: w.max(7), // keep node-drop feasible
+            scenario,
+            level: Level::Node,
+        };
+        let small = backward_breakdown(&mk(w1)).get("rendezvous")
+            + backward_breakdown(&mk(w1)).get("reinit_gloo");
+        let big_w = w1 + extra;
+        let big = backward_breakdown(&mk(big_w)).get("rendezvous")
+            + backward_breakdown(&mk(big_w)).get("reinit_gloo");
+        prop_assert!(big >= small - 1e-9, "w {} -> {}: {} -> {}", w1, big_w, small, big);
+    }
+
+    /// Forward recovery's failure-path cost never exceeds a second, at any
+    /// scale up to 1024 workers, for any model.
+    #[test]
+    fn forward_failure_path_bounded(model_idx in 0usize..3, w in 7usize..1024) {
+        let cfg = EpisodeConfig {
+            cluster: ClusterModel::summit(),
+            model: dnn::paper_models()[model_idx].clone(),
+            workers_before: w,
+            scenario: SimScenario::Down,
+            level: Level::Node,
+        };
+        let total = forward_breakdown(&cfg).total();
+        prop_assert!(total < 1.0, "w={}: {}", w, total);
+    }
+
+    /// Breakdowns are internally consistent: the three-way aggregation
+    /// always partitions the total exactly.
+    #[test]
+    fn aggregation_partitions_total(
+        model_idx in 0usize..3,
+        scenario_idx in 0usize..3,
+        level_node in any::<bool>(),
+        w in 7usize..256,
+    ) {
+        use simnet::recovery::{COMM_SEGMENTS, STATE_SEGMENTS};
+        let cfg = EpisodeConfig {
+            cluster: ClusterModel::summit(),
+            model: dnn::paper_models()[model_idx].clone(),
+            workers_before: w,
+            scenario: [SimScenario::Down, SimScenario::Same, SimScenario::Up][scenario_idx],
+            level: if level_node { Level::Node } else { Level::Process },
+        };
+        for b in [forward_breakdown(&cfg), backward_breakdown(&cfg)] {
+            let (c, s, r) = b.aggregate(COMM_SEGMENTS, STATE_SEGMENTS);
+            prop_assert!((c + s + r - b.total()).abs() < 1e-9);
+        }
+    }
+}

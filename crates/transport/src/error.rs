@@ -1,0 +1,54 @@
+//! Transport-level errors, mirroring the error classes ULFM reports
+//! per-operation.
+
+use crate::ids::RankId;
+use std::fmt;
+
+/// Errors returned by point-to-point operations on the [`crate::Fabric`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer the operation needed is dead (ULFM's `MPI_ERR_PROC_FAILED`).
+    PeerDead(RankId),
+    /// The calling rank itself has been scripted to die at this fault point.
+    /// Callers must unwind promptly; the rank is already marked dead in the
+    /// alive table.
+    SelfDied,
+    /// The addressed rank id was never registered with the fabric.
+    UnknownRank(RankId),
+    /// A blocking receive exceeded its deadline. Only produced when a
+    /// deadline was explicitly requested; the default receive blocks
+    /// until a message arrives or the peer dies.
+    Timeout,
+    /// A blocking receive was interrupted by an external stop condition
+    /// (the ULFM layer uses this to surface communicator revocation).
+    Stopped,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::PeerDead(r) => write!(f, "peer {r} has failed"),
+            TransportError::SelfDied => write!(f, "this rank was killed by the fault plan"),
+            TransportError::UnknownRank(r) => write!(f, "rank {r} is not registered"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Stopped => write!(f, "receive interrupted by stop condition"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            TransportError::PeerDead(RankId(3)).to_string(),
+            "peer r3 has failed"
+        );
+        assert!(TransportError::SelfDied.to_string().contains("killed"));
+        assert!(TransportError::Timeout.to_string().contains("timed out"));
+    }
+}

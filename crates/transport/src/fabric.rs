@@ -1,0 +1,510 @@
+//! The shared fabric: rank registry, alive table, message routing, and the
+//! failure-injection hooks.
+
+use crate::error::TransportError;
+use crate::fault::FaultInjector;
+use crate::ids::{NodeId, RankId, Topology};
+use crate::mailbox::{Envelope, Mailbox};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct RankSlot {
+    mailbox: Arc<Mailbox>,
+    alive: Arc<AtomicBool>,
+}
+
+/// Aggregate traffic counters (diagnostics and cost calibration).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages successfully delivered.
+    pub messages: u64,
+    /// Payload bytes successfully delivered.
+    pub bytes: u64,
+    /// Ranks killed so far (externally or by the fault plan).
+    pub deaths: u64,
+}
+
+/// The shared interconnect + runtime failure detector.
+///
+/// One `Fabric` models one job allocation. Ranks are registered dynamically
+/// (elastic upscaling spawns new ranks into a running fabric) and are never
+/// unregistered — death is a permanent state, as in ULFM.
+pub struct Fabric {
+    topology: Topology,
+    slots: RwLock<Vec<RankSlot>>,
+    injector: FaultInjector,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    deaths: AtomicU64,
+}
+
+impl Fabric {
+    /// A fabric with the given node topology and fault schedule.
+    pub fn new(topology: Topology, injector: FaultInjector) -> Arc<Self> {
+        Arc::new(Self {
+            topology,
+            slots: RwLock::new(Vec::new()),
+            injector,
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+        })
+    }
+
+    /// A fault-free fabric (convenience for tests).
+    pub fn without_faults(topology: Topology) -> Arc<Self> {
+        Self::new(topology, FaultInjector::inert())
+    }
+
+    /// The node topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// The fault injector driving scripted failures.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Register one new rank and return its id. Ids are dense and permanent.
+    pub fn register_rank(self: &Arc<Self>) -> RankId {
+        let mut slots = self.slots.write();
+        let id = RankId(slots.len());
+        slots.push(RankSlot {
+            mailbox: Arc::new(Mailbox::new()),
+            alive: Arc::new(AtomicBool::new(true)),
+        });
+        id
+    }
+
+    /// Register `n` ranks at once.
+    pub fn register_ranks(self: &Arc<Self>, n: usize) -> Vec<RankId> {
+        (0..n).map(|_| self.register_rank()).collect()
+    }
+
+    /// Total ranks ever registered (alive or dead).
+    pub fn total_ranks(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Is `rank` registered and alive?
+    pub fn is_alive(&self, rank: RankId) -> bool {
+        self.slots
+            .read()
+            .get(rank.0)
+            .is_some_and(|s| s.alive.load(Ordering::SeqCst))
+    }
+
+    /// Snapshot of all currently-alive ranks, in id order.
+    pub fn alive_ranks(&self) -> Vec<RankId> {
+        self.slots
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive.load(Ordering::SeqCst))
+            .map(|(i, _)| RankId(i))
+            .collect()
+    }
+
+    /// Snapshot of all dead ranks, in id order.
+    pub fn dead_ranks(&self) -> Vec<RankId> {
+        self.slots
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.alive.load(Ordering::SeqCst))
+            .map(|(i, _)| RankId(i))
+            .collect()
+    }
+
+    /// Kill a single rank. Idempotent. Wakes every blocked receiver so the
+    /// failure is observed promptly (this is the runtime failure detector).
+    pub fn kill_rank(&self, rank: RankId) {
+        let slots = self.slots.read();
+        let Some(slot) = slots.get(rank.0) else {
+            return;
+        };
+        if slot.alive.swap(false, Ordering::SeqCst) {
+            self.deaths.fetch_add(1, Ordering::Relaxed);
+            for s in slots.iter() {
+                s.mailbox.wake_waiters();
+            }
+        }
+    }
+
+    /// Wake every blocked receiver so it re-checks its stop conditions.
+    /// Called by the ULFM layer when a communicator is revoked.
+    pub fn wake_all(&self) {
+        for s in self.slots.read().iter() {
+            s.mailbox.wake_waiters();
+        }
+    }
+
+    /// Kill every rank on `node` (the paper's node-level failure).
+    pub fn kill_node(&self, node: NodeId) {
+        let total = self.total_ranks();
+        for rank in self.topology.ranks_on_node(node, total) {
+            self.kill_rank(rank);
+        }
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: RankId) -> NodeId {
+        self.topology.node_of(rank)
+    }
+
+    /// Aggregate traffic counters.
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            deaths: self.deaths.load(Ordering::Relaxed),
+        }
+    }
+
+    fn mailbox_of(&self, rank: RankId) -> Option<Arc<Mailbox>> {
+        self.slots.read().get(rank.0).map(|s| Arc::clone(&s.mailbox))
+    }
+
+    fn alive_flag_of(&self, rank: RankId) -> Option<Arc<AtomicBool>> {
+        self.slots.read().get(rank.0).map(|s| Arc::clone(&s.alive))
+    }
+}
+
+/// A rank's handle onto the fabric. Cheap to clone; all operations perform
+/// the fault-plan checks and the liveness checks that give the transport its
+/// ULFM-style per-operation error semantics.
+#[derive(Clone)]
+pub struct Endpoint {
+    fabric: Arc<Fabric>,
+    rank: RankId,
+}
+
+impl Endpoint {
+    /// Create the endpoint for `rank` (which must be registered).
+    pub fn new(fabric: Arc<Fabric>, rank: RankId) -> Self {
+        assert!(
+            rank.0 < fabric.total_ranks(),
+            "rank {rank} not registered with the fabric"
+        );
+        Self { fabric, rank }
+    }
+
+    /// This endpoint's rank id.
+    pub fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    /// The shared fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Check scripted death at a transport operation. On death, marks this
+    /// rank dead and returns `Err(SelfDied)`.
+    fn check_op_fault(&self) -> Result<(), TransportError> {
+        if !self.fabric.is_alive(self.rank) {
+            return Err(TransportError::SelfDied);
+        }
+        if self.fabric.injector.hit_op(self.rank) {
+            self.fabric.kill_rank(self.rank);
+            return Err(TransportError::SelfDied);
+        }
+        Ok(())
+    }
+
+    /// Protocol-level fault point (e.g. `"allreduce.step"`). Returns
+    /// `Err(SelfDied)` if the fault plan kills this rank here.
+    pub fn fault_point(&self, name: &str) -> Result<(), TransportError> {
+        if !self.fabric.is_alive(self.rank) {
+            return Err(TransportError::SelfDied);
+        }
+        if self.fabric.injector.hit_point(self.rank, name) {
+            self.fabric.kill_rank(self.rank);
+            return Err(TransportError::SelfDied);
+        }
+        Ok(())
+    }
+
+    /// Send `data` to `to` under `tag`.
+    ///
+    /// Fails with [`TransportError::PeerDead`] if the destination has
+    /// failed — modelling ULFM's local error report on communication with a
+    /// failed process — and with [`TransportError::SelfDied`] if the fault
+    /// plan kills the caller at this operation.
+    pub fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
+        self.check_op_fault()?;
+        let Some(mb) = self.fabric.mailbox_of(to) else {
+            return Err(TransportError::UnknownRank(to));
+        };
+        if !self.fabric.is_alive(to) {
+            return Err(TransportError::PeerDead(to));
+        }
+        mb.push(Envelope {
+            src: self.rank,
+            tag,
+            data: data.to_vec(),
+        });
+        self.fabric.messages.fetch_add(1, Ordering::Relaxed);
+        self.fabric.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Blocking receive of a message from `from` under `tag`.
+    ///
+    /// Messages the peer sent before dying are still delivered; once the
+    /// buffer is drained and the peer is dead, returns
+    /// [`TransportError::PeerDead`].
+    pub fn recv(&self, from: RankId, tag: u64) -> Result<Vec<u8>, TransportError> {
+        self.recv_inner(from, tag, &|| false, None)
+    }
+
+    /// Blocking receive with a deadline (used by rendezvous protocols that
+    /// poll an external condition).
+    pub fn recv_timeout(
+        &self,
+        from: RankId,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.recv_inner(from, tag, &|| false, Some(Instant::now() + timeout))
+    }
+
+    /// Blocking receive that can additionally be interrupted by an external
+    /// stop condition (e.g. "this communicator was revoked"). Returns
+    /// [`TransportError::Stopped`] when `should_stop` fires. Combine with
+    /// [`Fabric::wake_all`] to make the interruption prompt.
+    pub fn recv_stoppable(
+        &self,
+        from: RankId,
+        tag: u64,
+        should_stop: &dyn Fn() -> bool,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.recv_inner(from, tag, should_stop, None)
+    }
+
+    fn recv_inner(
+        &self,
+        from: RankId,
+        tag: u64,
+        should_stop: &dyn Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.check_op_fault()?;
+        let my_mb = self
+            .fabric
+            .mailbox_of(self.rank)
+            .expect("own mailbox must exist");
+        let Some(src_alive) = self.fabric.alive_flag_of(from) else {
+            return Err(TransportError::UnknownRank(from));
+        };
+        use crate::mailbox::RecvOutcome;
+        match my_mb.pop_matching(
+            from,
+            tag,
+            || src_alive.load(Ordering::SeqCst),
+            should_stop,
+            deadline,
+        ) {
+            RecvOutcome::Message(data) => Ok(data),
+            RecvOutcome::SrcDead => Err(TransportError::PeerDead(from)),
+            RecvOutcome::Stopped => Err(TransportError::Stopped),
+            RecvOutcome::TimedOut => Err(TransportError::Timeout),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, from: RankId, tag: u64) -> Option<Vec<u8>> {
+        self.fabric
+            .mailbox_of(self.rank)
+            .and_then(|mb| mb.try_pop(from, tag))
+    }
+
+    /// Is a message from `(from, tag)` buffered?
+    pub fn probe(&self, from: RankId, tag: u64) -> bool {
+        self.fabric
+            .mailbox_of(self.rank)
+            .is_some_and(|mb| mb.probe(from, tag))
+    }
+
+    /// Drop buffered messages whose tag matches `pred` (used on revoke).
+    pub fn purge_tags(&self, pred: impl Fn(u64) -> bool) -> usize {
+        self.fabric
+            .mailbox_of(self.rank)
+            .map(|mb| mb.purge_where(pred))
+            .unwrap_or(0)
+    }
+
+    /// Is this rank still alive?
+    pub fn is_self_alive(&self) -> bool {
+        self.fabric.is_alive(self.rank)
+    }
+
+    /// Is `peer` alive according to the failure detector?
+    pub fn is_peer_alive(&self, peer: RankId) -> bool {
+        self.fabric.is_alive(peer)
+    }
+
+    /// Voluntarily leave the computation (used when the drop-node policy
+    /// retires healthy ranks that share a node with a failed one).
+    pub fn retire(&self) {
+        self.fabric.kill_rank(self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    fn fabric_with(n: usize) -> (Arc<Fabric>, Vec<Endpoint>) {
+        let f = Fabric::without_faults(Topology::flat());
+        let ranks = f.register_ranks(n);
+        let eps = ranks
+            .into_iter()
+            .map(|r| Endpoint::new(Arc::clone(&f), r))
+            .collect();
+        (f, eps)
+    }
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (_f, eps) = fabric_with(2);
+        eps[0].send(RankId(1), 9, b"hello").unwrap();
+        assert_eq!(eps[1].recv(RankId(0), 9).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn send_to_dead_peer_reports_proc_failed() {
+        let (f, eps) = fabric_with(2);
+        f.kill_rank(RankId(1));
+        assert_eq!(
+            eps[0].send(RankId(1), 0, b"x"),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+    }
+
+    #[test]
+    fn recv_from_dead_peer_after_drain() {
+        let (f, eps) = fabric_with(2);
+        eps[1].send(RankId(0), 3, b"last words").unwrap();
+        f.kill_rank(RankId(1));
+        // Buffered message first ...
+        assert_eq!(eps[0].recv(RankId(1), 3).unwrap(), b"last words");
+        // ... then the failure is reported.
+        assert_eq!(
+            eps[0].recv(RankId(1), 3),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+    }
+
+    #[test]
+    fn blocked_recv_is_woken_by_death() {
+        let (f, eps) = fabric_with(2);
+        let e0 = eps[0].clone();
+        let t = std::thread::spawn(move || e0.recv(RankId(1), 1));
+        std::thread::sleep(Duration::from_millis(30));
+        f.kill_rank(RankId(1));
+        assert_eq!(t.join().unwrap(), Err(TransportError::PeerDead(RankId(1))));
+    }
+
+    #[test]
+    fn scripted_death_at_op_count() {
+        let plan = FaultPlan::none().kill_at_op(RankId(0), 2);
+        let f = Fabric::new(Topology::flat(), FaultInjector::new(plan));
+        let ranks = f.register_ranks(2);
+        let e0 = Endpoint::new(Arc::clone(&f), ranks[0]);
+        assert!(e0.send(RankId(1), 0, b"a").is_ok());
+        assert_eq!(e0.send(RankId(1), 0, b"b"), Err(TransportError::SelfDied));
+        assert!(!f.is_alive(RankId(0)));
+    }
+
+    #[test]
+    fn scripted_death_at_fault_point() {
+        let plan = FaultPlan::none().kill_at_point(RankId(0), "allreduce.step", 1);
+        let f = Fabric::new(Topology::flat(), FaultInjector::new(plan));
+        let r = f.register_rank();
+        let e = Endpoint::new(Arc::clone(&f), r);
+        assert_eq!(e.fault_point("other"), Ok(()));
+        assert_eq!(e.fault_point("allreduce.step"), Err(TransportError::SelfDied));
+        assert!(!e.is_self_alive());
+    }
+
+    #[test]
+    fn dead_rank_cannot_operate() {
+        let (f, eps) = fabric_with(2);
+        f.kill_rank(RankId(0));
+        assert_eq!(eps[0].send(RankId(1), 0, b"x"), Err(TransportError::SelfDied));
+        assert_eq!(eps[0].recv(RankId(1), 0), Err(TransportError::SelfDied));
+    }
+
+    #[test]
+    fn kill_node_kills_colocated_ranks_only() {
+        let f = Fabric::without_faults(Topology::new(3));
+        f.register_ranks(6);
+        f.kill_node(NodeId(0));
+        assert_eq!(f.alive_ranks(), vec![RankId(3), RankId(4), RankId(5)]);
+        assert_eq!(f.dead_ranks(), vec![RankId(0), RankId(1), RankId(2)]);
+        assert_eq!(f.stats().deaths, 3);
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let (f, _) = fabric_with(2);
+        f.kill_rank(RankId(1));
+        f.kill_rank(RankId(1));
+        assert_eq!(f.stats().deaths, 1);
+    }
+
+    #[test]
+    fn unknown_rank_errors() {
+        let (_f, eps) = fabric_with(1);
+        assert_eq!(
+            eps[0].send(RankId(42), 0, b"x"),
+            Err(TransportError::UnknownRank(RankId(42)))
+        );
+        assert_eq!(
+            eps[0].recv(RankId(42), 0),
+            Err(TransportError::UnknownRank(RankId(42)))
+        );
+    }
+
+    #[test]
+    fn dynamic_registration_grows_fabric() {
+        let (f, eps) = fabric_with(2);
+        let newcomer = f.register_rank();
+        assert_eq!(newcomer, RankId(2));
+        let e2 = Endpoint::new(Arc::clone(&f), newcomer);
+        e2.send(RankId(0), 5, b"joined").unwrap();
+        assert_eq!(eps[0].recv(newcomer, 5).unwrap(), b"joined");
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (f, eps) = fabric_with(2);
+        eps[0].send(RankId(1), 0, &[0u8; 10]).unwrap();
+        eps[0].send(RankId(1), 0, &[0u8; 32]).unwrap();
+        let s = f.stats();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 42);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_f, eps) = fabric_with(2);
+        assert_eq!(
+            eps[0].recv_timeout(RankId(1), 0, Duration::from_millis(15)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn retire_marks_self_dead() {
+        let (f, eps) = fabric_with(2);
+        eps[1].retire();
+        assert!(!f.is_alive(RankId(1)));
+        assert!(f.is_alive(RankId(0)));
+    }
+}

@@ -1,0 +1,217 @@
+//! Scripted fault injection.
+//!
+//! Experiments in the paper kill a worker (or a whole node) at a chosen
+//! moment — for example in the middle of the gradient allreduce of some
+//! mini-batch. [`FaultPlan`] expresses such schedules deterministically:
+//! a rank dies when its *operation counter* reaches a value, or at the
+//! n-th occurrence of a *named fault point* (e.g. `"allreduce.step"`).
+//! Deterministic schedules make every failure test reproducible.
+
+use crate::ids::RankId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One scripted failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Kill `rank` when its transport-operation counter (sends + receives)
+    /// reaches `count` (1-based: `count == 1` dies on the first operation).
+    AtOpCount {
+        /// Victim rank.
+        rank: RankId,
+        /// Operation index at which the rank dies.
+        count: u64,
+    },
+    /// Kill `rank` at the `occurrence`-th (1-based) hit of the named fault
+    /// point. Upper layers place fault points at semantically meaningful
+    /// spots (collective entry, per-step boundaries, ...).
+    AtPoint {
+        /// Victim rank.
+        rank: RankId,
+        /// Fault-point name, e.g. `"allreduce.step"`.
+        point: String,
+        /// Which occurrence of the point triggers death (1-based).
+        occurrence: u64,
+    },
+}
+
+/// A deterministic failure schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    triggers: Vec<FaultTrigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nobody dies.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a kill-at-op-count trigger.
+    pub fn kill_at_op(mut self, rank: RankId, count: u64) -> Self {
+        self.triggers.push(FaultTrigger::AtOpCount { rank, count });
+        self
+    }
+
+    /// Add a kill-at-named-point trigger.
+    pub fn kill_at_point(mut self, rank: RankId, point: impl Into<String>, occurrence: u64) -> Self {
+        self.triggers.push(FaultTrigger::AtPoint {
+            rank,
+            point: point.into(),
+            occurrence,
+        });
+        self
+    }
+
+    /// All triggers in the plan.
+    pub fn triggers(&self) -> &[FaultTrigger] {
+        &self.triggers
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    ops: HashMap<RankId, u64>,
+    points: HashMap<(RankId, String), u64>,
+    fired: Vec<FaultTrigger>,
+}
+
+/// Shared runtime state evaluating a [`FaultPlan`].
+///
+/// The fabric consults the injector on every send/receive; higher layers
+/// additionally call [`FaultInjector::hit_point`] at protocol-level fault
+/// points. A `true` return means "this rank dies *now*": the caller must
+/// mark the rank dead and unwind.
+pub struct FaultInjector {
+    state: Mutex<(FaultPlan, Counters)>,
+}
+
+impl FaultInjector {
+    /// Build an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            state: Mutex::new((plan, Counters::default())),
+        }
+    }
+
+    /// An injector that never fires.
+    pub fn inert() -> Self {
+        Self::new(FaultPlan::none())
+    }
+
+    /// Add more triggers while the system is running (used by elastic
+    /// drivers that script multiple failures over a training run).
+    pub fn arm(&self, trigger: FaultTrigger) {
+        self.state.lock().0.triggers.push(trigger);
+    }
+
+    /// Record one transport operation by `rank`; returns `true` if the rank
+    /// must die at this operation.
+    pub fn hit_op(&self, rank: RankId) -> bool {
+        let mut st = self.state.lock();
+        let c = st.1.ops.entry(rank).or_insert(0);
+        *c += 1;
+        let count = *c;
+        let (plan, counters) = &mut *st;
+        let fired = plan
+            .triggers
+            .iter()
+            .find(|t| matches!(t, FaultTrigger::AtOpCount { rank: r, count: k } if *r == rank && *k == count))
+            .cloned();
+        if let Some(t) = fired {
+            counters.fired.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a hit of the named fault point by `rank`; returns `true` if the
+    /// rank must die here.
+    pub fn hit_point(&self, rank: RankId, point: &str) -> bool {
+        let mut st = self.state.lock();
+        let key = (rank, point.to_string());
+        let c = st.1.points.entry(key).or_insert(0);
+        *c += 1;
+        let occ = *c;
+        let (plan, counters) = &mut *st;
+        let fired = plan
+            .triggers
+            .iter()
+            .find(|t| matches!(t, FaultTrigger::AtPoint { rank: r, point: p, occurrence } if *r == rank && p == point && *occurrence == occ))
+            .cloned();
+        if let Some(t) = fired {
+            counters.fired.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Triggers that have fired so far (for test assertions).
+    pub fn fired(&self) -> Vec<FaultTrigger> {
+        self.state.lock().1.fired.clone()
+    }
+
+    /// Does the plan contain any trigger for `rank`?
+    pub fn is_armed_for(&self, rank: RankId) -> bool {
+        self.state.lock().0.triggers.iter().any(|t| match t {
+            FaultTrigger::AtOpCount { rank: r, .. } => *r == rank,
+            FaultTrigger::AtPoint { rank: r, .. } => *r == rank,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_trigger_fires_exactly_once_at_count() {
+        let inj = FaultInjector::new(FaultPlan::none().kill_at_op(RankId(2), 3));
+        assert!(!inj.hit_op(RankId(2)));
+        assert!(!inj.hit_op(RankId(2)));
+        assert!(inj.hit_op(RankId(2)));
+        assert!(!inj.hit_op(RankId(2)));
+        assert_eq!(inj.fired().len(), 1);
+    }
+
+    #[test]
+    fn op_counters_are_per_rank() {
+        let inj = FaultInjector::new(FaultPlan::none().kill_at_op(RankId(1), 2));
+        assert!(!inj.hit_op(RankId(0)));
+        assert!(!inj.hit_op(RankId(0)));
+        assert!(!inj.hit_op(RankId(1)));
+        assert!(inj.hit_op(RankId(1)));
+    }
+
+    #[test]
+    fn point_trigger_counts_occurrences() {
+        let inj =
+            FaultInjector::new(FaultPlan::none().kill_at_point(RankId(0), "allreduce.step", 2));
+        assert!(!inj.hit_point(RankId(0), "allreduce.step"));
+        assert!(!inj.hit_point(RankId(0), "other"));
+        assert!(inj.hit_point(RankId(0), "allreduce.step"));
+    }
+
+    #[test]
+    fn arm_adds_triggers_at_runtime() {
+        let inj = FaultInjector::inert();
+        assert!(!inj.is_armed_for(RankId(4)));
+        inj.arm(FaultTrigger::AtOpCount {
+            rank: RankId(4),
+            count: 1,
+        });
+        assert!(inj.is_armed_for(RankId(4)));
+        assert!(inj.hit_op(RankId(4)));
+    }
+
+    #[test]
+    fn inert_never_fires() {
+        let inj = FaultInjector::inert();
+        for i in 0..100 {
+            assert!(!inj.hit_op(RankId(i % 4)));
+        }
+        assert!(inj.fired().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Identifiers for ranks and nodes, and the cluster topology that maps
+//! between them.
+
+use std::fmt;
+
+/// Global identifier of a rank (a worker process in the paper's terms).
+///
+/// Rank ids are assigned once by the runtime and never reused, even after
+/// the rank fails — exactly like MPI process identities inside a ULFM run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RankId(pub usize);
+
+/// Identifier of a physical node. Several ranks live on one node; killing a
+/// node kills all of them (the paper's "drop the entire node" policy).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Debug for RankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Static mapping from ranks to nodes.
+///
+/// Mirrors Summit's layout in the paper: each node hosts `ranks_per_node`
+/// workers (6 GPUs per node on Summit). Ranks are packed densely:
+/// rank `r` lives on node `r / ranks_per_node`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    ranks_per_node: usize,
+}
+
+impl Topology {
+    /// A topology with `ranks_per_node` ranks packed per node.
+    ///
+    /// # Panics
+    /// Panics if `ranks_per_node` is zero.
+    pub fn new(ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Self { ranks_per_node }
+    }
+
+    /// Summit-like layout: 6 workers (GPUs) per node.
+    pub fn summit() -> Self {
+        Self::new(6)
+    }
+
+    /// One rank per node (process-level == node-level).
+    pub fn flat() -> Self {
+        Self::new(1)
+    }
+
+    /// Number of ranks hosted on each node.
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: RankId) -> NodeId {
+        NodeId(rank.0 / self.ranks_per_node)
+    }
+
+    /// All ranks co-located with `rank` (including itself), given the total
+    /// number of ranks ever created.
+    pub fn node_peers(&self, rank: RankId, total_ranks: usize) -> Vec<RankId> {
+        let node = self.node_of(rank);
+        self.ranks_on_node(node, total_ranks)
+    }
+
+    /// All ranks on `node` among the first `total_ranks` ranks.
+    pub fn ranks_on_node(&self, node: NodeId, total_ranks: usize) -> Vec<RankId> {
+        let lo = node.0 * self.ranks_per_node;
+        let hi = ((node.0 + 1) * self.ranks_per_node).min(total_ranks);
+        (lo..hi).map(RankId).collect()
+    }
+
+    /// Number of nodes needed to host `total_ranks` ranks.
+    pub fn nodes_for(&self, total_ranks: usize) -> usize {
+        total_ranks.div_ceil(self.ranks_per_node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_of_packs_densely() {
+        let t = Topology::new(6);
+        assert_eq!(t.node_of(RankId(0)), NodeId(0));
+        assert_eq!(t.node_of(RankId(5)), NodeId(0));
+        assert_eq!(t.node_of(RankId(6)), NodeId(1));
+        assert_eq!(t.node_of(RankId(23)), NodeId(3));
+    }
+
+    #[test]
+    fn node_peers_includes_self_and_clips_to_total() {
+        let t = Topology::new(4);
+        assert_eq!(
+            t.node_peers(RankId(5), 7),
+            vec![RankId(4), RankId(5), RankId(6)]
+        );
+    }
+
+    #[test]
+    fn ranks_on_node_full_node() {
+        let t = Topology::summit();
+        assert_eq!(
+            t.ranks_on_node(NodeId(1), 24),
+            (6..12).map(RankId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nodes_for_rounds_up() {
+        let t = Topology::new(6);
+        assert_eq!(t.nodes_for(24), 4);
+        assert_eq!(t.nodes_for(25), 5);
+        assert_eq!(t.nodes_for(1), 1);
+        assert_eq!(t.nodes_for(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ranks_per_node_rejected() {
+        Topology::new(0);
+    }
+
+    #[test]
+    fn flat_topology_is_one_per_node() {
+        let t = Topology::flat();
+        assert_eq!(t.node_of(RankId(7)), NodeId(7));
+        assert_eq!(t.node_peers(RankId(7), 16), vec![RankId(7)]);
+    }
+}

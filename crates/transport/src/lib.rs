@@ -1,0 +1,40 @@
+//! In-memory, fault-injectable message transport.
+//!
+//! This crate is the lowest layer of the elastic-training reproduction. It
+//! plays the role that the network fabric plus the MPI runtime's failure
+//! detector play on a real machine:
+//!
+//! * every *rank* (worker process in the paper) owns a [`Mailbox`] and is
+//!   addressed by a [`RankId`];
+//! * ranks exchange tagged byte messages through a shared [`Fabric`];
+//! * ranks can *fail* — abruptly, possibly in the middle of a collective —
+//!   either because a test killed them from the outside
+//!   ([`Fabric::kill_rank`] / [`Fabric::kill_node`]) or because a scripted
+//!   [`FaultPlan`] told the rank to die at a specific operation count;
+//! * surviving ranks observe failures exactly the way ULFM prescribes:
+//!   an operation that needs a dead peer returns an error *for that
+//!   operation*; nothing is torn down globally.
+//!
+//! The transport is deliberately reliable and FIFO per (sender, receiver,
+//! tag) channel, matching MPI's ordering guarantees. Failure detection is
+//! *perfect* (a dead rank is immediately observable via the alive table).
+//! ULFM only requires an eventually-perfect detector; using a perfect one
+//! is the standard simulation simplification and only makes detection
+//! latencies optimistic by a constant, which the discrete-event model in
+//! the `simnet` crate accounts for separately.
+
+#![warn(missing_docs)]
+
+mod error;
+mod fabric;
+mod fault;
+mod ids;
+mod mailbox;
+mod wire;
+
+pub use error::TransportError;
+pub use fabric::{Endpoint, Fabric, FabricStats};
+pub use fault::{FaultInjector, FaultPlan, FaultTrigger};
+pub use ids::{NodeId, RankId, Topology};
+pub use mailbox::{Envelope, Mailbox, RecvOutcome};
+pub use wire::{bytes_to_f32s, bytes_to_u64s, f32s_to_bytes, u64s_to_bytes, Wire};

@@ -1,0 +1,310 @@
+//! Per-rank mailboxes with MPI-style (source, tag) matching.
+
+use crate::ids::RankId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A delivered message: who sent it and the payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender of the message.
+    pub src: RankId,
+    /// Application tag. Upper layers encode (communicator id, collective
+    /// phase, attempt number, ...) into this, like MPI implementations do.
+    pub tag: u64,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// Result of a blocking [`Mailbox::pop_matching`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A matching message was delivered.
+    Message(Vec<u8>),
+    /// The source died and no matching message is buffered.
+    SrcDead,
+    /// The external stop condition fired (e.g. communicator revoked).
+    Stopped,
+    /// The deadline elapsed.
+    TimedOut,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// FIFO queue per (source, tag). FIFO per channel matches MPI's
+    /// non-overtaking guarantee.
+    queues: HashMap<(RankId, u64), VecDeque<Vec<u8>>>,
+    /// Bumped on every rank death so blocked receivers re-check liveness.
+    death_epoch: u64,
+}
+
+/// A rank's incoming-message buffer.
+///
+/// `push` never blocks (the fabric is an infinite-buffer network, like an
+/// eager-protocol MPI for the message sizes we inject). `pop_matching`
+/// blocks until a matching message arrives or the waker is notified of a
+/// death event, at which point the caller re-checks the alive table.
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deliver a message. Wakes any blocked receiver.
+    pub fn push(&self, env: Envelope) {
+        let mut inner = self.inner.lock();
+        inner
+            .queues
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back(env.data);
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking probe: is a message from `(src, tag)` available?
+    pub fn probe(&self, src: RankId, tag: u64) -> bool {
+        let inner = self.inner.lock();
+        inner
+            .queues
+            .get(&(src, tag))
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    /// Try to pop a matching message without blocking.
+    pub fn try_pop(&self, src: RankId, tag: u64) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        inner.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())
+    }
+
+    /// Blocking pop with liveness and external-stop re-checks.
+    ///
+    /// Checked in priority order on every wakeup:
+    /// 1. `should_stop` — an external interrupt (ULFM's communicator
+    ///    revocation); wins even over a buffered message, because operations
+    ///    on a revoked communicator must fail;
+    /// 2. a buffered matching message — drained *before* liveness so that
+    ///    messages sent by a peer shortly before its death are still
+    ///    delivered (ULFM requires already-matched traffic to complete);
+    /// 3. source death;
+    /// 4. the optional deadline.
+    pub fn pop_matching(
+        &self,
+        src: RankId,
+        tag: u64,
+        is_src_alive: impl Fn() -> bool,
+        should_stop: impl Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> RecvOutcome {
+        let mut inner = self.inner.lock();
+        loop {
+            if should_stop() {
+                return RecvOutcome::Stopped;
+            }
+            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                if let Some(data) = q.pop_front() {
+                    return RecvOutcome::Message(data);
+                }
+            }
+            if !is_src_alive() {
+                return RecvOutcome::SrcDead;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return RecvOutcome::TimedOut;
+                    }
+                    // Bounded wait: also serves as a backstop in case a death
+                    // notification races with this wait registration.
+                    let wait = (d - now).min(Duration::from_millis(20));
+                    self.cv.wait_for(&mut inner, wait);
+                }
+                None => {
+                    // Backstop poll keeps us safe against a lost wakeup from
+                    // a death event; 20ms only matters when a peer dies,
+                    // never on the fast path (pushes always notify).
+                    self.cv.wait_for(&mut inner, Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Wake all blocked receivers so they re-check liveness and stop
+    /// conditions. Called by the fabric whenever any rank dies or a
+    /// communicator is revoked.
+    pub fn wake_waiters(&self) {
+        let mut inner = self.inner.lock();
+        inner.death_epoch += 1;
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Total number of buffered messages (diagnostics only).
+    pub fn buffered(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Drop all buffered messages carrying `tag_pred`-matching tags.
+    /// Used when a communicator is revoked to flush stale traffic.
+    pub fn purge_where(&self, tag_pred: impl Fn(u64) -> bool) -> usize {
+        let mut inner = self.inner.lock();
+        let mut dropped = 0;
+        inner.queues.retain(|(_, tag), q| {
+            if tag_pred(*tag) {
+                dropped += q.len();
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn env(src: usize, tag: u64, byte: u8) -> Envelope {
+        Envelope {
+            src: RankId(src),
+            tag,
+            data: vec![byte],
+        }
+    }
+
+    #[test]
+    fn push_pop_fifo_per_channel() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 7, 0xaa));
+        mb.push(env(1, 7, 0xbb));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(vec![0xaa]));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(vec![0xbb]));
+        assert_eq!(mb.try_pop(RankId(1), 7), None);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mb = Mailbox::new();
+        mb.push(env(1, 7, 1));
+        mb.push(env(2, 7, 2));
+        mb.push(env(1, 8, 3));
+        assert_eq!(mb.try_pop(RankId(2), 7), Some(vec![2]));
+        assert_eq!(mb.try_pop(RankId(1), 8), Some(vec![3]));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(vec![1]));
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 1, 9));
+        assert!(mb.probe(RankId(0), 1));
+        assert!(mb.probe(RankId(0), 1));
+        assert_eq!(mb.try_pop(RankId(0), 1), Some(vec![9]));
+        assert!(!mb.probe(RankId(0), 1));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            mb2.pop_matching(RankId(5), 42, || true, || false, None)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        mb.push(env(5, 42, 77));
+        assert_eq!(t.join().unwrap(), RecvOutcome::Message(vec![77]));
+    }
+
+    #[test]
+    fn blocking_pop_reports_source_death() {
+        let mb = Arc::new(Mailbox::new());
+        let alive = Arc::new(AtomicBool::new(true));
+        let (mb2, alive2) = (Arc::clone(&mb), Arc::clone(&alive));
+        let t = std::thread::spawn(move || {
+            mb2.pop_matching(RankId(5), 42, || alive2.load(Ordering::SeqCst), || false, None)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        alive.store(false, Ordering::SeqCst);
+        mb.wake_waiters();
+        assert_eq!(t.join().unwrap(), RecvOutcome::SrcDead);
+    }
+
+    #[test]
+    fn blocking_pop_interrupted_by_stop_condition() {
+        let mb = Arc::new(Mailbox::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (mb2, stop2) = (Arc::clone(&mb), Arc::clone(&stop));
+        let t = std::thread::spawn(move || {
+            mb2.pop_matching(RankId(5), 42, || true, || stop2.load(Ordering::SeqCst), None)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::SeqCst);
+        mb.wake_waiters();
+        assert_eq!(t.join().unwrap(), RecvOutcome::Stopped);
+    }
+
+    #[test]
+    fn stop_condition_beats_buffered_message() {
+        // A revoked communicator must fail even if a message is waiting.
+        let mb = Mailbox::new();
+        mb.push(env(5, 1, 3));
+        let got = mb.pop_matching(RankId(5), 1, || true, || true, None);
+        assert_eq!(got, RecvOutcome::Stopped);
+    }
+
+    #[test]
+    fn messages_sent_before_death_are_still_delivered() {
+        let mb = Mailbox::new();
+        mb.push(env(5, 1, 3));
+        // Source is dead, but the buffered message must be drained first.
+        let got = mb.pop_matching(RankId(5), 1, || false, || false, None);
+        assert_eq!(got, RecvOutcome::Message(vec![3]));
+        let got = mb.pop_matching(RankId(5), 1, || false, || false, None);
+        assert_eq!(got, RecvOutcome::SrcDead);
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let mb = Mailbox::new();
+        let r = mb.pop_matching(
+            RankId(1),
+            1,
+            || true,
+            || false,
+            Some(Instant::now() + Duration::from_millis(10)),
+        );
+        assert_eq!(r, RecvOutcome::TimedOut);
+    }
+
+    #[test]
+    fn purge_drops_only_matching_tags() {
+        let mb = Mailbox::new();
+        mb.push(env(0, 0x10, 1));
+        mb.push(env(0, 0x10, 2));
+        mb.push(env(0, 0x20, 3));
+        let dropped = mb.purge_where(|t| t == 0x10);
+        assert_eq!(dropped, 2);
+        assert_eq!(mb.buffered(), 1);
+        assert_eq!(mb.try_pop(RankId(0), 0x20), Some(vec![3]));
+    }
+}

@@ -1,0 +1,120 @@
+//! Byte-level encoding helpers.
+//!
+//! Collectives and control protocols exchange typed values over a byte
+//! transport; `Wire` gives the handful of primitive types we need a
+//! stable little-endian encoding without pulling in a serialization
+//! framework on the hot path.
+
+/// Fixed-width little-endian encoding for primitive scalars.
+pub trait Wire: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const WIDTH: usize;
+    /// Append the encoding of `self` to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+    /// Decode from exactly [`Self::WIDTH`] bytes.
+    fn read(bytes: &[u8]) -> Self;
+
+    /// Encode a slice.
+    fn encode_slice(vals: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(vals.len() * Self::WIDTH);
+        for v in vals {
+            v.write(&mut out);
+        }
+        out
+    }
+
+    /// Decode a whole buffer into a vector.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len()` is not a multiple of [`Self::WIDTH`].
+    fn decode_slice(bytes: &[u8]) -> Vec<Self> {
+        assert!(
+            bytes.len() % Self::WIDTH == 0,
+            "buffer length {} is not a multiple of element width {}",
+            bytes.len(),
+            Self::WIDTH
+        );
+        bytes.chunks_exact(Self::WIDTH).map(Self::read).collect()
+    }
+}
+
+macro_rules! impl_wire {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::WIDTH].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_wire!(f32, f64, u8, u16, u32, u64, i32, i64);
+
+/// Encode a slice of `f32` as little-endian bytes.
+pub fn f32s_to_bytes(vals: &[f32]) -> Vec<u8> {
+    f32::encode_slice(vals)
+}
+
+/// Decode little-endian bytes into `f32`s.
+pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    f32::decode_slice(bytes)
+}
+
+/// Encode a slice of `u64` as little-endian bytes.
+pub fn u64s_to_bytes(vals: &[u64]) -> Vec<u8> {
+    u64::encode_slice(vals)
+}
+
+/// Decode little-endian bytes into `u64`s.
+pub fn bytes_to_u64s(bytes: &[u8]) -> Vec<u64> {
+    u64::decode_slice(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip() {
+        let xs = vec![0.0f32, -1.5, 3.25e7, f32::INFINITY, f32::MIN_POSITIVE];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&xs)), xs);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let xs = vec![0u64, 1, u64::MAX, 0xdead_beef];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&xs)), xs);
+    }
+
+    #[test]
+    fn nan_payload_survives() {
+        let xs = vec![f32::NAN];
+        let back = bytes_to_f32s(&f32s_to_bytes(&xs));
+        assert!(back[0].is_nan());
+    }
+
+    #[test]
+    fn mixed_widths() {
+        let mut buf = Vec::new();
+        42u16.write(&mut buf);
+        (-7i32).write(&mut buf);
+        assert_eq!(u16::read(&buf[0..2]), 42);
+        assert_eq!(i32::read(&buf[2..6]), -7);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn decode_rejects_ragged_buffer() {
+        bytes_to_f32s(&[0u8; 5]);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert!(f32s_to_bytes(&[]).is_empty());
+        assert!(bytes_to_f32s(&[]).is_empty());
+    }
+}

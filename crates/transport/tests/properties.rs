@@ -1,0 +1,112 @@
+//! Property tests for the transport layer: wire codec, topology algebra,
+//! and ordering/liveness invariants of the fabric.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use transport::{Endpoint, Fabric, RankId, Topology, Wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_f32(xs in proptest::collection::vec(any::<f32>(), 0..128)) {
+        let bytes = f32::encode_slice(&xs);
+        prop_assert_eq!(bytes.len(), xs.len() * 4);
+        let back = f32::decode_slice(&bytes);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_u64(xs in proptest::collection::vec(any::<u64>(), 0..64)) {
+        prop_assert_eq!(u64::decode_slice(&u64::encode_slice(&xs)), xs);
+    }
+
+    #[test]
+    fn wire_roundtrip_mixed_ints(
+        a in any::<i32>(),
+        b in any::<u16>(),
+        c in any::<i64>(),
+    ) {
+        let mut buf = Vec::new();
+        a.write(&mut buf);
+        b.write(&mut buf);
+        c.write(&mut buf);
+        prop_assert_eq!(i32::read(&buf[0..4]), a);
+        prop_assert_eq!(u16::read(&buf[4..6]), b);
+        prop_assert_eq!(i64::read(&buf[6..14]), c);
+    }
+
+    /// node_of and ranks_on_node are mutually consistent for any topology.
+    #[test]
+    fn topology_partition_invariants(rpn in 1usize..=16, total in 0usize..=128) {
+        let t = Topology::new(rpn);
+        // Every rank appears on exactly one node, its own.
+        for r in 0..total {
+            let node = t.node_of(RankId(r));
+            let ranks = t.ranks_on_node(node, total);
+            prop_assert!(ranks.contains(&RankId(r)));
+            prop_assert!(ranks.len() <= rpn);
+        }
+        // Node lists tile the rank space exactly.
+        let nodes = t.nodes_for(total);
+        let mut all: Vec<RankId> = Vec::new();
+        for nd in 0..nodes {
+            all.extend(t.ranks_on_node(transport::NodeId(nd), total));
+        }
+        prop_assert_eq!(all.len(), total);
+        for (i, r) in all.iter().enumerate() {
+            prop_assert_eq!(r.0, i);
+        }
+    }
+
+    /// FIFO per (sender, tag) channel: any interleaving of sends arrives in
+    /// order when received from the same channel.
+    #[test]
+    fn fabric_fifo_per_channel(msgs in proptest::collection::vec(0u8..4, 1..40)) {
+        let fabric = Fabric::without_faults(Topology::flat());
+        let ranks = fabric.register_ranks(2);
+        let tx = Endpoint::new(Arc::clone(&fabric), ranks[0]);
+        let rx = Endpoint::new(Arc::clone(&fabric), ranks[1]);
+        // Sends interleave across 4 tags; per tag the payload sequence is
+        // the subsequence of `msgs` with that tag.
+        for (i, &tag) in msgs.iter().enumerate() {
+            tx.send(ranks[1], tag as u64, &[i as u8]).unwrap();
+        }
+        for tag in 0u8..4 {
+            let expected: Vec<u8> = msgs
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == tag)
+                .map(|(i, _)| i as u8)
+                .collect();
+            for want in expected {
+                let got = rx.recv(ranks[0], tag as u64).unwrap();
+                prop_assert_eq!(got, vec![want]);
+            }
+        }
+    }
+
+    /// Killing any subset of ranks leaves exactly the complement alive.
+    #[test]
+    fn alive_set_is_complement_of_killed(
+        total in 1usize..=32,
+        kills in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let fabric = Fabric::without_faults(Topology::flat());
+        fabric.register_ranks(total);
+        let mut killed: Vec<usize> = kills.iter().map(|k| k % total).collect();
+        for &k in &killed {
+            fabric.kill_rank(RankId(k));
+        }
+        killed.sort_unstable();
+        killed.dedup();
+        let alive = fabric.alive_ranks();
+        prop_assert_eq!(alive.len(), total - killed.len());
+        for r in alive {
+            prop_assert!(!killed.contains(&r.0));
+        }
+        prop_assert_eq!(fabric.stats().deaths, killed.len() as u64);
+    }
+}

@@ -1,0 +1,259 @@
+//! Fault-tolerant uniform agreement (`MPIX_Comm_agree`).
+//!
+//! The paper relies on `MPIX_Comm_agree` to reach consensus about failures
+//! before shrinking (§3.1). We implement agreement as a **flood-set**
+//! protocol: inputs are frozen on entry, and for `p` rounds every member
+//! broadcasts its accumulated state to every other member and merges what
+//! it receives. Merging is a semilattice (bitwise AND on flags, `min` on
+//! the auxiliary value, union on the failure bitmap), and with at most
+//! `p-1` crash faults at least one round is failure-free, after which all
+//! survivors' states are equal and remain equal — the classic flood-set
+//! uniformity argument under crash faults with reliable channels.
+//!
+//! ULFM implementations use the logarithmic ERA protocol instead; we trade
+//! message count for obviousness of correctness in the threaded runtime
+//! (the `simnet` crate models ERA's cost for the paper-scale figures).
+//!
+//! **Caller contract:** every *alive* member of the group must eventually
+//! call agree with the same tag base (the recovery layer guarantees this:
+//! a failure or revocation drives every member into recovery).
+
+use crate::error::UlfmError;
+use transport::{Endpoint, RankId, TransportError, Wire};
+
+/// Outcome of an agreement: uniform across every member that returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AgreeResult {
+    /// Bitwise AND of every contributed flag word.
+    pub flags: u64,
+    /// Minimum of every contributed auxiliary value (the elastic layer uses
+    /// this to agree on the earliest collective to re-execute).
+    pub min: u64,
+    /// Union of the failures known to members on entry — the agreed failed
+    /// set used by shrink. A member that dies *during* the agreement may or
+    /// may not be included (uniformly so); shrink iterates until clean.
+    pub failed: Vec<RankId>,
+}
+
+struct State {
+    flags: u64,
+    min: u64,
+    bitmap: Vec<u64>,
+}
+
+impl State {
+    fn encode(&self) -> Vec<u8> {
+        let mut words = Vec::with_capacity(2 + self.bitmap.len());
+        words.push(self.flags);
+        words.push(self.min);
+        words.extend_from_slice(&self.bitmap);
+        u64::encode_slice(&words)
+    }
+
+    fn merge_bytes(&mut self, bytes: &[u8]) {
+        let words = u64::decode_slice(bytes);
+        assert_eq!(words.len(), 2 + self.bitmap.len(), "agree payload mismatch");
+        self.flags &= words[0];
+        self.min = self.min.min(words[1]);
+        for (b, w) in self.bitmap.iter_mut().zip(&words[2..]) {
+            *b |= w;
+        }
+    }
+}
+
+/// Run flood-set agreement over `group` (global rank ids, dense order).
+///
+/// `tag_base` must be a fresh recovery-class tag window; the protocol uses
+/// offsets `0..group.len()`.
+pub(crate) fn flood_agree(
+    ep: &Endpoint,
+    group: &[RankId],
+    my_idx: usize,
+    tag_base: u64,
+    flag: u64,
+    min_val: u64,
+) -> Result<AgreeResult, UlfmError> {
+    let p = group.len();
+    let words = p.div_ceil(64);
+    let mut state = State {
+        flags: flag,
+        min: min_val,
+        bitmap: vec![0u64; words.max(1)],
+    };
+    // Freeze inputs on entry: known failures now. Later failures are
+    // (uniformly) caught by the flooding itself or by the next agreement.
+    for (i, &g) in group.iter().enumerate() {
+        if !ep.is_peer_alive(g) && g != ep.rank() {
+            state.bitmap[i / 64] |= 1 << (i % 64);
+        }
+    }
+
+    if p > 1 {
+        for round in 0..p {
+            ep.fault_point("agree.round").map_err(map_self)?;
+            let tag = tag_base + round as u64;
+            let payload = state.encode();
+            for (i, &peer) in group.iter().enumerate() {
+                if i == my_idx {
+                    continue;
+                }
+                match ep.send(peer, tag, &payload) {
+                    Ok(()) | Err(TransportError::PeerDead(_)) => {}
+                    Err(TransportError::SelfDied) => return Err(UlfmError::SelfDied),
+                    Err(e) => unreachable!("agree send: {e}"),
+                }
+            }
+            for (i, &peer) in group.iter().enumerate() {
+                if i == my_idx {
+                    continue;
+                }
+                match ep.recv(peer, tag) {
+                    Ok(bytes) => state.merge_bytes(&bytes),
+                    Err(TransportError::PeerDead(_)) => {}
+                    Err(TransportError::SelfDied) => return Err(UlfmError::SelfDied),
+                    Err(e) => unreachable!("agree recv: {e}"),
+                }
+            }
+        }
+    }
+
+    let failed = group
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| state.bitmap[i / 64] >> (i % 64) & 1 == 1)
+        .map(|(_, &g)| g)
+        .collect();
+    Ok(AgreeResult {
+        flags: state.flags,
+        min: state.min,
+        failed,
+    })
+}
+
+fn map_self(e: TransportError) -> UlfmError {
+    match e {
+        TransportError::SelfDied => UlfmError::SelfDied,
+        other => unreachable!("fault point returned {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags;
+    use std::sync::Arc;
+    use transport::{Fabric, FaultInjector, FaultPlan, Topology};
+
+    fn run_agree(
+        n: usize,
+        plan: FaultPlan,
+        pre_kill: &[usize],
+        flag_of: impl Fn(usize) -> u64 + Send + Sync,
+        min_of: impl Fn(usize) -> u64 + Send + Sync,
+    ) -> Vec<Result<AgreeResult, UlfmError>> {
+        let fabric = Fabric::new(Topology::flat(), FaultInjector::new(plan));
+        let group = fabric.register_ranks(n);
+        for &k in pre_kill {
+            fabric.kill_rank(group[k]);
+        }
+        let flag_of = &flag_of;
+        let min_of = &min_of;
+        let group_ref = &group;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .filter(|i| !pre_kill.contains(i))
+                .map(|i| {
+                    let fabric = Arc::clone(&fabric);
+                    s.spawn(move || {
+                        let ep = Endpoint::new(fabric, group_ref[i]);
+                        flood_agree(
+                            &ep,
+                            group_ref,
+                            i,
+                            tags::recovery_base(0, 0),
+                            flag_of(i),
+                            min_of(i),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn failure_free_agreement_ands_flags_and_mins() {
+        let results = run_agree(5, FaultPlan::none(), &[], |i| 0b111 & !(i as u64 & 1), |i| {
+            10 + i as u64
+        });
+        for r in &results {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.flags, 0b110);
+            assert_eq!(r.min, 10);
+            assert!(r.failed.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_member_is_trivial() {
+        let results = run_agree(1, FaultPlan::none(), &[], |_| 7, |_| 3);
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &AgreeResult {
+                flags: 7,
+                min: 3,
+                failed: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn pre_dead_member_lands_in_failed_set_uniformly() {
+        let results = run_agree(6, FaultPlan::none(), &[2, 4], |_| 1, |_| 0);
+        for r in &results {
+            let r = r.as_ref().unwrap();
+            assert_eq!(r.failed, vec![RankId(2), RankId(4)]);
+            assert_eq!(r.flags, 1);
+        }
+    }
+
+    #[test]
+    fn death_mid_agreement_keeps_result_uniform() {
+        // Rank 1 dies during round 2 of the agreement. All survivors must
+        // still return the *same* result.
+        let plan = FaultPlan::none().kill_at_point(RankId(1), "agree.round", 2);
+        let results = run_agree(5, plan, &[], |i| if i == 3 { 0b01 } else { 0b11 }, |i| {
+            i as u64
+        });
+        let survivors: Vec<&AgreeResult> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .collect();
+        assert!(survivors.len() >= 3, "{results:?}");
+        for s in &survivors[1..] {
+            assert_eq!(*s, survivors[0], "non-uniform agreement");
+        }
+        assert!(results.iter().any(|r| r == &Err(UlfmError::SelfDied)));
+    }
+
+    #[test]
+    fn agreement_uniform_under_many_overlapping_deaths() {
+        for seed in 0..8u64 {
+            let n = 7;
+            let mut plan = FaultPlan::none();
+            // Two scripted deaths at pseudo-random rounds.
+            let a = (seed % 5 + 1) as usize;
+            let b = ((seed * 3) % 5 + 1) as usize;
+            plan = plan
+                .kill_at_point(RankId(a), "agree.round", 1 + seed % 4)
+                .kill_at_point(RankId(b), "agree.round", 1 + (seed / 2) % 4);
+            let results = run_agree(n, plan, &[], |i| !(i as u64), |i| 100 - i as u64);
+            let oks: Vec<&AgreeResult> =
+                results.iter().filter_map(|r| r.as_ref().ok()).collect();
+            assert!(!oks.is_empty());
+            for o in &oks[1..] {
+                assert_eq!(*o, oks[0], "seed {seed}: non-uniform agreement {results:?}");
+            }
+        }
+    }
+}

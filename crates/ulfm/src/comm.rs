@@ -1,0 +1,500 @@
+//! The resilient communicator.
+
+use crate::agree::{flood_agree, AgreeResult};
+use crate::error::UlfmError;
+use crate::tags;
+use crate::universe::{CommKey, JoinTicket, Shared};
+use collectives::{
+    allgather, allreduce, binomial_bcast, binomial_reduce, dissemination_barrier, gather, scatter,
+    AllgatherAlgo, AllreduceAlgo, CollError, Elem, PeerComm, ReduceOp,
+};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use transport::{Endpoint, RankId, TransportError, Wire};
+
+/// Result of [`Communicator::shrink_with`]: either this rank is a member of
+/// the shrunk communicator, or the recovery policy excluded it and it must
+/// leave the computation.
+pub enum ShrinkOutcome {
+    /// This rank belongs to the shrunk communicator.
+    Member(Communicator),
+    /// This rank was excluded (e.g. healthy rank on a failed node under the
+    /// drop-node policy) and must retire.
+    Excluded,
+}
+
+/// A ULFM-style communicator: a dense group of global ranks with
+/// collectives, per-operation failure reporting, and the recovery triad
+/// (revoke / agree / shrink).
+///
+/// A communicator value is owned by its rank's thread (it is deliberately
+/// `!Sync`: sequence counters use `Cell`). All members must issue
+/// collective calls in the same order — the usual MPI SPMD contract — which
+/// keeps the tag sequence numbers aligned without communication.
+pub struct Communicator {
+    shared: Arc<Shared>,
+    ep: Endpoint,
+    id: u64,
+    group: Vec<RankId>,
+    my_idx: usize,
+    seq: Cell<u64>,
+    rec_seq: Cell<u64>,
+    shrink_calls: Cell<u64>,
+    split_calls: Cell<u64>,
+    acked: RefCell<BTreeSet<RankId>>,
+}
+
+impl Communicator {
+    pub(crate) fn construct(
+        shared: Arc<Shared>,
+        ep: Endpoint,
+        id: u64,
+        group: Vec<RankId>,
+    ) -> Self {
+        let me = ep.rank();
+        let my_idx = group
+            .iter()
+            .position(|&g| g == me)
+            .unwrap_or_else(|| panic!("rank {me} is not a member of communicator {id}"));
+        Self {
+            shared,
+            ep,
+            id,
+            group,
+            my_idx,
+            seq: Cell::new(0),
+            rec_seq: Cell::new(0),
+            shrink_calls: Cell::new(0),
+            split_calls: Cell::new(0),
+            acked: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    pub(crate) fn from_join_ticket(shared: Arc<Shared>, ep: Endpoint, ticket: &JoinTicket) -> Self {
+        let id = shared.intern_comm(CommKey::Join {
+            epoch: ticket.epoch,
+            group: ticket.group.clone(),
+        });
+        Self::construct(shared, ep, id, ticket.group.clone())
+    }
+
+    /// Group-local rank of this process.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of members (alive or failed — membership is static between
+    /// shrinks, as in MPI).
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Global rank ids of the members, in group order.
+    pub fn group(&self) -> &[RankId] {
+        &self.group
+    }
+
+    /// This communicator's interned identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This process's global rank id.
+    pub fn global_rank(&self) -> RankId {
+        self.ep.rank()
+    }
+
+    /// The transport endpoint (fault points, liveness queries).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// Has this communicator been revoked (by any member)?
+    pub fn is_revoked(&self) -> bool {
+        self.shared.is_revoked(self.id)
+    }
+
+    /// `MPIX_Comm_revoke`: permanently poison this communicator for every
+    /// member and interrupt their pending operations. Idempotent; only
+    /// `agree` and `shrink` remain usable afterwards.
+    pub fn revoke(&self) {
+        self.shared.revoke(self.id);
+    }
+
+    /// `MPIX_Comm_failure_ack`: acknowledge all failures currently known to
+    /// the local detector.
+    pub fn failure_ack(&self) {
+        let mut acked = self.acked.borrow_mut();
+        for &g in &self.group {
+            if !self.ep.is_peer_alive(g) {
+                acked.insert(g);
+            }
+        }
+    }
+
+    /// `MPIX_Comm_failure_get_acked`: the failures acknowledged so far.
+    pub fn get_acked(&self) -> Vec<RankId> {
+        self.acked.borrow().iter().copied().collect()
+    }
+
+    /// Members currently observed alive by the local detector.
+    pub fn alive_members(&self) -> Vec<RankId> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&g| self.ep.is_peer_alive(g))
+            .collect()
+    }
+
+    // ---- tag/sequence management -------------------------------------
+
+    fn next_coll_base(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        tags::coll_base(self.id, s)
+    }
+
+    fn next_recovery_base(&self) -> u64 {
+        let s = self.rec_seq.get();
+        self.rec_seq.set(s + 1);
+        tags::recovery_base(self.id, s)
+    }
+
+    // ---- point-to-point ----------------------------------------------
+
+    /// Send bytes to a group-local peer with a user tag.
+    pub fn send(&self, peer: usize, user_tag: u64, data: &[u8]) -> Result<(), UlfmError> {
+        if self.is_revoked() {
+            return Err(UlfmError::Revoked);
+        }
+        self.ep
+            .send(self.group[peer], tags::p2p(self.id, user_tag), data)
+            .map_err(|e| self.map_transport(e))
+    }
+
+    /// Receive bytes from a group-local peer with a user tag.
+    pub fn recv(&self, peer: usize, user_tag: u64) -> Result<Vec<u8>, UlfmError> {
+        if self.is_revoked() {
+            return Err(UlfmError::Revoked);
+        }
+        let stop = || self.shared.is_revoked(self.id);
+        self.ep
+            .recv_stoppable(self.group[peer], tags::p2p(self.id, user_tag), &stop)
+            .map_err(|e| self.map_transport(e))
+    }
+
+    fn map_transport(&self, e: TransportError) -> UlfmError {
+        match e {
+            TransportError::PeerDead(g) => UlfmError::ProcFailed {
+                peer: self.group.iter().position(|&x| x == g).unwrap_or(usize::MAX),
+                global: g,
+            },
+            TransportError::SelfDied => UlfmError::SelfDied,
+            TransportError::Stopped => UlfmError::Revoked,
+            other => unreachable!("unexpected transport error: {other}"),
+        }
+    }
+
+    fn map_coll(&self, e: CollError) -> UlfmError {
+        match e {
+            CollError::PeerFailed { peer } => UlfmError::ProcFailed {
+                peer,
+                global: self.group.get(peer).copied().unwrap_or(RankId(usize::MAX)),
+            },
+            CollError::SelfDied => UlfmError::SelfDied,
+            CollError::Revoked => UlfmError::Revoked,
+            CollError::Aborted => unreachable!("ULFM communicators are never aborted"),
+        }
+    }
+
+    // ---- collectives ---------------------------------------------------
+
+    /// In-place allreduce across the group.
+    pub fn allreduce<E: Elem>(
+        &self,
+        buf: &mut [E],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Result<(), UlfmError> {
+        let base = self.next_coll_base();
+        allreduce(&self.adapter(), buf, op, algo, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Broadcast bytes from group-local `root`.
+    pub fn bcast(&self, root: usize, buf: &mut Vec<u8>) -> Result<(), UlfmError> {
+        let base = self.next_coll_base();
+        binomial_bcast(&self.adapter(), root, buf, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Gather every member's block to every member.
+    pub fn allgather(&self, mine: &[u8], algo: AllgatherAlgo) -> Result<Vec<Vec<u8>>, UlfmError> {
+        let base = self.next_coll_base();
+        allgather(&self.adapter(), mine, algo, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Synchronize all members.
+    pub fn barrier(&self) -> Result<(), UlfmError> {
+        let base = self.next_coll_base();
+        dissemination_barrier(&self.adapter(), base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Reduce onto group-local `root`.
+    pub fn reduce<E: Elem>(
+        &self,
+        root: usize,
+        buf: &mut [E],
+        op: ReduceOp,
+    ) -> Result<(), UlfmError> {
+        let base = self.next_coll_base();
+        binomial_reduce(&self.adapter(), root, buf, op, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Gather byte blocks to `root`.
+    pub fn gather(&self, root: usize, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, UlfmError> {
+        let base = self.next_coll_base();
+        gather(&self.adapter(), root, mine, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// Scatter byte blocks from `root`.
+    pub fn scatter(&self, root: usize, blocks: Option<&[Vec<u8>]>) -> Result<Vec<u8>, UlfmError> {
+        let base = self.next_coll_base();
+        scatter(&self.adapter(), root, blocks, base).map_err(|e| self.map_coll(e))
+    }
+
+    fn adapter(&self) -> Adapter<'_> {
+        Adapter {
+            comm: self,
+            respect_revoke: true,
+        }
+    }
+
+    // ---- recovery -------------------------------------------------------
+
+    /// `MPIX_Comm_agree`: fault-tolerant uniform agreement. Works on a
+    /// revoked communicator (that is the point). `flag` contributions are
+    /// AND-ed; `min_val` contributions are min-merged; the returned failed
+    /// set is the union of entry-time failure knowledge.
+    pub fn agree(&self, flag: u64, min_val: u64) -> Result<AgreeResult, UlfmError> {
+        let base = self.next_recovery_base();
+        flood_agree(&self.ep, &self.group, self.my_idx, base, flag, min_val)
+    }
+
+    /// `MPIX_Comm_shrink`: agree on the failed set and construct a new,
+    /// dense communicator of survivors.
+    pub fn shrink(&self) -> Result<Communicator, UlfmError> {
+        match self.shrink_with(|_| Vec::new())? {
+            ShrinkOutcome::Member(c) => Ok(c),
+            ShrinkOutcome::Excluded => unreachable!("no exclusion policy was supplied"),
+        }
+    }
+
+    /// Shrink with a recovery policy: `exclude` receives the agreed failed
+    /// set (cumulative over iterations) and returns *additional* ranks to
+    /// evict — deterministically, since every member computes it locally.
+    /// The paper's drop-node policy evicts every rank co-located with a
+    /// failure; evicted healthy ranks get [`ShrinkOutcome::Excluded`] and
+    /// must leave the computation.
+    ///
+    /// The shrink iterates (agree → build candidate → verify by agreement
+    /// on the candidate) until a candidate verifies with no new failures,
+    /// mirroring ULFM `MPIX_Comm_shrink`'s internal retry.
+    pub fn shrink_with(
+        &self,
+        exclude: impl Fn(&[RankId]) -> Vec<RankId>,
+    ) -> Result<ShrinkOutcome, UlfmError> {
+        let call = self.shrink_calls.get();
+        self.shrink_calls.set(call + 1);
+
+        // Iteration 0: agree on the failed set over *this* communicator.
+        let first = self.agree(u64::MAX, u64::MAX)?;
+        let mut all_failed: BTreeSet<RankId> = first.failed.into_iter().collect();
+        let me = self.ep.rank();
+        let mut generation = 0u64;
+        let mut parent_group: Vec<RankId> = self.group.clone();
+
+        loop {
+            let excluded: BTreeSet<RankId> = exclude(
+                &all_failed.iter().copied().collect::<Vec<_>>(),
+            )
+            .into_iter()
+            .collect();
+            if excluded.contains(&me) {
+                return Ok(ShrinkOutcome::Excluded);
+            }
+            let survivors: Vec<RankId> = parent_group
+                .iter()
+                .copied()
+                .filter(|g| !all_failed.contains(g) && !excluded.contains(g))
+                .collect();
+            assert!(
+                survivors.contains(&me),
+                "shrink survivor list must contain the caller"
+            );
+
+            let id = self.shared.intern_comm(CommKey::Shrink {
+                parent: self.id,
+                generation: call << 16 | generation,
+                group: survivors.clone(),
+            });
+            let candidate =
+                Communicator::construct(Arc::clone(&self.shared), self.ep.clone(), id, survivors);
+
+            // Verify the candidate: a fault-tolerant agreement doubles as a
+            // sync point and uniformly reports any member that was already
+            // dead when we built it.
+            let verdict = candidate.agree(u64::MAX, u64::MAX)?;
+            if verdict.failed.is_empty() {
+                // Hygiene: drop stale traffic of the abandoned parent.
+                self.ep.purge_tags(|t| tags::belongs_to(t, self.id));
+                return Ok(ShrinkOutcome::Member(candidate));
+            }
+            all_failed.extend(verdict.failed.iter().copied());
+            parent_group = candidate.group.clone();
+            generation += 1;
+        }
+    }
+
+    /// `MPI_Comm_split`: partition the members by `color`; within a color,
+    /// new ranks order by `(key, old rank)`. Members passing
+    /// [`Communicator::SPLIT_UNDEFINED`] get `Ok(None)`. Collective.
+    pub fn split(&self, color: u64, key: u64) -> Result<Option<Communicator>, UlfmError> {
+        let call = self.split_calls.get();
+        self.split_calls.set(call + 1);
+        let mine = u64::encode_slice(&[color, key]);
+        let blocks = self.allgather(&mine, AllgatherAlgo::Bruck)?;
+        if color == Self::SPLIT_UNDEFINED {
+            return Ok(None);
+        }
+        // Members of my color, ordered by (key, old group index).
+        let mut members: Vec<(u64, usize)> = blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let words = u64::decode_slice(b);
+                (words[0] == color).then_some((words[1], idx))
+            })
+            .collect();
+        members.sort_unstable();
+        let group: Vec<RankId> = members.iter().map(|&(_, idx)| self.group[idx]).collect();
+        let id = self.shared.intern_comm(CommKey::Split {
+            parent: self.id,
+            split_seq: call,
+            color,
+            group: group.clone(),
+        });
+        Ok(Some(Communicator::construct(
+            Arc::clone(&self.shared),
+            self.ep.clone(),
+            id,
+            group,
+        )))
+    }
+
+    /// Color value meaning "I do not join any split communicator"
+    /// (`MPI_UNDEFINED`).
+    pub const SPLIT_UNDEFINED: u64 = u64::MAX;
+
+    // ---- dynamic membership (replacement / upscale) ---------------------
+
+    /// Accept any workers waiting on the universe's join service and build
+    /// the merged communicator. Collective over this communicator; returns
+    /// `Ok(None)` if nobody is waiting. Group-local rank 0 acts as leader.
+    ///
+    /// Joiners call [`crate::Proc::join_training`]; the first collective on
+    /// the merged communicator synchronizes old and new members.
+    pub fn accept_joiners(&self) -> Result<Option<Communicator>, UlfmError> {
+        // Leader drains the join service and broadcasts (epoch, joiners).
+        let mut payload = Vec::new();
+        if self.my_idx == 0 {
+            let pending = self.shared.join.take_pending();
+            let epoch = self.shared.next_join_epoch();
+            let mut words = vec![epoch, pending.len() as u64];
+            words.extend(pending.iter().map(|r| r.0 as u64));
+            payload = u64::encode_slice(&words);
+        }
+        self.bcast(0, &mut payload)?;
+        let words = u64::decode_slice(&payload);
+        let epoch = words[0];
+        let joiners: Vec<RankId> = words[2..2 + words[1] as usize]
+            .iter()
+            .map(|&w| RankId(w as usize))
+            .collect();
+        if joiners.is_empty() {
+            return Ok(None);
+        }
+
+        let mut merged = self.group.clone();
+        merged.extend(joiners.iter().copied());
+        let ticket = JoinTicket {
+            group: merged.clone(),
+            epoch,
+        };
+        if self.my_idx == 0 {
+            for &j in &joiners {
+                self.shared.join.issue_ticket(j, ticket.clone());
+            }
+        }
+        Ok(Some(Communicator::from_join_ticket(
+            Arc::clone(&self.shared),
+            self.ep.clone(),
+            &ticket,
+        )))
+    }
+}
+
+/// `PeerComm` adapter: maps group-local indices to global ranks, enforces
+/// revocation, and translates transport errors into collective errors.
+struct Adapter<'a> {
+    comm: &'a Communicator,
+    respect_revoke: bool,
+}
+
+impl Adapter<'_> {
+    fn map(&self, e: TransportError) -> CollError {
+        match e {
+            TransportError::PeerDead(g) => CollError::PeerFailed {
+                peer: self
+                    .comm
+                    .group
+                    .iter()
+                    .position(|&x| x == g)
+                    .unwrap_or(usize::MAX),
+            },
+            TransportError::SelfDied => CollError::SelfDied,
+            TransportError::Stopped => CollError::Revoked,
+            other => unreachable!("unexpected transport error: {other}"),
+        }
+    }
+}
+
+impl PeerComm for Adapter<'_> {
+    fn size(&self) -> usize {
+        self.comm.group.len()
+    }
+    fn rank(&self) -> usize {
+        self.comm.my_idx
+    }
+    fn send(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), CollError> {
+        if self.respect_revoke && self.comm.is_revoked() {
+            return Err(CollError::Revoked);
+        }
+        self.comm
+            .ep
+            .send(self.comm.group[peer], tag, data)
+            .map_err(|e| self.map(e))
+    }
+    fn recv(&self, peer: usize, tag: u64) -> Result<Vec<u8>, CollError> {
+        if self.respect_revoke && self.comm.is_revoked() {
+            return Err(CollError::Revoked);
+        }
+        let stop = || self.respect_revoke && self.comm.is_revoked();
+        self.comm
+            .ep
+            .recv_stoppable(self.comm.group[peer], tag, &stop)
+            .map_err(|e| self.map(e))
+    }
+    fn fault_point(&self, name: &str) -> Result<(), CollError> {
+        self.comm.ep.fault_point(name).map_err(|e| self.map(e))
+    }
+}

@@ -1,0 +1,71 @@
+//! ULFM error classes.
+
+use std::fmt;
+use transport::RankId;
+
+/// Errors reported by operations on a [`crate::Communicator`].
+///
+/// Mirrors ULFM's error classes: the error is local to the operation that
+/// raised it; the communicator object itself stays usable for the recovery
+/// constructs (`revoke`, `agree`, `shrink`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UlfmError {
+    /// `MPI_ERR_PROC_FAILED`: the operation could not complete because a
+    /// member process failed. Carries the first failed peer this rank
+    /// observed (group-local index and global id).
+    ProcFailed {
+        /// Group-local index of the observed failed peer.
+        peer: usize,
+        /// Global rank id of the observed failed peer.
+        global: RankId,
+    },
+    /// `MPI_ERR_REVOKED`: the communicator was revoked; only `agree` and
+    /// `shrink` remain usable.
+    Revoked,
+    /// The calling rank itself was killed by the fault plan; it must unwind.
+    SelfDied,
+    /// The rank was excluded from the shrunk communicator by the recovery
+    /// policy (e.g. drop-node evicting healthy ranks of a failed node) and
+    /// must leave the computation.
+    Excluded,
+}
+
+impl UlfmError {
+    /// Is this an error the ULFM recovery path (revoke + shrink + retry)
+    /// can absorb? `SelfDied`/`Excluded` are terminal for the local rank.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, UlfmError::ProcFailed { .. } | UlfmError::Revoked)
+    }
+}
+
+impl fmt::Display for UlfmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UlfmError::ProcFailed { peer, global } => {
+                write!(f, "process failed: group peer #{peer} (global {global})")
+            }
+            UlfmError::Revoked => write!(f, "communicator revoked"),
+            UlfmError::SelfDied => write!(f, "local rank died"),
+            UlfmError::Excluded => write!(f, "rank excluded from shrunk communicator"),
+        }
+    }
+}
+
+impl std::error::Error for UlfmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability() {
+        assert!(UlfmError::ProcFailed {
+            peer: 1,
+            global: RankId(3)
+        }
+        .is_recoverable());
+        assert!(UlfmError::Revoked.is_recoverable());
+        assert!(!UlfmError::SelfDied.is_recoverable());
+        assert!(!UlfmError::Excluded.is_recoverable());
+    }
+}

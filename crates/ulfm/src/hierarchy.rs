@@ -1,0 +1,147 @@
+//! Hierarchical allreduce: node-local reduce → cross-node allreduce among
+//! node leaders → node-local broadcast.
+//!
+//! This is Horovod's hierarchical-allreduce optimization, which exploits
+//! exactly the node structure the paper's Summit setup has (6 GPUs per
+//! node): intra-node traffic is cheap, so only one rank per node
+//! participates in the expensive cross-node exchange. Provided here both
+//! as a genuinely useful collective and as the natural consumer of
+//! [`Communicator::split`].
+
+use crate::comm::Communicator;
+use crate::error::UlfmError;
+use collectives::{AllreduceAlgo, Elem, ReduceOp};
+
+/// Cached split communicators for hierarchical collectives over a parent
+/// communicator. Build once per membership epoch (splits are collective
+/// and not free); rebuild after any shrink/join.
+pub struct Hierarchy {
+    /// Node-local communicator (always present; may be size 1).
+    local: Communicator,
+    /// Cross-node communicator of node leaders (present iff this rank is
+    /// its node's leader).
+    cross: Option<Communicator>,
+}
+
+impl Hierarchy {
+    /// Build the node-local and leader communicators from `comm`.
+    /// Collective over `comm`.
+    pub fn build(comm: &Communicator) -> Result<Self, UlfmError> {
+        let fabric = comm.endpoint().fabric();
+        let node = fabric.node_of(comm.global_rank()).0 as u64;
+        let local = comm
+            .split(node, comm.rank() as u64)?
+            .expect("every rank has a node color");
+        let leader = local.rank() == 0;
+        let cross_color = if leader { 0 } else { Communicator::SPLIT_UNDEFINED };
+        let cross = comm.split(cross_color, node)?;
+        Ok(Self { local, cross })
+    }
+
+    /// The node-local communicator.
+    pub fn local(&self) -> &Communicator {
+        &self.local
+    }
+
+    /// Is this rank its node's leader (participant in the cross-node
+    /// exchange)?
+    pub fn is_leader(&self) -> bool {
+        self.cross.is_some()
+    }
+
+    /// Hierarchical in-place allreduce: reduce onto the node leader,
+    /// allreduce among leaders, broadcast back within the node. The result
+    /// equals a flat allreduce up to floating-point reassociation (bit-
+    /// exact for integer elements).
+    pub fn allreduce<E: Elem>(
+        &self,
+        buf: &mut [E],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Result<(), UlfmError> {
+        self.local.reduce(0, buf, op)?;
+        if let Some(cross) = &self.cross {
+            cross.allreduce(buf, op, algo)?;
+        }
+        // Node-local broadcast of the final values.
+        let mut bytes = if self.local.rank() == 0 {
+            E::encode_slice(buf)
+        } else {
+            Vec::new()
+        };
+        self.local.bcast(0, &mut bytes)?;
+        if self.local.rank() != 0 {
+            buf.copy_from_slice(&E::decode_slice(&bytes));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Proc, Universe};
+    use transport::Topology;
+
+    fn input_for(rank: usize, len: usize) -> Vec<i64> {
+        (0..len).map(|i| (rank * 31 + i * 7) as i64 - 40).collect()
+    }
+
+    #[test]
+    fn hierarchical_equals_flat_for_integers() {
+        // 3 nodes × 3 ranks.
+        let u = Universe::without_faults(Topology::new(3));
+        let handles = u.spawn_batch(9, |p: Proc| {
+            let comm = p.init_comm();
+            let h = Hierarchy::build(&comm).unwrap();
+            let mut hier = input_for(comm.rank(), 25);
+            h.allreduce(&mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            let mut flat = input_for(comm.rank(), 25);
+            comm.allreduce(&mut flat, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            (hier, flat, h.is_leader(), h.local().size())
+        });
+        let mut leaders = 0;
+        for h in handles {
+            let (hier, flat, leader, local_size) = h.join();
+            assert_eq!(hier, flat);
+            assert_eq!(local_size, 3);
+            leaders += usize::from(leader);
+        }
+        assert_eq!(leaders, 3, "one leader per node");
+    }
+
+    #[test]
+    fn works_with_partial_last_node() {
+        // 7 ranks over 3-per-node: nodes of 3, 3, 1.
+        let u = Universe::without_faults(Topology::new(3));
+        let handles = u.spawn_batch(7, |p: Proc| {
+            let comm = p.init_comm();
+            let h = Hierarchy::build(&comm).unwrap();
+            let mut buf = vec![comm.rank() as i64];
+            h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            buf[0]
+        });
+        for h in handles {
+            assert_eq!(h.join(), (0..7).sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn max_and_min_ops() {
+        let u = Universe::without_faults(Topology::new(2));
+        let handles = u.spawn_batch(4, |p: Proc| {
+            let comm = p.init_comm();
+            let h = Hierarchy::build(&comm).unwrap();
+            let mut buf = vec![comm.rank() as i64 * 10];
+            h.allreduce(&mut buf, ReduceOp::Max, AllreduceAlgo::Ring)
+                .unwrap();
+            buf[0]
+        });
+        for h in handles {
+            assert_eq!(h.join(), 30);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The [`Universe`]: rank threads, communicator-id interning, revocation
+//! board, and the join service for dynamic process spawn.
+//!
+//! The universe plays the role of the MPI runtime environment (PRRTE on a
+//! real machine): it launches workers, assigns permanent rank ids, lets an
+//! external driver inject failures, and provides the out-of-band channel
+//! through which *new* workers join a running computation (the paper's
+//! replacement and upscaling scenarios).
+
+use crate::comm::Communicator;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, NodeId, RankId, Topology};
+
+/// Construction key for a communicator; every member derives the identical
+/// key, so interning yields the identical id without communication.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum CommKey {
+    /// Initial communicator of spawn batch `batch` over `group`.
+    Init { batch: u64, group: Vec<RankId> },
+    /// Shrink iteration `generation` of parent `parent` onto `group`.
+    Shrink {
+        parent: u64,
+        generation: u64,
+        group: Vec<RankId>,
+    },
+    /// Join epoch `epoch` merging into `group`.
+    Join { epoch: u64, group: Vec<RankId> },
+    /// Split number `split_seq` of `parent` with `color` onto `group`.
+    Split {
+        parent: u64,
+        split_seq: u64,
+        color: u64,
+        group: Vec<RankId>,
+    },
+}
+
+/// Information a joining worker needs to construct the merged communicator.
+/// Issued out-of-band by the accepting leader through the join service —
+/// modelling the rendezvous/PMIx channel real elastic runtimes use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinTicket {
+    /// Merged group (existing members first, joiners appended in rank order).
+    pub group: Vec<RankId>,
+    /// Join epoch (used to derive the merged communicator's identity).
+    pub epoch: u64,
+}
+
+#[derive(Default)]
+struct JoinState {
+    pending: Vec<RankId>,
+    tickets: HashMap<RankId, JoinTicket>,
+}
+
+/// Out-of-band join service (the "rendezvous" of the MPI world).
+pub(crate) struct JoinServer {
+    state: Mutex<JoinState>,
+    cv: Condvar,
+    /// Monotone count of announcements ever made — lets existing members
+    /// wait deterministically for an expected number of joiners without
+    /// racing against the leader draining the pending list.
+    announced: AtomicU64,
+}
+
+impl JoinServer {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(JoinState::default()),
+            cv: Condvar::new(),
+            announced: AtomicU64::new(0),
+        }
+    }
+
+    /// A new worker announces itself as ready to join.
+    pub(crate) fn announce(&self, rank: RankId) {
+        self.state.lock().pending.push(rank);
+        self.announced.fetch_add(1, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Total announcements ever made (monotone).
+    pub(crate) fn announced_total(&self) -> u64 {
+        self.announced.load(Ordering::SeqCst)
+    }
+
+    /// The accepting leader drains the current pending list.
+    pub(crate) fn take_pending(&self) -> Vec<RankId> {
+        let mut st = self.state.lock();
+        st.pending.sort();
+        std::mem::take(&mut st.pending)
+    }
+
+    /// How many workers are waiting to join.
+    pub(crate) fn pending_count(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
+    /// Leader issues the merged-group ticket to a joiner.
+    pub(crate) fn issue_ticket(&self, rank: RankId, ticket: JoinTicket) {
+        self.state.lock().tickets.insert(rank, ticket);
+        self.cv.notify_all();
+    }
+
+    /// A joiner blocks until its ticket arrives.
+    pub(crate) fn wait_ticket(&self, rank: RankId) -> JoinTicket {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = st.tickets.remove(&rank) {
+                return t;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) revoked: RwLock<HashSet<u64>>,
+    comm_ids: Mutex<HashMap<CommKey, u64>>,
+    next_comm_id: AtomicU64,
+    pub(crate) join: JoinServer,
+    next_batch: AtomicU64,
+    join_epoch: AtomicU64,
+}
+
+impl Shared {
+    /// All members calling with the same key receive the same dense id.
+    pub(crate) fn intern_comm(&self, key: CommKey) -> u64 {
+        let mut ids = self.comm_ids.lock();
+        let next = &self.next_comm_id;
+        *ids.entry(key)
+            .or_insert_with(|| next.fetch_add(1, Ordering::SeqCst))
+    }
+
+    pub(crate) fn is_revoked(&self, comm_id: u64) -> bool {
+        self.revoked.read().contains(&comm_id)
+    }
+
+    pub(crate) fn revoke(&self, comm_id: u64) {
+        let newly = self.revoked.write().insert(comm_id);
+        if newly {
+            // Interrupt every pending receive so members observe the
+            // revocation promptly (the reliable-broadcast part of
+            // MPIX_Comm_revoke).
+            self.fabric.wake_all();
+        }
+    }
+
+    pub(crate) fn next_join_epoch(&self) -> u64 {
+        self.join_epoch.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// Handle to a spawned worker thread.
+pub struct WorkerHandle<R> {
+    /// The worker's permanent global rank.
+    pub rank: RankId,
+    thread: JoinHandle<R>,
+}
+
+impl<R> WorkerHandle<R> {
+    /// Wait for the worker to finish and take its result.
+    ///
+    /// # Panics
+    /// Panics if the worker thread itself panicked (a bug, not a simulated
+    /// failure — simulated failures return normally through error values).
+    pub fn join(self) -> R {
+        self.thread
+            .join()
+            .expect("worker thread panicked (bug, not a simulated failure)")
+    }
+
+    /// Is the worker still running?
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+}
+
+/// Per-rank context handed to a worker function.
+pub struct Proc {
+    pub(crate) ep: Endpoint,
+    pub(crate) shared: Arc<Shared>,
+    initial_group: Vec<RankId>,
+    batch: u64,
+}
+
+impl Proc {
+    /// This worker's permanent global rank.
+    pub fn rank(&self) -> RankId {
+        self.ep.rank()
+    }
+
+    /// The node hosting this worker.
+    pub fn node(&self) -> NodeId {
+        self.ep.fabric().node_of(self.ep.rank())
+    }
+
+    /// The transport endpoint (for custom protocols and fault points).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// The communicator spanning this worker's spawn batch (the
+    /// `MPI_COMM_WORLD` of its launch).
+    pub fn init_comm(&self) -> Communicator {
+        let id = self.shared.intern_comm(CommKey::Init {
+            batch: self.batch,
+            group: self.initial_group.clone(),
+        });
+        Communicator::construct(
+            Arc::clone(&self.shared),
+            self.ep.clone(),
+            id,
+            self.initial_group.clone(),
+        )
+    }
+
+    /// Join a running computation: announce to the join service, block for
+    /// the merged-group ticket, and construct the merged communicator.
+    /// Pairs with [`Communicator::accept_joiners`] on the existing members.
+    pub fn join_training(&self) -> Communicator {
+        self.shared.join.announce(self.rank());
+        let ticket = self.shared.join.wait_ticket(self.rank());
+        Communicator::from_join_ticket(Arc::clone(&self.shared), self.ep.clone(), &ticket)
+    }
+
+    /// Voluntarily leave the computation (drop-node policy evictions).
+    pub fn retire(&self) {
+        self.ep.retire();
+    }
+
+    /// Total joiner announcements ever made on this universe (monotone).
+    /// Lets training loops wait deterministically for expected joiners
+    /// before calling [`Communicator::accept_joiners`].
+    pub fn announced_joiners(&self) -> u64 {
+        self.shared.join.announced_total()
+    }
+}
+
+/// The runtime: owns the fabric and spawns worker threads.
+pub struct Universe {
+    shared: Arc<Shared>,
+}
+
+impl Universe {
+    /// Create a universe over `topology` with a scripted fault plan.
+    pub fn new(topology: Topology, plan: FaultPlan) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                fabric: Fabric::new(topology, FaultInjector::new(plan)),
+                revoked: RwLock::new(HashSet::new()),
+                comm_ids: Mutex::new(HashMap::new()),
+                next_comm_id: AtomicU64::new(0),
+                join: JoinServer::new(),
+                next_batch: AtomicU64::new(0),
+                join_epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A fault-free universe.
+    pub fn without_faults(topology: Topology) -> Self {
+        Self::new(topology, FaultPlan::none())
+    }
+
+    /// Spawn `n` workers as one batch; each runs `f` and sees the whole
+    /// batch as its [`Proc::init_comm`] group.
+    pub fn spawn_batch<R, F>(&self, n: usize, f: F) -> Vec<WorkerHandle<R>>
+    where
+        R: Send + 'static,
+        F: Fn(Proc) -> R + Send + Sync + Clone + 'static,
+    {
+        let ranks = self.shared.fabric.register_ranks(n);
+        let batch = self.shared.next_batch.fetch_add(1, Ordering::SeqCst);
+        ranks
+            .iter()
+            .map(|&rank| {
+                let shared = Arc::clone(&self.shared);
+                let group = ranks.clone();
+                let f = f.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("rank-{}", rank.0))
+                    .spawn(move || {
+                        let fabric = Arc::clone(&shared.fabric);
+                        let proc = Proc {
+                            ep: Endpoint::new(Arc::clone(&shared.fabric), rank),
+                            shared,
+                            initial_group: group,
+                            batch,
+                        };
+                        let out = f(proc);
+                        // Model MPI process termination: once the worker
+                        // function returns, the rank is gone; peers blocked
+                        // on it observe the failure instead of hanging.
+                        fabric.kill_rank(rank);
+                        out
+                    })
+                    .expect("failed to spawn worker thread");
+                WorkerHandle { rank, thread }
+            })
+            .collect()
+    }
+
+    /// Spawn `k` *joining* workers (replacement or upscale); they should
+    /// call [`Proc::join_training`] to merge into the running computation.
+    pub fn spawn_joiners<R, F>(&self, k: usize, f: F) -> Vec<WorkerHandle<R>>
+    where
+        R: Send + 'static,
+        F: Fn(Proc) -> R + Send + Sync + Clone + 'static,
+    {
+        self.spawn_batch(k, f)
+    }
+
+    /// Kill a rank from the outside (hardware failure).
+    pub fn kill_rank(&self, rank: RankId) {
+        self.shared.fabric.kill_rank(rank);
+    }
+
+    /// Kill every rank on a node.
+    pub fn kill_node(&self, node: NodeId) {
+        self.shared.fabric.kill_node(node);
+    }
+
+    /// The underlying fabric (stats, alive table).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.shared.fabric
+    }
+
+    /// Workers currently waiting on the join service.
+    pub fn pending_joiners(&self) -> usize {
+        self.shared.join.pending_count()
+    }
+
+    #[allow(dead_code)] // exercised by unit tests
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_batch_assigns_dense_ranks() {
+        let u = Universe::without_faults(Topology::flat());
+        let handles = u.spawn_batch(4, |p| p.rank().0);
+        let got: Vec<usize> = handles.into_iter().map(|h| h.join()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn init_comm_ids_are_shared_within_batch() {
+        let u = Universe::without_faults(Topology::flat());
+        let handles = u.spawn_batch(3, |p| p.init_comm().id());
+        let ids: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
+        assert!(ids.iter().all(|&i| i == ids[0]));
+    }
+
+    #[test]
+    fn separate_batches_get_separate_comm_ids() {
+        let u = Universe::without_faults(Topology::flat());
+        let a = u.spawn_batch(2, |p| p.init_comm().id());
+        let ids_a: Vec<u64> = a.into_iter().map(|h| h.join()).collect();
+        let b = u.spawn_batch(2, |p| p.init_comm().id());
+        let ids_b: Vec<u64> = b.into_iter().map(|h| h.join()).collect();
+        assert_ne!(ids_a[0], ids_b[0]);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let u = Universe::without_faults(Topology::flat());
+        let key = CommKey::Init {
+            batch: 9,
+            group: vec![RankId(0), RankId(1)],
+        };
+        let a = u.shared().intern_comm(key.clone());
+        let b = u.shared().intern_comm(key);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_server_handshake() {
+        let u = Universe::without_faults(Topology::flat());
+        let shared = Arc::clone(u.shared());
+        let t = std::thread::spawn(move || {
+            shared.join.announce(RankId(7));
+            shared.join.wait_ticket(RankId(7))
+        });
+        // Leader side: wait for the announcement, then issue the ticket.
+        while u.pending_joiners() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let pending = u.shared().join.take_pending();
+        assert_eq!(pending, vec![RankId(7)]);
+        let ticket = JoinTicket {
+            group: vec![RankId(0), RankId(7)],
+            epoch: 0,
+        };
+        u.shared().join.issue_ticket(RankId(7), ticket.clone());
+        assert_eq!(t.join().unwrap(), ticket);
+    }
+
+    #[test]
+    fn kill_rank_via_universe() {
+        let u = Universe::without_faults(Topology::flat());
+        let handles = u.spawn_batch(2, |p| {
+            // Rank 1 waits until killed.
+            if p.rank() == RankId(1) {
+                while p.endpoint().is_self_alive() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                "killed"
+            } else {
+                "fine"
+            }
+        });
+        u.kill_rank(RankId(1));
+        let results: Vec<&str> = handles.into_iter().map(|h| h.join()).collect();
+        assert_eq!(results, vec!["fine", "killed"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the ULFM runtime: agreement uniformity under random
+//! fault schedules, and shrink invariants.
+
+use proptest::prelude::*;
+use transport::{FaultPlan, RankId, Topology};
+use ulfm::{Proc, Universe};
+
+proptest! {
+    // Each case spawns real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Agreement uniformity: under any schedule of up to two scripted
+    /// deaths at arbitrary agreement rounds, every survivor that returns a
+    /// result returns the *same* result.
+    #[test]
+    fn agreement_uniform_under_random_faults(
+        p in 3usize..=7,
+        v1_pick in any::<usize>(),
+        v2_pick in any::<usize>(),
+        r1 in 1u64..=6,
+        r2 in 1u64..=6,
+        flags in proptest::collection::vec(any::<u64>(), 7),
+    ) {
+        let v1 = v1_pick % p;
+        let v2 = v2_pick % p;
+        let plan = FaultPlan::none()
+            .kill_at_point(RankId(v1), "agree.round", r1)
+            .kill_at_point(RankId(v2), "agree.round", r2);
+        let u = Universe::new(Topology::flat(), plan);
+        let flags = std::sync::Arc::new(flags);
+        let fl = std::sync::Arc::clone(&flags);
+        let handles = u.spawn_batch(p, move |proc: Proc| {
+            let comm = proc.init_comm();
+            comm.agree(fl[proc.rank().0 % fl.len()], proc.rank().0 as u64).ok()
+        });
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        let oks: Vec<_> = results.iter().flatten().collect();
+        prop_assert!(!oks.is_empty(), "at least one rank survives two faults");
+        for o in &oks[1..] {
+            prop_assert_eq!(*o, oks[0], "agreement must be uniform: {:?}", results);
+        }
+    }
+
+    /// Shrink invariants: for any victim/timing, the shrunk communicator at
+    /// every survivor has (a) the same group, (b) dense ranks matching the
+    /// sorted survivor order, (c) no failed member.
+    #[test]
+    fn shrink_produces_identical_dense_groups(
+        p in 3usize..=7,
+        victim_pick in any::<usize>(),
+        at in 1u64..=10,
+    ) {
+        let victim = victim_pick % p;
+        let plan = FaultPlan::none().kill_at_point(RankId(victim), "allreduce.step", at);
+        let u = Universe::new(Topology::flat(), plan);
+        let handles = u.spawn_batch(p, move |proc: Proc| {
+            let comm = proc.init_comm();
+            let mut buf = vec![1.0f32; 32];
+            match comm.allreduce(&mut buf, collectives::ReduceOp::Sum, Default::default()) {
+                Err(ulfm::UlfmError::SelfDied) => return None,
+                r => {
+                    if r.is_ok() {
+                        // Join recovery via the revocation signal.
+                        if let Err(ulfm::UlfmError::SelfDied) = comm.barrier() {
+                            return None;
+                        }
+                    }
+                }
+            }
+            comm.revoke();
+            match comm.shrink() {
+                Ok(c) => Some((c.rank(), c.group().to_vec())),
+                Err(_) => None,
+            }
+        });
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        let survivors: Vec<&(usize, Vec<RankId>)> = results.iter().flatten().collect();
+        // If the victim's death fired (it may not, if `at` exceeds the
+        // protocol length), survivors exclude it.
+        prop_assert!(!survivors.is_empty());
+        let group0 = &survivors[0].1;
+        let mut seen_ranks: Vec<usize> = Vec::new();
+        for (rank, group) in &survivors {
+            prop_assert_eq!(group, group0, "groups differ across survivors");
+            // Dense rank = position of self in group; collect for coverage.
+            seen_ranks.push(*rank);
+        }
+        seen_ranks.sort_unstable();
+        seen_ranks.dedup();
+        prop_assert_eq!(seen_ranks.len(), survivors.len(), "duplicate dense ranks");
+        // Group is sorted and has no dead members at shrink time.
+        prop_assert!(group0.windows(2).all(|w| w[0] < w[1]));
+    }
+}

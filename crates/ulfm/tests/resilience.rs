@@ -1,0 +1,348 @@
+//! End-to-end tests of the ULFM runtime: failures mid-collective, the
+//! revoke → agree → shrink → retry cycle, recovery policies, and dynamic
+//! joins. These exercise the exact mechanism the paper's §3 builds on.
+
+use collectives::{AllgatherAlgo, AllreduceAlgo, ReduceOp};
+use transport::FaultPlan;
+use ulfm::{Proc, RankId, ShrinkOutcome, Topology, UlfmError, Universe};
+
+fn input_for(rank: usize, len: usize) -> Vec<f32> {
+    (0..len).map(|i| (rank * 13 + i) as f32 * 0.5).collect()
+}
+
+fn sum_over(ranks: &[usize], len: usize) -> Vec<f32> {
+    let mut out = vec![0.0; len];
+    for &r in ranks {
+        for (o, v) in out.iter_mut().zip(input_for(r, len)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+#[test]
+fn fault_free_allreduce_all_algorithms() {
+    for algo in [
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Rabenseifner,
+    ] {
+        let u = Universe::without_faults(Topology::flat());
+        let handles = u.spawn_batch(6, move |p: Proc| {
+            let comm = p.init_comm();
+            let mut buf = input_for(comm.rank(), 40);
+            comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+            buf
+        });
+        let want = sum_over(&[0, 1, 2, 3, 4, 5], 40);
+        for h in handles {
+            assert_eq!(h.join(), want, "{algo:?}");
+        }
+    }
+}
+
+#[test]
+fn sequence_of_collectives_stays_matched() {
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(4, |p: Proc| {
+        let comm = p.init_comm();
+        let mut a = vec![comm.rank() as f32];
+        comm.allreduce(&mut a, ReduceOp::Sum, AllreduceAlgo::Ring)
+            .unwrap();
+        comm.barrier().unwrap();
+        let mut b = vec![1u8 + comm.rank() as u8];
+        let blocks = comm.allgather(&b, AllgatherAlgo::Bruck).unwrap();
+        comm.bcast(2, &mut b).unwrap();
+        (a[0], blocks, b)
+    });
+    for h in handles {
+        let (sum, blocks, b) = h.join();
+        assert_eq!(sum, 6.0);
+        assert_eq!(blocks, vec![vec![1], vec![2], vec![3], vec![4]]);
+        assert_eq!(b, vec![3]);
+    }
+}
+
+/// The paper's core mechanism (§3.2): a worker dies mid-allreduce; the
+/// survivors revoke, shrink, and *re-execute the failed allreduce from
+/// their retained inputs* on the shrunk communicator — no rollback.
+#[test]
+fn forward_recovery_after_death_mid_allreduce() {
+    let n = 6;
+    let victim = 3usize;
+    let plan = FaultPlan::none().kill_at_point(RankId(victim), "allreduce.step", 3);
+    let u = Universe::new(Topology::flat(), plan);
+    let handles = u.spawn_batch(n, move |p: Proc| {
+        let comm = p.init_comm();
+        let saved = input_for(comm.rank(), 48); // retained input (the gradient)
+        let mut buf = saved.clone();
+        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+            Ok(()) => {
+                // This rank did not observe the failure; it will observe the
+                // revocation on its next operation and must join recovery.
+                match comm.barrier() {
+                    Ok(()) => {} // possible if it raced ahead of the revoke
+                    Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+                }
+            }
+            Err(UlfmError::SelfDied) => return None,
+            Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+        }
+        // Recovery: revoke, shrink, retry from the retained input.
+        comm.revoke();
+        let shrunk = comm.shrink().expect("survivor must shrink");
+        assert_eq!(shrunk.size(), n - 1);
+        let mut buf = saved;
+        shrunk
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+            .expect("retry on shrunk communicator must succeed");
+        Some((shrunk.rank(), buf))
+    });
+    let want = sum_over(&[0, 1, 2, 4, 5], 48);
+    let mut seen_ranks = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            None => assert_eq!(i, victim),
+            Some((new_rank, buf)) => {
+                assert_eq!(buf, want, "survivor {i} retry result");
+                seen_ranks.push(new_rank);
+            }
+        }
+    }
+    seen_ranks.sort_unstable();
+    assert_eq!(seen_ranks, vec![0, 1, 2, 3, 4], "dense re-ranking");
+}
+
+#[test]
+fn revoke_interrupts_blocked_receiver() {
+    // Rank 1 blocks receiving a p2p message that will never come; rank 0
+    // revokes; rank 1 must unblock with Revoked.
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(2, |p: Proc| {
+        let comm = p.init_comm();
+        if comm.rank() == 1 {
+            comm.recv(0, 7).map(|_| ())
+        } else {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            comm.revoke();
+            Ok(())
+        }
+    });
+    let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    assert_eq!(results[0], Ok(()));
+    assert_eq!(results[1], Err(UlfmError::Revoked));
+}
+
+#[test]
+fn operations_on_revoked_comm_fail_but_shrink_works() {
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(3, |p: Proc| {
+        let comm = p.init_comm();
+        // (No pre-revoke collective: a peer's revoke may interrupt it —
+        // that interruption semantics is covered by other tests.)
+        comm.revoke();
+        let mut buf = vec![0.0f32; 4];
+        assert_eq!(
+            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring),
+            Err(UlfmError::Revoked)
+        );
+        // Nobody failed: shrink must return a same-size working communicator.
+        let shrunk = comm.shrink().unwrap();
+        assert_eq!(shrunk.size(), 3);
+        let mut buf = vec![1.0f32];
+        shrunk
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+            .unwrap();
+        buf[0]
+    });
+    for h in handles {
+        assert_eq!(h.join(), 3.0);
+    }
+}
+
+/// Drop-node policy (§3.3.1): healthy ranks sharing a node with the victim
+/// are excluded and must retire; the shrunk comm holds only other nodes.
+#[test]
+fn shrink_with_drop_node_policy() {
+    let rpn = 3; // 3 ranks per node, 9 ranks = 3 nodes
+    let topo = Topology::new(rpn);
+    let victim = RankId(4); // node 1 (ranks 3,4,5)
+    let plan = FaultPlan::none().kill_at_point(victim, "allreduce.step", 2);
+    let u = Universe::new(topo, plan);
+    let handles = u.spawn_batch(9, move |p: Proc| {
+        let comm = p.init_comm();
+        let mut buf = vec![1.0f32; 16];
+        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+            Err(UlfmError::SelfDied) => return "died",
+            r => {
+                if r.is_ok() {
+                    let _ = comm.barrier();
+                }
+            }
+        }
+        comm.revoke();
+        let outcome = comm
+            .shrink_with(|failed| {
+                // Evict every rank co-located with a failure.
+                let mut evicted = Vec::new();
+                for &f in failed {
+                    evicted.extend(topo.node_peers(f, 9));
+                }
+                evicted
+            })
+            .expect("shrink_with failed");
+        match outcome {
+            ShrinkOutcome::Excluded => {
+                p.retire();
+                "excluded"
+            }
+            ShrinkOutcome::Member(c) => {
+                assert_eq!(c.size(), 6, "two full nodes remain");
+                let mut b = vec![1.0f32];
+                c.allreduce(&mut b, ReduceOp::Sum, AllreduceAlgo::Ring)
+                    .unwrap();
+                assert_eq!(b[0], 6.0);
+                "member"
+            }
+        }
+    });
+    let results: Vec<&str> = handles.into_iter().map(|h| h.join()).collect();
+    assert_eq!(results[4], "died");
+    assert_eq!(results[3], "excluded");
+    assert_eq!(results[5], "excluded");
+    for r in [0, 1, 2, 6, 7, 8] {
+        assert_eq!(results[r], "member", "rank {r}");
+    }
+}
+
+/// Replacement / upscale (§3.3.2–3.3.3): new workers join through the join
+/// service and the merged communicator spans old + new.
+#[test]
+fn joiners_merge_into_running_group() {
+    let u = Universe::without_faults(Topology::flat());
+    let old = u.spawn_batch(3, |p: Proc| {
+        let comm = p.init_comm();
+        // Wait until the joiners have announced themselves.
+        while p.rank() == RankId(0) && comm.size() == 3 {
+            // Leader polls the join service via accept_joiners below.
+            break;
+        }
+        // Epoch boundary: wait until *both* joiners have announced (the
+        // monotone counter makes this deterministic), then everyone calls
+        // accept_joiners collectively.
+        while p.announced_joiners() < 2 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let merged = comm.accept_joiners().unwrap().expect("joiners pending");
+        let mut buf = vec![1.0f32];
+        merged
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+            .unwrap();
+        (merged.size(), buf[0], merged.rank())
+    });
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let new = u.spawn_joiners(2, |p: Proc| {
+        let merged = p.join_training();
+        let mut buf = vec![1.0f32];
+        merged
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+            .unwrap();
+        (merged.size(), buf[0], merged.rank())
+    });
+    let mut ranks = Vec::new();
+    for h in old.into_iter().chain(new) {
+        let (size, sum, rank) = h.join();
+        assert_eq!(size, 5);
+        assert_eq!(sum, 5.0);
+        ranks.push(rank);
+    }
+    ranks.sort_unstable();
+    assert_eq!(ranks, vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn accept_joiners_with_nobody_waiting_returns_none() {
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(2, |p: Proc| {
+        let comm = p.init_comm();
+        comm.accept_joiners().unwrap().is_none()
+    });
+    for h in handles {
+        assert!(h.join());
+    }
+}
+
+#[test]
+fn agree_min_supports_restart_index() {
+    // Survivors agree on the earliest failed collective index: the elastic
+    // layer uses the min-merge to decide where to resume.
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(4, |p: Proc| {
+        let comm = p.init_comm();
+        let my_failed_op = 10 + comm.rank() as u64 * 3;
+        let res = comm.agree(u64::MAX, my_failed_op).unwrap();
+        (res.min, res.flags)
+    });
+    for h in handles {
+        let (min, flags) = h.join();
+        assert_eq!(min, 10);
+        assert_eq!(flags, u64::MAX);
+    }
+}
+
+#[test]
+fn double_failure_shrink_iterates() {
+    // Two victims die at different points; a single recovery episode must
+    // still converge to a working communicator of the 4 survivors.
+    let plan = FaultPlan::none()
+        .kill_at_point(RankId(1), "allreduce.step", 2)
+        .kill_at_point(RankId(4), "agree.round", 2);
+    let u = Universe::new(Topology::flat(), plan);
+    let handles = u.spawn_batch(6, |p: Proc| {
+        let comm = p.init_comm();
+        let mut buf = input_for(comm.rank(), 24);
+        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+            Err(UlfmError::SelfDied) => return None,
+            r => {
+                if r.is_ok() {
+                    if let Err(UlfmError::SelfDied) = comm.barrier() {
+                        return None;
+                    }
+                }
+            }
+        }
+        comm.revoke();
+        let mut cur = match comm.shrink() {
+            Ok(c) => c,
+            Err(UlfmError::SelfDied) => return None,
+            Err(e) => panic!("{e}"),
+        };
+        // Retry until the collective completes (additional failures during
+        // recovery trigger further shrinks).
+        loop {
+            let mut retry = input_for(p.rank().0, 24);
+            match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Ok(()) => return Some((cur.size(), retry)),
+                Err(UlfmError::SelfDied) => return None,
+                Err(_) => {
+                    cur.revoke();
+                    cur = match cur.shrink() {
+                        Ok(c) => c,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(e) => panic!("{e}"),
+                    };
+                }
+            }
+        }
+    });
+    let want = sum_over(&[0, 2, 3, 5], 24);
+    let mut survivors = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        if let Some((size, buf)) = h.join() {
+            assert_eq!(size, 4, "rank {i}");
+            assert_eq!(buf, want, "rank {i}");
+            survivors += 1;
+        }
+    }
+    assert_eq!(survivors, 4);
+}

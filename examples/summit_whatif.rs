@@ -1,0 +1,45 @@
+//! What-if on the Summit-scale simulator: sweep a custom cluster or model
+//! through the recovery cost model and print the figure-style series.
+//!
+//! ```sh
+//! cargo run -p examples --bin summit_whatif [-- <gpus>]
+//! ```
+
+use dnn::paper_models;
+use simnet::{backward_breakdown, forward_breakdown, ClusterModel, EpisodeConfig, Level, SimScenario};
+
+fn main() {
+    let gpus: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(96);
+    let cluster = ClusterModel::summit();
+
+    println!("simulated recovery episodes at {gpus} GPUs (Summit constants)\n");
+    for model in paper_models() {
+        println!("── {} ({} tensors, {} MB state) ──", model.name, model.trainable_tensors, model.size_mb);
+        for (scenario, label) in [
+            (SimScenario::Down, "Down"),
+            (SimScenario::Same, "Same"),
+            (SimScenario::Up, "Up  "),
+        ] {
+            for level in [Level::Process, Level::Node] {
+                let cfg = EpisodeConfig {
+                    cluster,
+                    model: model.clone(),
+                    workers_before: gpus,
+                    scenario,
+                    level,
+                };
+                let fwd = forward_breakdown(&cfg).total();
+                let bwd = backward_breakdown(&cfg).total();
+                println!(
+                    "  {label} {level:>7?}:  ULFM {fwd:>8.3} s   Elastic-Horovod {bwd:>8.3} s   ({:>5.1}x)",
+                    bwd / fwd.max(1e-9)
+                );
+            }
+        }
+        println!();
+    }
+    println!("(`repro -- fig5|fig6|fig7` prints the full per-segment sweeps.)");
+}
