@@ -32,8 +32,7 @@ fn bench_gloo_rebuild(c: &mut Criterion) {
                                     expected: ranks.len(),
                                     timeout: Duration::from_secs(10),
                                 };
-                                let rep =
-                                    rendezvous(&store, &cfg, r, Topology::new(4)).unwrap();
+                                let rep = rendezvous(&store, &cfg, r, Topology::new(4)).unwrap();
                                 let ep = Endpoint::new(fabric, r);
                                 let ctx =
                                     Context::connect(ep, 1, rep.members, rep.my_rank).unwrap();
@@ -41,7 +40,10 @@ fn bench_gloo_rebuild(c: &mut Criterion) {
                             })
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .sum::<usize>()
                 })
             });
         });
@@ -60,7 +62,7 @@ fn bench_gloo_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(1))

@@ -10,6 +10,10 @@
 //! Table 2 and Fig. 2 are *executed* on the threaded runtime; Figs. 4–7
 //! come from the Summit-calibrated simulator (see DESIGN.md §1 for the
 //! substitution argument).
+//!
+//! Every run also dumps the stack-wide telemetry registry (counters,
+//! latency histograms, recovery episodes) to `telemetry.json` in the
+//! current directory — see EXPERIMENTS.md for the schema.
 
 use bench::{demonstrate_cell, fmt_s, paper_capability, render_table, TABLE2_ROWS};
 use dnn::paper_models;
@@ -47,6 +51,24 @@ fn main() {
     }
     if wants("scenario3") {
         scenario3();
+    }
+
+    dump_telemetry("telemetry.json");
+}
+
+/// Export the telemetry registry accumulated across everything this
+/// invocation executed. The episode records in it reconcile with the
+/// profiler breakdowns printed above (same phases, nanosecond precision).
+fn dump_telemetry(path: &str) {
+    let snap = telemetry::snapshot();
+    match std::fs::write(path, snap.to_json()) {
+        Ok(()) => println!(
+            "telemetry: wrote {path} ({} counters, {} histograms, {} episodes)",
+            snap.counters.len(),
+            snap.histograms.len(),
+            snap.episodes.len()
+        ),
+        Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
     }
 }
 
@@ -99,7 +121,10 @@ fn ablate() {
         .collect();
     println!(
         "{}",
-        render_table(&["Detect latency (s)", "ULFM total (s)", "EH total (s)"], &rows)
+        render_table(
+            &["Detect latency (s)", "ULFM total (s)", "EH total (s)"],
+            &rows
+        )
     );
     println!("ULFM's recovery cost is dominated by detection latency itself — the protocol");
     println!("work is milliseconds — while the baseline keeps its teardown/rebuild floor.\n");
@@ -109,7 +134,9 @@ fn ablate() {
 /// wait-for-all under stochastic worker arrivals.
 fn scenario3() {
     use simnet::arrivals::scenario3_sweep;
-    println!("== Scenario III: start-with-available vs wait-for-all (24 workers, 1 h horizon) ==\n");
+    println!(
+        "== Scenario III: start-with-available vs wait-for-all (24 workers, 1 h horizon) ==\n"
+    );
     let rows: Vec<Vec<String>> = scenario3_sweep(
         24,
         3600.0,
@@ -132,8 +159,12 @@ fn scenario3() {
         "{}",
         render_table(
             &[
-                "Arrival spread (s)", "Last arrival (s)", "Join events",
-                "Elastic work (w·s)", "Wait-for-all (w·s)", "Advantage",
+                "Arrival spread (s)",
+                "Last arrival (s)",
+                "Join events",
+                "Elastic work (w·s)",
+                "Wait-for-all (w·s)",
+                "Advantage",
             ],
             &rows
         )
@@ -160,7 +191,13 @@ fn table1() {
     println!(
         "{}",
         render_table(
-            &["Model", "Trainable", "Depth", "Total Parameters", "Size (MB)"],
+            &[
+                "Model",
+                "Trainable",
+                "Depth",
+                "Total Parameters",
+                "Size (MB)"
+            ],
             &rows
         )
     );
@@ -274,7 +311,12 @@ fn figure(key: &str, model_idx: usize) {
                     Level::Node => "node",
                 }
                 .to_string(),
-                if r.ulfm { "ULFM MPI" } else { "Elastic Horovod" }.to_string(),
+                if r.ulfm {
+                    "ULFM MPI"
+                } else {
+                    "Elastic Horovod"
+                }
+                .to_string(),
                 r.gpus.to_string(),
                 fmt_s(r.comm_reconstruction),
                 fmt_s(r.state_reinit),
@@ -287,8 +329,14 @@ fn figure(key: &str, model_idx: usize) {
         "{}",
         render_table(
             &[
-                "Scenario", "Level", "Library", "GPUs",
-                "CommReconstr+Rdv", "StateReinit", "Recompute", "Total",
+                "Scenario",
+                "Level",
+                "Library",
+                "GPUs",
+                "CommReconstr+Rdv",
+                "StateReinit",
+                "Recompute",
+                "Total",
             ],
             &table
         )
@@ -315,7 +363,12 @@ fn eq1() {
     println!(
         "{}",
         render_table(
-            &["Ckpt interval (steps)", "Saving cost (s)", "Recompute cost (s)", "Eq.1 total (s)"],
+            &[
+                "Ckpt interval (steps)",
+                "Saving cost (s)",
+                "Recompute cost (s)",
+                "Eq.1 total (s)"
+            ],
             &rows
         )
     );

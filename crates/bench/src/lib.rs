@@ -79,8 +79,8 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
         _ => unreachable!("Table 2 has four rows"),
     };
     let joiners = match row {
-        2 => 1,                      // grow by one process
-        3 => 3,                      // grow by one (3-rank) node
+        2 => 1, // grow by one process
+        3 => 3, // grow by one (3-rank) node
         _ => 0,
     };
     let cfg = ScenarioConfig {

@@ -23,10 +23,14 @@ pub fn allgather<C: PeerComm>(
     algo: AllgatherAlgo,
     tag_base: u64,
 ) -> Result<Vec<Vec<u8>>, CollError> {
-    match algo {
+    let metric = match algo {
+        AllgatherAlgo::Ring => "coll.allgather.ring",
+        AllgatherAlgo::Bruck => "coll.allgather.bruck",
+    };
+    crate::observe(metric, || match algo {
         AllgatherAlgo::Ring => ring_allgather(comm, mine, tag_base),
         AllgatherAlgo::Bruck => bruck_allgather(comm, mine, tag_base),
-    }
+    })
 }
 
 /// Ring allgather: each step forwards one block to the right neighbour.
@@ -52,7 +56,11 @@ pub fn ring_allgather<C: PeerComm>(
         let payload = out[send_idx]
             .as_deref()
             .expect("ring invariant: block to forward is present");
-        comm.send(right, tag, &encode_blocks(std::iter::once((send_idx, payload))))?;
+        comm.send(
+            right,
+            tag,
+            &encode_blocks(std::iter::once((send_idx, payload))),
+        )?;
         let data = comm.recv(left, tag)?;
         let mut blocks = decode_blocks(&data);
         assert_eq!(blocks.len(), 1);
@@ -153,6 +161,9 @@ mod tests {
             ring_allgather(&comm, &block_for(comm.rank()), 0).map(|_| ())
         });
         assert_eq!(results[1], Err(CollError::SelfDied));
-        assert!(results.iter().enumerate().any(|(r, res)| r != 1 && res.is_err()));
+        assert!(results
+            .iter()
+            .enumerate()
+            .any(|(r, res)| r != 1 && res.is_err()));
     }
 }

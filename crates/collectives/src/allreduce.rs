@@ -52,11 +52,16 @@ pub fn allreduce<E: Elem, C: PeerComm>(
     algo: AllreduceAlgo,
     tag_base: u64,
 ) -> Result<(), CollError> {
-    match algo {
+    let metric = match algo {
+        AllreduceAlgo::Ring => "coll.allreduce.ring",
+        AllreduceAlgo::RecursiveDoubling => "coll.allreduce.recursive_doubling",
+        AllreduceAlgo::Rabenseifner => "coll.allreduce.rabenseifner",
+    };
+    crate::observe(metric, || match algo {
         AllreduceAlgo::Ring => ring_allreduce(comm, buf, op, tag_base),
         AllreduceAlgo::RecursiveDoubling => recursive_doubling_allreduce(comm, buf, op, tag_base),
         AllreduceAlgo::Rabenseifner => rabenseifner_allreduce(comm, buf, op, tag_base),
-    }
+    })
 }
 
 /// Bandwidth-optimal ring allreduce (reduce-scatter ring + allgather ring).
@@ -82,7 +87,11 @@ pub fn ring_allreduce<E: Elem, C: PeerComm>(
         let send_chunk = (r + p - step) % p;
         let recv_chunk = (r + p - step - 1) % p;
         let tag = tag_base + step as u64;
-        comm.send(right, tag, &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]))?;
+        comm.send(
+            right,
+            tag,
+            &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]),
+        )?;
         let data = comm.recv(left, tag)?;
         let vals = E::decode_slice(&data);
         reduce_into(op, &mut buf[chunk_range(n, p, recv_chunk)], &vals);
@@ -94,7 +103,11 @@ pub fn ring_allreduce<E: Elem, C: PeerComm>(
         let send_chunk = (r + 1 + p - step) % p;
         let recv_chunk = (r + p - step) % p;
         let tag = tag_base + (p - 1 + step) as u64;
-        comm.send(right, tag, &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]))?;
+        comm.send(
+            right,
+            tag,
+            &E::encode_slice(&buf[chunk_range(n, p, send_chunk)]),
+        )?;
         let data = comm.recv(left, tag)?;
         let vals = E::decode_slice(&data);
         buf[chunk_range(n, p, recv_chunk)].copy_from_slice(&vals);
@@ -126,7 +139,7 @@ fn fold<E: Elem, C: PeerComm>(
     let r = comm.rank();
     if r < 2 * rem {
         comm.fault_point("allreduce.step")?;
-        if r % 2 == 0 {
+        if r.is_multiple_of(2) {
             comm.send(r + 1, tag, &E::encode_slice(buf))?;
             Ok(None)
         } else {
@@ -261,7 +274,11 @@ pub fn rabenseifner_allreduce<E: Elem, C: PeerComm>(
             let my_lo = (v / m) * m;
             let their_lo = (vpartner / m) * m;
             let tag = tag_base + 200 + step;
-            comm.send(partner, tag, &E::encode_slice(&buf[block(my_lo, my_lo + m)]))?;
+            comm.send(
+                partner,
+                tag,
+                &E::encode_slice(&buf[block(my_lo, my_lo + m)]),
+            )?;
             let data = comm.recv(partner, tag)?;
             buf[block(their_lo, their_lo + m)].copy_from_slice(&E::decode_slice(&data));
             m <<= 1;
@@ -368,7 +385,10 @@ mod tests {
             .enumerate()
             .filter(|(r, res)| *r != 2 && res.is_err())
             .count();
-        assert!(failures > 0, "no survivor observed the failure: {results:?}");
+        assert!(
+            failures > 0,
+            "no survivor observed the failure: {results:?}"
+        );
         for (r, res) in results.iter().enumerate() {
             if r != 2 {
                 assert!(

@@ -9,21 +9,23 @@ use crate::error::CollError;
 /// Completion at any rank implies every rank has entered the barrier
 /// (transitively through the dissemination pattern).
 pub fn dissemination_barrier<C: PeerComm>(comm: &C, tag_base: u64) -> Result<(), CollError> {
-    let p = comm.size();
-    let r = comm.rank();
-    let mut dist = 1usize;
-    let mut round = 0u64;
-    while dist < p {
-        comm.fault_point("barrier.step")?;
-        let to = (r + dist) % p;
-        let from = (r + p - dist) % p;
-        let tag = tag_base + round;
-        comm.send(to, tag, &[])?;
-        comm.recv(from, tag)?;
-        dist <<= 1;
-        round += 1;
-    }
-    Ok(())
+    crate::observe("coll.barrier", || {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut dist = 1usize;
+        let mut round = 0u64;
+        while dist < p {
+            comm.fault_point("barrier.step")?;
+            let to = (r + dist) % p;
+            let from = (r + p - dist) % p;
+            let tag = tag_base + round;
+            comm.send(to, tag, &[])?;
+            comm.recv(from, tag)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]

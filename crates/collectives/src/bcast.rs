@@ -12,38 +12,40 @@ pub fn binomial_bcast<C: PeerComm>(
     buf: &mut Vec<u8>,
     tag_base: u64,
 ) -> Result<(), CollError> {
-    let p = comm.size();
-    assert!(root < p, "broadcast root {root} out of range (size {p})");
-    if p == 1 {
-        return Ok(());
-    }
-    let vrank = (comm.rank() + p - root) % p;
-
-    // Non-roots receive once from the parent: the rank obtained by clearing
-    // the lowest set bit of vrank. `recv_bit` is that bit; the root acts as
-    // if it had received at the top of the tree.
-    let recv_bit = if vrank == 0 {
-        p.next_power_of_two()
-    } else {
-        let bit = vrank & vrank.wrapping_neg(); // lowest set bit
-        comm.fault_point("bcast.step")?;
-        let parent = ((vrank & !bit) + root) % p;
-        *buf = comm.recv(parent, tag_base)?;
-        bit
-    };
-
-    // Forward to children vrank + m for every bit m below recv_bit.
-    let mut m = recv_bit >> 1;
-    while m >= 1 {
-        let vchild = vrank + m;
-        if vchild < p {
-            comm.fault_point("bcast.step")?;
-            let child = (vchild + root) % p;
-            comm.send(child, tag_base, buf)?;
+    crate::observe("coll.bcast.binomial", || {
+        let p = comm.size();
+        assert!(root < p, "broadcast root {root} out of range (size {p})");
+        if p == 1 {
+            return Ok(());
         }
-        m >>= 1;
-    }
-    Ok(())
+        let vrank = (comm.rank() + p - root) % p;
+
+        // Non-roots receive once from the parent: the rank obtained by
+        // clearing the lowest set bit of vrank. `recv_bit` is that bit; the
+        // root acts as if it had received at the top of the tree.
+        let recv_bit = if vrank == 0 {
+            p.next_power_of_two()
+        } else {
+            let bit = vrank & vrank.wrapping_neg(); // lowest set bit
+            comm.fault_point("bcast.step")?;
+            let parent = ((vrank & !bit) + root) % p;
+            *buf = comm.recv(parent, tag_base)?;
+            bit
+        };
+
+        // Forward to children vrank + m for every bit m below recv_bit.
+        let mut m = recv_bit >> 1;
+        while m >= 1 {
+            let vchild = vrank + m;
+            if vchild < p {
+                comm.fault_point("bcast.step")?;
+                let child = (vchild + root) % p;
+                comm.send(child, tag_base, buf)?;
+            }
+            m >>= 1;
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]
@@ -82,7 +84,11 @@ mod tests {
         let payload = vec![0xabu8; 1 << 16];
         let want = payload.clone();
         let results = run_group(6, FaultPlan::none(), move |comm| {
-            let mut buf = if comm.rank() == 2 { payload.clone() } else { vec![] };
+            let mut buf = if comm.rank() == 2 {
+                payload.clone()
+            } else {
+                vec![]
+            };
             binomial_bcast(&comm, 2, &mut buf, 0).map(|()| buf)
         });
         for got in results {
@@ -100,7 +106,11 @@ mod tests {
             if comm.rank() != 1 {
                 std::thread::sleep(std::time::Duration::from_millis(40));
             }
-            let mut buf = if comm.rank() == 0 { vec![9u8; 4] } else { vec![] };
+            let mut buf = if comm.rank() == 0 {
+                vec![9u8; 4]
+            } else {
+                vec![]
+            };
             binomial_bcast(&comm, 0, &mut buf, 0)
         });
         assert_eq!(results[1], Err(CollError::SelfDied));

@@ -58,11 +58,8 @@ mod tests {
 
     #[test]
     fn roundtrip_mixed_sizes() {
-        let blocks: Vec<(usize, Vec<u8>)> = vec![
-            (3, vec![1, 2, 3]),
-            (0, vec![]),
-            (7, vec![0xff; 100]),
-        ];
+        let blocks: Vec<(usize, Vec<u8>)> =
+            vec![(3, vec![1, 2, 3]), (0, vec![]), (7, vec![0xff; 100])];
         let buf = encode_blocks(blocks.iter().map(|(i, b)| (*i, b.as_slice())));
         assert_eq!(decode_blocks(&buf), blocks);
     }

@@ -40,8 +40,7 @@ mod reduce;
 
 pub use allgather::{allgather, bruck_allgather, ring_allgather, AllgatherAlgo};
 pub use allreduce::{
-    allreduce, rabenseifner_allreduce, recursive_doubling_allreduce, ring_allreduce,
-    AllreduceAlgo,
+    allreduce, rabenseifner_allreduce, recursive_doubling_allreduce, ring_allreduce, AllreduceAlgo,
 };
 pub use barrier::dissemination_barrier;
 pub use bcast::binomial_bcast;
@@ -54,6 +53,20 @@ pub use reduce::{binomial_reduce, gather, scatter};
 /// Callers advance their sequence numbers by at least this much between
 /// collectives on the same communicator.
 pub const TAG_SPAN: u64 = 1 << 20;
+
+/// Wrap one collective invocation with telemetry: times the call into
+/// `<metric>.latency_ns` and bumps `<metric>.ops`, plus `<metric>.failures`
+/// when the collective surfaces an error (peer failure, revocation, ...).
+pub(crate) fn observe<T, E>(metric: &str, f: impl FnOnce() -> Result<T, E>) -> Result<T, E> {
+    telemetry::counter(&format!("{metric}.ops")).incr();
+    let span = telemetry::span(&format!("{metric}.latency_ns"));
+    let out = f();
+    drop(span);
+    if out.is_err() {
+        telemetry::counter(&format!("{metric}.failures")).incr();
+    }
+    out
+}
 
 #[cfg(test)]
 mod testutil;

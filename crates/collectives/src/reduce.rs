@@ -15,33 +15,39 @@ pub fn binomial_reduce<E: Elem, C: PeerComm>(
     op: ReduceOp,
     tag_base: u64,
 ) -> Result<(), CollError> {
-    let p = comm.size();
-    assert!(root < p, "reduce root {root} out of range (size {p})");
-    if p == 1 {
-        return Ok(());
-    }
-    let vrank = (comm.rank() + p - root) % p;
-
-    // Children send up in increasing-bit order; each rank absorbs children
-    // below its lowest set bit, then sends to its parent.
-    let mut mask = 1usize;
-    while mask < p {
-        if vrank & mask != 0 {
-            comm.fault_point("reduce.step")?;
-            let parent = ((vrank & !mask) + root) % p;
-            comm.send(parent, tag_base + mask.trailing_zeros() as u64, &E::encode_slice(buf))?;
+    crate::observe("coll.reduce.binomial", || {
+        let p = comm.size();
+        assert!(root < p, "reduce root {root} out of range (size {p})");
+        if p == 1 {
             return Ok(());
         }
-        let vchild = vrank | mask;
-        if vchild < p {
-            comm.fault_point("reduce.step")?;
-            let child = (vchild + root) % p;
-            let data = comm.recv(child, tag_base + mask.trailing_zeros() as u64)?;
-            reduce_into(op, buf, &E::decode_slice(&data));
+        let vrank = (comm.rank() + p - root) % p;
+
+        // Children send up in increasing-bit order; each rank absorbs
+        // children below its lowest set bit, then sends to its parent.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                comm.fault_point("reduce.step")?;
+                let parent = ((vrank & !mask) + root) % p;
+                comm.send(
+                    parent,
+                    tag_base + mask.trailing_zeros() as u64,
+                    &E::encode_slice(buf),
+                )?;
+                return Ok(());
+            }
+            let vchild = vrank | mask;
+            if vchild < p {
+                comm.fault_point("reduce.step")?;
+                let child = (vchild + root) % p;
+                let data = comm.recv(child, tag_base + mask.trailing_zeros() as u64)?;
+                reduce_into(op, buf, &E::decode_slice(&data));
+            }
+            mask <<= 1;
         }
-        mask <<= 1;
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 /// Gather each rank's byte block to `root`. Returns `Some(blocks)` (indexed
@@ -53,27 +59,29 @@ pub fn gather<C: PeerComm>(
     mine: &[u8],
     tag_base: u64,
 ) -> Result<Option<Vec<Vec<u8>>>, CollError> {
-    let p = comm.size();
-    let r = comm.rank();
-    assert!(root < p, "gather root {root} out of range (size {p})");
-    if r == root {
-        let mut out = vec![Vec::new(); p];
-        out[root] = mine.to_vec();
-        for peer in (0..p).filter(|&x| x != root) {
+    crate::observe("coll.gather.linear", || {
+        let p = comm.size();
+        let r = comm.rank();
+        assert!(root < p, "gather root {root} out of range (size {p})");
+        if r == root {
+            let mut out = vec![Vec::new(); p];
+            out[root] = mine.to_vec();
+            for peer in (0..p).filter(|&x| x != root) {
+                comm.fault_point("gather.step")?;
+                let data = comm.recv(peer, tag_base)?;
+                let mut blocks = decode_blocks(&data);
+                assert_eq!(blocks.len(), 1);
+                let (idx, block) = blocks.pop().unwrap();
+                assert_eq!(idx, peer);
+                out[peer] = block;
+            }
+            Ok(Some(out))
+        } else {
             comm.fault_point("gather.step")?;
-            let data = comm.recv(peer, tag_base)?;
-            let mut blocks = decode_blocks(&data);
-            assert_eq!(blocks.len(), 1);
-            let (idx, block) = blocks.pop().unwrap();
-            assert_eq!(idx, peer);
-            out[peer] = block;
+            comm.send(root, tag_base, &encode_blocks(std::iter::once((r, mine))))?;
+            Ok(None)
         }
-        Ok(Some(out))
-    } else {
-        comm.fault_point("gather.step")?;
-        comm.send(root, tag_base, &encode_blocks(std::iter::once((r, mine))))?;
-        Ok(None)
-    }
+    })
 }
 
 /// Scatter per-rank byte blocks from `root`. The root passes
@@ -84,21 +92,23 @@ pub fn scatter<C: PeerComm>(
     blocks: Option<&[Vec<u8>]>,
     tag_base: u64,
 ) -> Result<Vec<u8>, CollError> {
-    let p = comm.size();
-    let r = comm.rank();
-    assert!(root < p, "scatter root {root} out of range (size {p})");
-    if r == root {
-        let blocks = blocks.expect("root must supply blocks");
-        assert_eq!(blocks.len(), p, "scatter needs one block per rank");
-        for peer in (0..p).filter(|&x| x != root) {
+    crate::observe("coll.scatter.linear", || {
+        let p = comm.size();
+        let r = comm.rank();
+        assert!(root < p, "scatter root {root} out of range (size {p})");
+        if r == root {
+            let blocks = blocks.expect("root must supply blocks");
+            assert_eq!(blocks.len(), p, "scatter needs one block per rank");
+            for peer in (0..p).filter(|&x| x != root) {
+                comm.fault_point("scatter.step")?;
+                comm.send(peer, tag_base, &blocks[peer])?;
+            }
+            Ok(blocks[root].clone())
+        } else {
             comm.fault_point("scatter.step")?;
-            comm.send(peer, tag_base, &blocks[peer])?;
+            comm.recv(root, tag_base)
         }
-        Ok(blocks[root].clone())
-    } else {
-        comm.fault_point("scatter.step")?;
-        comm.recv(root, tag_base)
-    }
+    })
 }
 
 #[cfg(test)]
@@ -143,8 +153,8 @@ mod tests {
     fn scatter_distributes_blocks() {
         let p = 4;
         let results = run_group(p, FaultPlan::none(), |comm| {
-            let blocks: Option<Vec<Vec<u8>>> = (comm.rank() == 1)
-                .then(|| (0..p).map(|i| vec![i as u8 * 10]).collect());
+            let blocks: Option<Vec<Vec<u8>>> =
+                (comm.rank() == 1).then(|| (0..p).map(|i| vec![i as u8 * 10]).collect());
             scatter(&comm, 1, blocks.as_deref(), 0)
         });
         for (i, r) in results.into_iter().enumerate() {

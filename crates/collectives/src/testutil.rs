@@ -18,7 +18,11 @@ impl TestComm {
         match e {
             TransportError::SelfDied => CollError::SelfDied,
             TransportError::PeerDead(r) => CollError::PeerFailed {
-                peer: self.group.iter().position(|&g| g == r).unwrap_or(usize::MAX),
+                peer: self
+                    .group
+                    .iter()
+                    .position(|&g| g == r)
+                    .unwrap_or(usize::MAX),
             },
             other => panic!("unexpected transport error in test: {other}"),
         }

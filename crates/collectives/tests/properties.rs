@@ -5,8 +5,8 @@
 //! value).
 
 use collectives::{
-    allgather, allreduce, binomial_bcast, binomial_reduce, AllgatherAlgo, AllreduceAlgo,
-    CollError, PeerComm, ReduceOp,
+    allgather, allreduce, binomial_bcast, binomial_reduce, AllgatherAlgo, AllreduceAlgo, CollError,
+    PeerComm, ReduceOp,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -27,11 +27,13 @@ impl PeerComm for PropComm {
         self.my_idx
     }
     fn send(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), CollError> {
-        self.ep.send(self.group[peer], tag, data).map_err(|e| match e {
-            transport::TransportError::PeerDead(_) => CollError::PeerFailed { peer },
-            transport::TransportError::SelfDied => CollError::SelfDied,
-            o => unreachable!("{o}"),
-        })
+        self.ep
+            .send(self.group[peer], tag, data)
+            .map_err(|e| match e {
+                transport::TransportError::PeerDead(_) => CollError::PeerFailed { peer },
+                transport::TransportError::SelfDied => CollError::SelfDied,
+                o => unreachable!("{o}"),
+            })
     }
     fn recv(&self, peer: usize, tag: u64) -> Result<Vec<u8>, CollError> {
         self.ep.recv(self.group[peer], tag).map_err(|e| match e {

@@ -144,9 +144,7 @@ impl Model {
         let mut pos = 0;
         for p in self.params_mut() {
             let n = p.value.len();
-            p.value
-                .data_mut()
-                .copy_from_slice(&flat[pos..pos + n]);
+            p.value.data_mut().copy_from_slice(&flat[pos..pos + n]);
             pos += n;
         }
         assert_eq!(pos, flat.len(), "state vector length mismatch");

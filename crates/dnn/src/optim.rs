@@ -120,7 +120,10 @@ impl Sgd {
     /// Apply one update from the accumulated gradients, then zero them.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(
             self.velocity.len(),

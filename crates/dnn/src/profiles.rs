@@ -146,7 +146,12 @@ mod tests {
             // Keras's quoted sizes include small non-trainable buffers, so
             // allow a modest tolerance (NasNetMobile is ~12% off pure-f32).
             let rel = (mib - m.size_mb).abs() / m.size_mb;
-            assert!(rel < 0.15, "{}: {mib:.1} MiB vs quoted {}", m.name, m.size_mb);
+            assert!(
+                rel < 0.15,
+                "{}: {mib:.1} MiB vs quoted {}",
+                m.name,
+                m.size_mb
+            );
         }
     }
 

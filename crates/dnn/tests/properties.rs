@@ -2,7 +2,7 @@
 //! invariants, sharding algebra, and gradient correctness on random
 //! networks.
 
-use dnn::{Checkpoint, Model, ModelProfile, Sgd, SyntheticDataset, Tensor};
+use dnn::{Checkpoint, Model, Sgd, SyntheticDataset, Tensor};
 use proptest::prelude::*;
 
 proptest! {

@@ -273,8 +273,9 @@ pub fn run_backward_worker(
             );
         };
 
-        let mut episode =
-            failure_episode.take().unwrap_or_else(|| RecoveryBreakdown::new(RecoveryKind::Join, step));
+        let mut episode = failure_episode
+            .take()
+            .unwrap_or_else(|| RecoveryBreakdown::new(RecoveryKind::Join, step));
 
         // --- rendezvous (global + node-local) -----------------------------
         let rdv_cfg = RendezvousConfig {
@@ -332,6 +333,7 @@ pub fn run_backward_worker(
             }
         });
         steps_recomputed += rolled_back;
+        episode.publish(me.0);
         breakdowns.push(episode);
 
         // --- training under this configuration ----------------------------
@@ -339,6 +341,8 @@ pub fn run_backward_worker(
         let my_rank = ctx.rank();
         let mut recompute_marker = true; // first steps after rollback are recompute
         while (step as usize) < spec.total_steps {
+            telemetry::counter("elastic.backward.steps").incr();
+            let _step_span = telemetry::span("elastic.backward.step_ns");
             // Another failure elsewhere may have bumped the epoch while we
             // were computing; bail out to reconfigure.
             if driver.epoch() != epoch {
@@ -402,14 +406,14 @@ pub fn run_backward_worker(
             recompute_marker = false;
 
             // Per-batch in-memory checkpoint (the paper's minimum interval).
-            if step % cfg.checkpoint_every == 0 && my_rank == 0 {
+            if step.is_multiple_of(cfg.checkpoint_every) && my_rank == 0 {
                 driver.checkpoints().save(Checkpoint::capture(&model, &opt));
             }
 
             // Epoch boundary: hold for expected new workers, then the
             // leader adopts them (bumping the configuration epoch; the
             // check at the top of the loop reconfigures everyone).
-            if step as usize % spec.steps_per_epoch == 0 {
+            if (step as usize).is_multiple_of(spec.steps_per_epoch) {
                 while driver.announced_new_workers() < cfg.expected_new_workers as u64
                     && driver.epoch() == epoch
                 {

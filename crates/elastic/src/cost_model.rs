@@ -47,6 +47,7 @@ impl Eq1Params {
     /// `interval` steps: saving cost scales with `steps / interval`, while
     /// expected recompute per fault is half an interval of step time —
     /// the inverse relationship §2.2 describes.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_interval(
         steps: f64,
         interval: f64,
@@ -113,9 +114,8 @@ mod tests {
     #[test]
     fn optimal_interval_is_interior() {
         // The classic checkpoint-interval tradeoff has an interior optimum.
-        let cost = |i: f64| {
-            Eq1Params::with_interval(1000.0, i, 0.5, 0.05, 2.0, 0.5, 3.0, 0.0).total()
-        };
+        let cost =
+            |i: f64| Eq1Params::with_interval(1000.0, i, 0.5, 0.05, 2.0, 0.5, 3.0, 0.0).total();
         let c1 = cost(1.0);
         let c10 = cost(10.0);
         let c500 = cost(500.0);

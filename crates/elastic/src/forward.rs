@@ -133,6 +133,7 @@ fn run_inner(
         // "reinitializing the training state for the new workers".
         let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, 0);
         let s = episode.time("state_sync", || sync_state(&comm, &mut model, &mut opt));
+        episode.publish(proc.rank().0);
         breakdowns.push(episode);
         match s {
             Ok(step) => step,
@@ -159,6 +160,8 @@ fn run_inner(
     }
 
     while (step as usize) < spec.total_steps {
+        telemetry::counter("elastic.forward.steps").incr();
+        let _step_span = telemetry::span("elastic.forward.step_ns");
         // The step body may be re-attempted from scratch: if this worker had
         // raced ahead into step S+1 when a failure struck step S's commit
         // barrier, it redoes that barrier and then *recomputes* its S+1
@@ -203,7 +206,9 @@ fn run_inner(
                         recoveries += 1;
                         let my_global = global_op(step, n_tensors, local_op);
                         let mut episode = RecoveryBreakdown::new(RecoveryKind::Forward, step);
-                        let recovered = recover(proc, cfg, &comm, my_global, &mut episode, topology);
+                        let recovered =
+                            recover(proc, cfg, &comm, my_global, &mut episode, topology);
+                        episode.publish(proc.rank().0);
                         breakdowns.push(breakdowns_last_fix(&mut episode));
                         match recovered {
                             Ok((new_comm, restart)) => {
@@ -232,9 +237,7 @@ fn run_inner(
                                     loop {
                                         match comm.barrier() {
                                             Ok(()) => break,
-                                            Err(UlfmError::SelfDied) => {
-                                                return WorkerExit::Died
-                                            }
+                                            Err(UlfmError::SelfDied) => return WorkerExit::Died,
                                             Err(_) => {
                                                 recoveries += 1;
                                                 let mut ep = RecoveryBreakdown::new(
@@ -244,6 +247,7 @@ fn run_inner(
                                                 let r = recover(
                                                     proc, cfg, &comm, restart, &mut ep, topology,
                                                 );
+                                                ep.publish(proc.rank().0);
                                                 breakdowns.push(breakdowns_last_fix(&mut ep));
                                                 match r {
                                                     Ok((c, r2)) => {
@@ -329,7 +333,7 @@ fn run_inner(
         step += 1;
 
         // --- epoch boundary: accept joiners (scenarios II & III) ---------
-        if cfg.accept_joiners && step as usize % spec.steps_per_epoch == 0 {
+        if cfg.accept_joiners && (step as usize).is_multiple_of(spec.steps_per_epoch) {
             // Scenario II/III determinism: no epoch boundary passes until
             // every expected joiner has announced itself. The counter is
             // monotone and global, so all members unblock on the same
@@ -340,9 +344,9 @@ fn run_inner(
             match comm.accept_joiners() {
                 Ok(Some(new_comm)) => {
                     let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, step);
-                    let res = episode.time("state_sync", || {
-                        send_state(&new_comm, &model, &opt, step)
-                    });
+                    let res =
+                        episode.time("state_sync", || send_state(&new_comm, &model, &opt, step));
+                    episode.publish(proc.rank().0);
                     breakdowns.push(episode);
                     match res {
                         Ok(()) => comm = new_comm,

@@ -74,6 +74,29 @@ impl RecoveryBreakdown {
     pub fn push(&mut self, name: &'static str, duration: Duration) {
         self.phases.push(Phase { name, duration });
     }
+
+    /// Mirror this finished episode into the global telemetry registry so
+    /// a `telemetry::snapshot()` reconciles exactly with the breakdowns the
+    /// figure benches aggregate. Call once per episode, after all phases.
+    pub fn publish(&self, rank: usize) {
+        telemetry::record_episode(telemetry::Episode {
+            kind: match self.kind {
+                RecoveryKind::Forward => "forward",
+                RecoveryKind::Backward => "backward",
+                RecoveryKind::Join => "join",
+            },
+            rank,
+            at_step: self.at_step,
+            phases: self
+                .phases
+                .iter()
+                .map(|p| telemetry::EpisodePhase {
+                    name: p.name,
+                    ns: p.duration.as_nanos() as u64,
+                })
+                .collect(),
+        });
+    }
 }
 
 /// Element-wise mean of several workers' breakdowns (phases are matched by

@@ -128,6 +128,12 @@ impl ScenarioResult {
 
 /// Run a scripted scenario to completion.
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let metric = match cfg.engine {
+        Engine::UlfmForward => "elastic.scenario.forward",
+        Engine::GlooBackward => "elastic.scenario.backward",
+    };
+    telemetry::counter(&format!("{metric}.runs")).incr();
+    let _span = telemetry::span(&format!("{metric}.wall_ns"));
     match cfg.engine {
         Engine::UlfmForward => run_forward_scenario(cfg),
         Engine::GlooBackward => run_backward_scenario(cfg),
@@ -137,11 +143,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
 fn fault_plan(cfg: &ScenarioConfig) -> FaultPlan {
     match cfg.kind {
         ScenarioKind::Upscale => FaultPlan::none(),
-        _ => FaultPlan::none().kill_at_point(
-            RankId(cfg.victim),
-            "allreduce.step",
-            cfg.fail_at_op,
-        ),
+        _ => FaultPlan::none().kill_at_point(RankId(cfg.victim), "allreduce.step", cfg.fail_at_op),
     }
 }
 

@@ -68,10 +68,7 @@ fn recompute_grows_with_checkpoint_interval() {
     assert_eq!(c4, 3, "survivors complete at interval 4");
     // Per-step checkpoints: at most ~1 step lost. 4-step interval: up to 4.
     assert!(r1 <= 1, "interval 1 recomputed {r1} steps");
-    assert!(
-        r4 > r1,
-        "larger interval must recompute more: {r4} vs {r1}"
-    );
+    assert!(r4 > r1, "larger interval must recompute more: {r4} vs {r1}");
 }
 
 #[test]

@@ -84,7 +84,11 @@ fn survives_two_sequential_failures() {
             WorkerExit::Completed(s) => {
                 assert_eq!(s.final_world, 5);
                 assert_eq!(s.steps_done, 12);
-                assert!(s.recoveries >= 2, "expected ≥2 recoveries, got {}", s.recoveries);
+                assert!(
+                    s.recoveries >= 2,
+                    "expected ≥2 recoveries, got {}",
+                    s.recoveries
+                );
                 fps.push(s.state_fingerprint);
             }
             WorkerExit::Died => died += 1,

@@ -3,9 +3,7 @@
 
 use collectives::AllreduceAlgo;
 use elastic::scenario::{Engine, ScenarioKind};
-use elastic::{
-    run_scenario, RecoveryPolicy, RecoveryKind, ScenarioConfig, TrainSpec, WorkerExit,
-};
+use elastic::{run_scenario, RecoveryKind, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
 
 fn spec() -> TrainSpec {
     TrainSpec {
@@ -65,7 +63,11 @@ fn forward_downscale_node_level_excludes_peers() {
         .iter()
         .filter(|e| matches!(e, WorkerExit::Excluded(_)))
         .count();
-    assert_eq!(excluded, 2, "two healthy node-mates evicted: {:?}", res.exits);
+    assert_eq!(
+        excluded, 2,
+        "two healthy node-mates evicted: {:?}",
+        res.exits
+    );
     assert_eq!(res.completed(), 3);
     res.assert_consistent_state();
     for e in res.exits.iter().filter(|e| e.completed()) {
@@ -82,10 +84,12 @@ fn forward_replacement_restores_world_size() {
     assert_eq!(res.completed(), cfg.workers, "{:?}", res.exits);
     res.assert_consistent_state();
     // The joiner must have synced state (Join breakdown present).
-    assert!(res
-        .breakdowns
-        .iter()
-        .any(|b| b.kind == RecoveryKind::Join && b.phase("state_sync") > std::time::Duration::ZERO));
+    assert!(
+        res.breakdowns
+            .iter()
+            .any(|b| b.kind == RecoveryKind::Join
+                && b.phase("state_sync") > std::time::Duration::ZERO)
+    );
     // World size recovered to the original count.
     for e in res.exits.iter().filter(|e| e.completed()) {
         assert_eq!(e.stats().unwrap().final_world, cfg.workers);
@@ -116,7 +120,10 @@ fn forward_renormalization_keeps_replicas_consistent() {
 
 #[test]
 fn forward_different_allreduce_algorithms_survive_failures() {
-    for algo in [AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Rabenseifner] {
+    for algo in [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Rabenseifner,
+    ] {
         let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
         cfg.spec.algo = algo;
         let res = run_scenario(&cfg);
@@ -162,7 +169,12 @@ fn backward_downscale_node_level() {
         .iter()
         .flat_map(|b| b.phases.iter().map(|p| p.name))
         .collect();
-    for phase in ["catch_exception", "rendezvous", "reinit_gloo", "load_checkpoint"] {
+    for phase in [
+        "catch_exception",
+        "rendezvous",
+        "reinit_gloo",
+        "load_checkpoint",
+    ] {
         assert!(all_names.contains(&phase), "missing phase {phase}");
     }
 }

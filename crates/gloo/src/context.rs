@@ -77,6 +77,8 @@ impl Context {
             op_timeout: None,
         };
         let mut ctx = ctx;
+        telemetry::counter("gloo.context.connects").incr();
+        let _span = telemetry::span("gloo.context.connect_ns");
         // Full mesh: exchange a SYN with every peer and wait for theirs.
         let tag = CONNECT_BIT | tag_base(ctx.ctx_id, 0);
         for peer in 0..ctx.group.len() {
@@ -136,6 +138,7 @@ impl Context {
     }
 
     fn map_transport(&self, e: TransportError) -> GlooError {
+        telemetry::counter("gloo.context.poisonings").incr();
         self.poisoned.store(true, Ordering::SeqCst);
         match e {
             TransportError::PeerDead(g) => GlooError::PeerFailure { global: g },
@@ -145,6 +148,7 @@ impl Context {
     }
 
     fn map_coll(&self, e: CollError) -> GlooError {
+        telemetry::counter("gloo.context.poisonings").incr();
         self.poisoned.store(true, Ordering::SeqCst);
         match e {
             CollError::PeerFailed { peer } => GlooError::PeerFailure {
@@ -216,10 +220,13 @@ impl PeerComm for GlooAdapter<'_> {
         self.ctx.my_idx
     }
     fn send(&self, peer: usize, tag: u64, data: &[u8]) -> Result<(), CollError> {
-        self.ctx.ep.send(self.ctx.group[peer], tag, data).map_err(|e| match e {
-            TransportError::PeerDead(_) => CollError::PeerFailed { peer },
-            other => map_transport_to_coll(other),
-        })
+        self.ctx
+            .ep
+            .send(self.ctx.group[peer], tag, data)
+            .map_err(|e| match e {
+                TransportError::PeerDead(_) => CollError::PeerFailed { peer },
+                other => map_transport_to_coll(other),
+            })
     }
     fn recv(&self, peer: usize, tag: u64) -> Result<Vec<u8>, CollError> {
         let r = match self.ctx.op_timeout {
@@ -315,11 +322,7 @@ mod tests {
             } else {
                 // Once poisoned, everything fails fast with Poisoned.
                 let again = ctx.barrier();
-                (
-                    false,
-                    again == Err(GlooError::Poisoned),
-                    ctx.is_poisoned(),
-                )
+                (false, again == Err(GlooError::Poisoned), ctx.is_poisoned())
             }
         });
         let mut poisoned_count = 0;

@@ -72,6 +72,8 @@ pub fn rendezvous(
     me: RankId,
     topology: Topology,
 ) -> Result<RendezvousReport, RendezvousError> {
+    telemetry::counter("gloo.rendezvous.ops").incr();
+    let span = telemetry::span("gloo.rendezvous.duration_ns");
     let mut round_trips = 0u64;
     let global_prefix = format!("{}/{}/global/", cfg.run_id, cfg.epoch);
 
@@ -91,6 +93,7 @@ pub fn rendezvous(
             break;
         }
         if Instant::now() >= deadline {
+            telemetry::counter("gloo.rendezvous.timeouts").incr();
             return Err(RendezvousError::Timeout { arrived: n });
         }
         std::thread::sleep(Duration::from_micros(200));
@@ -127,6 +130,7 @@ pub fn rendezvous(
             break;
         }
         if Instant::now() >= deadline {
+            telemetry::counter("gloo.rendezvous.timeouts").incr();
             return Err(RendezvousError::Timeout { arrived: n });
         }
         std::thread::sleep(Duration::from_micros(200));
@@ -138,6 +142,8 @@ pub fn rendezvous(
         .collect();
     round_trips += 1;
 
+    telemetry::counter("gloo.rendezvous.round_trips").add(round_trips);
+    drop(span);
     Ok(RendezvousReport {
         members,
         my_rank,
@@ -229,6 +235,10 @@ mod tests {
     fn round_trips_are_counted() {
         let store = KvStore::new();
         let rep = rendezvous(&store, &cfg(3, 1), RankId(0), Topology::flat()).unwrap();
-        assert!(rep.round_trips >= 6, "expected ≥6 RTTs, got {}", rep.round_trips);
+        assert!(
+            rep.round_trips >= 6,
+            "expected ≥6 RTTs, got {}",
+            rep.round_trips
+        );
     }
 }

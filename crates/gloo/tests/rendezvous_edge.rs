@@ -1,0 +1,142 @@
+//! Rendezvous edge cases: re-registration, stale state from previous
+//! incarnations, and arrivals racing teardown. These are the failure modes
+//! real KV-store rendezvous implementations have to shrug off every time
+//! the elastic driver bumps the configuration epoch.
+
+use gloo::{
+    rendezvous, KvStore, RankId, RendezvousConfig, RendezvousError, RendezvousReport, Topology,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn cfg(epoch: u64, expected: usize) -> RendezvousConfig {
+    RendezvousConfig {
+        run_id: "edge".into(),
+        epoch,
+        expected,
+        timeout: Duration::from_secs(5),
+    }
+}
+
+/// A worker that re-runs rendezvous for the same epoch (e.g. it crashed
+/// after publishing and was restarted under the same rank) must not count
+/// itself twice: the publish is an idempotent overwrite.
+#[test]
+fn double_join_by_same_rank_is_idempotent() {
+    let store = KvStore::shared();
+    let topo = Topology::flat();
+
+    // First attempt by rank 0 stalls (nobody else arrived yet) and "dies".
+    let mut short = cfg(0, 2);
+    short.timeout = Duration::from_millis(30);
+    let err = rendezvous(&store, &short, RankId(0), topo).unwrap_err();
+    assert_eq!(err, RendezvousError::Timeout { arrived: 1 });
+
+    // The restarted incarnation re-joins alongside rank 1. If the stale
+    // self-registration were double-counted, membership would be wrong.
+    let reports: Vec<RendezvousReport> = std::thread::scope(|s| {
+        [RankId(0), RankId(1)]
+            .map(|r| {
+                let store = Arc::clone(&store);
+                s.spawn(move || rendezvous(&store, &cfg(0, 2), r, topo).unwrap())
+            })
+            .map(|h| h.join().unwrap())
+            .into_iter()
+            .collect()
+    });
+    for rep in &reports {
+        assert_eq!(rep.members, vec![RankId(0), RankId(1)]);
+    }
+    assert_eq!(reports[0].my_rank, 0);
+    assert_eq!(reports[1].my_rank, 1);
+}
+
+/// Stale keys left by a previous incarnation of the run — same run id,
+/// older epoch, including ranks that no longer exist — must be invisible
+/// to the new epoch's rendezvous.
+#[test]
+fn stale_keys_from_previous_incarnation_are_ignored() {
+    let store = KvStore::shared();
+    let topo = Topology::new(2);
+
+    // Epoch 3 leftovers: a full 4-member roster, one of which (rank 9)
+    // died and triggered the reconfiguration to epoch 4.
+    for r in [0u64, 1, 5, 9] {
+        store.set(&format!("edge/3/global/{r:08}"), r.to_le_bytes().to_vec());
+        store.set(&format!("edge/3/node0/{r:08}"), r.to_le_bytes().to_vec());
+    }
+
+    let survivors = [RankId(0), RankId(1), RankId(5)];
+    let reports: Vec<RendezvousReport> = std::thread::scope(|s| {
+        survivors
+            .map(|r| {
+                let store = Arc::clone(&store);
+                s.spawn(move || rendezvous(&store, &cfg(4, 3), r, topo).unwrap())
+            })
+            .map(|h| h.join().unwrap())
+            .into_iter()
+            .collect()
+    });
+    for rep in &reports {
+        assert_eq!(rep.members, survivors.to_vec(), "stale epoch leaked in");
+        assert!(!rep.members.contains(&RankId(9)));
+    }
+    // Dense re-ranking of the sparse survivor ids.
+    assert_eq!(reports[2].my_rank, 2);
+}
+
+/// A joiner arriving while the previous epoch is being torn down
+/// (`clear_prefix` racing its publish) must still complete its own epoch:
+/// teardown only touches the old epoch's prefix.
+#[test]
+fn joiner_arriving_during_teardown_completes() {
+    let store = KvStore::shared();
+    let topo = Topology::flat();
+
+    // Old epoch fully populated.
+    for r in 0u64..4 {
+        store.set(&format!("edge/7/global/{r:08}"), r.to_le_bytes().to_vec());
+    }
+
+    let joiner = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || rendezvous(&store, &cfg(8, 1), RankId(2), topo))
+    };
+    // Concurrent teardown of epoch 7 while the epoch-8 joiner publishes
+    // and polls.
+    let cleared = store.clear_prefix("edge/7/");
+    assert_eq!(cleared, 4);
+
+    let rep = joiner.join().unwrap().unwrap();
+    assert_eq!(rep.members, vec![RankId(2)]);
+    assert_eq!(rep.my_rank, 0);
+    // Epoch 8's keys survived the teardown of epoch 7.
+    assert_eq!(store.count_prefix("edge/8/global/"), 1);
+}
+
+/// The mirror race: teardown fires *between* a straggler's publish and its
+/// poll in the SAME epoch (an overzealous cleanup of a timed-out epoch).
+/// The straggler must observe the timeout — never hang, never fabricate a
+/// member list.
+#[test]
+fn teardown_of_own_epoch_surfaces_as_timeout() {
+    let store = KvStore::shared();
+    let topo = Topology::flat();
+
+    let straggler = {
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            let mut c = cfg(9, 2);
+            c.timeout = Duration::from_millis(150);
+            rendezvous(&store, &c, RankId(0), topo)
+        })
+    };
+    // Let it publish, then yank the epoch out from under it.
+    std::thread::sleep(Duration::from_millis(40));
+    store.clear_prefix("edge/9/");
+
+    match straggler.join().unwrap() {
+        Err(RendezvousError::Timeout { arrived }) => assert!(arrived <= 1),
+        other => panic!("expected timeout after teardown, got {other:?}"),
+    }
+}

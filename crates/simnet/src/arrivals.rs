@@ -23,8 +23,7 @@ use crate::network::bcast_time;
 pub fn arrival_times(workers: usize, spread: f64, seed: u64) -> Vec<f64> {
     (0..workers)
         .map(|i| {
-            let mut z = seed
-                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut z = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             z ^= z >> 30;
             z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             z ^= z >> 27;
@@ -100,8 +99,8 @@ pub fn simulate_scenario3(
             joins += 1;
             // Join stall: state broadcast over the merged group (library
             // init overlaps the waiting period, so it is not charged here).
-            let stall = bcast_time(state_bytes, world, cluster.alpha, cluster.beta)
-                + cluster.mpi_spawn;
+            let stall =
+                bcast_time(state_bytes, world, cluster.alpha, cluster.beta) + cluster.mpi_spawn;
             let stall = stall.min(horizon - t);
             // The whole group stalls during the merge.
             t += stall;
@@ -188,10 +187,7 @@ mod tests {
         for seed in 0..10 {
             let arr = arrival_times(12, 600.0, seed);
             let o = simulate_scenario3(&arr, 3600.0, 30.0, &cluster(), 575e6);
-            assert!(
-                o.elastic_work > o.wait_work * 0.99,
-                "seed {seed}: {o:?}"
-            );
+            assert!(o.elastic_work > o.wait_work * 0.99, "seed {seed}: {o:?}");
         }
     }
 

@@ -53,11 +53,7 @@ impl Breakdown {
 
     /// Collapse this breakdown into the paper's three aggregate segments,
     /// given which names belong to the first two (the rest is recompute).
-    pub fn aggregate(
-        &self,
-        comm_names: &[&str],
-        state_names: &[&str],
-    ) -> (f64, f64, f64) {
+    pub fn aggregate(&self, comm_names: &[&str], state_names: &[&str]) -> (f64, f64, f64) {
         let mut comm = 0.0;
         let mut state = 0.0;
         let mut rest = 0.0;
@@ -95,7 +91,10 @@ mod tests {
 
     #[test]
     fn totals_and_lookup() {
-        let b = Breakdown::new().with("a", 1.0).with("b", 2.5).with("a", 0.5);
+        let b = Breakdown::new()
+            .with("a", 1.0)
+            .with("b", 2.5)
+            .with("a", 0.5);
         assert_eq!(b.total(), 4.0);
         assert_eq!(b.get("a"), 1.5);
         assert_eq!(b.get("zzz"), 0.0);

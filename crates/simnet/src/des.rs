@@ -11,10 +11,12 @@ use std::collections::BinaryHeap;
 /// Virtual time in seconds.
 pub type SimTime = f64;
 
+type Action<W> = Box<dyn FnOnce(&mut Simulator<W>, &mut W)>;
+
 struct Scheduled<W> {
     time: SimTime,
     seq: u64,
-    action: Box<dyn FnOnce(&mut Simulator<W>, &mut W)>,
+    action: Action<W>,
 }
 
 impl<W> PartialEq for Scheduled<W> {

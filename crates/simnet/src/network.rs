@@ -59,12 +59,7 @@ struct RingWorld {
 /// Discrete-event simulation of a ring allreduce with per-rank start times
 /// (skews model stragglers — e.g. a rank that spent longer in recovery).
 /// Returns the time the *last* rank completes.
-pub fn simulate_ring_allreduce(
-    starts: &[f64],
-    n_bytes: f64,
-    alpha: f64,
-    beta: f64,
-) -> f64 {
+pub fn simulate_ring_allreduce(starts: &[f64], n_bytes: f64, alpha: f64, beta: f64) -> f64 {
     let w = starts.len();
     if w <= 1 {
         return starts.first().copied().unwrap_or(0.0);
@@ -120,7 +115,9 @@ fn try_advance(sim: &mut Simulator<RingWorld>, world: &mut RingWorld, rank: usiz
     if let (Some(a), Some(b)) = (self_ready, msg_ready) {
         let at = a.max(b);
         let delay = at - sim.now();
-        sim.schedule(delay.max(0.0), move |sim, w| complete_step(sim, w, rank, step));
+        sim.schedule(delay.max(0.0), move |sim, w| {
+            complete_step(sim, w, rank, step)
+        });
     }
 }
 
@@ -153,18 +150,14 @@ mod tests {
     fn recursive_doubling_beats_ring_for_tiny_messages() {
         let n = 1024.0;
         let w = 64;
-        assert!(
-            recursive_doubling_allreduce_time(n, w, A, B) < ring_allreduce_time(n, w, A, B)
-        );
+        assert!(recursive_doubling_allreduce_time(n, w, A, B) < ring_allreduce_time(n, w, A, B));
     }
 
     #[test]
     fn ring_beats_recursive_doubling_for_huge_messages() {
         let n = 100e6;
         let w = 64;
-        assert!(
-            ring_allreduce_time(n, w, A, B) < recursive_doubling_allreduce_time(n, w, A, B)
-        );
+        assert!(ring_allreduce_time(n, w, A, B) < recursive_doubling_allreduce_time(n, w, A, B));
     }
 
     #[test]

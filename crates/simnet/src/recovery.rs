@@ -115,7 +115,10 @@ pub fn backward_breakdown(cfg: &EpisodeConfig) -> Breakdown {
 
     // Gloo context: full mesh; each worker sets up w-1 connections
     // (serialized per worker, concurrent across workers).
-    b.push("reinit_gloo", c.conn_setup * (w_after.saturating_sub(1)) as f64);
+    b.push(
+        "reinit_gloo",
+        c.conn_setup * (w_after.saturating_sub(1)) as f64,
+    );
 
     if cfg.scenario != SimScenario::Up {
         // Rollback: deserialize parameters + optimizer state from the
@@ -205,12 +208,22 @@ mod tests {
 
     #[test]
     fn membership_arithmetic() {
-        let down_node = cfg(SimScenario::Down, Level::Node, 24, ModelProfile::resnet50v2());
+        let down_node = cfg(
+            SimScenario::Down,
+            Level::Node,
+            24,
+            ModelProfile::resnet50v2(),
+        );
         assert_eq!(down_node.lost(), 6);
         assert_eq!(down_node.joining(), 0);
         assert_eq!(down_node.workers_after(), 18);
 
-        let same_proc = cfg(SimScenario::Same, Level::Process, 24, ModelProfile::resnet50v2());
+        let same_proc = cfg(
+            SimScenario::Same,
+            Level::Process,
+            24,
+            ModelProfile::resnet50v2(),
+        );
         assert_eq!(same_proc.workers_after(), 24);
 
         let up = cfg(SimScenario::Up, Level::Node, 24, ModelProfile::resnet50v2());
@@ -278,7 +291,12 @@ mod tests {
     #[test]
     fn bigger_models_cost_more_to_roll_back() {
         let e_vgg = cfg(SimScenario::Down, Level::Node, 24, ModelProfile::vgg16());
-        let e_nas = cfg(SimScenario::Down, Level::Node, 24, ModelProfile::nasnet_mobile());
+        let e_nas = cfg(
+            SimScenario::Down,
+            Level::Node,
+            24,
+            ModelProfile::nasnet_mobile(),
+        );
         let b_vgg = backward_breakdown(&e_vgg);
         let b_nas = backward_breakdown(&e_nas);
         assert!(b_vgg.get("load_checkpoint") > b_nas.get("load_checkpoint"));
@@ -301,7 +319,12 @@ mod tests {
     fn worker_init_dominates_join_scenarios_for_both() {
         // The paper notes library loading is a one-time cost for every new
         // worker under either system.
-        let e = cfg(SimScenario::Same, Level::Node, 24, ModelProfile::resnet50v2());
+        let e = cfg(
+            SimScenario::Same,
+            Level::Node,
+            24,
+            ModelProfile::resnet50v2(),
+        );
         let f = forward_breakdown(&e);
         let b = backward_breakdown(&e);
         assert!(f.get("worker_init") >= 0.5 * f.total());

@@ -59,7 +59,9 @@ pub fn simulate_rendezvous(cfg: &RendezvousSim) -> f64 {
             let t = request(sim.now(), world, service);
             world.arrived += 1;
             let delay = t - sim.now();
-            sim.schedule(delay, move |sim, world| poll_loop(sim, world, service, poll, local_reqs));
+            sim.schedule(delay, move |sim, world| {
+                poll_loop(sim, world, service, poll, local_reqs)
+            });
         });
     }
     sim.run(&mut world);

@@ -136,10 +136,7 @@ mod tests {
                 let twin = rows
                     .iter()
                     .find(|x| {
-                        x.ulfm
-                            && x.gpus == r.gpus
-                            && x.scenario == r.scenario
-                            && x.level == r.level
+                        x.ulfm && x.gpus == r.gpus && x.scenario == r.scenario && x.level == r.level
                     })
                     .expect("matching ULFM row");
                 // Communication-context reconstruction: the paper's claim.

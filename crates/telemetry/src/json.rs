@@ -1,0 +1,123 @@
+//! Minimal JSON writer (no serde): objects, arrays, strings, and unsigned
+//! integers — the full value set `telemetry.json` needs. The writer
+//! tracks whether a separator comma is due, so callers just emit
+//! key/value pairs in order.
+
+/// Streaming JSON document builder.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: bool,
+}
+
+impl JsonWriter {
+    /// New empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.needs_comma = true;
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma = false;
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma = true;
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma = false;
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma = true;
+    }
+
+    /// Emit an object key (the following call emits its value).
+    pub fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.push_escaped(k);
+        self.out.push(':');
+        self.needs_comma = false;
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.push_escaped(s);
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.pre_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Consume the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_renders() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.uint(1);
+        w.key("b");
+        w.begin_array();
+        w.uint(2);
+        w.string("x");
+        w.begin_object();
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[2,"x",{}]}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -9,10 +9,41 @@ use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use telemetry::Counter;
 
 struct RankSlot {
     mailbox: Arc<Mailbox>,
     alive: Arc<AtomicBool>,
+}
+
+/// Cached telemetry handles — resolved once per fabric so the hot send/recv
+/// paths pay one relaxed atomic add, not a registry lookup.
+struct FabricTelemetry {
+    msgs_sent: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    msgs_recvd: Arc<Counter>,
+    bytes_recvd: Arc<Counter>,
+    deaths: Arc<Counter>,
+    fault_point_hits: Arc<Counter>,
+    op_fault_hits: Arc<Counter>,
+    purged_msgs: Arc<Counter>,
+    recv_timeouts: Arc<Counter>,
+}
+
+impl FabricTelemetry {
+    fn new() -> Self {
+        Self {
+            msgs_sent: telemetry::counter("transport.msgs_sent"),
+            bytes_sent: telemetry::counter("transport.bytes_sent"),
+            msgs_recvd: telemetry::counter("transport.msgs_recvd"),
+            bytes_recvd: telemetry::counter("transport.bytes_recvd"),
+            deaths: telemetry::counter("transport.deaths"),
+            fault_point_hits: telemetry::counter("transport.fault_point_hits"),
+            op_fault_hits: telemetry::counter("transport.op_fault_hits"),
+            purged_msgs: telemetry::counter("transport.purged_msgs"),
+            recv_timeouts: telemetry::counter("transport.recv_timeouts"),
+        }
+    }
 }
 
 /// Aggregate traffic counters (diagnostics and cost calibration).
@@ -38,6 +69,7 @@ pub struct Fabric {
     messages: AtomicU64,
     bytes: AtomicU64,
     deaths: AtomicU64,
+    telem: FabricTelemetry,
 }
 
 impl Fabric {
@@ -50,6 +82,7 @@ impl Fabric {
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             deaths: AtomicU64::new(0),
+            telem: FabricTelemetry::new(),
         })
     }
 
@@ -128,6 +161,7 @@ impl Fabric {
         };
         if slot.alive.swap(false, Ordering::SeqCst) {
             self.deaths.fetch_add(1, Ordering::Relaxed);
+            self.telem.deaths.incr();
             for s in slots.iter() {
                 s.mailbox.wake_waiters();
             }
@@ -165,7 +199,10 @@ impl Fabric {
     }
 
     fn mailbox_of(&self, rank: RankId) -> Option<Arc<Mailbox>> {
-        self.slots.read().get(rank.0).map(|s| Arc::clone(&s.mailbox))
+        self.slots
+            .read()
+            .get(rank.0)
+            .map(|s| Arc::clone(&s.mailbox))
     }
 
     fn alive_flag_of(&self, rank: RankId) -> Option<Arc<AtomicBool>> {
@@ -209,6 +246,7 @@ impl Endpoint {
             return Err(TransportError::SelfDied);
         }
         if self.fabric.injector.hit_op(self.rank) {
+            self.fabric.telem.op_fault_hits.incr();
             self.fabric.kill_rank(self.rank);
             return Err(TransportError::SelfDied);
         }
@@ -222,6 +260,7 @@ impl Endpoint {
             return Err(TransportError::SelfDied);
         }
         if self.fabric.injector.hit_point(self.rank, name) {
+            self.fabric.telem.fault_point_hits.incr();
             self.fabric.kill_rank(self.rank);
             return Err(TransportError::SelfDied);
         }
@@ -248,7 +287,11 @@ impl Endpoint {
             data: data.to_vec(),
         });
         self.fabric.messages.fetch_add(1, Ordering::Relaxed);
-        self.fabric.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.fabric
+            .bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.fabric.telem.msgs_sent.incr();
+        self.fabric.telem.bytes_sent.add(data.len() as u64);
         Ok(())
     }
 
@@ -308,10 +351,17 @@ impl Endpoint {
             should_stop,
             deadline,
         ) {
-            RecvOutcome::Message(data) => Ok(data),
+            RecvOutcome::Message(data) => {
+                self.fabric.telem.msgs_recvd.incr();
+                self.fabric.telem.bytes_recvd.add(data.len() as u64);
+                Ok(data)
+            }
             RecvOutcome::SrcDead => Err(TransportError::PeerDead(from)),
             RecvOutcome::Stopped => Err(TransportError::Stopped),
-            RecvOutcome::TimedOut => Err(TransportError::Timeout),
+            RecvOutcome::TimedOut => {
+                self.fabric.telem.recv_timeouts.incr();
+                Err(TransportError::Timeout)
+            }
         }
     }
 
@@ -331,10 +381,13 @@ impl Endpoint {
 
     /// Drop buffered messages whose tag matches `pred` (used on revoke).
     pub fn purge_tags(&self, pred: impl Fn(u64) -> bool) -> usize {
-        self.fabric
+        let purged = self
+            .fabric
             .mailbox_of(self.rank)
             .map(|mb| mb.purge_where(pred))
-            .unwrap_or(0)
+            .unwrap_or(0);
+        self.fabric.telem.purged_msgs.add(purged as u64);
+        purged
     }
 
     /// Is this rank still alive?
@@ -428,7 +481,10 @@ mod tests {
         let r = f.register_rank();
         let e = Endpoint::new(Arc::clone(&f), r);
         assert_eq!(e.fault_point("other"), Ok(()));
-        assert_eq!(e.fault_point("allreduce.step"), Err(TransportError::SelfDied));
+        assert_eq!(
+            e.fault_point("allreduce.step"),
+            Err(TransportError::SelfDied)
+        );
         assert!(!e.is_self_alive());
     }
 
@@ -436,7 +492,10 @@ mod tests {
     fn dead_rank_cannot_operate() {
         let (f, eps) = fabric_with(2);
         f.kill_rank(RankId(0));
-        assert_eq!(eps[0].send(RankId(1), 0, b"x"), Err(TransportError::SelfDied));
+        assert_eq!(
+            eps[0].send(RankId(1), 0, b"x"),
+            Err(TransportError::SelfDied)
+        );
         assert_eq!(eps[0].recv(RankId(1), 0), Err(TransportError::SelfDied));
     }
 

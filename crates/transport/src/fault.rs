@@ -54,7 +54,12 @@ impl FaultPlan {
     }
 
     /// Add a kill-at-named-point trigger.
-    pub fn kill_at_point(mut self, rank: RankId, point: impl Into<String>, occurrence: u64) -> Self {
+    pub fn kill_at_point(
+        mut self,
+        rank: RankId,
+        point: impl Into<String>,
+        occurrence: u64,
+    ) -> Self {
         self.triggers.push(FaultTrigger::AtPoint {
             rank,
             point: point.into(),

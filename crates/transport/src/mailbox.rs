@@ -48,6 +48,8 @@ struct Inner {
 pub struct Mailbox {
     inner: Mutex<Inner>,
     cv: Condvar,
+    pushes: std::sync::Arc<telemetry::Counter>,
+    death_wakes: std::sync::Arc<telemetry::Counter>,
 }
 
 impl Default for Mailbox {
@@ -62,6 +64,8 @@ impl Mailbox {
         Self {
             inner: Mutex::new(Inner::default()),
             cv: Condvar::new(),
+            pushes: telemetry::counter("transport.mailbox.pushes"),
+            death_wakes: telemetry::counter("transport.mailbox.death_wakes"),
         }
     }
 
@@ -74,22 +78,23 @@ impl Mailbox {
             .or_default()
             .push_back(env.data);
         drop(inner);
+        self.pushes.incr();
         self.cv.notify_all();
     }
 
     /// Non-blocking probe: is a message from `(src, tag)` available?
     pub fn probe(&self, src: RankId, tag: u64) -> bool {
         let inner = self.inner.lock();
-        inner
-            .queues
-            .get(&(src, tag))
-            .is_some_and(|q| !q.is_empty())
+        inner.queues.get(&(src, tag)).is_some_and(|q| !q.is_empty())
     }
 
     /// Try to pop a matching message without blocking.
     pub fn try_pop(&self, src: RankId, tag: u64) -> Option<Vec<u8>> {
         let mut inner = self.inner.lock();
-        inner.queues.get_mut(&(src, tag)).and_then(|q| q.pop_front())
+        inner
+            .queues
+            .get_mut(&(src, tag))
+            .and_then(|q| q.pop_front())
     }
 
     /// Blocking pop with liveness and external-stop re-checks.
@@ -152,6 +157,7 @@ impl Mailbox {
         let mut inner = self.inner.lock();
         inner.death_epoch += 1;
         drop(inner);
+        self.death_wakes.incr();
         self.cv.notify_all();
     }
 
@@ -227,9 +233,8 @@ mod tests {
     fn blocking_pop_wakes_on_push() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let t = std::thread::spawn(move || {
-            mb2.pop_matching(RankId(5), 42, || true, || false, None)
-        });
+        let t =
+            std::thread::spawn(move || mb2.pop_matching(RankId(5), 42, || true, || false, None));
         std::thread::sleep(Duration::from_millis(30));
         mb.push(env(5, 42, 77));
         assert_eq!(t.join().unwrap(), RecvOutcome::Message(vec![77]));
@@ -241,7 +246,13 @@ mod tests {
         let alive = Arc::new(AtomicBool::new(true));
         let (mb2, alive2) = (Arc::clone(&mb), Arc::clone(&alive));
         let t = std::thread::spawn(move || {
-            mb2.pop_matching(RankId(5), 42, || alive2.load(Ordering::SeqCst), || false, None)
+            mb2.pop_matching(
+                RankId(5),
+                42,
+                || alive2.load(Ordering::SeqCst),
+                || false,
+                None,
+            )
         });
         std::thread::sleep(Duration::from_millis(20));
         alive.store(false, Ordering::SeqCst);
@@ -255,7 +266,13 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
         let (mb2, stop2) = (Arc::clone(&mb), Arc::clone(&stop));
         let t = std::thread::spawn(move || {
-            mb2.pop_matching(RankId(5), 42, || true, || stop2.load(Ordering::SeqCst), None)
+            mb2.pop_matching(
+                RankId(5),
+                42,
+                || true,
+                || stop2.load(Ordering::SeqCst),
+                None,
+            )
         });
         std::thread::sleep(Duration::from_millis(20));
         stop.store(true, Ordering::SeqCst);

@@ -29,7 +29,7 @@ pub trait Wire: Copy + Send + Sync + 'static {
     /// Panics if `bytes.len()` is not a multiple of [`Self::WIDTH`].
     fn decode_slice(bytes: &[u8]) -> Vec<Self> {
         assert!(
-            bytes.len() % Self::WIDTH == 0,
+            bytes.len().is_multiple_of(Self::WIDTH),
             "buffer length {} is not a multiple of element width {}",
             bytes.len(),
             Self::WIDTH

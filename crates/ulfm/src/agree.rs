@@ -90,6 +90,7 @@ pub(crate) fn flood_agree(
 
     if p > 1 {
         for round in 0..p {
+            telemetry::counter("ulfm.agree.rounds").incr();
             ep.fault_point("agree.round").map_err(map_self)?;
             let tag = tag_base + round as u64;
             let payload = state.encode();
@@ -183,9 +184,13 @@ mod tests {
 
     #[test]
     fn failure_free_agreement_ands_flags_and_mins() {
-        let results = run_agree(5, FaultPlan::none(), &[], |i| 0b111 & !(i as u64 & 1), |i| {
-            10 + i as u64
-        });
+        let results = run_agree(
+            5,
+            FaultPlan::none(),
+            &[],
+            |i| 0b111 & !(i as u64 & 1),
+            |i| 10 + i as u64,
+        );
         for r in &results {
             let r = r.as_ref().unwrap();
             assert_eq!(r.flags, 0b110);
@@ -222,13 +227,14 @@ mod tests {
         // Rank 1 dies during round 2 of the agreement. All survivors must
         // still return the *same* result.
         let plan = FaultPlan::none().kill_at_point(RankId(1), "agree.round", 2);
-        let results = run_agree(5, plan, &[], |i| if i == 3 { 0b01 } else { 0b11 }, |i| {
-            i as u64
-        });
-        let survivors: Vec<&AgreeResult> = results
-            .iter()
-            .filter_map(|r| r.as_ref().ok())
-            .collect();
+        let results = run_agree(
+            5,
+            plan,
+            &[],
+            |i| if i == 3 { 0b01 } else { 0b11 },
+            |i| i as u64,
+        );
+        let survivors: Vec<&AgreeResult> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
         assert!(survivors.len() >= 3, "{results:?}");
         for s in &survivors[1..] {
             assert_eq!(*s, survivors[0], "non-uniform agreement");
@@ -248,8 +254,7 @@ mod tests {
                 .kill_at_point(RankId(a), "agree.round", 1 + seed % 4)
                 .kill_at_point(RankId(b), "agree.round", 1 + (seed / 2) % 4);
             let results = run_agree(n, plan, &[], |i| !(i as u64), |i| 100 - i as u64);
-            let oks: Vec<&AgreeResult> =
-                results.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let oks: Vec<&AgreeResult> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
             assert!(!oks.is_empty());
             for o in &oks[1..] {
                 assert_eq!(*o, oks[0], "seed {seed}: non-uniform agreement {results:?}");

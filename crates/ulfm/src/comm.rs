@@ -119,7 +119,8 @@ impl Communicator {
     /// member and interrupt their pending operations. Idempotent; only
     /// `agree` and `shrink` remain usable afterwards.
     pub fn revoke(&self) {
-        self.shared.revoke(self.id);
+        telemetry::counter("ulfm.revokes").incr();
+        telemetry::time("ulfm.revoke.duration_ns", || self.shared.revoke(self.id));
     }
 
     /// `MPIX_Comm_failure_ack`: acknowledge all failures currently known to
@@ -187,7 +188,11 @@ impl Communicator {
     fn map_transport(&self, e: TransportError) -> UlfmError {
         match e {
             TransportError::PeerDead(g) => UlfmError::ProcFailed {
-                peer: self.group.iter().position(|&x| x == g).unwrap_or(usize::MAX),
+                peer: self
+                    .group
+                    .iter()
+                    .position(|&x| x == g)
+                    .unwrap_or(usize::MAX),
                 global: g,
             },
             TransportError::SelfDied => UlfmError::SelfDied,
@@ -277,7 +282,10 @@ impl Communicator {
     /// set is the union of entry-time failure knowledge.
     pub fn agree(&self, flag: u64, min_val: u64) -> Result<AgreeResult, UlfmError> {
         let base = self.next_recovery_base();
-        flood_agree(&self.ep, &self.group, self.my_idx, base, flag, min_val)
+        telemetry::counter("ulfm.agree.ops").incr();
+        telemetry::time("ulfm.agree.duration_ns", || {
+            flood_agree(&self.ep, &self.group, self.my_idx, base, flag, min_val)
+        })
     }
 
     /// `MPIX_Comm_shrink`: agree on the failed set and construct a new,
@@ -305,6 +313,8 @@ impl Communicator {
     ) -> Result<ShrinkOutcome, UlfmError> {
         let call = self.shrink_calls.get();
         self.shrink_calls.set(call + 1);
+        telemetry::counter("ulfm.shrink.ops").incr();
+        let _span = telemetry::span("ulfm.shrink.duration_ns");
 
         // Iteration 0: agree on the failed set over *this* communicator.
         let first = self.agree(u64::MAX, u64::MAX)?;
@@ -314,11 +324,10 @@ impl Communicator {
         let mut parent_group: Vec<RankId> = self.group.clone();
 
         loop {
-            let excluded: BTreeSet<RankId> = exclude(
-                &all_failed.iter().copied().collect::<Vec<_>>(),
-            )
-            .into_iter()
-            .collect();
+            let excluded: BTreeSet<RankId> =
+                exclude(&all_failed.iter().copied().collect::<Vec<_>>())
+                    .into_iter()
+                    .collect();
             if excluded.contains(&me) {
                 return Ok(ShrinkOutcome::Excluded);
             }
@@ -347,6 +356,7 @@ impl Communicator {
             if verdict.failed.is_empty() {
                 // Hygiene: drop stale traffic of the abandoned parent.
                 self.ep.purge_tags(|t| tags::belongs_to(t, self.id));
+                telemetry::counter("ulfm.shrink.iterations").add(generation + 1);
                 return Ok(ShrinkOutcome::Member(candidate));
             }
             all_failed.extend(verdict.failed.iter().copied());

@@ -33,7 +33,11 @@ impl Hierarchy {
             .split(node, comm.rank() as u64)?
             .expect("every rank has a node color");
         let leader = local.rank() == 0;
-        let cross_color = if leader { 0 } else { Communicator::SPLIT_UNDEFINED };
+        let cross_color = if leader {
+            0
+        } else {
+            Communicator::SPLIT_UNDEFINED
+        };
         let cross = comm.split(cross_color, node)?;
         Ok(Self { local, cross })
     }

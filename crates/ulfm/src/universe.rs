@@ -222,8 +222,11 @@ impl Proc {
     /// the merged-group ticket, and construct the merged communicator.
     /// Pairs with [`Communicator::accept_joiners`] on the existing members.
     pub fn join_training(&self) -> Communicator {
+        telemetry::counter("ulfm.universe.joins").incr();
         self.shared.join.announce(self.rank());
-        let ticket = self.shared.join.wait_ticket(self.rank());
+        let ticket = telemetry::time("ulfm.universe.join_wait_ns", || {
+            self.shared.join.wait_ticket(self.rank())
+        });
         Communicator::from_join_ticket(Arc::clone(&self.shared), self.ep.clone(), &ticket)
     }
 
@@ -273,6 +276,8 @@ impl Universe {
         R: Send + 'static,
         F: Fn(Proc) -> R + Send + Sync + Clone + 'static,
     {
+        telemetry::counter("ulfm.universe.spawned_workers").add(n as u64);
+        let _span = telemetry::span("ulfm.universe.spawn_batch_ns");
         let ranks = self.shared.fabric.register_ranks(n);
         let batch = self.shared.next_batch.fetch_add(1, Ordering::SeqCst);
         ranks

@@ -222,11 +222,6 @@ fn joiners_merge_into_running_group() {
     let u = Universe::without_faults(Topology::flat());
     let old = u.spawn_batch(3, |p: Proc| {
         let comm = p.init_comm();
-        // Wait until the joiners have announced themselves.
-        while p.rank() == RankId(0) && comm.size() == 3 {
-            // Leader polls the join service via accept_joiners below.
-            break;
-        }
         // Epoch boundary: wait until *both* joiners have announced (the
         // monotone counter makes this deterministic), then everyone calls
         // accept_joiners collectively.

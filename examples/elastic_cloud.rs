@@ -37,7 +37,10 @@ fn main() {
             .unwrap_or(0)
     );
     if let Some(join) = res.mean_breakdown(RecoveryKind::Join) {
-        println!("mean join episode (merge + state broadcast): {:?}", join.total());
+        println!(
+            "mean join episode (merge + state broadcast): {:?}",
+            join.total()
+        );
     }
     res.assert_consistent_state();
     println!("replicas consistent after growth.\n");

@@ -25,9 +25,8 @@ fn main() {
 
     let universe = Universe::without_faults(Topology::flat());
     let cfg2 = cfg.clone();
-    let handles = universe.spawn_batch(workers, move |proc| {
-        run_forward_worker(&proc, &cfg2, false)
-    });
+    let handles =
+        universe.spawn_batch(workers, move |proc| run_forward_worker(&proc, &cfg2, false));
 
     for (i, h) in handles.into_iter().enumerate() {
         match h.join().exit {
@@ -38,5 +37,7 @@ fn main() {
             other => println!("worker {i}: {other:?}"),
         }
     }
-    println!("\nall replicas print the same state fingerprint: data-parallel training is consistent.");
+    println!(
+        "\nall replicas print the same state fingerprint: data-parallel training is consistent."
+    );
 }

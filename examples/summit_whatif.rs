@@ -6,7 +6,9 @@
 //! ```
 
 use dnn::paper_models;
-use simnet::{backward_breakdown, forward_breakdown, ClusterModel, EpisodeConfig, Level, SimScenario};
+use simnet::{
+    backward_breakdown, forward_breakdown, ClusterModel, EpisodeConfig, Level, SimScenario,
+};
 
 fn main() {
     let gpus: usize = std::env::args()
@@ -17,7 +19,10 @@ fn main() {
 
     println!("simulated recovery episodes at {gpus} GPUs (Summit constants)\n");
     for model in paper_models() {
-        println!("── {} ({} tensors, {} MB state) ──", model.name, model.trainable_tensors, model.size_mb);
+        println!(
+            "── {} ({} tensors, {} MB state) ──",
+            model.name, model.trainable_tensors, model.size_mb
+        );
         for (scenario, label) in [
             (SimScenario::Down, "Down"),
             (SimScenario::Same, "Same"),

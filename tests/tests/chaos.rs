@@ -1,0 +1,184 @@
+//! Chaos suite: randomized-but-deterministic fault schedules through
+//! `run_scenario`, for both engines.
+//!
+//! Every case is derived from a SplitMix64 stream seeded by its case
+//! number, so a failing case is replayable by number alone. A watchdog
+//! bounds each scenario: the property under test is *liveness plus
+//! uniformity* — a scenario either completes or halts consistently
+//! (every completed replica bit-identical), and it never deadlocks.
+
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Cases per engine (split across two test fns for parallelism).
+const CASES: u64 = 56;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn splitmix64(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a valid, hang-free scenario from a case number.
+///
+/// Invariants that keep every case well-formed:
+/// - `workers` is a multiple of `ranks_per_node`, so Replace joiners land
+///   on a fresh node (never a node the DropNode policy blacklisted);
+/// - Replace kills its victim within the first optimizer step
+///   (`fail_at_op ≤ 5` < the ≥8 fault-point hits of one step), so the
+///   epoch-boundary wait for joiners cannot precede the failure;
+/// - Downscale may draw a `fail_at_op` beyond the run's fault-point hits:
+///   the victim then never dies and the case degenerates to fault-free —
+///   "completion" is the consistent halt we assert.
+fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
+    let mut s = 0xC0FF_EE00 ^ (case << 1);
+    let mut pick = |m: u64| splitmix64(&mut s) % m;
+    let rpn = 1 + pick(3) as usize;
+    let nodes = 2 + pick(3) as usize;
+    let workers = rpn * nodes;
+    let kind = match pick(3) {
+        0 => ScenarioKind::Downscale,
+        1 => ScenarioKind::Replace,
+        _ => ScenarioKind::Upscale,
+    };
+    let policy = if pick(2) == 0 {
+        RecoveryPolicy::DropProcess
+    } else {
+        RecoveryPolicy::DropNode
+    };
+    let victim = pick(workers as u64) as usize;
+    let fail_at_op = match kind {
+        ScenarioKind::Replace => 1 + pick(5),
+        _ => 1 + pick(24),
+    };
+    let joiners = match kind {
+        ScenarioKind::Downscale => 0,
+        ScenarioKind::Replace => 1 + pick(2) as usize,
+        ScenarioKind::Upscale => pick(3) as usize,
+    };
+    ScenarioConfig {
+        engine,
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            seed: 1000 + case,
+            ..TrainSpec::default()
+        },
+        workers,
+        ranks_per_node: rpn,
+        policy,
+        kind,
+        victim,
+        fail_at_op,
+        joiners,
+        renormalize: false,
+    }
+}
+
+/// Run one scenario under a watchdog; a case that neither returns nor
+/// panics within the budget is reported as a deadlock.
+fn run_with_watchdog(cfg: ScenarioConfig, label: &str) -> elastic::ScenarioResult {
+    let (tx, rx) = mpsc::channel();
+    let cfg2 = cfg.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_scenario(&cfg2));
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("chaos {label} DEADLOCKED after {WATCHDOG:?}: {cfg:?}")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("chaos {label} worker panicked: {cfg:?}")
+        }
+    }
+}
+
+fn check_case(engine: Engine, case: u64) {
+    let cfg = chaos_config(engine, case);
+    let label = format!("{engine:?}/case{case}");
+    let joiners = match cfg.kind {
+        ScenarioKind::Downscale => 0,
+        _ => cfg.joiners,
+    };
+    let total = cfg.workers + joiners;
+    let res = run_with_watchdog(cfg.clone(), &label);
+
+    assert_eq!(
+        res.exits.len(),
+        total,
+        "{label}: lost a worker exit: {cfg:?}"
+    );
+    let died = res
+        .exits
+        .iter()
+        .filter(|e| matches!(e, WorkerExit::Died))
+        .count();
+    let completed = res.completed();
+    let excluded = total - died - completed;
+
+    // Only the scripted victim ever dies.
+    assert!(died <= 1, "{label}: {died} deaths: {cfg:?}");
+    // Exclusion is a DropNode-only outcome.
+    if cfg.policy == RecoveryPolicy::DropProcess {
+        assert_eq!(
+            excluded, 0,
+            "{label}: exclusions under DropProcess: {cfg:?}"
+        );
+    }
+    match cfg.kind {
+        ScenarioKind::Upscale => {
+            // Fault-free: everyone (including joiners) must finish.
+            assert_eq!(completed, total, "{label}: fault-free loss: {cfg:?}");
+        }
+        _ => {
+            if died == 1 {
+                // The failure fired: some survivor must still finish.
+                assert!(completed >= 1, "{label}: no survivor completed: {cfg:?}");
+            } else {
+                // Failure never fired (late fail_at_op): fault-free run.
+                assert_eq!(
+                    completed, total,
+                    "{label}: unfired fault lost workers: {cfg:?}"
+                );
+            }
+        }
+    }
+    // Uniformity: every completed replica holds bit-identical state.
+    if completed > 0 {
+        res.assert_consistent_state();
+    }
+}
+
+#[test]
+fn forward_chaos_first_half() {
+    for case in 0..CASES / 2 {
+        check_case(Engine::UlfmForward, case);
+    }
+}
+
+#[test]
+fn forward_chaos_second_half() {
+    for case in CASES / 2..CASES {
+        check_case(Engine::UlfmForward, case);
+    }
+}
+
+#[test]
+fn backward_chaos_first_half() {
+    for case in 0..CASES / 2 {
+        check_case(Engine::GlooBackward, case);
+    }
+}
+
+#[test]
+fn backward_chaos_second_half() {
+    for case in CASES / 2..CASES {
+        check_case(Engine::GlooBackward, case);
+    }
+}

@@ -43,7 +43,8 @@ fn distributed_run(world: usize) -> Vec<Vec<f32>> {
                 .map(|g| g.data().iter().map(|v| v * weight).collect())
                 .collect();
             for g in grads.iter_mut() {
-                comm.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring).unwrap();
+                comm.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring)
+                    .unwrap();
             }
             model.set_grads(&grads);
             opt.step(&mut model.params_mut());
@@ -70,8 +71,7 @@ fn data_parallel_matches_reference() {
             .iter()
             .zip(&reference)
             .map(|(a, b)| (a - b).abs() / b.abs().max(1e-3))
-            .fold(0.0, f32::max)
-            ;
+            .fold(0.0, f32::max);
         assert!(
             max_rel < 5e-2,
             "world {world}: distributed diverged from reference by {max_rel}"
@@ -114,7 +114,8 @@ fn gloo_and_ulfm_stacks_agree() {
                             .map(|g| g.data().iter().map(|v| v * weight).collect())
                             .collect();
                         for g in grads.iter_mut() {
-                            ctx.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring).unwrap();
+                            ctx.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                .unwrap();
                         }
                         model.set_grads(&grads);
                         opt.step(&mut model.params_mut());
@@ -128,7 +129,10 @@ fn gloo_and_ulfm_stacks_agree() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    assert_eq!(gloo_states[0], ulfm_states[0], "stacks must agree bit-exactly");
+    assert_eq!(
+        gloo_states[0], ulfm_states[0],
+        "stacks must agree bit-exactly"
+    );
 }
 
 /// Raw forward recovery over the substrates: train, lose a worker, revoke +
@@ -197,8 +201,7 @@ fn manual_forward_recovery_over_raw_stack() {
         p.retire();
         Some((comm.size(), model.state_flat()))
     });
-    let results: Vec<Option<(usize, Vec<f32>)>> =
-        handles.into_iter().map(|h| h.join()).collect();
+    let results: Vec<Option<(usize, Vec<f32>)>> = handles.into_iter().map(|h| h.join()).collect();
     assert!(results[2].is_none(), "victim must die");
     let survivors: Vec<&(usize, Vec<f32>)> = results.iter().flatten().collect();
     assert_eq!(survivors.len(), 3);

@@ -1,8 +1,20 @@
 //! Reproducibility across the whole stack: identical seeds and fault
-//! schedules give identical training outcomes, run to run.
+//! schedules give identical training outcomes — and identical telemetry
+//! counter values — run to run.
 
 use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, ScenarioConfig, TrainSpec};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The telemetry registry is process-global, so every test in this binary
+/// serializes through one lock; the telemetry test below can then reset
+/// and snapshot the registry without interference.
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
 fn cfg(engine: Engine, kind: ScenarioKind) -> ScenarioConfig {
     ScenarioConfig {
@@ -17,6 +29,7 @@ fn cfg(engine: Engine, kind: ScenarioKind) -> ScenarioConfig {
 
 #[test]
 fn forward_scenario_is_reproducible() {
+    let _g = lock();
     let a = run_scenario(&cfg(Engine::UlfmForward, ScenarioKind::Downscale));
     let b = run_scenario(&cfg(Engine::UlfmForward, ScenarioKind::Downscale));
     assert_eq!(
@@ -29,16 +42,15 @@ fn forward_scenario_is_reproducible() {
 
 #[test]
 fn backward_scenario_is_reproducible() {
+    let _g = lock();
     let a = run_scenario(&cfg(Engine::GlooBackward, ScenarioKind::Downscale));
     let b = run_scenario(&cfg(Engine::GlooBackward, ScenarioKind::Downscale));
-    assert_eq!(
-        a.assert_consistent_state(),
-        b.assert_consistent_state()
-    );
+    assert_eq!(a.assert_consistent_state(), b.assert_consistent_state());
 }
 
 #[test]
 fn different_seeds_give_different_models() {
+    let _g = lock();
     let mut c1 = cfg(Engine::UlfmForward, ScenarioKind::Downscale);
     let mut c2 = cfg(Engine::UlfmForward, ScenarioKind::Downscale);
     c1.spec.seed = 1;
@@ -52,6 +64,7 @@ fn different_seeds_give_different_models() {
 /// every choice of victim yields a consistent surviving replica set.
 #[test]
 fn any_victim_keeps_replicas_consistent() {
+    let _g = lock();
     for victim in [0usize, 1, 3, 5] {
         let mut c = cfg(Engine::UlfmForward, ScenarioKind::Downscale);
         c.victim = victim;
@@ -65,6 +78,7 @@ fn any_victim_keeps_replicas_consistent() {
 /// recover consistently (early, mid, late in the allreduce sequence).
 #[test]
 fn any_fault_timing_recovers() {
+    let _g = lock();
     for fail_at in [1u64, 2, 5, 9, 14, 20] {
         let mut c = cfg(Engine::UlfmForward, ScenarioKind::Downscale);
         c.fail_at_op = fail_at;
@@ -72,4 +86,34 @@ fn any_fault_timing_recovers() {
         assert_eq!(res.completed(), c.workers - 1, "fail_at {fail_at}");
         res.assert_consistent_state();
     }
+}
+
+/// Telemetry determinism: an identical fault-free run produces identical
+/// counter values and identical histogram/episode *counts* (durations are
+/// wall-clock and therefore excluded). Fault-free, because failure timing
+/// is racy by design: which worker observes PeerFailed vs Revoked varies,
+/// and with it the retry counters.
+#[test]
+fn telemetry_counters_are_deterministic() {
+    let _g = lock();
+    let run = || {
+        telemetry::reset();
+        let mut c = cfg(Engine::UlfmForward, ScenarioKind::Upscale);
+        c.joiners = 0; // no join service polling; fully deterministic
+        let res = run_scenario(&c);
+        assert_eq!(res.completed(), c.workers);
+        res.assert_consistent_state();
+        let snap = telemetry::snapshot();
+        let hist_counts: Vec<(String, u64)> = snap
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.count))
+            .collect();
+        (snap.counters.clone(), hist_counts, snap.episodes.len())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "counter values diverged between identical runs");
+    assert_eq!(a.1, b.1, "span counts diverged between identical runs");
+    assert_eq!(a.2, b.2, "episode counts diverged between identical runs");
 }

@@ -98,7 +98,11 @@ fn simulated_figures_have_paper_shapes() {
         };
         let eh = series(false);
         let ulfm = series(true);
-        assert!(eh.windows(2).all(|w| w[1] > w[0]), "{}: EH not monotone", model.name);
+        assert!(
+            eh.windows(2).all(|w| w[1] > w[0]),
+            "{}: EH not monotone",
+            model.name
+        );
         assert!(
             ulfm.last().unwrap() / ulfm.first().unwrap() < 2.0,
             "{}: ULFM cost must stay near-flat",

@@ -1,0 +1,112 @@
+//! Recovery-episode traces in the telemetry registry must reconcile with
+//! the `elastic::profiler` breakdowns the figure benches aggregate: same
+//! episode count, same per-kind totals (within 5%, though by construction
+//! the match is exact — episodes are published from the same phase data).
+
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, RecoveryKind, ScenarioConfig, TrainSpec};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The registry is process-global; serialize the tests in this binary.
+fn lock() -> MutexGuard<'static, ()> {
+    static M: OnceLock<Mutex<()>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn cfg(engine: Engine, kind: ScenarioKind) -> ScenarioConfig {
+    ScenarioConfig {
+        spec: TrainSpec {
+            total_steps: 8,
+            steps_per_epoch: 4,
+            ..TrainSpec::default()
+        },
+        ..ScenarioConfig::quick(engine, kind)
+    }
+}
+
+fn kind_label(kind: RecoveryKind) -> &'static str {
+    match kind {
+        RecoveryKind::Forward => "forward",
+        RecoveryKind::Backward => "backward",
+        RecoveryKind::Join => "join",
+    }
+}
+
+fn assert_reconciles(engine: Engine, kind: ScenarioKind) {
+    telemetry::reset();
+    let res = run_scenario(&cfg(engine, kind));
+    let snap = telemetry::snapshot();
+
+    assert_eq!(
+        snap.episodes.len(),
+        res.breakdowns.len(),
+        "every profiler breakdown must be traced as one telemetry episode"
+    );
+
+    for rk in [
+        RecoveryKind::Forward,
+        RecoveryKind::Backward,
+        RecoveryKind::Join,
+    ] {
+        let label = kind_label(rk);
+        let prof_ns: u64 = res
+            .breakdowns
+            .iter()
+            .filter(|b| b.kind == rk)
+            .map(|b| b.total().as_nanos() as u64)
+            .sum();
+        let telem_ns = snap.episode_total_ns(label);
+        let diff = prof_ns.abs_diff(telem_ns) as f64;
+        assert!(
+            diff <= 0.05 * prof_ns.max(1) as f64,
+            "{label}: telemetry {telem_ns}ns vs profiler {prof_ns}ns diverge >5%"
+        );
+    }
+}
+
+#[test]
+fn forward_downscale_episodes_reconcile() {
+    let _g = lock();
+    assert_reconciles(Engine::UlfmForward, ScenarioKind::Downscale);
+    // The failure path must also have left its marks on the lower layers.
+    let snap = telemetry::snapshot();
+    assert!(snap.counters.get("transport.deaths").copied().unwrap_or(0) >= 1);
+    assert!(snap.counters.get("ulfm.agree.rounds").copied().unwrap_or(0) >= 1);
+    assert!(snap.counters.get("ulfm.shrink.ops").copied().unwrap_or(0) >= 1);
+    assert!(snap.episode_total_ns("forward") > 0);
+}
+
+#[test]
+fn backward_downscale_episodes_reconcile() {
+    let _g = lock();
+    assert_reconciles(Engine::GlooBackward, ScenarioKind::Downscale);
+    let snap = telemetry::snapshot();
+    assert!(
+        snap.counters
+            .get("gloo.rendezvous.ops")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+    assert!(
+        snap.counters
+            .get("gloo.context.connects")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+    assert!(snap.episode_total_ns("backward") > 0);
+}
+
+#[test]
+fn forward_replace_join_episodes_reconcile() {
+    let _g = lock();
+    assert_reconciles(Engine::UlfmForward, ScenarioKind::Replace);
+    let snap = telemetry::snapshot();
+    assert!(
+        snap.episode_total_ns("join") > 0,
+        "joiner state sync must be traced"
+    );
+}
