@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run -p bench --bin repro --release -- all
 //! cargo run -p bench --bin repro --release -- table1 table2 fig2 fig4 fig5 fig6 fig7 eq1
+//! cargo run -p bench --bin repro --release -- --perturb drop=0.01,corrupt=0.001,seed=42
 //! ```
 //!
 //! Tables print in paper layout; figures print as the data series behind
@@ -15,7 +16,9 @@
 //! latency histograms, recovery episodes) to `telemetry.json` in the
 //! current directory — see EXPERIMENTS.md for the schema.
 
-use bench::{demonstrate_cell, fmt_s, paper_capability, render_table, TABLE2_ROWS};
+use bench::{
+    demonstrate_cell, fmt_s, paper_capability, parse_perturb_spec, render_table, TABLE2_ROWS,
+};
 use dnn::paper_models;
 use elastic::profiler::RecoveryKind;
 use elastic::scenario::{Engine, ScenarioKind};
@@ -23,8 +26,27 @@ use elastic::{run_scenario, Eq1Params, ScenarioConfig, TrainSpec};
 use simnet::{fig4_rows, figure_rows, ClusterModel, Level, SimScenario};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let wants = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+    // Split the flag (and its value) off before the section keys, so
+    // `repro --perturb drop=0.01 table2` still selects `table2` and a bare
+    // `repro --perturb ...` runs only the perturbed scenarios.
+    let mut perturb_spec: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--perturb" {
+            perturb_spec = Some(raw.next().unwrap_or_else(|| {
+                eprintln!("--perturb requires a rate-spec, e.g. drop=0.01,corrupt=0.001,seed=42");
+                std::process::exit(2);
+            }));
+        } else if let Some(v) = a.strip_prefix("--perturb=") {
+            perturb_spec = Some(v.to_string());
+        } else {
+            args.push(a);
+        }
+    }
+    let wants = |k: &str| {
+        (args.is_empty() && perturb_spec.is_none()) || args.iter().any(|a| a == k || a == "all")
+    };
 
     if wants("table1") {
         table1();
@@ -52,8 +74,81 @@ fn main() {
     if wants("scenario3") {
         scenario3();
     }
+    if let Some(spec) = &perturb_spec {
+        match parse_perturb_spec(spec) {
+            Ok(plan) => perturbed(plan),
+            Err(e) => {
+                eprintln!("--perturb: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     dump_telemetry("telemetry.json");
+}
+
+/// Run both engines through a fault + recovery scenario over an
+/// adversarially perturbed fabric, and record the recovery-episode and
+/// wire-protocol counts into the telemetry dump.
+fn perturbed(plan: transport::PerturbPlan) {
+    println!(
+        "== Perturbed recovery scenarios (seed {}) ==\n",
+        plan.seed()
+    );
+    let mut rows = Vec::new();
+    for (engine, label) in [
+        (Engine::UlfmForward, "ULFM forward"),
+        (Engine::GlooBackward, "Elastic Horovod backward"),
+    ] {
+        let cfg = ScenarioConfig {
+            spec: TrainSpec {
+                total_steps: 8,
+                steps_per_epoch: 4,
+                ..TrainSpec::default()
+            },
+            perturb: Some(plan.clone()),
+            ..ScenarioConfig::quick(engine, ScenarioKind::Downscale)
+        };
+        let res = run_scenario(&cfg);
+        res.assert_consistent_state();
+        let episodes = res.breakdowns.len() as u64;
+        let key = if engine == Engine::UlfmForward {
+            "forward"
+        } else {
+            "backward"
+        };
+        telemetry::counter(&format!("repro.perturbed.{key}.recovery_episodes")).add(episodes);
+        telemetry::counter(&format!("repro.perturbed.{key}.retransmits"))
+            .add(res.fabric_stats.retransmits);
+        telemetry::counter(&format!("repro.perturbed.{key}.corrupt_frames"))
+            .add(res.fabric_stats.corrupt_frames);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}/{}", res.completed(), cfg.workers),
+            episodes.to_string(),
+            res.fabric_stats.retransmits.to_string(),
+            res.fabric_stats.corrupt_frames.to_string(),
+            res.fabric_stats.dup_suppressed.to_string(),
+            format!("{:?}", res.wall),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Engine",
+                "Completed",
+                "Recovery episodes",
+                "Retransmits",
+                "Corrupt frames",
+                "Dups suppressed",
+                "Wall",
+            ],
+            &rows
+        )
+    );
+    println!("Replicas stayed bit-identical under the perturbation schedule; corrupted");
+    println!("frames were all caught by the checksum and healed by retransmission.\n");
 }
 
 /// Export the telemetry registry accumulated across everything this

@@ -6,6 +6,55 @@
 
 use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
+use transport::{LinkPerturb, PerturbPlan};
+
+/// Parse a `--perturb` rate-spec into a [`PerturbPlan`] applied to every
+/// link. The spec is comma-separated `key=value` pairs:
+///
+/// ```text
+/// drop=0.01,corrupt=0.001,dup=0.005,reorder=0.01,delay=0.05,seed=42
+/// ```
+///
+/// All rate keys are optional probabilities in `[0, 1]`; `seed` (default 0)
+/// fixes the deterministic schedule. `delay` holds frames for 50–500 µs.
+pub fn parse_perturb_spec(spec: &str) -> Result<PerturbPlan, String> {
+    let mut link = LinkPerturb::clean();
+    let mut seed = 0u64;
+    for pair in spec.split(',').filter(|s| !s.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("perturb spec `{pair}` is not key=value"))?;
+        let rate = || -> Result<f64, String> {
+            let v: f64 = value
+                .parse()
+                .map_err(|_| format!("perturb rate `{value}` is not a number"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("perturb rate `{key}={v}` outside [0, 1]"));
+            }
+            Ok(v)
+        };
+        match key {
+            "drop" => link = link.drop(rate()?),
+            "dup" | "duplicate" => link = link.duplicate(rate()?),
+            "corrupt" => link = link.corrupt(rate()?),
+            "reorder" => link = link.reorder(rate()?),
+            "delay" => {
+                link = link.delay(
+                    rate()?,
+                    std::time::Duration::from_micros(50),
+                    std::time::Duration::from_micros(500),
+                )
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("perturb seed `{value}` is not a u64"))?
+            }
+            _ => return Err(format!("unknown perturb key `{key}`")),
+        }
+    }
+    Ok(PerturbPlan::seeded(seed).all_links(link))
+}
 
 /// Render an aligned text table: `header` then `rows`.
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -98,6 +147,8 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
         fail_at_op: 7,
         joiners,
         renormalize: false,
+        perturb: None,
+        suspicion_timeout: None,
     };
     let res = run_scenario(&cfg);
     let expected_completed = match (kind, policy) {
@@ -165,5 +216,27 @@ mod tests {
         assert_eq!(fmt_s(0.0), "-");
         assert_eq!(fmt_s(0.001), "0.0010");
         assert_eq!(fmt_s(12.345), "12.35");
+    }
+
+    #[test]
+    fn perturb_spec_parses_all_keys() {
+        let plan =
+            parse_perturb_spec("drop=0.01,corrupt=0.001,dup=0.005,reorder=0.01,delay=0.05,seed=42")
+                .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn perturb_spec_rejects_garbage() {
+        assert!(parse_perturb_spec("drop").is_err());
+        assert!(parse_perturb_spec("drop=2.0").is_err());
+        assert!(parse_perturb_spec("warp=0.1").is_err());
+        assert!(parse_perturb_spec("seed=abc").is_err());
+    }
+
+    #[test]
+    fn empty_perturb_spec_is_inert() {
+        assert!(parse_perturb_spec("").unwrap().is_inert());
     }
 }

@@ -9,7 +9,7 @@ use crate::forward::{run_forward_worker, ForwardConfig};
 use crate::profiler::{mean_breakdown, RecoveryBreakdown, RecoveryKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, RankId, Topology};
+use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, PerturbPlan, RankId, Topology};
 use ulfm::Universe;
 
 /// Which of the paper's dynamic-training scenarios to run.
@@ -61,6 +61,13 @@ pub struct ScenarioConfig {
     pub joiners: usize,
     /// Forward engine: renormalize degraded steps.
     pub renormalize: bool,
+    /// Optional adversarial link schedule (drops/dups/corruption/reorder/
+    /// delay), healed by the transport's retransmission layer.
+    pub perturb: Option<PerturbPlan>,
+    /// Optional engine-level failure-detection deadline: a collective that
+    /// stalls on a silent peer past this converts the hang into a peer-death
+    /// report (ULFM suspicion) instead of blocking forever.
+    pub suspicion_timeout: Option<Duration>,
 }
 
 impl ScenarioConfig {
@@ -77,6 +84,8 @@ impl ScenarioConfig {
             fail_at_op: 7,
             joiners: 1,
             renormalize: false,
+            perturb: None,
+            suspicion_timeout: None,
         }
     }
 }
@@ -90,6 +99,10 @@ pub struct ScenarioResult {
     pub breakdowns: Vec<RecoveryBreakdown>,
     /// Wall-clock duration of the whole scenario.
     pub wall: Duration,
+    /// Transport-layer counters for this scenario's fabric (retransmits,
+    /// corrupt frames, suspicions, ...) — per-run, unlike the process-global
+    /// telemetry registry.
+    pub fabric_stats: transport::FabricStats,
 }
 
 impl ScenarioResult {
@@ -158,6 +171,12 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     let t0 = Instant::now();
     let topology = Topology::new(cfg.ranks_per_node);
     let universe = Universe::new(topology, fault_plan(cfg));
+    if let Some(plan) = &cfg.perturb {
+        universe.set_perturbation(plan.clone());
+    }
+    if let Some(t) = cfg.suspicion_timeout {
+        universe.set_suspicion_timeout(t);
+    }
     let fwd_cfg = ForwardConfig {
         spec: cfg.spec.clone(),
         policy: cfg.policy,
@@ -206,6 +225,7 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         exits,
         breakdowns,
         wall: t0.elapsed(),
+        fabric_stats: universe.fabric().stats(),
     }
 }
 
@@ -213,6 +233,10 @@ fn run_backward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     let t0 = Instant::now();
     let topology = Topology::new(cfg.ranks_per_node);
     let fabric = Fabric::new(topology, FaultInjector::new(fault_plan(cfg)));
+    if let Some(plan) = &cfg.perturb {
+        fabric.set_perturbation(plan.clone());
+    }
+    fabric.set_suspicion_timeout(cfg.suspicion_timeout);
     let initial_ranks = fabric.register_ranks(cfg.workers);
     let driver = ElasticDriver::new(topology, initial_ranks.clone());
     let bwd_cfg = BackwardConfig {
@@ -281,6 +305,7 @@ fn run_backward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
             exits,
             breakdowns,
             wall: t0.elapsed(),
+            fabric_stats: fabric.stats(),
         }
     })
 }

@@ -29,6 +29,6 @@ mod store;
 pub use context::{Context, ContextStats};
 pub use error::GlooError;
 pub use rendezvous::{rendezvous, RendezvousConfig, RendezvousError, RendezvousReport};
-pub use store::{KvStore, KvStoreStats};
+pub use store::{KvStore, KvStoreStats, StoreFaults, StoreUnavailable};
 
 pub use transport::{NodeId, RankId, Topology};

@@ -6,9 +6,35 @@
 //! collectives). Both are reproduced here; the per-phase round-trip counts
 //! feed the recovery cost breakdowns of paper Fig. 4.
 
-use crate::store::KvStore;
+use crate::store::{KvStore, StoreUnavailable};
 use std::time::{Duration, Instant};
 use transport::{RankId, Topology, Wire};
+
+/// Retry a transiently-failing store operation with exponential backoff
+/// until it succeeds or `deadline` passes. Every retry is counted under
+/// `gloo.rendezvous.retries` and charged one round trip.
+fn with_retry<T>(
+    deadline: Instant,
+    round_trips: &mut u64,
+    mut op: impl FnMut() -> Result<T, StoreUnavailable>,
+) -> Result<T, RendezvousError> {
+    let mut backoff = Duration::from_micros(100);
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(StoreUnavailable) => {
+                *round_trips += 1;
+                telemetry::counter("gloo.rendezvous.retries").incr();
+                if Instant::now() >= deadline {
+                    telemetry::counter("gloo.rendezvous.timeouts").incr();
+                    return Err(RendezvousError::StoreUnavailable);
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(2));
+            }
+        }
+    }
+}
 
 /// Parameters of one rendezvous round.
 #[derive(Clone, Debug)]
@@ -47,6 +73,9 @@ pub enum RendezvousError {
         /// How many had arrived when we gave up.
         arrived: usize,
     },
+    /// The store stayed transiently unavailable past the deadline even
+    /// under retry-with-backoff.
+    StoreUnavailable,
 }
 
 impl std::fmt::Display for RendezvousError {
@@ -54,6 +83,9 @@ impl std::fmt::Display for RendezvousError {
         match self {
             RendezvousError::Timeout { arrived } => {
                 write!(f, "rendezvous timed out with {arrived} arrivals")
+            }
+            RendezvousError::StoreUnavailable => {
+                write!(f, "rendezvous store unavailable past the deadline")
             }
         }
     }
@@ -75,19 +107,23 @@ pub fn rendezvous(
     telemetry::counter("gloo.rendezvous.ops").incr();
     let span = telemetry::span("gloo.rendezvous.duration_ns");
     let mut round_trips = 0u64;
+    let deadline = Instant::now() + cfg.timeout;
     let global_prefix = format!("{}/{}/global/", cfg.run_id, cfg.epoch);
 
-    // Publish my arrival.
-    store.set(
-        &format!("{global_prefix}{:08}", me.0),
-        u64::encode_slice(&[me.0 as u64]),
-    );
+    // Publish my arrival (retried through transient store failures).
+    with_retry(deadline, &mut round_trips, || {
+        store.try_set(
+            &format!("{global_prefix}{:08}", me.0),
+            u64::encode_slice(&[me.0 as u64]),
+        )
+    })?;
     round_trips += 1;
 
     // Poll until everyone arrived.
-    let deadline = Instant::now() + cfg.timeout;
     loop {
-        let n = store.count_prefix(&global_prefix);
+        let n = with_retry(deadline, &mut round_trips, || {
+            store.try_count_prefix(&global_prefix)
+        })?;
         round_trips += 1;
         if n >= cfg.expected {
             break;
@@ -100,11 +136,12 @@ pub fn rendezvous(
     }
 
     // Read the member list.
-    let members: Vec<RankId> = store
-        .scan_prefix(&global_prefix)
-        .into_iter()
-        .map(|(_, v)| RankId(u64::decode_slice(&v)[0] as usize))
-        .collect();
+    let members: Vec<RankId> = with_retry(deadline, &mut round_trips, || {
+        store.try_scan_prefix(&global_prefix)
+    })?
+    .into_iter()
+    .map(|(_, v)| RankId(u64::decode_slice(&v)[0] as usize))
+    .collect();
     round_trips += 1;
     let my_rank = members
         .iter()
@@ -114,17 +151,21 @@ pub fn rendezvous(
     // Local rendezvous: discover co-located members.
     let my_node = topology.node_of(me);
     let local_prefix = format!("{}/{}/node{}/", cfg.run_id, cfg.epoch, my_node.0);
-    store.set(
-        &format!("{local_prefix}{:08}", me.0),
-        u64::encode_slice(&[my_rank as u64]),
-    );
+    with_retry(deadline, &mut round_trips, || {
+        store.try_set(
+            &format!("{local_prefix}{:08}", me.0),
+            u64::encode_slice(&[my_rank as u64]),
+        )
+    })?;
     round_trips += 1;
     let expected_local = members
         .iter()
         .filter(|&&m| topology.node_of(m) == my_node)
         .count();
     loop {
-        let n = store.count_prefix(&local_prefix);
+        let n = with_retry(deadline, &mut round_trips, || {
+            store.try_count_prefix(&local_prefix)
+        })?;
         round_trips += 1;
         if n >= expected_local {
             break;
@@ -135,11 +176,12 @@ pub fn rendezvous(
         }
         std::thread::sleep(Duration::from_micros(200));
     }
-    let node_locals: Vec<usize> = store
-        .scan_prefix(&local_prefix)
-        .into_iter()
-        .map(|(_, v)| u64::decode_slice(&v)[0] as usize)
-        .collect();
+    let node_locals: Vec<usize> = with_retry(deadline, &mut round_trips, || {
+        store.try_scan_prefix(&local_prefix)
+    })?
+    .into_iter()
+    .map(|(_, v)| u64::decode_slice(&v)[0] as usize)
+    .collect();
     round_trips += 1;
 
     telemetry::counter("gloo.rendezvous.round_trips").add(round_trips);
@@ -240,5 +282,46 @@ mod tests {
             "expected ≥6 RTTs, got {}",
             rep.round_trips
         );
+    }
+
+    #[test]
+    fn flaky_store_is_healed_by_retry_backoff() {
+        use crate::store::StoreFaults;
+        // 40% of store operations transiently fail; every worker must still
+        // complete the rendezvous via retry-with-backoff.
+        let store = KvStore::shared_flaky(StoreFaults::rate(0.4, 1234));
+        let topo = Topology::new(2);
+        let ranks = [RankId(0), RankId(1), RankId(2), RankId(3)];
+        let reports: Vec<RendezvousReport> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranks
+                .iter()
+                .map(|&r| {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || rendezvous(&store, &cfg(0, 4), r, topo).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for rep in &reports {
+            assert_eq!(rep.members, ranks.to_vec());
+        }
+        assert!(store.denied() > 0, "faults must actually have fired");
+        // Denied operations are charged as extra round trips.
+        let total_rtts: u64 = reports.iter().map(|r| r.round_trips).sum();
+        assert!(total_rtts as usize > 6 * ranks.len());
+    }
+
+    #[test]
+    fn permanently_dead_store_reports_unavailable() {
+        use crate::store::StoreFaults;
+        let store = KvStore::shared_flaky(StoreFaults {
+            fail_rate: 1.0,
+            seed: 9,
+            max_consecutive: u32::MAX,
+        });
+        let mut c = cfg(1, 1);
+        c.timeout = Duration::from_millis(30);
+        let err = rendezvous(&store, &c, RankId(0), Topology::flat()).unwrap_err();
+        assert_eq!(err, RendezvousError::StoreUnavailable);
     }
 }

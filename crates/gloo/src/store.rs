@@ -24,13 +24,67 @@ pub struct KvStoreStats {
     pub waits: u64,
 }
 
+/// A transient store failure (the rendezvous server dropped the request).
+/// Callers are expected to retry with backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreUnavailable;
+
+impl std::fmt::Display for StoreUnavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kv store transiently unavailable")
+    }
+}
+
+impl std::error::Error for StoreUnavailable {}
+
+/// Seeded transient-failure injection for the store's fallible operations.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreFaults {
+    /// Per-operation probability of a transient failure.
+    pub fail_rate: f64,
+    /// RNG seed (deterministic schedules for reproducible tests).
+    pub seed: u64,
+    /// After this many consecutive injected failures the next operation is
+    /// forced to succeed, bounding retry storms so liveness is provable.
+    pub max_consecutive: u32,
+}
+
+impl StoreFaults {
+    /// Fail `fail_rate` of fallible operations with the given seed.
+    pub fn rate(fail_rate: f64, seed: u64) -> Self {
+        Self {
+            fail_rate,
+            seed,
+            max_consecutive: 8,
+        }
+    }
+}
+
+struct FaultState {
+    cfg: StoreFaults,
+    rng: u64,
+    consecutive: u32,
+}
+
+impl FaultState {
+    fn next_f64(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// A shared in-memory KV store with blocking waits.
 pub struct KvStore {
     map: Mutex<HashMap<String, Vec<u8>>>,
     cv: Condvar,
+    faults: Mutex<Option<FaultState>>,
     sets: AtomicU64,
     gets: AtomicU64,
     waits: AtomicU64,
+    denied: AtomicU64,
 }
 
 impl Default for KvStore {
@@ -45,15 +99,80 @@ impl KvStore {
         Self {
             map: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
+            faults: Mutex::new(None),
             sets: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             waits: AtomicU64::new(0),
+            denied: AtomicU64::new(0),
         }
     }
 
     /// Shared handle constructor.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// A shared store whose fallible (`try_*`) operations transiently fail
+    /// according to `faults`.
+    pub fn shared_flaky(faults: StoreFaults) -> Arc<Self> {
+        let s = Self::new();
+        *s.faults.lock() = Some(FaultState {
+            cfg: faults,
+            rng: faults.seed,
+            consecutive: 0,
+        });
+        Arc::new(s)
+    }
+
+    /// Draw one transient-failure decision.
+    fn transient_failure(&self) -> bool {
+        let mut g = self.faults.lock();
+        let Some(st) = g.as_mut() else {
+            return false;
+        };
+        if st.consecutive >= st.cfg.max_consecutive {
+            st.consecutive = 0;
+            return false;
+        }
+        if st.next_f64() < st.cfg.fail_rate {
+            st.consecutive += 1;
+            drop(g);
+            self.denied.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("gloo.store.denied").incr();
+            true
+        } else {
+            st.consecutive = 0;
+            false
+        }
+    }
+
+    /// Fallible `set`: may return [`StoreUnavailable`] under injected
+    /// transient faults. Retry with backoff.
+    pub fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable> {
+        if self.transient_failure() {
+            return Err(StoreUnavailable);
+        }
+        self.set(key, value);
+        Ok(())
+    }
+
+    /// Fallible [`KvStore::count_prefix`].
+    pub fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable> {
+        if self.transient_failure() {
+            return Err(StoreUnavailable);
+        }
+        Ok(self.count_prefix(prefix))
+    }
+
+    /// Fallible [`KvStore::scan_prefix`].
+    pub fn try_scan_prefix(
+        &self,
+        prefix: &str,
+    ) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable> {
+        if self.transient_failure() {
+            return Err(StoreUnavailable);
+        }
+        Ok(self.scan_prefix(prefix))
     }
 
     /// Publish `value` under `key` (overwrites).
@@ -126,6 +245,11 @@ impl KvStore {
             waits: self.waits.load(Ordering::Relaxed),
         }
     }
+
+    /// Transient failures injected so far.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +293,48 @@ mod tests {
         assert_eq!(s.clear_prefix("rdv/0/"), 2);
         assert_eq!(s.count_prefix("rdv/0/"), 0);
         assert_eq!(s.get("other"), Some(vec![7]));
+    }
+
+    #[test]
+    fn flaky_store_fails_transiently_but_not_forever() {
+        let s = KvStore::shared_flaky(StoreFaults::rate(0.9, 42));
+        // With a 90% rate some operations must fail ...
+        let mut failures = 0;
+        for i in 0..50 {
+            if s.try_set(&format!("k{i}"), vec![1]).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0);
+        assert_eq!(s.denied(), failures);
+        // ... but max_consecutive bounds any failure run, so a bounded retry
+        // loop always gets through.
+        for _ in 0..=8 {
+            if s.try_set("must-land", vec![2]).is_ok() {
+                break;
+            }
+        }
+        assert_eq!(s.get("must-land"), Some(vec![2]));
+    }
+
+    #[test]
+    fn flaky_schedule_is_deterministic() {
+        let run = || {
+            let s = KvStore::shared_flaky(StoreFaults::rate(0.5, 7));
+            (0..100)
+                .map(|i| s.try_set(&format!("k{i}"), vec![]).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clean_store_try_ops_never_fail() {
+        let s = KvStore::new();
+        assert!(s.try_set("a", vec![1]).is_ok());
+        assert_eq!(s.try_count_prefix("a").unwrap(), 1);
+        assert_eq!(s.try_scan_prefix("a").unwrap().len(), 1);
+        assert_eq!(s.denied(), 0);
     }
 
     #[test]

@@ -4,12 +4,15 @@
 use crate::error::TransportError;
 use crate::fault::FaultInjector;
 use crate::ids::{NodeId, RankId, Topology};
-use crate::mailbox::{Envelope, Mailbox};
-use parking_lot::RwLock;
+use crate::mailbox::{FrameAck, Mailbox};
+use crate::perturb::{PerturbPlan, Perturber};
+use crate::wire;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use telemetry::Counter;
+use telemetry::{Counter, Histogram};
 
 struct RankSlot {
     mailbox: Arc<Mailbox>,
@@ -28,6 +31,16 @@ struct FabricTelemetry {
     op_fault_hits: Arc<Counter>,
     purged_msgs: Arc<Counter>,
     recv_timeouts: Arc<Counter>,
+    retransmits: Arc<Counter>,
+    corrupt_frames: Arc<Counter>,
+    dup_suppressed: Arc<Counter>,
+    frames_dropped: Arc<Counter>,
+    frames_delayed: Arc<Counter>,
+    frames_duplicated: Arc<Counter>,
+    frames_reordered: Arc<Counter>,
+    suspicions: Arc<Counter>,
+    delay_hist: Arc<Histogram>,
+    backoff_hist: Arc<Histogram>,
 }
 
 impl FabricTelemetry {
@@ -42,6 +55,16 @@ impl FabricTelemetry {
             op_fault_hits: telemetry::counter("transport.op_fault_hits"),
             purged_msgs: telemetry::counter("transport.purged_msgs"),
             recv_timeouts: telemetry::counter("transport.recv_timeouts"),
+            retransmits: telemetry::counter("transport.retransmits"),
+            corrupt_frames: telemetry::counter("transport.corrupt_frames"),
+            dup_suppressed: telemetry::counter("transport.dup_suppressed"),
+            frames_dropped: telemetry::counter("transport.perturb.frames_dropped"),
+            frames_delayed: telemetry::counter("transport.perturb.frames_delayed"),
+            frames_duplicated: telemetry::counter("transport.perturb.frames_duplicated"),
+            frames_reordered: telemetry::counter("transport.perturb.frames_reordered"),
+            suspicions: telemetry::counter("transport.suspicions"),
+            delay_hist: telemetry::histogram("transport.perturb.delay_ns"),
+            backoff_hist: telemetry::histogram("transport.retransmit.backoff_ns"),
         }
     }
 }
@@ -55,6 +78,15 @@ pub struct FabricStats {
     pub bytes: u64,
     /// Ranks killed so far (externally or by the fault plan).
     pub deaths: u64,
+    /// Link-layer retransmissions (unacked frames resent).
+    pub retransmits: u64,
+    /// Frames discarded by the receiver for failing checksum validation.
+    pub corrupt_frames: u64,
+    /// Duplicate frames suppressed by receiver sequence tracking.
+    pub dup_suppressed: u64,
+    /// Ranks declared dead by timeout-based suspicion rather than a fault
+    /// plan or an explicit kill.
+    pub suspicions: u64,
 }
 
 /// The shared interconnect + runtime failure detector.
@@ -66,9 +98,20 @@ pub struct Fabric {
     topology: Topology,
     slots: RwLock<Vec<RankSlot>>,
     injector: FaultInjector,
+    perturber: RwLock<Arc<Perturber>>,
+    /// Sender-side sequence counters per (src, dst, tag) channel.
+    tx_seq: Mutex<HashMap<(RankId, RankId, u64), u64>>,
+    /// If set, a blocking receive with no explicit deadline that stalls past
+    /// this duration suspects the silent peer dead (timeout-based failure
+    /// detection). `None` (the default) models a perfect, hang-free network.
+    suspicion: RwLock<Option<Duration>>,
     messages: AtomicU64,
     bytes: AtomicU64,
     deaths: AtomicU64,
+    retransmits: AtomicU64,
+    corrupt_frames: AtomicU64,
+    dup_suppressed: AtomicU64,
+    suspicions: AtomicU64,
     telem: FabricTelemetry,
 }
 
@@ -79,9 +122,16 @@ impl Fabric {
             topology,
             slots: RwLock::new(Vec::new()),
             injector,
+            perturber: RwLock::new(Arc::new(Perturber::inert())),
+            tx_seq: Mutex::new(HashMap::new()),
+            suspicion: RwLock::new(None),
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             deaths: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            dup_suppressed: AtomicU64::new(0),
+            suspicions: AtomicU64::new(0),
             telem: FabricTelemetry::new(),
         })
     }
@@ -99,6 +149,33 @@ impl Fabric {
     /// The fault injector driving scripted failures.
     pub fn injector(&self) -> &FaultInjector {
         &self.injector
+    }
+
+    /// Install a message-perturbation plan. Replaces any previous plan;
+    /// normally called once before traffic starts.
+    pub fn set_perturbation(&self, plan: PerturbPlan) {
+        *self.perturber.write() = Arc::new(Perturber::new(plan));
+    }
+
+    /// Enable (`Some`) or disable (`None`) timeout-based failure suspicion
+    /// for blocking receives without an explicit deadline.
+    pub fn set_suspicion_timeout(&self, timeout: Option<Duration>) {
+        *self.suspicion.write() = timeout;
+    }
+
+    /// The configured suspicion timeout, if any.
+    pub fn suspicion_timeout(&self) -> Option<Duration> {
+        *self.suspicion.read()
+    }
+
+    /// Declare `rank` dead on suspicion (retry exhaustion or a stalled
+    /// receive past the suspicion deadline). Idempotent; counts once.
+    pub fn suspect(&self, rank: RankId) {
+        if self.is_alive(rank) {
+            self.suspicions.fetch_add(1, Ordering::Relaxed);
+            self.telem.suspicions.incr();
+            self.kill_rank(rank);
+        }
     }
 
     /// Register one new rank and return its id. Ids are dense and permanent.
@@ -195,7 +272,64 @@ impl Fabric {
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
             deaths: self.deaths.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
         }
+    }
+
+    fn next_tx_seq(&self, src: RankId, dst: RankId, tag: u64) -> u64 {
+        let mut seqs = self.tx_seq.lock();
+        let s = seqs.entry((src, dst, tag)).or_insert(0);
+        let seq = *s;
+        *s += 1;
+        seq
+    }
+
+    /// One physical transmission attempt of `frame` on `src → dst`, applying
+    /// the perturbation plan. Returns true if the receiver acked a copy of
+    /// the *current* frame (stashed flushes ack on behalf of older frames,
+    /// which already retransmit independently).
+    fn transmit(&self, src: RankId, dst: RankId, frame: &[u8], mb: &Mailbox) -> bool {
+        let perturber = Arc::clone(&self.perturber.read());
+        let verdict = perturber.transmit(src, dst, frame);
+        if verdict.dropped {
+            self.telem.frames_dropped.incr();
+        }
+        if verdict.duplicated {
+            self.telem.frames_duplicated.incr();
+        }
+        if verdict.reordered {
+            self.telem.frames_reordered.incr();
+        }
+        let mut acked = false;
+        for d in verdict.deliveries {
+            if let Some(delay) = d.delay {
+                // The "propagation delay" runs on the sender thread: the
+                // fabric is a function-call network, so a slow link is a
+                // slow call.
+                self.telem.frames_delayed.incr();
+                self.telem.delay_hist.record_duration(delay);
+                std::thread::sleep(delay);
+            }
+            let ack = mb.accept_frame(&d.bytes);
+            match ack {
+                FrameAck::Corrupt(_) => {
+                    self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    self.telem.corrupt_frames.incr();
+                }
+                FrameAck::Duplicate => {
+                    self.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                    self.telem.dup_suppressed.incr();
+                }
+                FrameAck::Accepted => {}
+            }
+            if d.current && ack.is_acked() {
+                acked = true;
+            }
+        }
+        acked
     }
 
     fn mailbox_of(&self, rank: RankId) -> Option<Arc<Mailbox>> {
@@ -254,11 +388,13 @@ impl Endpoint {
     }
 
     /// Protocol-level fault point (e.g. `"allreduce.step"`). Returns
-    /// `Err(SelfDied)` if the fault plan kills this rank here.
+    /// `Err(SelfDied)` if the fault plan kills this rank here. Also
+    /// activates any perturbation plan gated on this point.
     pub fn fault_point(&self, name: &str) -> Result<(), TransportError> {
         if !self.fabric.is_alive(self.rank) {
             return Err(TransportError::SelfDied);
         }
+        self.fabric.perturber.read().notify_point(name);
         if self.fabric.injector.hit_point(self.rank, name) {
             self.fabric.telem.fault_point_hits.incr();
             self.fabric.kill_rank(self.rank);
@@ -269,10 +405,14 @@ impl Endpoint {
 
     /// Send `data` to `to` under `tag`.
     ///
-    /// Fails with [`TransportError::PeerDead`] if the destination has
-    /// failed — modelling ULFM's local error report on communication with a
-    /// failed process — and with [`TransportError::SelfDied`] if the fault
-    /// plan kills the caller at this operation.
+    /// The payload travels as a checksummed, sequence-numbered frame; if the
+    /// link perturbation drops, corrupts, or reorders it away, the frame is
+    /// retransmitted under exponential backoff with jitter until the
+    /// receiver acks a copy. A peer that never acks within the retry budget
+    /// is *suspected* dead and reported as [`TransportError::PeerDead`] —
+    /// the same local error ULFM raises on communication with a failed
+    /// process. [`TransportError::SelfDied`] is returned if the fault plan
+    /// kills the caller at this operation.
     pub fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
         self.check_op_fault()?;
         let Some(mb) = self.fabric.mailbox_of(to) else {
@@ -281,11 +421,40 @@ impl Endpoint {
         if !self.fabric.is_alive(to) {
             return Err(TransportError::PeerDead(to));
         }
-        mb.push(Envelope {
-            src: self.rank,
-            tag,
-            data: data.to_vec(),
-        });
+        let seq = self.fabric.next_tx_seq(self.rank, to, tag);
+        let frame = wire::encode_frame(self.rank, tag, seq, data);
+        let policy = self.fabric.perturber.read().plan().retry_policy();
+        let mut attempt = 0u32;
+        loop {
+            if self.fabric.transmit(self.rank, to, &frame, &mb) {
+                break;
+            }
+            // Unacked: the frame (or every copy of it) was lost. Re-check
+            // liveness between attempts — death reports beat link errors.
+            if !self.fabric.is_alive(self.rank) {
+                return Err(TransportError::SelfDied);
+            }
+            if !self.fabric.is_alive(to) {
+                return Err(TransportError::PeerDead(to));
+            }
+            if attempt >= policy.max_retries {
+                // The link is silent past the retry budget: suspect the
+                // peer, feeding the ULFM revoke → agree → shrink path.
+                self.fabric.suspect(to);
+                return Err(TransportError::PeerDead(to));
+            }
+            let salt = self
+                .fabric
+                .perturber
+                .read()
+                .backoff_salt(self.rank, to, tag, seq, attempt);
+            let backoff = policy.backoff(attempt, salt);
+            self.fabric.telem.backoff_hist.record_duration(backoff);
+            std::thread::sleep(backoff);
+            attempt += 1;
+            self.fabric.retransmits.fetch_add(1, Ordering::Relaxed);
+            self.fabric.telem.retransmits.incr();
+        }
         self.fabric.messages.fetch_add(1, Ordering::Relaxed);
         self.fabric
             .bytes
@@ -343,13 +512,26 @@ impl Endpoint {
         let Some(src_alive) = self.fabric.alive_flag_of(from) else {
             return Err(TransportError::UnknownRank(from));
         };
+        let self_alive = self
+            .fabric
+            .alive_flag_of(self.rank)
+            .expect("own alive flag must exist");
+        // Without an explicit deadline, an open-ended wait is bounded by the
+        // suspicion timeout (when configured): a peer silent past it is
+        // treated as failed, not merely slow.
+        let suspicion = match deadline {
+            Some(_) => None,
+            None => self.fabric.suspicion_timeout(),
+        };
+        let effective = deadline.or_else(|| suspicion.map(|t| Instant::now() + t));
         use crate::mailbox::RecvOutcome;
         match my_mb.pop_matching(
             from,
             tag,
             || src_alive.load(Ordering::SeqCst),
+            || self_alive.load(Ordering::SeqCst),
             should_stop,
-            deadline,
+            effective,
         ) {
             RecvOutcome::Message(data) => {
                 self.fabric.telem.msgs_recvd.incr();
@@ -357,8 +539,15 @@ impl Endpoint {
                 Ok(data)
             }
             RecvOutcome::SrcDead => Err(TransportError::PeerDead(from)),
+            RecvOutcome::SelfDead => Err(TransportError::SelfDied),
             RecvOutcome::Stopped => Err(TransportError::Stopped),
             RecvOutcome::TimedOut => {
+                if suspicion.is_some() {
+                    // The stall exceeded the failure detector's deadline:
+                    // declare the silent peer dead and report it as such.
+                    self.fabric.suspect(from);
+                    return Err(TransportError::PeerDead(from));
+                }
                 self.fabric.telem.recv_timeouts.incr();
                 Err(TransportError::Timeout)
             }
@@ -565,5 +754,115 @@ mod tests {
         eps[1].retire();
         assert!(!f.is_alive(RankId(1)));
         assert!(f.is_alive(RankId(0)));
+    }
+
+    #[test]
+    fn lossy_link_heals_via_retransmission() {
+        use crate::perturb::{LinkPerturb, PerturbPlan, RetryPolicy};
+        let (f, eps) = fabric_with(2);
+        f.set_perturbation(
+            PerturbPlan::seeded(11)
+                .all_links(LinkPerturb::clean().drop(0.4).duplicate(0.2).corrupt(0.2))
+                .retry(RetryPolicy {
+                    max_retries: 32,
+                    base: Duration::from_micros(20),
+                    cap: Duration::from_micros(500),
+                }),
+        );
+        for i in 0..100u64 {
+            eps[0].send(RankId(1), 9, &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(eps[1].recv(RankId(0), 9).unwrap(), i.to_le_bytes());
+        }
+        let s = f.stats();
+        assert!(s.retransmits > 0, "a 40% drop rate must force retransmits");
+        assert_eq!(s.messages, 100, "every payload delivered exactly once");
+        assert_eq!(s.deaths, 0);
+    }
+
+    #[test]
+    fn total_link_loss_turns_into_suspicion() {
+        use crate::perturb::{LinkPerturb, PerturbPlan, RetryPolicy};
+        let (f, eps) = fabric_with(2);
+        f.set_perturbation(
+            PerturbPlan::seeded(5)
+                .link(RankId(0), RankId(1), LinkPerturb::clean().drop(1.0))
+                .retry(RetryPolicy {
+                    max_retries: 4,
+                    base: Duration::from_micros(50),
+                    cap: Duration::from_micros(200),
+                }),
+        );
+        assert_eq!(
+            eps[0].send(RankId(1), 0, b"void"),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+        assert!(!f.is_alive(RankId(1)), "unreachable peer must be suspected");
+        assert_eq!(f.stats().suspicions, 1);
+    }
+
+    #[test]
+    fn stalled_recv_suspects_silent_peer() {
+        let (f, eps) = fabric_with(2);
+        f.set_suspicion_timeout(Some(Duration::from_millis(20)));
+        let start = Instant::now();
+        // Rank 1 never sends: the stall converts to a PeerDead report.
+        assert_eq!(
+            eps[0].recv(RankId(1), 3),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert!(!f.is_alive(RankId(1)));
+        assert_eq!(f.stats().suspicions, 1);
+    }
+
+    #[test]
+    fn explicit_recv_timeout_does_not_suspect() {
+        let (f, eps) = fabric_with(2);
+        f.set_suspicion_timeout(Some(Duration::from_millis(5)));
+        // An explicit deadline is the caller's own polling timeout (the gloo
+        // op-timeout path); it must stay a plain Timeout with no kill.
+        assert_eq!(
+            eps[0].recv_timeout(RankId(1), 0, Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        );
+        assert!(f.is_alive(RankId(1)));
+        assert_eq!(f.stats().suspicions, 0);
+    }
+
+    #[test]
+    fn suspected_rank_observes_own_death_while_blocked() {
+        let (f, eps) = fabric_with(3);
+        f.set_suspicion_timeout(Some(Duration::from_millis(15)));
+        // Rank 1 blocks forever on a channel nobody serves; rank 0 suspects
+        // it in parallel. The blocked thread must wake with SelfDied.
+        let e1 = eps[1].clone();
+        let t = std::thread::spawn(move || e1.recv(RankId(2), 99));
+        std::thread::sleep(Duration::from_millis(5));
+        f.suspect(RankId(1));
+        assert_eq!(t.join().unwrap(), Err(TransportError::SelfDied));
+    }
+
+    #[test]
+    fn gated_perturbation_activates_at_fault_point() {
+        use crate::perturb::{LinkPerturb, PerturbPlan, RetryPolicy};
+        let (f, eps) = fabric_with(2);
+        f.set_perturbation(
+            PerturbPlan::seeded(3)
+                .all_links(LinkPerturb::clean().drop(1.0))
+                .retry(RetryPolicy {
+                    max_retries: 2,
+                    base: Duration::from_micros(20),
+                    cap: Duration::from_micros(50),
+                })
+                .active_from_point("phase.two"),
+        );
+        eps[0].send(RankId(1), 0, b"clean").unwrap();
+        eps[0].fault_point("phase.two").unwrap();
+        assert_eq!(
+            eps[0].send(RankId(1), 0, b"lost"),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
     }
 }

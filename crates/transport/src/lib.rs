@@ -15,13 +15,22 @@
 //!   an operation that needs a dead peer returns an error *for that
 //!   operation*; nothing is torn down globally.
 //!
-//! The transport is deliberately reliable and FIFO per (sender, receiver,
-//! tag) channel, matching MPI's ordering guarantees. Failure detection is
-//! *perfect* (a dead rank is immediately observable via the alive table).
-//! ULFM only requires an eventually-perfect detector; using a perfect one
-//! is the standard simulation simplification and only makes detection
-//! latencies optimistic by a constant, which the discrete-event model in
-//! the `simnet` crate accounts for separately.
+//! The transport presents a reliable, FIFO-per-(sender, receiver, tag)
+//! channel to its users, matching MPI's ordering guarantees — but it no
+//! longer *assumes* a perfect link underneath. Every message travels as a
+//! checksummed, sequence-numbered frame (see [`wire`]); a seeded
+//! [`PerturbPlan`] can drop, delay, duplicate, reorder, or bit-flip frames
+//! per link, and the fabric heals those with receiver-side deduplication
+//! plus bounded retransmission under exponential backoff
+//! ([`RetryPolicy`]). Failure detection is likewise two-tiered:
+//!
+//! * the alive table still gives the instantaneous, "perfect-detector" view
+//!   used for clean fail-stop deaths;
+//! * timeout-based *suspicion* ([`Fabric::set_suspicion_timeout`]) covers
+//!   silent failures: a send whose retries exhaust, or a blocking receive
+//!   that stalls past the deadline, declares the unresponsive peer dead and
+//!   reports [`TransportError::PeerDead`] — the eventually-perfect detector
+//!   ULFM actually requires.
 
 #![warn(missing_docs)]
 
@@ -30,11 +39,13 @@ mod fabric;
 mod fault;
 mod ids;
 mod mailbox;
-mod wire;
+mod perturb;
+pub mod wire;
 
 pub use error::TransportError;
 pub use fabric::{Endpoint, Fabric, FabricStats};
 pub use fault::{FaultInjector, FaultPlan, FaultTrigger};
 pub use ids::{NodeId, RankId, Topology};
-pub use mailbox::{Envelope, Mailbox, RecvOutcome};
+pub use mailbox::{Envelope, FrameAck, Mailbox, RecvOutcome};
+pub use perturb::{LinkPerturb, PerturbPlan, Perturber, RetryPolicy};
 pub use wire::{bytes_to_f32s, bytes_to_u64s, f32s_to_bytes, u64s_to_bytes, Wire};

@@ -1,9 +1,16 @@
 //! Per-rank mailboxes with MPI-style (source, tag) matching.
+//!
+//! Frames arrive through [`Mailbox::accept_frame`], which verifies the
+//! checksum, suppresses duplicate sequence numbers, and reassembles each
+//! (source, tag) channel into order before exposing payloads to the
+//! matching interface — the receiver half of the retransmitting wire
+//! protocol.
 
 use crate::ids::RankId;
+use crate::wire::{self, FrameError};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
-use std::time::{Duration, Instant};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Instant;
 
 /// A delivered message: who sent it and the payload bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,10 +31,43 @@ pub enum RecvOutcome {
     Message(Vec<u8>),
     /// The source died and no matching message is buffered.
     SrcDead,
+    /// The receiving rank itself was marked dead (e.g. suspected by a peer)
+    /// while blocked.
+    SelfDead,
     /// The external stop condition fired (e.g. communicator revoked).
     Stopped,
     /// The deadline elapsed.
     TimedOut,
+}
+
+/// Link-layer acknowledgement for one delivered frame. Because the fabric's
+/// "network" is a function call on the sender's thread, this return value is
+/// the ack a real NIC would send back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameAck {
+    /// The frame is new; the receiver now holds it.
+    Accepted,
+    /// The receiver already holds this (src, tag, seq) — a retransmission or
+    /// duplicated copy. Still an ack: the data is safe.
+    Duplicate,
+    /// The frame failed checksum/structure validation and was discarded.
+    Corrupt(FrameError),
+}
+
+impl FrameAck {
+    /// Does this ack confirm the receiver holds the frame's payload?
+    pub fn is_acked(&self) -> bool {
+        matches!(self, FrameAck::Accepted | FrameAck::Duplicate)
+    }
+}
+
+/// Receiver-side state of one ordered (source, tag) channel.
+#[derive(Default)]
+struct ChannelRx {
+    /// Next sequence number to release in order.
+    next_seq: u64,
+    /// Out-of-order frames awaiting their predecessors.
+    pending: BTreeMap<u64, Vec<u8>>,
 }
 
 #[derive(Default)]
@@ -35,6 +75,8 @@ struct Inner {
     /// FIFO queue per (source, tag). FIFO per channel matches MPI's
     /// non-overtaking guarantee.
     queues: HashMap<(RankId, u64), VecDeque<Vec<u8>>>,
+    /// Sequence tracking + reassembly per (source, tag) channel.
+    channels: HashMap<(RankId, u64), ChannelRx>,
     /// Bumped on every rank death so blocked receivers re-check liveness.
     death_epoch: u64,
 }
@@ -69,7 +111,8 @@ impl Mailbox {
         }
     }
 
-    /// Deliver a message. Wakes any blocked receiver.
+    /// Deliver a message directly, bypassing the link layer (tests and
+    /// loopback paths). Wakes any blocked receiver.
     pub fn push(&self, env: Envelope) {
         let mut inner = self.inner.lock();
         inner
@@ -80,6 +123,39 @@ impl Mailbox {
         drop(inner);
         self.pushes.incr();
         self.cv.notify_all();
+    }
+
+    /// Accept one encoded link frame: verify the checksum, suppress
+    /// duplicates, buffer out-of-order arrivals, and release every in-order
+    /// payload to the matching interface. The return value is the link-layer
+    /// ack the sender's retransmission loop acts on.
+    pub fn accept_frame(&self, bytes: &[u8]) -> FrameAck {
+        let frame = match wire::decode_frame(bytes) {
+            Ok(f) => f,
+            Err(e) => return FrameAck::Corrupt(e),
+        };
+        let mut inner = self.inner.lock();
+        let key = (frame.src, frame.tag);
+        let ch = inner.channels.entry(key).or_default();
+        if frame.seq < ch.next_seq || ch.pending.contains_key(&frame.seq) {
+            return FrameAck::Duplicate;
+        }
+        ch.pending.insert(frame.seq, frame.payload);
+        // Release the in-order prefix.
+        let mut ready = Vec::new();
+        while let Some(payload) = ch.pending.remove(&ch.next_seq) {
+            ready.push(payload);
+            ch.next_seq += 1;
+        }
+        if !ready.is_empty() {
+            let n = ready.len() as u64;
+            let q = inner.queues.entry(key).or_default();
+            q.extend(ready);
+            drop(inner);
+            self.pushes.add(n);
+            self.cv.notify_all();
+        }
+        FrameAck::Accepted
     }
 
     /// Non-blocking probe: is a message from `(src, tag)` available?
@@ -106,13 +182,22 @@ impl Mailbox {
     /// 2. a buffered matching message — drained *before* liveness so that
     ///    messages sent by a peer shortly before its death are still
     ///    delivered (ULFM requires already-matched traffic to complete);
-    /// 3. source death;
-    /// 4. the optional deadline.
+    /// 3. death of the receiving rank itself (a peer's suspicion can kill a
+    ///    rank that is blocked here; without this check it would hang);
+    /// 4. source death;
+    /// 5. the optional deadline.
+    ///
+    /// Waits are precise: every producer path (`push`, `accept_frame`,
+    /// `wake_waiters`) takes the inner lock before notifying, so a waiter
+    /// that observed "nothing to do" under the lock is guaranteed to be
+    /// registered on the condvar before any state change can complete — no
+    /// polling backstop is needed, and a deadline of 5 ms fires in ≈5 ms.
     pub fn pop_matching(
         &self,
         src: RankId,
         tag: u64,
         is_src_alive: impl Fn() -> bool,
+        is_self_alive: impl Fn() -> bool,
         should_stop: impl Fn() -> bool,
         deadline: Option<Instant>,
     ) -> RecvOutcome {
@@ -126,6 +211,9 @@ impl Mailbox {
                     return RecvOutcome::Message(data);
                 }
             }
+            if !is_self_alive() {
+                return RecvOutcome::SelfDead;
+            }
             if !is_src_alive() {
                 return RecvOutcome::SrcDead;
             }
@@ -135,16 +223,10 @@ impl Mailbox {
                     if now >= d {
                         return RecvOutcome::TimedOut;
                     }
-                    // Bounded wait: also serves as a backstop in case a death
-                    // notification races with this wait registration.
-                    let wait = (d - now).min(Duration::from_millis(20));
-                    self.cv.wait_for(&mut inner, wait);
+                    self.cv.wait_for(&mut inner, d - now);
                 }
                 None => {
-                    // Backstop poll keeps us safe against a lost wakeup from
-                    // a death event; 20ms only matters when a peer dies,
-                    // never on the fast path (pushes always notify).
-                    self.cv.wait_for(&mut inner, Duration::from_millis(20));
+                    self.cv.wait(&mut inner);
                 }
             }
         }
@@ -169,6 +251,10 @@ impl Mailbox {
 
     /// Drop all buffered messages carrying `tag_pred`-matching tags.
     /// Used when a communicator is revoked to flush stale traffic.
+    ///
+    /// Also discards matching frames still sitting in reassembly, advancing
+    /// the channel cursor past them so a late retransmission of a purged
+    /// frame acks as a duplicate instead of wedging the channel.
     pub fn purge_where(&self, tag_pred: impl Fn(u64) -> bool) -> usize {
         let mut inner = self.inner.lock();
         let mut dropped = 0;
@@ -180,6 +266,15 @@ impl Mailbox {
                 true
             }
         });
+        for ((_, tag), ch) in inner.channels.iter_mut() {
+            if tag_pred(*tag) && !ch.pending.is_empty() {
+                dropped += ch.pending.len();
+                if let Some(&max) = ch.pending.keys().next_back() {
+                    ch.next_seq = ch.next_seq.max(max + 1);
+                }
+                ch.pending.clear();
+            }
+        }
         dropped
     }
 }
@@ -189,6 +284,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn env(src: usize, tag: u64, byte: u8) -> Envelope {
         Envelope {
@@ -233,8 +329,9 @@ mod tests {
     fn blocking_pop_wakes_on_push() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let t =
-            std::thread::spawn(move || mb2.pop_matching(RankId(5), 42, || true, || false, None));
+        let t = std::thread::spawn(move || {
+            mb2.pop_matching(RankId(5), 42, || true, || true, || false, None)
+        });
         std::thread::sleep(Duration::from_millis(30));
         mb.push(env(5, 42, 77));
         assert_eq!(t.join().unwrap(), RecvOutcome::Message(vec![77]));
@@ -250,6 +347,7 @@ mod tests {
                 RankId(5),
                 42,
                 || alive2.load(Ordering::SeqCst),
+                || true,
                 || false,
                 None,
             )
@@ -261,6 +359,29 @@ mod tests {
     }
 
     #[test]
+    fn blocking_pop_reports_own_death() {
+        // A rank killed by a peer's suspicion while blocked in recv must
+        // observe its own death instead of hanging.
+        let mb = Arc::new(Mailbox::new());
+        let alive = Arc::new(AtomicBool::new(true));
+        let (mb2, alive2) = (Arc::clone(&mb), Arc::clone(&alive));
+        let t = std::thread::spawn(move || {
+            mb2.pop_matching(
+                RankId(5),
+                42,
+                || true,
+                || alive2.load(Ordering::SeqCst),
+                || false,
+                None,
+            )
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        alive.store(false, Ordering::SeqCst);
+        mb.wake_waiters();
+        assert_eq!(t.join().unwrap(), RecvOutcome::SelfDead);
+    }
+
+    #[test]
     fn blocking_pop_interrupted_by_stop_condition() {
         let mb = Arc::new(Mailbox::new());
         let stop = Arc::new(AtomicBool::new(false));
@@ -269,6 +390,7 @@ mod tests {
             mb2.pop_matching(
                 RankId(5),
                 42,
+                || true,
                 || true,
                 || stop2.load(Ordering::SeqCst),
                 None,
@@ -285,7 +407,7 @@ mod tests {
         // A revoked communicator must fail even if a message is waiting.
         let mb = Mailbox::new();
         mb.push(env(5, 1, 3));
-        let got = mb.pop_matching(RankId(5), 1, || true, || true, None);
+        let got = mb.pop_matching(RankId(5), 1, || true, || true, || true, None);
         assert_eq!(got, RecvOutcome::Stopped);
     }
 
@@ -294,9 +416,9 @@ mod tests {
         let mb = Mailbox::new();
         mb.push(env(5, 1, 3));
         // Source is dead, but the buffered message must be drained first.
-        let got = mb.pop_matching(RankId(5), 1, || false, || false, None);
+        let got = mb.pop_matching(RankId(5), 1, || false, || true, || false, None);
         assert_eq!(got, RecvOutcome::Message(vec![3]));
-        let got = mb.pop_matching(RankId(5), 1, || false, || false, None);
+        let got = mb.pop_matching(RankId(5), 1, || false, || true, || false, None);
         assert_eq!(got, RecvOutcome::SrcDead);
     }
 
@@ -307,10 +429,120 @@ mod tests {
             RankId(1),
             1,
             || true,
+            || true,
             || false,
             Some(Instant::now() + Duration::from_millis(10)),
         );
         assert_eq!(r, RecvOutcome::TimedOut);
+    }
+
+    #[test]
+    fn short_deadline_is_not_quantized() {
+        // Regression: waits used to be chunked into 20 ms polls; a 5 ms
+        // deadline must fire in ≈5 ms, not a scheduler quantum multiple.
+        let mb = Mailbox::new();
+        let start = Instant::now();
+        let r = mb.pop_matching(
+            RankId(1),
+            1,
+            || true,
+            || true,
+            || false,
+            Some(start + Duration::from_millis(5)),
+        );
+        let elapsed = start.elapsed();
+        assert_eq!(r, RecvOutcome::TimedOut);
+        assert!(
+            elapsed >= Duration::from_millis(5),
+            "woke before the deadline: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(15),
+            "5 ms deadline took {elapsed:?}"
+        );
+    }
+
+    fn frame(src: usize, tag: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+        crate::wire::encode_frame(RankId(src), tag, seq, payload)
+    }
+
+    #[test]
+    fn accept_frame_delivers_in_order() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.accept_frame(&frame(1, 7, 0, b"a")), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&frame(1, 7, 1, b"b")), FrameAck::Accepted);
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"a".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"b".to_vec()));
+    }
+
+    #[test]
+    fn accept_frame_suppresses_duplicates() {
+        let mb = Mailbox::new();
+        let f = frame(1, 7, 0, b"a");
+        assert_eq!(mb.accept_frame(&f), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&f), FrameAck::Duplicate);
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"a".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 7), None);
+    }
+
+    #[test]
+    fn accept_frame_reassembles_out_of_order() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.accept_frame(&frame(1, 7, 1, b"b")), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&frame(1, 7, 2, b"c")), FrameAck::Accepted);
+        // Nothing visible until the gap fills.
+        assert_eq!(mb.try_pop(RankId(1), 7), None);
+        assert_eq!(mb.accept_frame(&frame(1, 7, 0, b"a")), FrameAck::Accepted);
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"a".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"b".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"c".to_vec()));
+    }
+
+    #[test]
+    fn accept_frame_dedups_pending_out_of_order_copy() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.accept_frame(&frame(1, 7, 1, b"b")), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&frame(1, 7, 1, b"b")), FrameAck::Duplicate);
+    }
+
+    #[test]
+    fn accept_frame_rejects_corruption() {
+        let mb = Mailbox::new();
+        let mut f = frame(1, 7, 0, b"payload");
+        let n = f.len();
+        f[n - 3] ^= 0x40;
+        assert!(matches!(mb.accept_frame(&f), FrameAck::Corrupt(_)));
+        // Nothing was delivered, and the channel cursor did not move.
+        assert_eq!(mb.try_pop(RankId(1), 7), None);
+        assert_eq!(
+            mb.accept_frame(&frame(1, 7, 0, b"payload")),
+            FrameAck::Accepted
+        );
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"payload".to_vec()));
+    }
+
+    #[test]
+    fn accept_frame_channels_are_independent() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.accept_frame(&frame(1, 7, 0, b"a")), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&frame(2, 7, 0, b"b")), FrameAck::Accepted);
+        assert_eq!(mb.accept_frame(&frame(1, 8, 0, b"c")), FrameAck::Accepted);
+        assert_eq!(mb.try_pop(RankId(2), 7), Some(b"b".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 8), Some(b"c".to_vec()));
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"a".to_vec()));
+    }
+
+    #[test]
+    fn purge_advances_channel_past_pending_frames() {
+        let mb = Mailbox::new();
+        // seq 1 waits in reassembly for seq 0 when the purge hits.
+        assert_eq!(mb.accept_frame(&frame(1, 7, 1, b"b")), FrameAck::Accepted);
+        assert_eq!(mb.purge_where(|t| t == 7), 1);
+        // A late retransmission of a purged frame acks as duplicate ...
+        assert_eq!(mb.accept_frame(&frame(1, 7, 0, b"a")), FrameAck::Duplicate);
+        // ... and the channel keeps working at the advanced cursor.
+        assert_eq!(mb.accept_frame(&frame(1, 7, 2, b"c")), FrameAck::Accepted);
+        assert_eq!(mb.try_pop(RankId(1), 7), Some(b"c".to_vec()));
     }
 
     #[test]

@@ -269,6 +269,19 @@ impl Universe {
         Self::new(topology, FaultPlan::none())
     }
 
+    /// Install a message-perturbation plan on the underlying fabric
+    /// (adversarial links healed by the transport's retransmission layer).
+    pub fn set_perturbation(&self, plan: transport::PerturbPlan) {
+        self.shared.fabric.set_perturbation(plan);
+    }
+
+    /// Configure timeout-based failure suspicion: a collective that stalls
+    /// on a silent peer past `timeout` treats that peer as failed
+    /// (`ProcFailed`), feeding the revoke → agree → shrink recovery path.
+    pub fn set_suspicion_timeout(&self, timeout: std::time::Duration) {
+        self.shared.fabric.set_suspicion_timeout(Some(timeout));
+    }
+
     /// Spawn `n` workers as one batch; each runs `f` and sees the whole
     /// batch as its [`Proc::init_comm`] group.
     pub fn spawn_batch<R, F>(&self, n: usize, f: F) -> Vec<WorkerHandle<R>>

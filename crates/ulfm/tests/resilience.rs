@@ -3,7 +3,7 @@
 //! joins. These exercise the exact mechanism the paper's §3 builds on.
 
 use collectives::{AllgatherAlgo, AllreduceAlgo, ReduceOp};
-use transport::FaultPlan;
+use transport::{FaultPlan, LinkPerturb, PerturbPlan, RetryPolicy};
 use ulfm::{Proc, RankId, ShrinkOutcome, Topology, UlfmError, Universe};
 
 fn input_for(rank: usize, len: usize) -> Vec<f32> {
@@ -111,6 +111,82 @@ fn forward_recovery_after_death_mid_allreduce() {
     }
     seen_ranks.sort_unstable();
     assert_eq!(seen_ranks, vec![0, 1, 2, 3, 4], "dense re-ranking");
+}
+
+/// Timeout-based failure suspicion: no process ever *crashes* here — one
+/// rank merely falls silent (total inbound link loss). Its peers' retry
+/// budgets run dry, the silence is converted into `ProcFailed`, and the
+/// ordinary revoke → agree → shrink recovery runs instead of a hang.
+#[test]
+fn silent_peer_is_suspected_and_shrunk_away() {
+    let n = 4;
+    let victim = 2usize;
+    let u = Universe::without_faults(Topology::flat());
+    u.set_perturbation(
+        PerturbPlan::seeded(0x51_1E47)
+            .links_into(RankId(victim), n, LinkPerturb::clean().drop(1.0))
+            .retry(RetryPolicy {
+                max_retries: 6,
+                base: std::time::Duration::from_micros(100),
+                cap: std::time::Duration::from_millis(1),
+            }),
+    );
+    u.set_suspicion_timeout(std::time::Duration::from_millis(500));
+    let handles = u.spawn_batch(n, move |p: Proc| {
+        let comm = p.init_comm();
+        let saved = input_for(comm.rank(), 32);
+        let mut buf = saved.clone();
+        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+            // The silenced rank is eventually suspected (killed) and must
+            // observe its own declared death rather than block forever.
+            Err(UlfmError::SelfDied) => return None,
+            Ok(()) => match comm.barrier() {
+                Ok(()) | Err(UlfmError::Revoked) => {}
+                Err(UlfmError::SelfDied) => return None,
+                Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+            },
+            Err(e) => assert!(
+                e.is_recoverable(),
+                "suspicion must map to ProcFailed: {e:?}"
+            ),
+        }
+        // The victim can reach this point too (a survivor's revoke wakes
+        // its blocked receive before the suspicion lands), so every
+        // recovery stage must tolerate SelfDied.
+        comm.revoke();
+        let mut cur = match comm.shrink() {
+            Ok(c) => c,
+            Err(UlfmError::SelfDied) => return None,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(cur.size(), n - 1, "suspected rank must be excluded");
+        loop {
+            let mut buf = saved.clone();
+            match cur.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Ok(()) => return Some(buf),
+                Err(UlfmError::SelfDied) => return None,
+                Err(_) => {
+                    cur.revoke();
+                    cur = match cur.shrink() {
+                        Ok(c) => c,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(e) => panic!("{e}"),
+                    };
+                }
+            }
+        }
+    });
+    let want = sum_over(&[0, 1, 3], 32);
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            None => assert_eq!(i, victim, "only the silenced rank may die"),
+            Some(buf) => assert_eq!(buf, want, "survivor {i}"),
+        }
+    }
+    assert!(
+        u.fabric().stats().suspicions >= 1,
+        "death must have come from the failure detector"
+    );
 }
 
 #[test]

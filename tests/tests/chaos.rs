@@ -11,10 +11,21 @@ use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
 use std::sync::mpsc;
 use std::time::Duration;
+use transport::{LinkPerturb, PerturbPlan, RankId, RetryPolicy};
 
 /// Cases per engine (split across two test fns for parallelism).
 const CASES: u64 = 56;
 const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// CI runs the suite across a small seed matrix by exporting
+/// `CHAOS_SEED_OFFSET`; locally the offset defaults to 0 so failures are
+/// replayable by case number alone.
+fn seed_offset() -> u64 {
+    std::env::var("CHAOS_SEED_OFFSET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 fn splitmix64(s: &mut u64) -> u64 {
     *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -36,7 +47,7 @@ fn splitmix64(s: &mut u64) -> u64 {
 ///   the victim then never dies and the case degenerates to fault-free —
 ///   "completion" is the consistent halt we assert.
 fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
-    let mut s = 0xC0FF_EE00 ^ (case << 1);
+    let mut s = 0xC0FF_EE00 ^ ((case + (seed_offset() << 20)) << 1);
     let mut pick = |m: u64| splitmix64(&mut s) % m;
     let rpn = 1 + pick(3) as usize;
     let nodes = 2 + pick(3) as usize;
@@ -77,6 +88,8 @@ fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
         fail_at_op,
         joiners,
         renormalize: false,
+        perturb: None,
+        suspicion_timeout: None,
     }
 }
 
@@ -181,4 +194,215 @@ fn backward_chaos_second_half() {
     for case in CASES / 2..CASES {
         check_case(Engine::GlooBackward, case);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation schedules: adversarial links healed by the wire protocol.
+// ---------------------------------------------------------------------------
+
+/// A fault-free multi-step training run (no scripted kill) over a perturbed
+/// fabric: every worker must finish, replicas must stay bit-identical.
+fn perturbed_config(engine: Engine, plan: PerturbPlan) -> ScenarioConfig {
+    ScenarioConfig {
+        engine,
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            seed: 4242,
+            ..TrainSpec::default()
+        },
+        workers: 6,
+        ranks_per_node: 3,
+        policy: RecoveryPolicy::DropProcess,
+        kind: ScenarioKind::Upscale,
+        victim: 0,
+        fail_at_op: u64::MAX,
+        joiners: 0,
+        renormalize: false,
+        perturb: Some(plan),
+        suspicion_timeout: None,
+    }
+}
+
+fn check_perturbed_completion(
+    engine: Engine,
+    plan: PerturbPlan,
+    label: &str,
+) -> elastic::ScenarioResult {
+    let cfg = perturbed_config(engine, plan);
+    let total = cfg.workers;
+    let res = run_with_watchdog(cfg, label);
+    assert_eq!(
+        res.completed(),
+        total,
+        "{label}: perturbation cost a worker (exits: {:?})",
+        res.exits
+    );
+    // Uniformity is the "no corrupt frame was silently delivered" proof:
+    // a payload that slipped past the checksum would diverge the replicas.
+    res.assert_consistent_state();
+    res
+}
+
+/// ISSUE acceptance: 1% drop + 0.1% corruption under a fixed seed — both
+/// engines finish multi-step training with bitwise-identical replicas and
+/// nonzero retransmission work.
+#[test]
+fn acceptance_drop_and_corrupt_forward() {
+    let plan =
+        PerturbPlan::seeded(0xACCE_0001).all_links(LinkPerturb::clean().drop(0.01).corrupt(0.001));
+    let res = check_perturbed_completion(Engine::UlfmForward, plan, "accept/forward");
+    assert!(
+        res.fabric_stats.retransmits > 0,
+        "1% drop must force retransmissions (stats: {:?})",
+        res.fabric_stats
+    );
+    assert_eq!(
+        res.fabric_stats.suspicions, 0,
+        "a lossy-but-live link must not be suspected"
+    );
+}
+
+#[test]
+fn acceptance_drop_and_corrupt_backward() {
+    let plan =
+        PerturbPlan::seeded(0xACCE_0002).all_links(LinkPerturb::clean().drop(0.01).corrupt(0.001));
+    let res = check_perturbed_completion(Engine::GlooBackward, plan, "accept/backward");
+    assert!(
+        res.fabric_stats.retransmits > 0,
+        "1% drop must force retransmissions (stats: {:?})",
+        res.fabric_stats
+    );
+    assert_eq!(
+        res.fabric_stats.suspicions, 0,
+        "a lossy-but-live link must not be suspected"
+    );
+}
+
+/// Drop-heavy schedule: 10% loss + 10% duplication on every link.
+#[test]
+fn drop_heavy_schedule_both_engines() {
+    for (engine, label) in [
+        (Engine::UlfmForward, "drop-heavy/forward"),
+        (Engine::GlooBackward, "drop-heavy/backward"),
+    ] {
+        let plan = PerturbPlan::seeded(0xD20_0001)
+            .all_links(LinkPerturb::clean().drop(0.10).duplicate(0.10));
+        let res = check_perturbed_completion(engine, plan, label);
+        assert!(res.fabric_stats.retransmits > 0, "{label}: no retransmits");
+        assert!(
+            res.fabric_stats.dup_suppressed > 0,
+            "{label}: duplicated frames must be suppressed by seq tracking"
+        );
+    }
+}
+
+/// Corrupt-heavy schedule: 5% of frames bit-flipped in flight. Every one
+/// must be caught by the checksum (counted) and healed by retransmission —
+/// never delivered upward.
+#[test]
+fn corrupt_heavy_schedule_both_engines() {
+    for (engine, label) in [
+        (Engine::UlfmForward, "corrupt-heavy/forward"),
+        (Engine::GlooBackward, "corrupt-heavy/backward"),
+    ] {
+        let plan = PerturbPlan::seeded(0xC0 + 2).all_links(LinkPerturb::clean().corrupt(0.05));
+        let res = check_perturbed_completion(engine, plan, label);
+        assert!(
+            res.fabric_stats.corrupt_frames > 0,
+            "{label}: corruption schedule never fired"
+        );
+        assert!(res.fabric_stats.retransmits > 0, "{label}: no retransmits");
+    }
+}
+
+/// Delay + kill: a jittery (delayed) fabric combined with a scripted
+/// mid-training process failure. The failure must still be recovered and
+/// survivor replicas stay uniform.
+#[test]
+fn delay_plus_kill_schedule_both_engines() {
+    for (engine, label) in [
+        (Engine::UlfmForward, "delay+kill/forward"),
+        (Engine::GlooBackward, "delay+kill/backward"),
+    ] {
+        let plan = PerturbPlan::seeded(0xDE1A_0003).all_links(LinkPerturb::clean().delay(
+            0.2,
+            Duration::from_micros(50),
+            Duration::from_micros(500),
+        ));
+        let mut cfg = perturbed_config(engine, plan);
+        cfg.kind = ScenarioKind::Downscale;
+        cfg.victim = 4;
+        cfg.fail_at_op = 9;
+        let total = cfg.workers;
+        let res = run_with_watchdog(cfg, label);
+        let died = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Died))
+            .count();
+        assert_eq!(died, 1, "{label}: scripted victim must die exactly once");
+        assert_eq!(
+            res.completed(),
+            total - 1,
+            "{label}: survivors lost (exits: {:?})",
+            res.exits
+        );
+        res.assert_consistent_state();
+    }
+}
+
+/// ISSUE acceptance: total loss of a rank's inbound links makes it fall
+/// silent. Instead of hanging, its peers' retransmission budgets run dry,
+/// the rank is *suspected* dead, and the stack runs the ordinary ULFM
+/// revoke → agree → shrink recovery within the configured deadline.
+#[test]
+fn total_link_loss_becomes_suspicion_recovery() {
+    let workers = 4;
+    let victim = 2;
+    let plan = PerturbPlan::seeded(0x51_1E47)
+        .links_into(RankId(victim), workers, LinkPerturb::clean().drop(1.0))
+        .retry(RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(2),
+        });
+    let cfg = ScenarioConfig {
+        engine: Engine::UlfmForward,
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            seed: 7,
+            ..TrainSpec::default()
+        },
+        workers,
+        ranks_per_node: 2,
+        policy: RecoveryPolicy::DropProcess,
+        kind: ScenarioKind::Downscale,
+        victim,
+        fail_at_op: u64::MAX, // the scripted fault never fires: death comes from suspicion
+        joiners: 0,
+        renormalize: false,
+        perturb: Some(plan),
+        suspicion_timeout: Some(Duration::from_millis(500)),
+    };
+    let res = run_with_watchdog(cfg, "suspicion/total-loss");
+    let died = res
+        .exits
+        .iter()
+        .filter(|e| matches!(e, WorkerExit::Died))
+        .count();
+    assert_eq!(died, 1, "only the silenced rank may die: {:?}", res.exits);
+    assert_eq!(
+        res.completed(),
+        workers - 1,
+        "survivors must finish after suspicion recovery: {:?}",
+        res.exits
+    );
+    assert!(
+        res.fabric_stats.suspicions >= 1,
+        "death must come from the failure detector (stats: {:?})",
+        res.fabric_stats
+    );
+    res.assert_consistent_state();
 }
