@@ -1,0 +1,59 @@
+//! Fused vs unfused gradient aggregation over the Table 1 model tensor
+//! mixes (scaled down 1000×). Unfused launches one ring allreduce per
+//! trainable tensor — up to 1126 for NasNetMobile; fused packs the same
+//! payload into Horovod-style buckets and launches one size-adaptive
+//! `Auto` allreduce per bucket. The gap is the paper-stack's motivation
+//! for the fusion pipeline: latency terms dominate for small-tensor
+//! models, so collapsing message count wins most where tensors are
+//! smallest.
+
+use collectives::{AllreduceAlgo, ReduceOp, DEFAULT_FUSION_BYTES};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dnn::paper_models;
+use ulfm::{Proc, Topology, Universe};
+
+fn run_steps(workers: usize, lens: Vec<usize>, algo: AllreduceAlgo) -> f32 {
+    let u = Universe::without_faults(Topology::flat());
+    let handles = u.spawn_batch(workers, move |p: Proc| {
+        let comm = p.init_comm();
+        let mut sink = 0.0f32;
+        for &n in &lens {
+            let mut buf = vec![1.0f32; n];
+            comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+            sink += buf.first().copied().unwrap_or(0.0);
+        }
+        sink
+    });
+    handles.into_iter().map(|h| h.join()).sum()
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_unfused");
+    group.sample_size(10);
+    for profile in paper_models() {
+        let scaled = profile.scaled_down(1000);
+        let (sizes, plan) = bench::fusion_schedule(&scaled, DEFAULT_FUSION_BYTES);
+        let bucket_lens: Vec<usize> = plan.iter().map(|r| sizes[r.clone()].iter().sum()).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("unfused_ring", profile.name),
+            &sizes,
+            |b, sizes| b.iter(|| run_steps(4, sizes.clone(), AllreduceAlgo::Ring)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_auto", profile.name),
+            &bucket_lens,
+            |b, lens| b.iter(|| run_steps(4, lens.clone(), AllreduceAlgo::auto())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_fused_vs_unfused
+}
+criterion_main!(benches);

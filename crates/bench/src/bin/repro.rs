@@ -68,6 +68,9 @@ fn main() {
     if wants("eq1") {
         eq1();
     }
+    if wants("fusion") {
+        fusion();
+    }
     if wants("ablate") {
         ablate();
     }
@@ -165,6 +168,83 @@ fn dump_telemetry(path: &str) {
         ),
         Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
     }
+}
+
+/// Fused-vs-unfused gradient aggregation over the Table 1 model profiles
+/// (scaled 1000×): per-tensor ring allreduce against Horovod-style fusion
+/// buckets with the size-adaptive `Auto` algorithm. Writes the measured
+/// series to `BENCH_fusion.json` (see EXPERIMENTS.md).
+fn fusion() {
+    use bench::fusion_report;
+
+    println!("== Fusion: per-step gradient aggregation, fused vs unfused (4 workers) ==\n");
+    let rows = fusion_report(4, 3);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.to_string(),
+                r.tensors.to_string(),
+                r.buckets.to_string(),
+                format!("{:.0}x", r.reduction),
+                format!("{:.2}", r.unfused_ring_s * 1e3),
+                format!("{:.2}", r.fused_auto_s * 1e3),
+                format!("{:.1}x", r.speedup()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Model",
+                "Tensors",
+                "Buckets",
+                "Msg reduction",
+                "Unfused ring (ms/step)",
+                "Fused auto (ms/step)",
+                "Speedup",
+            ],
+            &table
+        )
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"model\": \"{}\", \"tensors\": {}, \"buckets\": {}, \
+                 \"message_reduction\": {:.2}, \"unfused_ring_s\": {:.6}, \
+                 \"fused_auto_s\": {:.6}, \"speedup\": {:.2}}}",
+                r.model,
+                r.tensors,
+                r.buckets,
+                r.reduction,
+                r.unfused_ring_s,
+                r.fused_auto_s,
+                r.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workers\": 4,\n  \"scale_down\": 1000,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_fusion.json", &json) {
+        Ok(()) => println!("fusion: wrote BENCH_fusion.json"),
+        Err(e) => eprintln!("fusion: failed to write BENCH_fusion.json: {e}"),
+    }
+    let nasnet = rows
+        .iter()
+        .find(|r| r.model.contains("NasNet"))
+        .expect("NasNetMobile profile present");
+    println!(
+        "NasNetMobile: {} tensors fused into {} bucket(s); fused Auto is {:.1}x \
+         faster than per-tensor ring.\n",
+        nasnet.tensors,
+        nasnet.buckets,
+        nasnet.speedup()
+    );
 }
 
 /// Ablations beyond the paper: allreduce-algorithm crossover and

@@ -169,6 +169,110 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
     ok
 }
 
+/// One row of the fused-vs-unfused comparison emitted by `repro fusion`
+/// into `BENCH_fusion.json`.
+#[derive(Clone, Debug)]
+pub struct FusionRow {
+    /// Model profile name (paper Table 1).
+    pub model: &'static str,
+    /// Trainable tensors = allreduce launches per step, unfused.
+    pub tensors: usize,
+    /// Fused buckets = allreduce launches per step, fused.
+    pub buckets: usize,
+    /// Message-reduction ratio `tensors / buckets`.
+    pub reduction: f64,
+    /// Mean per-step wall time, per-tensor ring allreduce (seconds).
+    pub unfused_ring_s: f64,
+    /// Mean per-step wall time, fused buckets with `AllreduceAlgo::Auto`
+    /// (seconds).
+    pub fused_auto_s: f64,
+}
+
+impl FusionRow {
+    /// Unfused-over-fused speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.unfused_ring_s / self.fused_auto_s
+    }
+}
+
+/// The deterministic part of the fused-vs-unfused comparison: the tensor
+/// mix of a (scaled-down) model profile and its bucket plan under the
+/// fusion byte cap. Shared by the timed report, the Criterion bench, and
+/// the count-based shape smoke test.
+pub fn fusion_schedule(
+    profile: &dnn::ModelProfile,
+    cap_bytes: usize,
+) -> (Vec<usize>, Vec<std::ops::Range<usize>>) {
+    let sizes: Vec<usize> = profile.tensor_sizes().iter().map(|&s| s as usize).collect();
+    let plan = collectives::plan_buckets(&sizes, std::mem::size_of::<f32>(), cap_bytes);
+    (sizes, plan)
+}
+
+/// Run one timed configuration: `workers` ranks allreduce the given buffer
+/// lengths once per step for `steps` steps. Returns mean per-step seconds.
+fn timed_allreduce_steps(
+    workers: usize,
+    steps: usize,
+    lens: &[usize],
+    algo: collectives::AllreduceAlgo,
+) -> f64 {
+    use collectives::ReduceOp;
+    use ulfm::{Proc, Topology, Universe};
+
+    let u = Universe::without_faults(Topology::flat());
+    let lens: Vec<usize> = lens.to_vec();
+    let t0 = std::time::Instant::now();
+    let handles = u.spawn_batch(workers, move |p: Proc| {
+        let comm = p.init_comm();
+        let mut sink = 0.0f32;
+        for _ in 0..steps {
+            for &n in &lens {
+                let mut buf = vec![1.0f32; n];
+                comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+                sink += buf.first().copied().unwrap_or(0.0);
+            }
+        }
+        sink
+    });
+    let _: f32 = handles.into_iter().map(|h| h.join()).sum();
+    t0.elapsed().as_secs_f64() / steps as f64
+}
+
+/// Measure fused-vs-unfused per-step allreduce cost for the paper's three
+/// model profiles (scaled down 1000× so the threaded runtime stays fast).
+/// Unfused = one ring allreduce per tensor; fused = one `Auto`-algorithm
+/// allreduce per bucket under [`collectives::DEFAULT_FUSION_BYTES`].
+pub fn fusion_report(workers: usize, steps: usize) -> Vec<FusionRow> {
+    // Warm up the threaded runtime (thread spawning, allocator, fabric
+    // init) so the first measured profile isn't charged the cold start.
+    let _ = timed_allreduce_steps(workers, 1, &[1024], collectives::AllreduceAlgo::Ring);
+    dnn::paper_models()
+        .iter()
+        .map(|profile| {
+            let scaled = profile.scaled_down(1000);
+            let (sizes, plan) = fusion_schedule(&scaled, collectives::DEFAULT_FUSION_BYTES);
+            let bucket_lens: Vec<usize> =
+                plan.iter().map(|r| sizes[r.clone()].iter().sum()).collect();
+            let unfused_ring_s =
+                timed_allreduce_steps(workers, steps, &sizes, collectives::AllreduceAlgo::Ring);
+            let fused_auto_s = timed_allreduce_steps(
+                workers,
+                steps,
+                &bucket_lens,
+                collectives::AllreduceAlgo::auto(),
+            );
+            FusionRow {
+                model: profile.name,
+                tensors: sizes.len(),
+                buckets: bucket_lens.len(),
+                reduction: sizes.len() as f64 / bucket_lens.len() as f64,
+                unfused_ring_s,
+                fused_auto_s,
+            }
+        })
+        .collect()
+}
+
 /// Format seconds compactly for the figure tables.
 pub fn fmt_s(v: f64) -> String {
     if v == 0.0 {
@@ -238,5 +342,38 @@ mod tests {
     #[test]
     fn empty_perturb_spec_is_inert() {
         assert!(parse_perturb_spec("").unwrap().is_inert());
+    }
+
+    /// The expected shape of the fused-vs-unfused comparison, asserted
+    /// count-based (deterministic — no timing): fusion collapses every
+    /// profile's tensors into fewer buckets, and the message-reduction
+    /// ratio is greatest for NasNetMobile, whose 1126 tiny tensors are
+    /// exactly the workload Horovod's fusion threshold was built for.
+    #[test]
+    fn fusion_helps_small_tensor_models_most() {
+        let mut reductions = Vec::new();
+        for profile in dnn::paper_models() {
+            let scaled = profile.scaled_down(1000);
+            let (sizes, plan) = fusion_schedule(&scaled, collectives::DEFAULT_FUSION_BYTES);
+            assert_eq!(sizes.len(), profile.trainable_tensors);
+            assert!(
+                plan.len() < sizes.len(),
+                "{}: fusion must batch",
+                profile.name
+            );
+            reductions.push((profile.name, sizes.len() as f64 / plan.len() as f64));
+        }
+        let nasnet = reductions
+            .iter()
+            .find(|(n, _)| n.contains("NasNet"))
+            .expect("NasNetMobile in paper models");
+        for (name, r) in &reductions {
+            assert!(
+                nasnet.1 >= *r,
+                "NasNet reduction {} must dominate {name}'s {r}",
+                nasnet.1
+            );
+        }
+        assert!(nasnet.1 > 100.0, "NasNet fuses >100 tensors per message");
     }
 }

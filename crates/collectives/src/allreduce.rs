@@ -30,12 +30,69 @@ pub enum AllreduceAlgo {
     RecursiveDoubling,
     /// Rabenseifner's reduce-scatter + allgather.
     Rabenseifner,
+    /// Size-adaptive: per call, picks recursive doubling for payloads at or
+    /// below `crossover_bytes` (latency-bound regime) and a
+    /// bandwidth-optimal algorithm above it — Rabenseifner when the group
+    /// size is a power of two (its fold phase otherwise ships whole
+    /// buffers, wasting bandwidth), ring otherwise. The crossover is where
+    /// the α–β cost of ring and recursive doubling intersect; the
+    /// `elastic::cost_model` crate derives it for a calibrated network via
+    /// `CommModel::crossover_bytes`.
+    Auto {
+        /// Payload size (bytes) at which the bandwidth-bound algorithms
+        /// take over from recursive doubling.
+        crossover_bytes: u32,
+    },
+}
+
+impl AllreduceAlgo {
+    /// Size-adaptive selection with the default crossover,
+    /// [`AllreduceAlgo::DEFAULT_CROSSOVER_BYTES`].
+    pub fn auto() -> Self {
+        Self::auto_with(Self::DEFAULT_CROSSOVER_BYTES)
+    }
+
+    /// Size-adaptive selection with an explicit crossover (typically
+    /// calibrated from a cost model for the actual network).
+    pub fn auto_with(crossover_bytes: u32) -> Self {
+        AllreduceAlgo::Auto { crossover_bytes }
+    }
+
+    /// Default ring-vs-recursive-doubling crossover: 256 KiB, the
+    /// intersection of the two α–β cost curves for a Summit-like network
+    /// (α = 1.5 µs, β = 1/23 GB/s) at small-to-mid group sizes. The
+    /// `elastic` crate cross-checks this constant against its cost model.
+    pub const DEFAULT_CROSSOVER_BYTES: u32 = 256 << 10;
+
+    /// Resolve `self` to a concrete (non-`Auto`) algorithm for a payload of
+    /// `payload_bytes` on a group of `p` ranks. Non-`Auto` values return
+    /// themselves.
+    pub fn resolve(self, payload_bytes: usize, p: usize) -> AllreduceAlgo {
+        match self {
+            AllreduceAlgo::Auto { crossover_bytes } => {
+                if payload_bytes <= crossover_bytes as usize {
+                    AllreduceAlgo::RecursiveDoubling
+                } else if p.is_power_of_two() {
+                    AllreduceAlgo::Rabenseifner
+                } else {
+                    AllreduceAlgo::Ring
+                }
+            }
+            concrete => concrete,
+        }
+    }
 }
 
 /// Element range of logical chunk `i` when `n` elements are split `p` ways.
-/// Balanced to within one element; empty when `n < p` for high `i`.
+/// Balanced to within one element; empty chunks are legal and common when
+/// `n < p` (a 1-element buffer on a 5-rank ring has four empty chunks that
+/// travel as zero-byte messages). Widened arithmetic so `i·n` cannot wrap
+/// for huge buffers.
 fn chunk_range(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
-    (i * n / p)..((i + 1) * n / p)
+    debug_assert!(i <= p, "chunk index {i} out of range for {p} chunks");
+    let lo = (i as u128 * n as u128 / p as u128) as usize;
+    let hi = ((i as u128 + 1) * n as u128 / p as u128) as usize;
+    lo..hi
 }
 
 /// In-place allreduce of `buf` across the group, using `algo`.
@@ -52,15 +109,22 @@ pub fn allreduce<E: Elem, C: PeerComm>(
     algo: AllreduceAlgo,
     tag_base: u64,
 ) -> Result<(), CollError> {
-    let metric = match algo {
+    // Wire bytes, not in-memory bytes: the crossover models network cost.
+    let resolved = algo.resolve(buf.len() * E::WIDTH, comm.size());
+    let metric = match resolved {
         AllreduceAlgo::Ring => "coll.allreduce.ring",
         AllreduceAlgo::RecursiveDoubling => "coll.allreduce.recursive_doubling",
         AllreduceAlgo::Rabenseifner => "coll.allreduce.rabenseifner",
+        AllreduceAlgo::Auto { .. } => unreachable!("resolve returns a concrete algorithm"),
     };
-    crate::observe(metric, || match algo {
+    if matches!(algo, AllreduceAlgo::Auto { .. }) {
+        telemetry::counter(&format!("{metric}.auto_picked")).incr();
+    }
+    crate::observe(metric, || match resolved {
         AllreduceAlgo::Ring => ring_allreduce(comm, buf, op, tag_base),
         AllreduceAlgo::RecursiveDoubling => recursive_doubling_allreduce(comm, buf, op, tag_base),
         AllreduceAlgo::Rabenseifner => rabenseifner_allreduce(comm, buf, op, tag_base),
+        AllreduceAlgo::Auto { .. } => unreachable!(),
     })
 }
 
@@ -226,8 +290,12 @@ pub fn rabenseifner_allreduce<E: Elem, C: PeerComm>(
     let rem = p - pof2;
     let n = buf.len();
 
-    // Element range covered by logical chunks [a, b) of the pof2 split.
-    let block = |a: usize, b: usize| (a * n / pof2)..(b * n / pof2);
+    // Element range covered by logical chunks [a, b) of the pof2 split;
+    // empty when `n < pof2` leaves chunk [a, b) without elements.
+    let block = |a: usize, b: usize| {
+        (a as u128 * n as u128 / pof2 as u128) as usize
+            ..(b as u128 * n as u128 / pof2 as u128) as usize
+    };
 
     let vrank = fold(comm, buf, op, rem, tag_base)?;
 
@@ -414,6 +482,53 @@ mod tests {
             .filter(|(r, res)| *r != 5 && res.is_err())
             .count();
         assert!(failures > 0);
+    }
+
+    #[test]
+    fn auto_resolution_is_size_and_group_adaptive() {
+        let auto = AllreduceAlgo::auto_with(1024);
+        // Small payloads: latency-optimal.
+        assert_eq!(auto.resolve(16, 4), AllreduceAlgo::RecursiveDoubling);
+        assert_eq!(auto.resolve(1024, 5), AllreduceAlgo::RecursiveDoubling);
+        // Large payloads: bandwidth-optimal, Rabenseifner only on
+        // power-of-two groups.
+        assert_eq!(auto.resolve(4096, 4), AllreduceAlgo::Rabenseifner);
+        assert_eq!(auto.resolve(4096, 5), AllreduceAlgo::Ring);
+        // Concrete algorithms resolve to themselves.
+        assert_eq!(AllreduceAlgo::Ring.resolve(0, 2), AllreduceAlgo::Ring);
+    }
+
+    #[test]
+    fn auto_various_sizes() {
+        // Crossover at 64 B: n ≤ 16 f32 goes recursive doubling, larger
+        // payloads go ring/Rabenseifner. Both regimes must agree with the
+        // reference sum.
+        for &p in &[1, 2, 3, 4, 5, 8] {
+            for &n in &[0, 1, 7, 16, 17, 300] {
+                check_allreduce(AllreduceAlgo::auto_with(64), p, n);
+            }
+        }
+        check_allreduce(AllreduceAlgo::auto(), 4, 1000);
+    }
+
+    #[test]
+    fn tiny_buffers_every_algorithm() {
+        // Regression for the `n < p` empty-chunk edge: 0- and 1-element
+        // buffers through every algorithm at every small group size.
+        let algos = [
+            AllreduceAlgo::Ring,
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::Rabenseifner,
+            AllreduceAlgo::auto_with(0),
+            AllreduceAlgo::auto(),
+        ];
+        for algo in algos {
+            for p in 1..=6 {
+                for n in 0..=2 {
+                    check_allreduce(algo, p, n);
+                }
+            }
+        }
     }
 
     #[test]

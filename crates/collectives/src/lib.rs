@@ -36,6 +36,7 @@ mod comm;
 mod elem;
 mod error;
 mod framing;
+mod fusion;
 mod reduce;
 
 pub use allgather::{allgather, bruck_allgather, ring_allgather, AllgatherAlgo};
@@ -47,6 +48,9 @@ pub use bcast::binomial_bcast;
 pub use comm::PeerComm;
 pub use elem::{Elem, ReduceOp};
 pub use error::CollError;
+pub use fusion::{
+    fused_allreduce, observe_bucket, plan_buckets, FusionBuffer, DEFAULT_FUSION_BYTES,
+};
 pub use reduce::{binomial_reduce, gather, scatter};
 
 /// Maximum number of tags any single collective in this crate may consume.

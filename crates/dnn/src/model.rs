@@ -57,16 +57,64 @@ impl Model {
     /// returns loss/accuracy. Does **not** apply the optimizer — in
     /// data-parallel training the gradients are allreduced first.
     pub fn compute_gradients(&mut self, batch: &Batch) -> TrainReport {
+        self.compute_gradients_with(batch, |_, _| {})
+    }
+
+    /// Like [`Model::compute_gradients`], but fires `on_ready(idx, grad)`
+    /// for each trainable tensor the moment its layer's backward pass has
+    /// produced it — `idx` is the tensor's *declaration-order* index (the
+    /// position [`Model::grads`] lists it at). This is the hook the elastic
+    /// engines' fusion ready-queue hangs off: gradients become ready in
+    /// [`Model::ready_order`] (last layer first), so fused allreduces can
+    /// launch while earlier layers are still differentiating.
+    pub fn compute_gradients_with(
+        &mut self,
+        batch: &Batch,
+        mut on_ready: impl FnMut(usize, &Tensor),
+    ) -> TrainReport {
+        // Declaration-order index of each layer's first trainable tensor.
+        let mut first_tensor = Vec::with_capacity(self.layers.len());
+        let mut acc_tensors = 0usize;
+        for layer in &self.layers {
+            first_tensor.push(acc_tensors);
+            acc_tensors += layer.params().len();
+        }
+
         let logits = self.forward(&batch.inputs);
         let (loss, mut grad) = softmax_cross_entropy(&logits, &batch.labels);
         let acc = accuracy(&logits, &batch.labels);
-        for layer in self.layers.iter_mut().rev() {
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
             grad = layer.backward(&grad);
+            for (j, p) in layer.params().into_iter().enumerate() {
+                on_ready(first_tensor[li] + j, &p.grad);
+            }
         }
         TrainReport {
             loss,
             accuracy: acc,
         }
+    }
+
+    /// Declaration-order tensor indices in the order
+    /// [`Model::compute_gradients_with`] reports them ready: reverse layer
+    /// order, declaration order within a layer. Deterministic for a given
+    /// architecture — every data-parallel replica derives the same order,
+    /// which is what lets fusion bucket plans be computed once and shared
+    /// by the SPMD collective schedule.
+    pub fn ready_order(&self) -> Vec<usize> {
+        let mut first_tensor = Vec::with_capacity(self.layers.len());
+        let mut acc = 0usize;
+        for layer in &self.layers {
+            first_tensor.push(acc);
+            acc += layer.params().len();
+        }
+        let mut order = Vec::with_capacity(acc);
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            for j in 0..layer.params().len() {
+                order.push(first_tensor[li] + j);
+            }
+        }
+        order
     }
 
     /// Zero all accumulated gradients. Needed before recomputing a step
@@ -238,6 +286,28 @@ mod tests {
     fn set_grads_checks_count() {
         let mut m = tiny_model();
         m.set_grads(&[vec![0.0; 8 * 16]]);
+    }
+
+    #[test]
+    fn ready_hook_fires_in_reverse_layer_order() {
+        let ds = SyntheticDataset::new(8, 4, 7);
+        let batch = ds.batch(0, 16);
+        let mut m = tiny_model();
+        let mut seen = Vec::new();
+        let r1 = m.compute_gradients_with(&batch, |idx, g| seen.push((idx, g.data().to_vec())));
+        // Output Dense's (W, b) become ready first, input Dense's last.
+        let order: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, vec![2, 3, 0, 1]);
+        assert_eq!(order, m.ready_order());
+        // Hooked gradients are the final gradients, and the plain entry
+        // point is unchanged.
+        let mut m2 = tiny_model();
+        let r2 = m2.compute_gradients(&batch);
+        assert_eq!(r1, r2);
+        let finals = m.grads();
+        for (idx, g) in &seen {
+            assert_eq!(g, finals[*idx].data());
+        }
     }
 
     #[test]

@@ -247,6 +247,13 @@ pub fn run_backward_worker(
     let mut model = spec.build_model();
     let mut opt = spec.build_optimizer();
     let ds = spec.build_dataset();
+    // Fusion schedule (architecture-determined, so computed once): fused
+    // buckets launch during the backward pass; on failure Gloo's poisoned
+    // context aborts the remaining buckets and the normal exception path
+    // reconfigures — fused steps need no special recovery handling.
+    let fusion = spec
+        .fusion
+        .map(|cap| crate::fusion::FusionSetup::new(&model, cap));
     let mut step: u64 = 0;
     let mut recoveries = 0usize;
     let mut last_loss = f32::NAN;
@@ -356,25 +363,65 @@ pub fn run_backward_worker(
             let shard = ds.shard(step as usize, spec.global_batch, my_rank, world);
             let shard_weight = shard.labels.len() as f32 / spec.global_batch as f32;
             model.zero_grads();
-            let report = model.compute_gradients(&shard);
-            last_loss = report.loss;
-            let mut grads: Vec<Vec<f32>> = model
-                .grads()
-                .iter()
-                .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
-                .collect();
 
             let mut failed: Option<GlooError> = None;
             let catch_t0 = std::time::Instant::now();
-            for g in grads.iter_mut() {
-                match ctx.allreduce(g, ReduceOp::Sum, spec.algo) {
-                    Ok(()) => {}
-                    Err(GlooError::SelfDied) => return (WorkerExit::Died, breakdowns),
-                    Err(e) => {
-                        failed = Some(e);
-                        break;
+            let grads: Vec<Vec<f32>> = if let Some(fs) = &fusion {
+                // Ready-queue path: scatter gradients into bucket buffers
+                // as layers finish their backward pass; launch each fused
+                // allreduce the moment its bucket fills.
+                let mut bufs = fs.bucket_buffers();
+                let mut filled = vec![0usize; fs.n_buckets()];
+                let mut fill_start: Vec<Option<std::time::Instant>> = vec![None; fs.n_buckets()];
+                let report = model.compute_gradients_with(&shard, |idx, g| {
+                    let (b, off, len) = fs.slot(idx);
+                    if fill_start[b].is_none() {
+                        fill_start[b] = Some(std::time::Instant::now());
+                    }
+                    for (d, s) in bufs[b][off..off + len].iter_mut().zip(g.data()) {
+                        *d = s * shard_weight;
+                    }
+                    filled[b] += 1;
+                    if filled[b] < fs.bucket_tensors(b) {
+                        return;
+                    }
+                    if let Some(t0) = fill_start[b].take() {
+                        telemetry::histogram("elastic.fusion.fill_latency_ns")
+                            .record(t0.elapsed().as_nanos() as u64);
+                    }
+                    collectives::observe_bucket(
+                        bufs[b].len() * std::mem::size_of::<f32>(),
+                        fs.bucket_tensors(b),
+                    );
+                    if failed.is_none() {
+                        if let Err(e) = ctx.allreduce(&mut bufs[b], ReduceOp::Sum, spec.algo) {
+                            failed = Some(e);
+                        }
+                    }
+                });
+                last_loss = report.loss;
+                fs.unpack(&bufs)
+            } else {
+                let report = model.compute_gradients(&shard);
+                last_loss = report.loss;
+                let mut grads: Vec<Vec<f32>> = model
+                    .grads()
+                    .iter()
+                    .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
+                    .collect();
+                for g in grads.iter_mut() {
+                    match ctx.allreduce(g, ReduceOp::Sum, spec.algo) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
                     }
                 }
+                grads
+            };
+            if matches!(failed, Some(GlooError::SelfDied)) {
+                return (WorkerExit::Died, breakdowns);
             }
             if let Some(err) = failed {
                 // --- exception path (paper Fig. 4 phases 1–3) -------------

@@ -40,6 +40,13 @@ pub struct TrainSpec {
     pub momentum: f32,
     /// Allreduce algorithm for gradient aggregation.
     pub algo: AllreduceAlgo,
+    /// Tensor-fusion byte cap: `Some(cap)` packs gradients into fused
+    /// buckets of at most `cap` bytes (Horovod's fusion threshold) and
+    /// allreduces each bucket as one collective, launched as soon as the
+    /// bucket fills during the backward pass. `None` (the default)
+    /// allreduces each tensor individually after the full backward pass —
+    /// the pre-fusion protocol.
+    pub fusion: Option<usize>,
 }
 
 impl Default for TrainSpec {
@@ -55,6 +62,7 @@ impl Default for TrainSpec {
             lr: 0.05,
             momentum: 0.9,
             algo: AllreduceAlgo::Ring,
+            fusion: None,
         }
     }
 }

@@ -71,6 +71,79 @@ impl Eq1Params {
     }
 }
 
+/// An α–β point-to-point network model, used to calibrate the size-adaptive
+/// allreduce selection ([`collectives::AllreduceAlgo::Auto`]).
+///
+/// * ring allreduce: `2(p−1)·α + 2·((p−1)/p)·n·β` — bandwidth-optimal,
+///   latency grows linearly with the group;
+/// * recursive doubling: `⌈log₂ p⌉·(α + n·β)` — latency-optimal, ships the
+///   whole vector every round.
+///
+/// The curves intersect at
+/// `n* = α·(2(p−1) − ⌈log₂ p⌉) / (β·(⌈log₂ p⌉ − 2(p−1)/p))`:
+/// below `n*` the α (startup) term dominates and recursive doubling wins;
+/// above it the β (bandwidth) term dominates and ring/Rabenseifner win.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CommModel {
+    /// Per-message startup latency, seconds.
+    pub alpha: f64,
+    /// Per-byte transfer time, seconds (1 / bandwidth).
+    pub beta: f64,
+}
+
+impl CommModel {
+    /// Summit-like constants (the paper's evaluation platform): 1.5 µs
+    /// startup, 23 GB/s injection bandwidth — matching
+    /// `simnet::ClusterModel::summit`.
+    pub fn summit() -> Self {
+        Self {
+            alpha: 1.5e-6,
+            beta: 1.0 / 23e9,
+        }
+    }
+
+    /// Predicted ring-allreduce time for `n_bytes` over `p` ranks.
+    pub fn ring_time(&self, n_bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        2.0 * (pf - 1.0) * self.alpha + 2.0 * ((pf - 1.0) / pf) * n_bytes * self.beta
+    }
+
+    /// Predicted recursive-doubling-allreduce time for `n_bytes` over `p`.
+    pub fn recursive_doubling_time(&self, n_bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64).log2().ceil() * (self.alpha + n_bytes * self.beta)
+    }
+
+    /// The payload size where ring and recursive doubling cost the same.
+    /// Saturates to `u32::MAX` when recursive doubling is never beaten
+    /// (e.g. `p = 2`, where both move `n` bytes but ring pays 2α).
+    pub fn crossover_bytes(&self, p: usize) -> u32 {
+        if p <= 1 {
+            return u32::MAX;
+        }
+        let pf = p as f64;
+        let rounds = pf.log2().ceil();
+        let alpha_gap = 2.0 * (pf - 1.0) - rounds;
+        let beta_gap = rounds - 2.0 * (pf - 1.0) / pf;
+        if beta_gap <= 0.0 || alpha_gap <= 0.0 {
+            return u32::MAX;
+        }
+        let n = self.alpha * alpha_gap / (self.beta * beta_gap);
+        n.min(u32::MAX as f64) as u32
+    }
+
+    /// A size-adaptive allreduce selection calibrated from this model for
+    /// a group of `p` ranks.
+    pub fn auto_algo(&self, p: usize) -> collectives::AllreduceAlgo {
+        collectives::AllreduceAlgo::auto_with(self.crossover_bytes(p))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +200,61 @@ mod tests {
     #[should_panic(expected = "interval")]
     fn interval_below_one_rejected() {
         Eq1Params::with_interval(10.0, 0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn crossover_separates_the_regimes() {
+        let m = CommModel::summit();
+        for p in [3usize, 4, 5, 8, 16] {
+            let x = m.crossover_bytes(p) as f64;
+            assert!(x.is_finite() && x > 0.0);
+            // Below the crossover recursive doubling must be cheaper, above
+            // it ring must be — that is the definition of the crossover.
+            assert!(
+                m.recursive_doubling_time(x / 4.0, p) < m.ring_time(x / 4.0, p),
+                "p={p}: recursive doubling should win below the crossover"
+            );
+            assert!(
+                m.ring_time(x * 4.0, p) < m.recursive_doubling_time(x * 4.0, p),
+                "p={p}: ring should win above the crossover"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_never_prefers_ring() {
+        // At p = 2 both algorithms move n bytes but ring pays twice the
+        // startup cost; the crossover saturates.
+        assert_eq!(CommModel::summit().crossover_bytes(2), u32::MAX);
+    }
+
+    #[test]
+    fn default_crossover_matches_summit_calibration() {
+        // The collectives crate's baked-in default (used when no model is
+        // supplied) must sit in the Summit model's crossover range for the
+        // group sizes the benches run (within 2×).
+        let m = CommModel::summit();
+        let default = collectives::AllreduceAlgo::DEFAULT_CROSSOVER_BYTES as f64;
+        let x4 = m.crossover_bytes(4) as f64;
+        assert!(
+            default / x4 < 2.0 && x4 / default < 2.0,
+            "default {default} vs model {x4}"
+        );
+    }
+
+    #[test]
+    fn auto_algo_resolves_against_model() {
+        let m = CommModel::summit();
+        let algo = m.auto_algo(4);
+        let x = m.crossover_bytes(4) as usize;
+        assert_eq!(
+            algo.resolve(x / 2, 4),
+            collectives::AllreduceAlgo::RecursiveDoubling
+        );
+        assert_eq!(
+            algo.resolve(x * 2, 4),
+            collectives::AllreduceAlgo::Rabenseifner
+        );
+        assert_eq!(algo.resolve(x * 2, 5), collectives::AllreduceAlgo::Ring);
     }
 }

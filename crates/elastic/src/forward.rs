@@ -144,7 +144,17 @@ fn run_inner(
         0
     };
 
-    let n_tensors = model.num_tensors() as i64;
+    // Fusion schedule (if enabled): gradients pack into buckets in ready
+    // order and each bucket allreduces as one resilient collective. The
+    // per-step op sequence becomes `n_ops` bucket allreduces + the commit
+    // barrier, instead of one allreduce per tensor + barrier; op ids and
+    // the restart-point protocol are otherwise identical.
+    let fusion = spec
+        .fusion
+        .map(|cap| crate::fusion::FusionSetup::new(&model, cap));
+    let n_ops: i64 = fusion
+        .as_ref()
+        .map_or(model.num_tensors() as i64, |f| f.n_buckets() as i64);
     let mut recoveries = 0usize;
     let mut last_loss = f32::NAN;
     // World size the LR schedule is currently anchored to.
@@ -174,29 +184,86 @@ fn run_inner(
             let shard = ds.shard(step as usize, spec.global_batch, my_rank, world);
             let shard_weight = shard.labels.len() as f32 / spec.global_batch as f32;
             model.zero_grads();
-            let report = model.compute_gradients(&shard);
-            last_loss = report.loss;
+
+            // Ops already completed by the eager (ready-queue) launch path,
+            // and the first error it encountered, if any.
+            let mut done: Vec<bool> = vec![false; n_ops as usize];
+            let mut pending_err: Option<(usize, UlfmError)> = None;
 
             // Weighted gradients: allreduce(SUM) of per-shard means ×
-            // weights equals the global-batch mean.
-            let mut grads: Vec<Vec<f32>> = model
-                .grads()
-                .iter()
-                .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
-                .collect();
-            // The retained inputs of §3.2 — what makes forward recovery work.
-            let saved = grads.clone();
+            // weights equals the global-batch mean. `op_bufs` are the
+            // collective payloads — fused buckets (ready order) or
+            // per-tensor gradients (declaration order); `saved` holds the
+            // retained inputs of §3.2 — what makes forward recovery work.
+            let (report, mut op_bufs, saved) = if let Some(fs) = &fusion {
+                let mut bufs = fs.bucket_buffers();
+                let mut saved: Vec<Vec<f32>> = vec![Vec::new(); fs.n_buckets()];
+                let mut filled = vec![0usize; fs.n_buckets()];
+                let mut fill_start: Vec<Option<std::time::Instant>> = vec![None; fs.n_buckets()];
+                let report = model.compute_gradients_with(&shard, |idx, g| {
+                    let (b, off, len) = fs.slot(idx);
+                    if fill_start[b].is_none() {
+                        fill_start[b] = Some(std::time::Instant::now());
+                    }
+                    for (d, s) in bufs[b][off..off + len].iter_mut().zip(g.data()) {
+                        *d = s * shard_weight;
+                    }
+                    filled[b] += 1;
+                    if filled[b] < fs.bucket_tensors(b) {
+                        return;
+                    }
+                    // Bucket filled: save its input, then launch the fused
+                    // allreduce immediately — later layers are still
+                    // differentiating (the ready-queue overlap).
+                    if let Some(t0) = fill_start[b].take() {
+                        telemetry::histogram("elastic.fusion.fill_latency_ns")
+                            .record(t0.elapsed().as_nanos() as u64);
+                    }
+                    collectives::observe_bucket(
+                        bufs[b].len() * std::mem::size_of::<f32>(),
+                        fs.bucket_tensors(b),
+                    );
+                    saved[b] = bufs[b].clone();
+                    if pending_err.is_none() {
+                        match comm.allreduce(&mut bufs[b], ReduceOp::Sum, spec.algo) {
+                            Ok(()) => done[b] = true,
+                            // Stop launching; the op loop below drives the
+                            // recovery from this recorded error.
+                            Err(e) => pending_err = Some((b, e)),
+                        }
+                    }
+                });
+                (report, bufs, saved)
+            } else {
+                let report = model.compute_gradients(&shard);
+                let grads: Vec<Vec<f32>> = model
+                    .grads()
+                    .iter()
+                    .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
+                    .collect();
+                let saved = grads.clone();
+                (report, grads, saved)
+            };
+            last_loss = report.loss;
             let step_group: Vec<RankId> = comm.group().to_vec();
 
             // --- resilient collective phase -------------------------------
-            // local_op ∈ [0, T]: tensor allreduces, then the commit barrier.
+            // local_op ∈ [0, n_ops]: gradient allreduces (per bucket or per
+            // tensor), then the commit barrier. Ops the eager path already
+            // completed are skipped; its recorded error surfaces at the op
+            // it struck, feeding the same recovery protocol.
             let mut local_op: i64 = 0;
             let mut redo_from: Option<usize> = None;
-            while local_op <= n_tensors {
-                let result = if local_op == n_tensors {
+            while local_op <= n_ops {
+                let lo = local_op as usize;
+                let result = if local_op < n_ops && done[lo] {
+                    Ok(())
+                } else if pending_err.as_ref().is_some_and(|(b, _)| *b == lo) {
+                    Err(pending_err.take().expect("just checked").1)
+                } else if local_op == n_ops {
                     comm.barrier()
                 } else {
-                    comm.allreduce(&mut grads[local_op as usize], ReduceOp::Sum, spec.algo)
+                    comm.allreduce(&mut op_bufs[lo], ReduceOp::Sum, spec.algo)
                 };
                 match result {
                     Ok(()) => local_op += 1,
@@ -204,7 +271,7 @@ fn run_inner(
                     Err(UlfmError::Excluded) => unreachable!("collectives never exclude"),
                     Err(_) => {
                         recoveries += 1;
-                        let my_global = global_op(step, n_tensors, local_op);
+                        let my_global = global_op(step, n_ops, local_op);
                         let mut episode = RecoveryBreakdown::new(RecoveryKind::Forward, step);
                         let recovered =
                             recover(proc, cfg, &comm, my_global, &mut episode, topology);
@@ -213,15 +280,22 @@ fn run_inner(
                         match recovered {
                             Ok((new_comm, restart)) => {
                                 comm = new_comm;
-                                let first_of_step = global_op(step, n_tensors, 0);
+                                let first_of_step = global_op(step, n_ops, 0);
                                 if restart >= first_of_step {
                                     // Restart within this step: restore the
                                     // retained inputs and redo from there.
+                                    // Ops the eager path completed on the
+                                    // old communicator are redone too —
+                                    // their `done` marks are void.
                                     let rlocal = (restart - first_of_step) as usize;
-                                    assert!(rlocal as i64 <= n_tensors);
+                                    assert!(rlocal as i64 <= n_ops);
                                     for (i, s) in saved.iter().enumerate().skip(rlocal) {
-                                        grads[i].copy_from_slice(s);
+                                        op_bufs[i].copy_from_slice(s);
                                     }
+                                    for d in done.iter_mut().skip(rlocal) {
+                                        *d = false;
+                                    }
+                                    pending_err = None;
                                     redo_from = Some(redo_from.map_or(rlocal, |r| r.min(rlocal)));
                                     local_op = rlocal as i64;
                                 } else {
@@ -302,15 +376,20 @@ fn run_inner(
                     / spec.global_batch as f32;
                 if surviving > 0.0 && surviving < 1.0 {
                     let scale = 1.0 / surviving;
-                    let from = rfrom.min(grads.len());
-                    for g in grads.iter_mut().skip(from) {
+                    let from = rfrom.min(op_bufs.len());
+                    for g in op_bufs.iter_mut().skip(from) {
                         for v in g.iter_mut() {
                             *v *= scale;
                         }
                     }
                 }
             }
-            break 'attempt grads;
+            // Fused buckets scatter back to declaration-order tensors; the
+            // unfused payloads already are the per-tensor gradients.
+            break 'attempt match &fusion {
+                Some(fs) => fs.unpack(&op_bufs),
+                None => op_bufs,
+            };
         };
 
         // --- committed: apply the update ---------------------------------

@@ -33,12 +33,14 @@ pub mod backward;
 pub mod config;
 pub mod cost_model;
 pub mod forward;
+pub mod fusion;
 pub mod profiler;
 pub mod scenario;
 
 pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver};
 pub use config::{RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
-pub use cost_model::Eq1Params;
+pub use cost_model::{CommModel, Eq1Params};
 pub use forward::{run_forward_worker, ForwardConfig, LrScaling};
+pub use fusion::FusionSetup;
 pub use profiler::{Phase, RecoveryBreakdown, RecoveryKind};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioKind, ScenarioResult};

@@ -230,6 +230,155 @@ fn engines_agree_bit_exactly_without_faults() {
     assert_eq!(f_fp, b_fp, "fault-free engines must agree bit-exactly");
 }
 
+// ---------------------------------------------------------------- fusion
+
+/// A byte cap that splits the default MLP's four gradient tensors
+/// (ready-order sizes 128, 4, 512, 32 f32s = 512, 16, 2048, 128 bytes)
+/// into three buckets: {128, 4} fused, the 2048-byte tensor as an
+/// oversized singleton, and the 32-element tail — so the fused path
+/// exercises multi-tensor packing, the oversized escape hatch, and
+/// scatter-back in one run.
+const FUSION_CAP: usize = 600;
+
+fn fused_spec() -> TrainSpec {
+    TrainSpec {
+        fusion: Some(FUSION_CAP),
+        ..spec()
+    }
+}
+
+#[test]
+fn forward_fused_downscale_recovers_bit_identically() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+    cfg.spec = fused_spec();
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+    for e in res.exits.iter().filter(|e| e.completed()) {
+        let s = e.stats().unwrap();
+        assert_eq!(s.steps_done, cfg.spec.total_steps as u64);
+        assert_eq!(s.final_world, cfg.workers - 1);
+        assert!(s.recoveries >= 1, "survivor must have recovered");
+    }
+    // The mid-bucket kill must drive the full ULFM protocol.
+    let fwd = res
+        .mean_breakdown(RecoveryKind::Forward)
+        .expect("forward episodes recorded");
+    for phase in ["revoke", "agree", "shrink"] {
+        assert!(
+            fwd.phases.iter().any(|p| p.name == phase),
+            "missing phase {phase}"
+        );
+    }
+}
+
+/// Kill at several protocol-step offsets so the failure lands inside
+/// different buckets (including the fused multi-tensor bucket and the
+/// oversized singleton) and in different training steps.
+#[test]
+fn forward_fused_survives_kills_in_every_bucket() {
+    for fail_at in [1, 4, 9, 14] {
+        let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+        cfg.spec = fused_spec();
+        cfg.fail_at_op = fail_at;
+        let res = run_scenario(&cfg);
+        assert_eq!(
+            res.completed(),
+            cfg.workers - 1,
+            "fail_at_op={fail_at}: {:?}",
+            res.exits
+        );
+        res.assert_consistent_state();
+    }
+}
+
+#[test]
+fn forward_fused_auto_algo_survives_failure() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+    cfg.spec = fused_spec();
+    cfg.spec.algo = AllreduceAlgo::auto();
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+#[test]
+fn forward_fused_replacement_restores_world_size() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Replace);
+    cfg.spec = fused_spec();
+    cfg.joiners = 1;
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers, "{:?}", res.exits);
+    res.assert_consistent_state();
+    for e in res.exits.iter().filter(|e| e.completed()) {
+        assert_eq!(e.stats().unwrap().final_world, cfg.workers);
+    }
+}
+
+#[test]
+fn backward_fused_downscale() {
+    let mut cfg = quick(Engine::GlooBackward, ScenarioKind::Downscale);
+    cfg.spec = fused_spec();
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+#[test]
+fn backward_fused_upscale() {
+    let mut cfg = quick(Engine::GlooBackward, ScenarioKind::Upscale);
+    cfg.spec = fused_spec();
+    cfg.joiners = 2;
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers + 2, "{:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+/// Both engines fuse by the same schedule and reduce the same fused
+/// buffers with the same algorithm, so fault-free fused training is
+/// bit-identical across engines — the fused analogue of
+/// [`engines_agree_bit_exactly_without_faults`].
+#[test]
+fn fused_engines_agree_bit_exactly_without_faults() {
+    let mut f_cfg = quick(Engine::UlfmForward, ScenarioKind::Upscale);
+    f_cfg.spec = fused_spec();
+    f_cfg.joiners = 0;
+    let f_fp = run_scenario(&f_cfg).assert_consistent_state();
+
+    let mut b_cfg = quick(Engine::GlooBackward, ScenarioKind::Upscale);
+    b_cfg.spec = fused_spec();
+    b_cfg.joiners = 0;
+    let b_fp = run_scenario(&b_cfg).assert_consistent_state();
+
+    assert_eq!(
+        f_fp, b_fp,
+        "fault-free fused engines must agree bit-exactly"
+    );
+}
+
+/// Under recursive doubling the per-element reduction order depends only
+/// on the group (pairwise butterfly), not on buffer layout — so packing
+/// tensors into fused buckets must not change a single bit of the final
+/// model. (Ring/Rabenseifner chunk by offset, so the same equality is not
+/// guaranteed there; this pins the layout-independent case.)
+#[test]
+fn fusion_is_transparent_under_recursive_doubling() {
+    let mut unfused = quick(Engine::UlfmForward, ScenarioKind::Upscale);
+    unfused.spec.algo = AllreduceAlgo::RecursiveDoubling;
+    unfused.joiners = 0;
+    let u_fp = run_scenario(&unfused).assert_consistent_state();
+
+    let mut fused = quick(Engine::UlfmForward, ScenarioKind::Upscale);
+    fused.spec = fused_spec();
+    fused.spec.algo = AllreduceAlgo::RecursiveDoubling;
+    fused.joiners = 0;
+    let f_fp = run_scenario(&fused).assert_consistent_state();
+
+    assert_eq!(u_fp, f_fp, "fusion changed the trained model bits");
+}
+
+// ------------------------------------------------------- forward recovery
+
 /// The paper's Fig. 2 contrast, measured: forward recovery completes the
 /// failed step with the survivors' retained contributions instead of
 /// rolling back — so the survivor-side model equals a reference run where

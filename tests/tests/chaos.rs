@@ -7,6 +7,7 @@
 //! uniformity* — a scenario either completes or halts consistently
 //! (every completed replica bit-identical), and it never deadlocks.
 
+use collectives::AllreduceAlgo;
 use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
 use std::sync::mpsc;
@@ -294,6 +295,51 @@ fn drop_heavy_schedule_both_engines() {
             res.fabric_stats.dup_suppressed > 0,
             "{label}: duplicated frames must be suppressed by seq tracking"
         );
+    }
+}
+
+/// Drop-heavy schedule over the *fused* gradient pipeline: the same 10%
+/// loss + 10% duplication, but with gradients packed into Horovod-style
+/// buckets reduced by size-adaptive `Auto` allreduces, and a scripted
+/// mid-training kill on top. Fused buckets carry larger frames over fewer
+/// collectives, so this exercises retransmission and revoke → agree →
+/// shrink recovery on the fused path specifically.
+#[test]
+fn fused_drop_heavy_schedule_both_engines() {
+    for (engine, label) in [
+        (Engine::UlfmForward, "fused-drop-heavy/forward"),
+        (Engine::GlooBackward, "fused-drop-heavy/backward"),
+    ] {
+        let plan = PerturbPlan::seeded(0xF05E_0004)
+            .all_links(LinkPerturb::clean().drop(0.10).duplicate(0.10));
+        let mut cfg = perturbed_config(engine, plan);
+        // 600 bytes splits the default MLP's ready-order gradients into a
+        // multi-tensor bucket, an oversized singleton, and a tail bucket.
+        cfg.spec.fusion = Some(600);
+        cfg.spec.algo = AllreduceAlgo::auto();
+        cfg.kind = ScenarioKind::Downscale;
+        cfg.victim = 3;
+        cfg.fail_at_op = 5;
+        let total = cfg.workers;
+        let res = run_with_watchdog(cfg, label);
+        let died = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Died))
+            .count();
+        assert_eq!(died, 1, "{label}: scripted victim must die exactly once");
+        assert_eq!(
+            res.completed(),
+            total - 1,
+            "{label}: survivors lost (exits: {:?})",
+            res.exits
+        );
+        assert!(res.fabric_stats.retransmits > 0, "{label}: no retransmits");
+        assert!(
+            res.fabric_stats.dup_suppressed > 0,
+            "{label}: duplicated frames must be suppressed by seq tracking"
+        );
+        res.assert_consistent_state();
     }
 }
 
