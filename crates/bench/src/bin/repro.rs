@@ -77,6 +77,9 @@ fn main() {
     if wants("scenario3") {
         scenario3();
     }
+    if wants("cascade") {
+        cascade();
+    }
     if let Some(spec) = &perturb_spec {
         match parse_perturb_spec(spec) {
             Ok(plan) => perturbed(plan),
@@ -152,6 +155,143 @@ fn perturbed(plan: transport::PerturbPlan) {
     );
     println!("Replicas stayed bit-identical under the perturbation schedule; corrupted");
     println!("frames were all caught by the checksum and healed by retransmission.\n");
+}
+
+/// Cascading-failure schedules: a second kill landing *inside* the
+/// recovery machinery (double-kill, kill-during-join, shrink-to-floor).
+/// Runs each schedule on both engines and records the outcome into the
+/// telemetry dump so CI archives the abort/cascade episodes.
+fn cascade() {
+    use elastic::{RecoveryKind, WorkerExit};
+    use transport::{FaultPlan, RankId};
+
+    println!("== Cascading failures: second kill inside the recovery machinery ==\n");
+    let base = |engine, kind, workers: usize, joiners: usize| ScenarioConfig {
+        engine,
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            ..TrainSpec::default()
+        },
+        workers,
+        ranks_per_node: 1,
+        joiners,
+        victim: 0,
+        fail_at_op: 3,
+        ..ScenarioConfig::quick(engine, kind)
+    };
+    // (schedule, engine, second kill, floor) — ULFM-only fault points are
+    // paired with the forward engine; the backward engine's recovery fault
+    // point is its checkpoint sync.
+    let schedules = [
+        (
+            "double-kill",
+            Engine::UlfmForward,
+            RankId(1),
+            "agree.round",
+            2,
+            1,
+        ),
+        (
+            "double-kill",
+            Engine::GlooBackward,
+            RankId(1),
+            "ckpt.sync",
+            1,
+            1,
+        ),
+        (
+            "kill-during-join",
+            Engine::UlfmForward,
+            RankId(1),
+            "join.merge",
+            1,
+            1,
+        ),
+        (
+            "shrink-to-floor",
+            Engine::UlfmForward,
+            RankId(1),
+            "shrink.attempt",
+            1,
+            3,
+        ),
+        (
+            "shrink-to-floor",
+            Engine::GlooBackward,
+            RankId(1),
+            "ckpt.sync",
+            1,
+            3,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (schedule, engine, second, point, occurrence, floor) in schedules {
+        let kind = if schedule == "kill-during-join" {
+            ScenarioKind::Replace
+        } else {
+            ScenarioKind::Downscale
+        };
+        let joiners = usize::from(kind == ScenarioKind::Replace);
+        let mut cfg = base(engine, kind, 4, joiners);
+        cfg.spec.min_workers = floor;
+        cfg.extra_faults = FaultPlan::none().kill_at_point(second, point, occurrence);
+        let res = run_scenario(&cfg);
+        let died = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Died))
+            .count();
+        let aborted = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Aborted(_)))
+            .count();
+        if res.completed() > 0 {
+            res.assert_consistent_state();
+        } else {
+            assert!(
+                res.breakdowns.iter().any(|b| b.kind == RecoveryKind::Abort),
+                "{schedule}: below-floor run must trace an abort episode"
+            );
+        }
+        let key = if engine == Engine::UlfmForward {
+            "forward"
+        } else {
+            "backward"
+        };
+        telemetry::counter(&format!("repro.cascade.{schedule}.{key}.aborted")).add(aborted as u64);
+        telemetry::counter(&format!("repro.cascade.{schedule}.{key}.episodes"))
+            .add(res.breakdowns.len() as u64);
+        rows.push(vec![
+            schedule.to_string(),
+            key.to_string(),
+            format!("{point}#{occurrence}"),
+            format!("{}/{}", res.completed(), cfg.workers + joiners),
+            died.to_string(),
+            aborted.to_string(),
+            res.breakdowns.len().to_string(),
+            format!("{:?}", res.wall),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Schedule",
+                "Engine",
+                "Second kill",
+                "Completed",
+                "Died",
+                "Aborted",
+                "Episodes",
+                "Wall",
+            ],
+            &rows
+        )
+    );
+    println!("Double kills converge on a uniform shrunk group; a dead join leader's pending");
+    println!("joiners are re-ticketed; draining below min_workers aborts every survivor.\n");
 }
 
 /// Export the telemetry registry accumulated across everything this

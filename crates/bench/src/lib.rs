@@ -149,6 +149,7 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        extra_faults: transport::FaultPlan::none(),
     };
     let res = run_scenario(&cfg);
     let expected_completed = match (kind, policy) {

@@ -1,11 +1,34 @@
-//! Binomial-tree broadcast.
+//! Binomial-tree broadcast with reliable teardown.
+//!
+//! Every hop carries a one-byte trailing status frame. A rank whose
+//! receive fails (dead parent, revocation, poison from upstream) does not
+//! simply unwind: it first forwards a *poison* frame to each of its
+//! children, so a subtree below a failed link observes the broken
+//! broadcast promptly instead of blocking on a sender that will never
+//! transmit. This keeps a failed broadcast from stranding receivers
+//! without any comm-wide revocation — essential when the broadcast shares
+//! a communicator with other in-flight op streams (a revoke would yank
+//! innocent stragglers out of *their* collectives and desynchronize the
+//! recovery protocol).
 
 use crate::comm::PeerComm;
 use crate::error::CollError;
 
+/// Trailing status byte of a successfully relayed payload.
+const FRAME_OK: u8 = 0;
+/// Trailing status byte of a poison frame: the sender's own receive
+/// failed and it is tearing down its subtree.
+const FRAME_POISON: u8 = 1;
+
 /// Broadcast `buf` from group rank `root` to all ranks along a binomial
 /// tree (`⌈log₂ p⌉` rounds). Non-root ranks' buffers are overwritten;
-/// `buf.len()` must match on all ranks.
+/// `buf.len()` must match on all ranks. On error the buffer contents are
+/// unspecified.
+///
+/// A failure anywhere in the tree surfaces as an error on every rank in
+/// the affected subtree (poison propagation); ranks on intact paths still
+/// return `Ok` with the payload — uniformity, when needed, is the
+/// caller's job (e.g. a commit agreement over the per-rank outcomes).
 pub fn binomial_bcast<C: PeerComm>(
     comm: &C,
     root: usize,
@@ -20,31 +43,67 @@ pub fn binomial_bcast<C: PeerComm>(
         }
         let vrank = (comm.rank() + p - root) % p;
 
+        // First error observed on this rank; teardown continues past it.
+        let mut fail: Option<CollError> = None;
+
         // Non-roots receive once from the parent: the rank obtained by
         // clearing the lowest set bit of vrank. `recv_bit` is that bit; the
         // root acts as if it had received at the top of the tree.
         let recv_bit = if vrank == 0 {
+            buf.push(FRAME_OK);
             p.next_power_of_two()
         } else {
             let bit = vrank & vrank.wrapping_neg(); // lowest set bit
-            comm.fault_point("bcast.step")?;
             let parent = ((vrank & !bit) + root) % p;
-            *buf = comm.recv(parent, tag_base)?;
+            let got = comm
+                .fault_point("bcast.step")
+                .and_then(|()| comm.recv(parent, tag_base));
+            match got {
+                Ok(bytes) if bytes.last() == Some(&FRAME_OK) => *buf = bytes,
+                Ok(_) => {
+                    // Poison: an ancestor's receive failed. Report the
+                    // (alive) parent as the failed peer — the caller only
+                    // needs to learn the broadcast broke, not where.
+                    fail = Some(CollError::PeerFailed { peer: parent });
+                    *buf = vec![FRAME_POISON];
+                }
+                Err(CollError::SelfDied) => return Err(CollError::SelfDied),
+                Err(e) => {
+                    fail = Some(e);
+                    *buf = vec![FRAME_POISON];
+                }
+            }
             bit
         };
 
-        // Forward to children vrank + m for every bit m below recv_bit.
+        // Forward to children vrank + m for every bit m below recv_bit —
+        // the payload on success, the poison frame on failure. A dead or
+        // unreachable child never aborts the teardown of its siblings.
         let mut m = recv_bit >> 1;
         while m >= 1 {
             let vchild = vrank + m;
             if vchild < p {
-                comm.fault_point("bcast.step")?;
                 let child = (vchild + root) % p;
-                comm.send(child, tag_base, buf)?;
+                let sent = comm
+                    .fault_point("bcast.step")
+                    .and_then(|()| comm.send(child, tag_base, buf));
+                match sent {
+                    Ok(()) => {}
+                    Err(CollError::SelfDied) => return Err(CollError::SelfDied),
+                    Err(e) => {
+                        fail.get_or_insert(e);
+                    }
+                }
             }
             m >>= 1;
         }
-        Ok(())
+        match fail {
+            Some(e) => Err(e),
+            None => {
+                buf.pop();
+                Ok(())
+            }
+        }
     })
 }
 
@@ -120,6 +179,28 @@ mod tests {
                 .any(|r| matches!(r, Err(CollError::PeerFailed { .. }))),
             "{results:?}"
         );
+    }
+
+    #[test]
+    fn poison_unwinds_subtree_below_failed_link() {
+        // The root dies before its first send. Rank 2 (the root's direct
+        // child) observes PeerDead — and must forward a poison frame to
+        // rank 3, whose parent (rank 2) is alive and would otherwise never
+        // send: without the reliable teardown this test hangs forever.
+        let plan = FaultPlan::none().kill_at_point(transport::RankId(0), "bcast.step", 1);
+        let results = run_group(4, plan, |comm| {
+            let mut buf = if comm.rank() == 0 {
+                vec![7u8; 3]
+            } else {
+                vec![]
+            };
+            binomial_bcast(&comm, 0, &mut buf, 0)
+        });
+        assert_eq!(results[0], Err(CollError::SelfDied));
+        assert_eq!(results[1], Err(CollError::PeerFailed { peer: 0 }));
+        assert_eq!(results[2], Err(CollError::PeerFailed { peer: 0 }));
+        // Rank 3's parent is rank 2 — alive, but poisoned.
+        assert_eq!(results[3], Err(CollError::PeerFailed { peer: 2 }));
     }
 
     #[test]

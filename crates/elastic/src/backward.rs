@@ -79,6 +79,30 @@ struct DriverState {
     blacklisted_nodes: BTreeSet<usize>,
     removed: BTreeSet<RankId>,
     pending_new: BTreeSet<RankId>,
+    /// Minimum world size; falling below it aborts the run.
+    min_workers: usize,
+    /// Set once the member count drops below `min_workers`: the run is
+    /// over, every surviving worker exits with [`WorkerExit::Aborted`].
+    aborted: bool,
+}
+
+/// What [`ElasticDriver::wait_for_membership`] resolved for a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Membership {
+    /// The worker is a member of configuration `epoch`; rendezvous with
+    /// `members`.
+    Active {
+        /// Configuration epoch to rendezvous under.
+        epoch: u64,
+        /// Sorted member list of the configuration.
+        members: Vec<RankId>,
+    },
+    /// The worker was evicted (blacklisted node or reported failure) and
+    /// must exit.
+    Removed,
+    /// The run shut down because membership fell below the driver's
+    /// minimum world size; every survivor must exit cleanly.
+    Aborted,
 }
 
 /// The elastic driver: the central coordinator Elastic Horovod runs on the
@@ -107,6 +131,8 @@ impl ElasticDriver {
                 blacklisted_nodes: BTreeSet::new(),
                 removed: BTreeSet::new(),
                 pending_new: BTreeSet::new(),
+                min_workers: 1,
+                aborted: false,
             }),
             cv: Condvar::new(),
             announced: std::sync::atomic::AtomicU64::new(0),
@@ -126,6 +152,18 @@ impl ElasticDriver {
     /// Current configuration epoch.
     pub fn epoch(&self) -> u64 {
         self.state.lock().epoch
+    }
+
+    /// Set the minimum world size (Elastic Horovod's `--min-np`). A
+    /// failure report that drops membership below this floor aborts the
+    /// run instead of reconfiguring onto a degenerate group. Default 1.
+    pub fn set_min_workers(&self, n: usize) {
+        self.state.lock().min_workers = n.max(1);
+    }
+
+    /// Has the run shut down below its minimum world size?
+    pub fn aborted(&self) -> bool {
+        self.state.lock().aborted
     }
 
     /// Current member list (sorted).
@@ -167,6 +205,11 @@ impl ElasticDriver {
             st.removed.insert(r);
         }
         st.epoch += 1;
+        if st.members.len() < st.min_workers {
+            // Below the floor: the run is over. Survivors observe the
+            // abort at their next configuration check and exit cleanly.
+            st.aborted = true;
+        }
         self.cv.notify_all();
     }
 
@@ -194,7 +237,7 @@ impl ElasticDriver {
     /// if membership changed (a new configuration epoch started).
     pub fn adopt_pending(&self) -> bool {
         let mut st = self.state.lock();
-        if st.pending_new.is_empty() {
+        if st.pending_new.is_empty() || st.aborted {
             return false;
         }
         let pending = std::mem::take(&mut st.pending_new);
@@ -209,17 +252,26 @@ impl ElasticDriver {
         !self.state.lock().pending_new.is_empty()
     }
 
-    /// Block until `me` is a member, returning the (epoch, members)
-    /// configuration to rendezvous under. Returns `None` if `me` has been
-    /// removed (evicted workers exit).
-    pub fn wait_for_membership(&self, me: RankId) -> Option<(u64, Vec<RankId>)> {
+    /// Block until `me`'s fate is decided: a member of the current
+    /// configuration ([`Membership::Active`]), evicted
+    /// ([`Membership::Removed`]), or the run shut down below its minimum
+    /// world size ([`Membership::Aborted`] — also delivered to registered
+    /// new workers still waiting for adoption, so nobody blocks forever on
+    /// a computation that no longer exists).
+    pub fn wait_for_membership(&self, me: RankId) -> Membership {
         let mut st = self.state.lock();
         loop {
             if st.removed.contains(&me) {
-                return None;
+                return Membership::Removed;
+            }
+            if st.aborted {
+                return Membership::Aborted;
             }
             if st.members.contains(&me) {
-                return Some((st.epoch, st.members.iter().copied().collect()));
+                return Membership::Active {
+                    epoch: st.epoch,
+                    members: st.members.iter().copied().collect(),
+                };
             }
             self.cv.wait(&mut st);
         }
@@ -264,20 +316,45 @@ pub fn run_backward_worker(
 
     'config: loop {
         // --- configuration epoch ------------------------------------------
-        let Some((epoch, members)) = driver.wait_for_membership(me) else {
-            // Evicted (e.g. healthy worker on a blacklisted node).
-            return (
-                WorkerExit::Excluded(WorkerStats {
-                    steps_done: step,
-                    final_loss: last_loss,
-                    recoveries,
-                    final_world: 0,
-                    state_fingerprint: state_fingerprint(&model.state_flat()),
-                    final_lr: opt.current_lr(),
-                    steps_recomputed,
-                }),
-                breakdowns,
-            );
+        let (epoch, members) = match driver.wait_for_membership(me) {
+            Membership::Active { epoch, members } => (epoch, members),
+            Membership::Removed => {
+                // Evicted (e.g. healthy worker on a blacklisted node).
+                return (
+                    WorkerExit::Excluded(WorkerStats {
+                        steps_done: step,
+                        final_loss: last_loss,
+                        recoveries,
+                        final_world: 0,
+                        state_fingerprint: state_fingerprint(&model.state_flat()),
+                        final_lr: opt.current_lr(),
+                        steps_recomputed,
+                    }),
+                    breakdowns,
+                );
+            }
+            Membership::Aborted => {
+                // The cascade dropped the world below min_workers: exit
+                // cleanly with the progress so far, leaving a traceable
+                // abort episode.
+                telemetry::counter("elastic.abort.below_min").incr();
+                let mut episode = RecoveryBreakdown::new(RecoveryKind::Abort, step);
+                episode.time("below_min", || ep.retire());
+                episode.publish(me.0);
+                breakdowns.push(episode);
+                return (
+                    WorkerExit::Aborted(WorkerStats {
+                        steps_done: step,
+                        final_loss: last_loss,
+                        recoveries,
+                        final_world: 0,
+                        state_fingerprint: state_fingerprint(&model.state_flat()),
+                        final_lr: opt.current_lr(),
+                        steps_recomputed,
+                    }),
+                    breakdowns,
+                );
+            }
         };
 
         let mut episode = failure_episode
@@ -453,8 +530,17 @@ pub fn run_backward_worker(
             recompute_marker = false;
 
             // Per-batch in-memory checkpoint (the paper's minimum interval).
-            if step.is_multiple_of(cfg.checkpoint_every) && my_rank == 0 {
-                driver.checkpoints().save(Checkpoint::capture(&model, &opt));
+            // Every rank passes the named fault point, so schedules can
+            // kill the saver (rank 0) right before it checkpoints — the
+            // survivors roll back to the previous checkpoint and recompute
+            // — or a receiver, exercising the ordinary exception path.
+            if step.is_multiple_of(cfg.checkpoint_every) {
+                if ep.fault_point("ckpt.sync").is_err() {
+                    return (WorkerExit::Died, breakdowns);
+                }
+                if my_rank == 0 {
+                    driver.checkpoints().save(Checkpoint::capture(&model, &opt));
+                }
             }
 
             // Epoch boundary: hold for expected new workers, then the
@@ -550,13 +636,17 @@ mod tests {
     }
 
     #[test]
-    fn wait_for_membership_returns_none_for_removed() {
+    fn wait_for_membership_reports_removed() {
         let d = ElasticDriver::new(Topology::flat(), (0..2).map(RankId).collect());
         d.report_failure(RankId(1), RecoveryPolicy::DropProcess);
-        assert!(d.wait_for_membership(RankId(1)).is_none());
-        let (e, m) = d.wait_for_membership(RankId(0)).unwrap();
-        assert_eq!(e, 1);
-        assert_eq!(m, vec![RankId(0)]);
+        assert_eq!(d.wait_for_membership(RankId(1)), Membership::Removed);
+        match d.wait_for_membership(RankId(0)) {
+            Membership::Active { epoch, members } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(members, vec![RankId(0)]);
+            }
+            other => panic!("expected Active, got {other:?}"),
+        }
     }
 
     #[test]
@@ -568,7 +658,27 @@ mod tests {
         assert!(!t.is_finished());
         d.register_new_worker(RankId(1));
         d.adopt_pending();
-        let got = t.join().unwrap().unwrap();
-        assert!(got.1.contains(&RankId(1)));
+        match t.join().unwrap() {
+            Membership::Active { members, .. } => assert!(members.contains(&RankId(1))),
+            other => panic!("expected Active, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_below_floor_aborts_survivors_and_pending() {
+        let d = ElasticDriver::new(Topology::flat(), (0..4).map(RankId).collect());
+        d.set_min_workers(3);
+        d.report_failure(RankId(3), RecoveryPolicy::DropProcess);
+        assert!(!d.aborted(), "3 survivors is still at the floor");
+        // A new worker registers, then the cascade continues below floor.
+        d.register_new_worker(RankId(9));
+        d.report_failure(RankId(2), RecoveryPolicy::DropProcess);
+        assert!(d.aborted());
+        // Survivors, the evicted, and the never-adopted all resolve.
+        assert_eq!(d.wait_for_membership(RankId(0)), Membership::Aborted);
+        assert_eq!(d.wait_for_membership(RankId(2)), Membership::Removed);
+        assert_eq!(d.wait_for_membership(RankId(9)), Membership::Aborted);
+        // No adoption after the shutdown.
+        assert!(!d.adopt_pending());
     }
 }

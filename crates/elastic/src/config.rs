@@ -47,6 +47,12 @@ pub struct TrainSpec {
     /// allreduces each tensor individually after the full backward pass —
     /// the pre-fusion protocol.
     pub fusion: Option<usize>,
+    /// Minimum world size the run tolerates. When a failure cascade shrinks
+    /// the surviving group below this floor, every survivor aborts cleanly
+    /// ([`WorkerExit::Aborted`]) instead of training on a degenerate group
+    /// (Elastic Horovod's `--min-np`). The default of 1 never aborts —
+    /// training continues down to a single worker, the seed behaviour.
+    pub min_workers: usize,
 }
 
 impl Default for TrainSpec {
@@ -63,6 +69,7 @@ impl Default for TrainSpec {
             momentum: 0.9,
             algo: AllreduceAlgo::Ring,
             fusion: None,
+            min_workers: 1,
         }
     }
 }
@@ -114,13 +121,17 @@ pub enum WorkerExit {
     Died,
     /// Evicted by the recovery policy (healthy rank on a failed node).
     Excluded(WorkerStats),
+    /// The run shut down because a failure cascade shrank the world below
+    /// [`TrainSpec::min_workers`]; this worker exited cleanly with its
+    /// progress so far.
+    Aborted(WorkerStats),
 }
 
 impl WorkerExit {
-    /// Stats if the worker finished or was excluded.
+    /// Stats if the worker finished, was excluded, or aborted.
     pub fn stats(&self) -> Option<&WorkerStats> {
         match self {
-            WorkerExit::Completed(s) | WorkerExit::Excluded(s) => Some(s),
+            WorkerExit::Completed(s) | WorkerExit::Excluded(s) | WorkerExit::Aborted(s) => Some(s),
             WorkerExit::Died => None,
         }
     }
@@ -222,6 +233,14 @@ mod tests {
         assert!(WorkerExit::Completed(s.clone()).completed());
         assert!(!WorkerExit::Died.completed());
         assert!(WorkerExit::Died.stats().is_none());
-        assert!(WorkerExit::Excluded(s).stats().is_some());
+        assert!(WorkerExit::Excluded(s.clone()).stats().is_some());
+        assert!(!WorkerExit::Aborted(s.clone()).completed());
+        assert!(WorkerExit::Aborted(s).stats().is_some());
+    }
+
+    #[test]
+    fn default_min_workers_never_aborts() {
+        // The seed behaviour: a default spec tolerates shrinking to one.
+        assert_eq!(TrainSpec::default().min_workers, 1);
     }
 }

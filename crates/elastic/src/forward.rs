@@ -100,6 +100,8 @@ pub struct ForwardOutcome {
 enum Fatal {
     Died,
     Excluded,
+    /// The surviving world shrank below `TrainSpec::min_workers`.
+    Aborted,
 }
 
 /// Run one worker under forward recovery. `is_joiner` workers attach to a
@@ -121,24 +123,51 @@ fn run_inner(
     let mut opt = spec.build_optimizer();
     let ds = spec.build_dataset();
     let topology = proc.endpoint().fabric().topology();
+    let mut recoveries = 0usize;
+    let mut last_loss = f32::NAN;
 
     // --- membership -----------------------------------------------------
     let mut comm = if is_joiner {
-        proc.join_training()
+        match proc.join_training() {
+            Ok(c) => c,
+            Err(UlfmError::SelfDied) => return WorkerExit::Died,
+            Err(UlfmError::Aborted) => {
+                // The run shut down before this joiner was admitted.
+                return abort_exit(proc, 0, f32::NAN, 0, 0, &model, &opt, breakdowns);
+            }
+            Err(e) => unreachable!("join_training failed unexpectedly: {e}"),
+        }
     } else {
         proc.init_comm()
     };
     let mut step: u64 = if is_joiner {
-        // Receive (state, step) from the group leader; the paper's
-        // "reinitializing the training state for the new workers".
+        // Receive (state, step) from the group; the paper's "reinitializing
+        // the training state for the new workers". The sync survives sender
+        // deaths: it retries on the recovered group until a state-holder
+        // commits the broadcast (or none survives and the run aborts).
         let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, 0);
-        let s = episode.time("state_sync", || sync_state(&comm, &mut model, &mut opt));
+        let mut has_state = false;
+        let s = checkpoint_sync(
+            proc,
+            cfg,
+            &mut comm,
+            &mut model,
+            &mut opt,
+            &mut has_state,
+            0,
+            &mut episode,
+            topology,
+            &mut recoveries,
+        );
         episode.publish(proc.rank().0);
         breakdowns.push(episode);
         match s {
             Ok(step) => step,
-            Err(UlfmError::SelfDied) => return WorkerExit::Died,
-            Err(e) => panic!("state sync failed for joiner: {e}"),
+            Err(Fatal::Died) => return WorkerExit::Died,
+            Err(Fatal::Excluded) => return exclude_exit(proc, 0, f32::NAN, recoveries, 0, &model),
+            Err(Fatal::Aborted) => {
+                return abort_exit(proc, 0, f32::NAN, recoveries, 0, &model, &opt, breakdowns)
+            }
         }
     } else {
         0
@@ -155,8 +184,6 @@ fn run_inner(
     let n_ops: i64 = fusion
         .as_ref()
         .map_or(model.num_tensors() as i64, |f| f.n_buckets() as i64);
-    let mut recoveries = 0usize;
-    let mut last_loss = f32::NAN;
     // World size the LR schedule is currently anchored to.
     let mut lr_world = comm.size();
     if let Some(policy) = cfg.lr_scaling {
@@ -172,6 +199,7 @@ fn run_inner(
     while (step as usize) < spec.total_steps {
         telemetry::counter("elastic.forward.steps").incr();
         let _step_span = telemetry::span("elastic.forward.step_ns");
+        let recoveries_before = recoveries;
         // The step body may be re-attempted from scratch: if this worker had
         // raced ahead into step S+1 when a failure struck step S's commit
         // barrier, it redoes that barrier and then *recomputes* its S+1
@@ -339,6 +367,12 @@ fn run_inner(
                                                             world, &model,
                                                         )
                                                     }
+                                                    Err(Fatal::Aborted) => {
+                                                        return abort_exit(
+                                                            proc, step, last_loss, recoveries,
+                                                            world, &model, &opt, breakdowns,
+                                                        )
+                                                    }
                                                 }
                                             }
                                         }
@@ -350,6 +384,12 @@ fn run_inner(
                             Err(Fatal::Excluded) => {
                                 return exclude_exit(
                                     proc, step, last_loss, recoveries, world, &model,
+                                )
+                            }
+                            Err(Fatal::Aborted) => {
+                                return abort_exit(
+                                    proc, step, last_loss, recoveries, world, &model, &opt,
+                                    breakdowns,
                                 )
                             }
                         }
@@ -393,6 +433,10 @@ fn run_inner(
         };
 
         // --- committed: apply the update ---------------------------------
+        let cascade = (recoveries - recoveries_before) as u64;
+        if cascade > 0 {
+            telemetry::histogram("elastic.recovery.cascade_depth").record(cascade);
+        }
         model.set_grads(&grads);
         if let Some(policy) = cfg.lr_scaling {
             // Re-anchor the rate whenever the world changed this step.
@@ -420,22 +464,76 @@ fn run_inner(
             while proc.announced_joiners() < cfg.expected_joiners as u64 {
                 std::thread::sleep(std::time::Duration::from_micros(300));
             }
-            match comm.accept_joiners() {
-                Ok(Some(new_comm)) => {
-                    let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, step);
-                    let res =
-                        episode.time("state_sync", || send_state(&new_comm, &model, &opt, step));
-                    episode.publish(proc.rank().0);
-                    breakdowns.push(episode);
-                    match res {
-                        Ok(()) => comm = new_comm,
-                        Err(UlfmError::SelfDied) => return WorkerExit::Died,
-                        Err(e) => panic!("state broadcast to joiners failed: {e}"),
+            // The admission itself is re-entrant: a death mid-handshake
+            // (leader included) fails the commit uniformly, the survivors
+            // shrink, and the shrunk group's new rank 0 re-proposes the
+            // still-pending joiners.
+            loop {
+                match comm.accept_joiners() {
+                    Ok(Some(mut merged)) => {
+                        let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, step);
+                        let mut has_state = true;
+                        let res = checkpoint_sync(
+                            proc,
+                            cfg,
+                            &mut merged,
+                            &mut model,
+                            &mut opt,
+                            &mut has_state,
+                            step,
+                            &mut episode,
+                            topology,
+                            &mut recoveries,
+                        );
+                        episode.publish(proc.rank().0);
+                        breakdowns.push(episode);
+                        match res {
+                            Ok(_) => {
+                                comm = merged;
+                                break;
+                            }
+                            Err(Fatal::Died) => return WorkerExit::Died,
+                            Err(Fatal::Excluded) => {
+                                return exclude_exit(
+                                    proc, step, last_loss, recoveries, lr_world, &model,
+                                )
+                            }
+                            Err(Fatal::Aborted) => {
+                                return abort_exit(
+                                    proc, step, last_loss, recoveries, lr_world, &model, &opt,
+                                    breakdowns,
+                                )
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(UlfmError::SelfDied) => return WorkerExit::Died,
+                    Err(_) => {
+                        // Failed admission commit (or a death observed on
+                        // entry): recover on the *old* communicator — the
+                        // pending joiners stayed pending — and retry.
+                        recoveries += 1;
+                        let mut episode = RecoveryBreakdown::new(RecoveryKind::Forward, step);
+                        let r = recover(proc, cfg, &comm, u64::MAX, &mut episode, topology);
+                        episode.publish(proc.rank().0);
+                        breakdowns.push(breakdowns_last_fix(&mut episode));
+                        match r {
+                            Ok((c, _)) => comm = c,
+                            Err(Fatal::Died) => return WorkerExit::Died,
+                            Err(Fatal::Excluded) => {
+                                return exclude_exit(
+                                    proc, step, last_loss, recoveries, lr_world, &model,
+                                )
+                            }
+                            Err(Fatal::Aborted) => {
+                                return abort_exit(
+                                    proc, step, last_loss, recoveries, lr_world, &model, &opt,
+                                    breakdowns,
+                                )
+                            }
+                        }
                     }
                 }
-                Ok(None) => {}
-                Err(UlfmError::SelfDied) => return WorkerExit::Died,
-                Err(e) => panic!("accept_joiners failed: {e}"),
             }
         }
     }
@@ -481,6 +579,42 @@ fn exclude_exit(
     })
 }
 
+/// Exit path for a graceful below-minimum shutdown: release waiting
+/// joiners, record the abort episode, and leave with the progress so far.
+#[allow(clippy::too_many_arguments)]
+fn abort_exit(
+    proc: &Proc,
+    step: u64,
+    last_loss: f32,
+    recoveries: usize,
+    world: usize,
+    model: &dnn::Model,
+    opt: &dnn::Sgd,
+    breakdowns: &mut Vec<RecoveryBreakdown>,
+) -> WorkerExit {
+    telemetry::counter("elastic.abort.below_min").incr();
+    let mut episode = RecoveryBreakdown::new(RecoveryKind::Abort, step);
+    episode.time("below_min", || {
+        // Joiners still blocked on the ticket service would otherwise wait
+        // for a computation that no longer exists; dismiss them, then leave
+        // so concurrent recoveries observe the departure instead of
+        // hanging on our silence.
+        proc.abort_joins();
+        proc.retire();
+    });
+    episode.publish(proc.rank().0);
+    breakdowns.push(episode);
+    WorkerExit::Aborted(WorkerStats {
+        steps_done: step,
+        final_loss: last_loss,
+        recoveries,
+        final_world: world,
+        state_fingerprint: state_fingerprint(&model.state_flat()),
+        final_lr: opt.current_lr(),
+        steps_recomputed: 0,
+    })
+}
+
 fn global_op(step: u64, n_tensors: i64, local_op: i64) -> u64 {
     (step as i64 * (n_tensors + 1) + local_op) as u64
 }
@@ -489,7 +623,9 @@ fn shard_len(rank: usize, world: usize, global: usize) -> usize {
     (rank + 1) * global / world - rank * global / world
 }
 
-/// One recovery episode: revoke → agree(min) → shrink(policy).
+/// One recovery episode: revoke → agree(min) → shrink(policy), then the
+/// `min_workers` floor check — a group that shrank below the floor aborts
+/// uniformly (every survivor of the same shrink sees the same size).
 fn recover(
     proc: &Proc,
     cfg: &ForwardConfig,
@@ -498,6 +634,7 @@ fn recover(
     episode: &mut RecoveryBreakdown,
     topology: transport::Topology,
 ) -> Result<(Communicator, u64), Fatal> {
+    telemetry::counter("elastic.recovery.attempts").incr();
     episode.time("revoke", || comm.revoke());
 
     let agreed = episode.time("agree", || comm.agree(u64::MAX, my_global_op));
@@ -513,47 +650,119 @@ fn recover(
         comm.shrink_with(|failed| policy_evictions(policy, failed, topology, total_ranks))
     });
     match shrunk {
-        Ok(ShrinkOutcome::Member(c)) => Ok((c, agreed.min)),
+        Ok(ShrinkOutcome::Member(c)) => {
+            if c.size() < cfg.spec.min_workers {
+                return Err(Fatal::Aborted);
+            }
+            Ok((c, agreed.min))
+        }
         Ok(ShrinkOutcome::Excluded) => Err(Fatal::Excluded),
         Err(UlfmError::SelfDied) => Err(Fatal::Died),
         Err(e) => unreachable!("shrink only fails fatally: {e}"),
     }
 }
 
-/// Leader side of the join state transfer: broadcast (step, checkpoint).
-fn send_state(
-    comm: &Communicator,
-    model: &dnn::Model,
-    opt: &dnn::Sgd,
-    step: u64,
-) -> Result<(), UlfmError> {
-    let mut payload = if comm.rank() == 0 {
-        let ck = Checkpoint::capture(model, opt);
-        let mut bytes = step.to_le_bytes().to_vec();
-        bytes.extend_from_slice(&ck.bytes);
-        bytes
-    } else {
-        Vec::new()
-    };
-    comm.bcast(0, &mut payload)?;
-    Ok(())
+/// Outcome of one checkpoint-broadcast attempt.
+enum SyncAttempt {
+    /// The commit agreement accepted the broadcast; payload as delivered.
+    Committed(Vec<u8>),
+    /// A failure broke the attempt; recover and retry.
+    Retry,
+    /// No surviving member holds trained state.
+    Abort,
+    /// This rank died.
+    Died,
 }
 
-/// Joiner side: receive (step, checkpoint) and load it.
-fn sync_state(
-    comm: &Communicator,
+/// Resilient (step ‖ checkpoint) synchronization, shared by the joiner
+/// bootstrap and the epoch-boundary admission. Group rank 0 broadcasts its
+/// state, then a uniform commit agreement decides whether every member got
+/// it; on failure the group recovers (revoke → agree → shrink → floor
+/// check) and retries with the shrunk group's rank 0 as the new sender.
+///
+/// The sender is always a state-holder while one survives: state-holders
+/// form a prefix of the merged group (members before joiners, and shrink
+/// preserves relative order), so rank 0 lacking state means *no* original
+/// member survives — which the commit agreement reports uniformly and
+/// every participant aborts instead of restoring garbage.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_sync(
+    proc: &Proc,
+    cfg: &ForwardConfig,
+    comm: &mut Communicator,
     model: &mut dnn::Model,
     opt: &mut dnn::Sgd,
-) -> Result<u64, UlfmError> {
-    let mut payload = Vec::new();
-    comm.bcast(0, &mut payload)?;
-    let step = u64::from_le_bytes(payload[..8].try_into().unwrap());
-    let ck = Checkpoint {
-        step,
-        bytes: payload[8..].to_vec(),
-    };
-    ck.restore(model, opt);
-    Ok(step)
+    has_state: &mut bool,
+    my_step: u64,
+    episode: &mut RecoveryBreakdown,
+    topology: transport::Topology,
+    recoveries: &mut usize,
+) -> Result<u64, Fatal> {
+    let mut attempt = 0u64;
+    loop {
+        if attempt > 0 {
+            telemetry::counter("elastic.ckpt_sync.retries").incr();
+        }
+        attempt += 1;
+        // Named fault point: scripts can kill the sender (or any receiver)
+        // between checkpoint-broadcast attempts.
+        if comm.endpoint().fault_point("ckpt.sync").is_err() {
+            return Err(Fatal::Died);
+        }
+        let outcome = episode.time("state_sync", || {
+            let root = comm.rank() == 0;
+            let mut payload = if root && *has_state {
+                let ck = Checkpoint::capture(model, opt);
+                let mut bytes = my_step.to_le_bytes().to_vec();
+                bytes.extend_from_slice(&ck.bytes);
+                bytes
+            } else {
+                Vec::new()
+            };
+            // A failed broadcast unwinds reliably (the binomial tree
+            // forwards poison frames), so every member reaches the commit
+            // agreement without any comm-wide revocation.
+            let sent = comm.bcast(0, &mut payload);
+            if matches!(sent, Err(UlfmError::SelfDied)) {
+                return SyncAttempt::Died;
+            }
+            // Commit flags: bit0 = my broadcast completed; bit1 = the root
+            // holds trained state (non-roots contribute 1 so the AND
+            // isolates the root's claim).
+            let flags = (sent.is_ok() as u64) | if root { (*has_state as u64) << 1 } else { 0b10 };
+            match comm.agree(flags, u64::MAX) {
+                Ok(v) if v.flags & 0b10 == 0 => SyncAttempt::Abort,
+                Ok(v) if v.flags & 1 == 1 && v.failed.is_empty() => SyncAttempt::Committed(payload),
+                Ok(_) => SyncAttempt::Retry,
+                Err(UlfmError::SelfDied) => SyncAttempt::Died,
+                Err(e) => unreachable!("agree only fails fatally: {e}"),
+            }
+        });
+        match outcome {
+            SyncAttempt::Committed(payload) => {
+                if !*has_state {
+                    let step = u64::from_le_bytes(payload[..8].try_into().unwrap());
+                    let ck = Checkpoint {
+                        step,
+                        bytes: payload[8..].to_vec(),
+                    };
+                    ck.restore(model, opt);
+                    *has_state = true;
+                    return Ok(step);
+                }
+                return Ok(my_step);
+            }
+            SyncAttempt::Died => return Err(Fatal::Died),
+            SyncAttempt::Abort => return Err(Fatal::Aborted),
+            SyncAttempt::Retry => {
+                *recoveries += 1;
+                match recover(proc, cfg, comm, u64::MAX, episode, topology) {
+                    Ok((c, _)) => *comm = c,
+                    Err(f) => return Err(f),
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub mod fusion;
 pub mod profiler;
 pub mod scenario;
 
-pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver};
+pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver, Membership};
 pub use config::{RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
 pub use cost_model::{CommModel, Eq1Params};
 pub use forward::{run_forward_worker, ForwardConfig, LrScaling};

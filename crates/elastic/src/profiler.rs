@@ -22,6 +22,9 @@ pub enum RecoveryKind {
     Backward,
     /// Membership grew (replacement or upscale join).
     Join,
+    /// The world shrank below the configured minimum and the run shut
+    /// down gracefully instead of training on a degenerate group.
+    Abort,
 }
 
 /// A recovery episode's cost breakdown at one worker.
@@ -84,6 +87,7 @@ impl RecoveryBreakdown {
                 RecoveryKind::Forward => "forward",
                 RecoveryKind::Backward => "backward",
                 RecoveryKind::Join => "join",
+                RecoveryKind::Abort => "abort",
             },
             rank,
             at_step: self.at_step,

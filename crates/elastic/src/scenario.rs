@@ -68,6 +68,10 @@ pub struct ScenarioConfig {
     /// stalls on a silent peer past this converts the hang into a peer-death
     /// report (ULFM suspicion) instead of blocking forever.
     pub suspicion_timeout: Option<Duration>,
+    /// Extra fault triggers merged into the scripted victim's plan — lets
+    /// tests and `repro` express multi-victim and during-recovery cascades
+    /// (e.g. a second kill at `shrink.attempt` or `ckpt.sync`).
+    pub extra_faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -86,6 +90,7 @@ impl ScenarioConfig {
             renormalize: false,
             perturb: None,
             suspicion_timeout: None,
+            extra_faults: FaultPlan::none(),
         }
     }
 }
@@ -154,10 +159,11 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
 }
 
 fn fault_plan(cfg: &ScenarioConfig) -> FaultPlan {
-    match cfg.kind {
+    let scripted = match cfg.kind {
         ScenarioKind::Upscale => FaultPlan::none(),
         _ => FaultPlan::none().kill_at_point(RankId(cfg.victim), "allreduce.step", cfg.fail_at_op),
-    }
+    };
+    scripted.merge(cfg.extra_faults.clone())
 }
 
 fn joiner_count(cfg: &ScenarioConfig) -> usize {
@@ -239,6 +245,7 @@ fn run_backward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     fabric.set_suspicion_timeout(cfg.suspicion_timeout);
     let initial_ranks = fabric.register_ranks(cfg.workers);
     let driver = ElasticDriver::new(topology, initial_ranks.clone());
+    driver.set_min_workers(cfg.spec.min_workers);
     let bwd_cfg = BackwardConfig {
         spec: cfg.spec.clone(),
         policy: cfg.policy,

@@ -148,6 +148,7 @@ fn drop_node_with_two_failed_nodes() {
             }
             WorkerExit::Excluded(_) => excluded += 1,
             WorkerExit::Died => died += 1,
+            WorkerExit::Aborted(_) => panic!("default min_workers must never abort"),
         }
     }
     assert_eq!((completed, excluded, died), (3, 4, 2));

@@ -72,6 +72,19 @@ impl FaultPlan {
     pub fn triggers(&self) -> &[FaultTrigger] {
         &self.triggers
     }
+
+    /// Absorb every trigger of `other`. Lets callers compose schedules —
+    /// e.g. a scenario's scripted victim plus extra cascade kills injected
+    /// during recovery.
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.triggers.extend(other.triggers);
+        self
+    }
+
+    /// Does the plan script anything at all?
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
 }
 
 #[derive(Default)]
@@ -209,6 +222,20 @@ mod tests {
         });
         assert!(inj.is_armed_for(RankId(4)));
         assert!(inj.hit_op(RankId(4)));
+    }
+
+    #[test]
+    fn merge_composes_schedules() {
+        let a = FaultPlan::none().kill_at_op(RankId(0), 5);
+        let b = FaultPlan::none().kill_at_point(RankId(1), "shrink.attempt", 1);
+        let merged = a.merge(b);
+        assert_eq!(merged.triggers().len(), 2);
+        assert!(!merged.is_empty());
+        assert!(FaultPlan::none().is_empty());
+        let inj = FaultInjector::new(merged);
+        assert!(inj.is_armed_for(RankId(0)));
+        assert!(inj.is_armed_for(RankId(1)));
+        assert!(inj.hit_point(RankId(1), "shrink.attempt"));
     }
 
     #[test]

@@ -29,9 +29,16 @@ pub struct AgreeResult {
     /// Minimum of every contributed auxiliary value (the elastic layer uses
     /// this to agree on the earliest collective to re-execute).
     pub min: u64,
-    /// Union of the failures known to members on entry — the agreed failed
-    /// set used by shrink. A member that dies *during* the agreement may or
-    /// may not be included (uniformly so); shrink iterates until clean.
+    /// Union of every member's *entry-time* failure knowledge — the agreed
+    /// failed set used by shrink. Knowledge is frozen per member when it
+    /// enters the agreement, so a member that dies *during* the agreement
+    /// is included exactly when some participant had already observed the
+    /// death on entry; either way the union (a semilattice merge flooded
+    /// for `p` rounds) is identical on every member that returns, so the
+    /// set is uniform even when deaths land between flood rounds. A death
+    /// the agreement does not report is caught by the next one — which is
+    /// why [`crate::Communicator::shrink_with`] iterates until a generation
+    /// verifies with no new failures.
     pub failed: Vec<RankId>,
 }
 

@@ -306,7 +306,12 @@ impl Communicator {
     ///
     /// The shrink iterates (agree → build candidate → verify by agreement
     /// on the candidate) until a candidate verifies with no new failures,
-    /// mirroring ULFM `MPIX_Comm_shrink`'s internal retry.
+    /// mirroring ULFM `MPIX_Comm_shrink`'s internal retry. The iteration
+    /// count is bounded by the group size: every extra generation is caused
+    /// by at least one *new* failure, and there are only `size()` members
+    /// to lose — so a cascade that kills a member during every generation
+    /// still terminates. Each generation passes the `shrink.attempt` fault
+    /// point, so `FaultPlan` can script exactly such cascades.
     pub fn shrink_with(
         &self,
         exclude: impl Fn(&[RankId]) -> Vec<RankId>,
@@ -324,6 +329,17 @@ impl Communicator {
         let mut parent_group: Vec<RankId> = self.group.clone();
 
         loop {
+            assert!(
+                generation <= self.group.len() as u64,
+                "shrink generations exceeded group size — a generation \
+                 without a new failure must have terminated the loop"
+            );
+            // Named fault point: a rank can be scripted to die between
+            // shrink generations (mid-recovery cascade). The survivors'
+            // candidate agreement observes the death and iterates.
+            self.ep
+                .fault_point("shrink.attempt")
+                .map_err(|e| self.map_transport(e))?;
             let excluded: BTreeSet<RankId> =
                 exclude(&all_failed.iter().copied().collect::<Vec<_>>())
                     .into_iter()
@@ -357,6 +373,7 @@ impl Communicator {
                 // Hygiene: drop stale traffic of the abandoned parent.
                 self.ep.purge_tags(|t| tags::belongs_to(t, self.id));
                 telemetry::counter("ulfm.shrink.iterations").add(generation + 1);
+                telemetry::histogram("ulfm.shrink.generations").record(generation + 1);
                 return Ok(ShrinkOutcome::Member(candidate));
             }
             all_failed.extend(verdict.failed.iter().copied());
@@ -411,19 +428,70 @@ impl Communicator {
     /// the merged communicator. Collective over this communicator; returns
     /// `Ok(None)` if nobody is waiting. Group-local rank 0 acts as leader.
     ///
+    /// The admission is all-or-none: the leader *snapshots* (never drains)
+    /// the pending set, proposes `(epoch, joiners)` by broadcast, and the
+    /// proposal only takes effect if a uniform commit agreement succeeds
+    /// with no observed failures. On commit, *every* member issues the
+    /// (identical) tickets, so a leader dying right after the decision
+    /// cannot strand a decided joiner; on a failed commit nothing changed —
+    /// the pending joiners stay pending, the caller runs its normal
+    /// revoke → shrink recovery on *this* communicator and retries, and the
+    /// shrunk group's new lowest rank takes over as join leader.
+    ///
     /// Joiners call [`crate::Proc::join_training`]; the first collective on
     /// the merged communicator synchronizes old and new members.
     pub fn accept_joiners(&self) -> Result<Option<Communicator>, UlfmError> {
-        // Leader drains the join service and broadcasts (epoch, joiners).
+        // Named fault point: scripts can kill the join leader (or any
+        // member) mid-handshake, before the proposal is broadcast.
+        self.ep
+            .fault_point("join.merge")
+            .map_err(|e| self.map_transport(e))?;
+
+        // Leader proposes (epoch, joiners). Dead joiners are filtered out
+        // of the snapshot so the group proceeds without them.
         let mut payload = Vec::new();
         if self.my_idx == 0 {
-            let pending = self.shared.join.take_pending();
+            let pending = self
+                .shared
+                .join
+                .snapshot_pending(|r| self.ep.is_peer_alive(r));
             let epoch = self.shared.next_join_epoch();
             let mut words = vec![epoch, pending.len() as u64];
             words.extend(pending.iter().map(|r| r.0 as u64));
             payload = u64::encode_slice(&words);
         }
-        self.bcast(0, &mut payload)?;
+        // The broadcast tears itself down reliably on failure (poison
+        // frames unwind the tree), so no member stays blocked and — just
+        // as important — nothing here revokes the communicator: a revoke
+        // would yank a straggler still finishing the previous step's
+        // collectives into the *training* recovery path while we run the
+        // commit agreement, desynchronizing the per-communicator
+        // agreement streams.
+        let proposal = self.bcast(0, &mut payload);
+        if matches!(proposal, Err(UlfmError::SelfDied)) {
+            return Err(UlfmError::SelfDied);
+        }
+
+        // Uniform commit: every member contributes whether it holds the
+        // proposal; any bcast failure or member death aborts the admission
+        // on *all* members alike (no rank may act on a half-delivered
+        // proposal while its peers retry).
+        let ok = proposal.is_ok();
+        let verdict = self.agree(ok as u64, u64::MAX)?;
+        if verdict.flags != 1 || !verdict.failed.is_empty() {
+            telemetry::counter("ulfm.join.failed_commits").incr();
+            // Surface the failure that broke the commit so the caller's
+            // recovery path (revoke → shrink → retry) takes over.
+            if let Some(&g) = verdict.failed.first() {
+                return Err(self.map_transport(TransportError::PeerDead(g)));
+            }
+            if let Some(&g) = self.group.iter().find(|&&g| !self.ep.is_peer_alive(g)) {
+                return Err(self.map_transport(TransportError::PeerDead(g)));
+            }
+            self.revoke();
+            return Err(UlfmError::Revoked);
+        }
+
         let words = u64::decode_slice(&payload);
         let epoch = words[0];
         let joiners: Vec<RankId> = words[2..2 + words[1] as usize]
@@ -440,11 +508,11 @@ impl Communicator {
             group: merged.clone(),
             epoch,
         };
-        if self.my_idx == 0 {
-            for &j in &joiners {
-                self.shared.join.issue_ticket(j, ticket.clone());
-            }
-        }
+        // Committed: every member confirms the identical tickets
+        // (idempotent), so no single death after the decision can leave a
+        // joiner waiting forever.
+        self.shared.join.confirm_tickets(&joiners, &ticket);
+        telemetry::counter("ulfm.join.accepted").add(joiners.len() as u64);
         Ok(Some(Communicator::from_join_ticket(
             Arc::clone(&self.shared),
             self.ep.clone(),

@@ -28,11 +28,16 @@ pub enum UlfmError {
     /// policy (e.g. drop-node evicting healthy ranks of a failed node) and
     /// must leave the computation.
     Excluded,
+    /// The computation was aborted (e.g. a failure cascade shrank the world
+    /// below the configured minimum); the rank must exit cleanly instead of
+    /// waiting on peers that will never come back.
+    Aborted,
 }
 
 impl UlfmError {
     /// Is this an error the ULFM recovery path (revoke + shrink + retry)
-    /// can absorb? `SelfDied`/`Excluded` are terminal for the local rank.
+    /// can absorb? `SelfDied`/`Excluded`/`Aborted` are terminal for the
+    /// local rank.
     pub fn is_recoverable(&self) -> bool {
         matches!(self, UlfmError::ProcFailed { .. } | UlfmError::Revoked)
     }
@@ -47,6 +52,7 @@ impl fmt::Display for UlfmError {
             UlfmError::Revoked => write!(f, "communicator revoked"),
             UlfmError::SelfDied => write!(f, "local rank died"),
             UlfmError::Excluded => write!(f, "rank excluded from shrunk communicator"),
+            UlfmError::Aborted => write!(f, "computation aborted"),
         }
     }
 }
@@ -67,5 +73,6 @@ mod tests {
         assert!(UlfmError::Revoked.is_recoverable());
         assert!(!UlfmError::SelfDied.is_recoverable());
         assert!(!UlfmError::Excluded.is_recoverable());
+        assert!(!UlfmError::Aborted.is_recoverable());
     }
 }

@@ -8,11 +8,13 @@
 //! replacement and upscaling scenarios).
 
 use crate::comm::Communicator;
+use crate::error::UlfmError;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, NodeId, RankId, Topology};
 
 /// Construction key for a communicator; every member derives the identical
@@ -51,8 +53,16 @@ pub struct JoinTicket {
 
 #[derive(Default)]
 struct JoinState {
-    pending: Vec<RankId>,
+    /// Announced joiners whose admission has not yet *committed*. The set
+    /// is deliberately non-destructive: a leader snapshots it without
+    /// draining, so if the leader dies mid-handshake the surviving lowest
+    /// rank still sees the same pending joiners and re-tickets them
+    /// (join-leader failover).
+    pending: BTreeSet<RankId>,
     tickets: HashMap<RankId, JoinTicket>,
+    /// Set when the computation aborts (e.g. shrunk below the minimum
+    /// world size): pending joiners must stop waiting and exit.
+    aborted: bool,
 }
 
 /// Out-of-band join service (the "rendezvous" of the MPI world).
@@ -61,7 +71,7 @@ pub(crate) struct JoinServer {
     cv: Condvar,
     /// Monotone count of announcements ever made — lets existing members
     /// wait deterministically for an expected number of joiners without
-    /// racing against the leader draining the pending list.
+    /// racing against admission timing.
     announced: AtomicU64,
 }
 
@@ -76,7 +86,7 @@ impl JoinServer {
 
     /// A new worker announces itself as ready to join.
     pub(crate) fn announce(&self, rank: RankId) {
-        self.state.lock().pending.push(rank);
+        self.state.lock().pending.insert(rank);
         self.announced.fetch_add(1, Ordering::SeqCst);
         self.cv.notify_all();
     }
@@ -86,11 +96,18 @@ impl JoinServer {
         self.announced.load(Ordering::SeqCst)
     }
 
-    /// The accepting leader drains the current pending list.
-    pub(crate) fn take_pending(&self) -> Vec<RankId> {
-        let mut st = self.state.lock();
-        st.pending.sort();
-        std::mem::take(&mut st.pending)
+    /// Sorted snapshot of the joiners awaiting admission, filtered by
+    /// `alive` so dead joiners are not re-proposed forever. Non-destructive:
+    /// pending entries are only cleared by [`JoinServer::confirm_tickets`]
+    /// once an admission attempt commits.
+    pub(crate) fn snapshot_pending(&self, alive: impl Fn(RankId) -> bool) -> Vec<RankId> {
+        self.state
+            .lock()
+            .pending
+            .iter()
+            .copied()
+            .filter(|&r| alive(r))
+            .collect()
     }
 
     /// How many workers are waiting to join.
@@ -98,20 +115,46 @@ impl JoinServer {
         self.state.lock().pending.len()
     }
 
-    /// Leader issues the merged-group ticket to a joiner.
-    pub(crate) fn issue_ticket(&self, rank: RankId, ticket: JoinTicket) {
-        self.state.lock().tickets.insert(rank, ticket);
+    /// A *committed* admission: issue the merged-group ticket to each
+    /// joiner and retire it from the pending set. Every surviving member
+    /// calls this after the commit agreement — the tickets are identical,
+    /// so redundant issuance is idempotent and no single leader death can
+    /// strand a decided joiner.
+    pub(crate) fn confirm_tickets(&self, joiners: &[RankId], ticket: &JoinTicket) {
+        let mut st = self.state.lock();
+        for &j in joiners {
+            st.pending.remove(&j);
+            st.tickets.insert(j, ticket.clone());
+        }
         self.cv.notify_all();
     }
 
-    /// A joiner blocks until its ticket arrives.
-    pub(crate) fn wait_ticket(&self, rank: RankId) -> JoinTicket {
+    /// Abort the join service: wake and dismiss every pending joiner.
+    pub(crate) fn abort(&self) {
+        self.state.lock().aborted = true;
+        self.cv.notify_all();
+    }
+
+    /// A joiner blocks until its ticket arrives, it dies, or the
+    /// computation aborts. `is_alive` is polled so a joiner killed by the
+    /// fault plan while waiting unwinds instead of hanging forever.
+    pub(crate) fn wait_ticket(
+        &self,
+        rank: RankId,
+        is_alive: impl Fn() -> bool,
+    ) -> Result<JoinTicket, UlfmError> {
         let mut st = self.state.lock();
         loop {
             if let Some(t) = st.tickets.remove(&rank) {
-                return t;
+                return Ok(t);
             }
-            self.cv.wait(&mut st);
+            if st.aborted {
+                return Err(UlfmError::Aborted);
+            }
+            if !is_alive() {
+                return Err(UlfmError::SelfDied);
+            }
+            self.cv.wait_for(&mut st, Duration::from_micros(200));
         }
     }
 }
@@ -221,13 +264,37 @@ impl Proc {
     /// Join a running computation: announce to the join service, block for
     /// the merged-group ticket, and construct the merged communicator.
     /// Pairs with [`Communicator::accept_joiners`] on the existing members.
-    pub fn join_training(&self) -> Communicator {
+    ///
+    /// Fails with [`UlfmError::SelfDied`] if the fault plan kills this rank
+    /// at the `join.ticket` point (or while waiting), and with
+    /// [`UlfmError::Aborted`] if the computation shuts down before the join
+    /// commits — the joiner must exit instead of waiting forever.
+    pub fn join_training(&self) -> Result<Communicator, UlfmError> {
         telemetry::counter("ulfm.universe.joins").incr();
         self.shared.join.announce(self.rank());
+        // Named fault point: a joiner can be scripted to die after it has
+        // announced but before it consumes its ticket — the admission
+        // protocol must not strand the rest of the group on it.
+        if self.ep.fault_point("join.ticket").is_err() {
+            return Err(UlfmError::SelfDied);
+        }
         let ticket = telemetry::time("ulfm.universe.join_wait_ns", || {
-            self.shared.join.wait_ticket(self.rank())
-        });
-        Communicator::from_join_ticket(Arc::clone(&self.shared), self.ep.clone(), &ticket)
+            self.shared
+                .join
+                .wait_ticket(self.rank(), || self.ep.is_self_alive())
+        })?;
+        Ok(Communicator::from_join_ticket(
+            Arc::clone(&self.shared),
+            self.ep.clone(),
+            &ticket,
+        ))
+    }
+
+    /// Abort the join service: wakes every joiner still waiting for a
+    /// ticket so they exit with [`UlfmError::Aborted`] instead of hanging.
+    /// Called when the computation shuts down below its minimum world size.
+    pub fn abort_joins(&self) {
+        self.shared.join.abort();
     }
 
     /// Voluntarily leave the computation (drop-node policy evictions).
@@ -352,6 +419,13 @@ impl Universe {
         self.shared.join.pending_count()
     }
 
+    /// Abort the join service from the outside (driver-initiated shutdown):
+    /// wakes every joiner still waiting for a ticket so they exit with
+    /// [`UlfmError::Aborted`] instead of hanging.
+    pub fn abort_joins(&self) {
+        self.shared.join.abort();
+    }
+
     #[allow(dead_code)] // exercised by unit tests
     pub(crate) fn shared(&self) -> &Arc<Shared> {
         &self.shared
@@ -406,20 +480,50 @@ mod tests {
         let shared = Arc::clone(u.shared());
         let t = std::thread::spawn(move || {
             shared.join.announce(RankId(7));
-            shared.join.wait_ticket(RankId(7))
+            shared.join.wait_ticket(RankId(7), || true)
         });
-        // Leader side: wait for the announcement, then issue the ticket.
+        // Leader side: wait for the announcement, then confirm the ticket.
         while u.pending_joiners() == 0 {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        let pending = u.shared().join.take_pending();
+        // Snapshots are non-destructive: repeated snapshots see the same
+        // pending joiner until an admission commits.
+        let pending = u.shared().join.snapshot_pending(|_| true);
         assert_eq!(pending, vec![RankId(7)]);
+        assert_eq!(u.shared().join.snapshot_pending(|_| true), pending);
+        // A dead joiner is filtered out of the proposal set.
+        assert!(u.shared().join.snapshot_pending(|_| false).is_empty());
         let ticket = JoinTicket {
             group: vec![RankId(0), RankId(7)],
             epoch: 0,
         };
-        u.shared().join.issue_ticket(RankId(7), ticket.clone());
-        assert_eq!(t.join().unwrap(), ticket);
+        u.shared().join.confirm_tickets(&pending, &ticket);
+        assert_eq!(u.pending_joiners(), 0);
+        // Redundant confirmation (another surviving member re-issuing the
+        // same committed ticket) is harmless.
+        u.shared().join.confirm_tickets(&pending, &ticket);
+        assert_eq!(t.join().unwrap().unwrap(), ticket);
+    }
+
+    #[test]
+    fn wait_ticket_unblocks_on_death_and_abort() {
+        let u = Universe::without_faults(Topology::flat());
+        // Death while waiting: the alive probe flips to false.
+        let shared = Arc::clone(u.shared());
+        let alive = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let alive2 = Arc::clone(&alive);
+        let t = std::thread::spawn(move || {
+            shared
+                .join
+                .wait_ticket(RankId(3), || alive2.load(Ordering::SeqCst))
+        });
+        alive.store(false, Ordering::SeqCst);
+        assert_eq!(t.join().unwrap(), Err(UlfmError::SelfDied));
+        // Abort while waiting: every waiter is dismissed.
+        let shared = Arc::clone(u.shared());
+        let t = std::thread::spawn(move || shared.join.wait_ticket(RankId(4), || true));
+        u.abort_joins();
+        assert_eq!(t.join().unwrap(), Err(UlfmError::Aborted));
     }
 
     #[test]

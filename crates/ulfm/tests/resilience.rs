@@ -313,7 +313,7 @@ fn joiners_merge_into_running_group() {
     });
     std::thread::sleep(std::time::Duration::from_millis(20));
     let new = u.spawn_joiners(2, |p: Proc| {
-        let merged = p.join_training();
+        let merged = p.join_training().expect("fault-free join must succeed");
         let mut buf = vec![1.0f32];
         merged
             .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
@@ -416,4 +416,189 @@ fn double_failure_shrink_iterates() {
         }
     }
     assert_eq!(survivors, 4);
+}
+
+/// A member dies at its `shrink.attempt` fault point — i.e. *inside* the
+/// recovery it was supposed to take part in. When the death is observed
+/// before the candidate verification, a single `shrink()` call iterates
+/// generations and excludes both victims; when it races the verification
+/// (ULFM semantics: shrink may return a communicator containing members
+/// that failed *concurrently*), the corpse surfaces on the next
+/// collective and one more revoke → shrink round lands on the clean
+/// group. Either way every survivor must converge to the same 4-member
+/// communicator with the same reduction.
+#[test]
+fn shrink_iterates_when_member_dies_mid_shrink() {
+    let plan = FaultPlan::none()
+        .kill_at_point(RankId(1), "allreduce.step", 2)
+        .kill_at_point(RankId(2), "shrink.attempt", 1);
+    let u = Universe::new(Topology::flat(), plan);
+    let handles = u.spawn_batch(6, |p: Proc| {
+        let comm = p.init_comm();
+        let saved = input_for(comm.rank(), 24);
+        let mut buf = saved.clone();
+        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+            Err(UlfmError::SelfDied) => return None,
+            r => {
+                if r.is_ok() {
+                    if let Err(UlfmError::SelfDied) = comm.barrier() {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut cur = comm;
+        loop {
+            cur.revoke();
+            cur = match cur.shrink() {
+                Ok(c) => c,
+                Err(UlfmError::SelfDied) => return None,
+                Err(e) => panic!("{e}"),
+            };
+            let mut retry = input_for(p.rank().0, 24);
+            match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Ok(()) => return Some((cur.size(), retry)),
+                Err(UlfmError::SelfDied) => return None,
+                // The mid-shrink death raced the candidate verification
+                // and leaked into the shrunk group; go around again.
+                Err(_) => {}
+            }
+        }
+    });
+    let want = sum_over(&[0, 3, 4, 5], 24);
+    let mut survivors = 0;
+    for (i, h) in handles.into_iter().enumerate() {
+        if let Some((size, buf)) = h.join() {
+            assert_eq!(size, 4, "rank {i} must land on the clean group");
+            assert_eq!(buf, want, "rank {i}");
+            survivors += 1;
+        }
+    }
+    assert_eq!(survivors, 4);
+}
+
+/// Cascade on the join path: the join *leader* (lowest surviving rank)
+/// dies at the `join.merge` fault point, mid-handshake. The uniform commit
+/// aborts the half-delivered admission on every survivor; they revoke →
+/// shrink, and the new lowest rank re-runs the handshake — the pending
+/// joiner's ticket is re-issued and the merge still completes.
+#[test]
+fn join_leader_death_mid_handshake_reissues_tickets() {
+    let plan = FaultPlan::none().kill_at_point(RankId(0), "join.merge", 1);
+    let u = Universe::new(Topology::flat(), plan);
+    let old = u.spawn_batch(4, |p: Proc| {
+        let comm = p.init_comm();
+        while p.announced_joiners() < 1 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let mut cur = comm;
+        let merged = loop {
+            match cur.accept_joiners() {
+                Ok(Some(m)) => break m,
+                Ok(None) => panic!("pending joiner lost without being admitted"),
+                Err(UlfmError::SelfDied) => return None,
+                Err(e) => {
+                    assert!(e.is_recoverable(), "{e:?}");
+                    cur.revoke();
+                    cur = match cur.shrink() {
+                        Ok(c) => c,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(e) => panic!("{e}"),
+                    };
+                }
+            }
+        };
+        let mut buf = vec![1.0f32];
+        merged
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+            .unwrap();
+        Some((merged.size(), buf[0]))
+    });
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let new = u.spawn_joiners(1, |p: Proc| {
+        let merged = p
+            .join_training()
+            .expect("surviving members must re-issue the ticket");
+        let mut buf = vec![1.0f32];
+        merged
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+            .unwrap();
+        Some((merged.size(), buf[0]))
+    });
+    let mut admitted = 0;
+    for (i, h) in old.into_iter().chain(new).enumerate() {
+        match h.join() {
+            None => assert_eq!(i, 0, "only the scripted leader may die"),
+            Some((size, sum)) => {
+                assert_eq!(size, 4, "worker {i}: three survivors + one joiner");
+                assert_eq!(sum, 4.0, "worker {i}");
+                admitted += 1;
+            }
+        }
+    }
+    assert_eq!(admitted, 4);
+}
+
+/// A joiner announces itself and then dies *before* its ticket is issued.
+/// The admission snapshot filters the corpse, so the group proceeds with
+/// only the live joiner — nobody blocks on a ticket the dead rank will
+/// never collect.
+#[test]
+fn dead_joiner_is_filtered_from_admission() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    // Ranks 0..2 are the running batch; the first joiner registers as
+    // rank 3 and is killed right after announcing (`join.ticket`).
+    let plan = FaultPlan::none().kill_at_point(RankId(3), "join.ticket", 1);
+    let u = Universe::new(Topology::flat(), plan);
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let old = u.spawn_batch(3, move |p: Proc| {
+        let comm = p.init_comm();
+        // Wait until both joiners have announced *and* the main thread has
+        // confirmed the doomed one is dead, so the snapshot must filter it.
+        while p.announced_joiners() < 2 || !g.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let merged = comm
+            .accept_joiners()
+            .expect("admission with a live joiner must commit")
+            .expect("live joiner must be pending");
+        let mut buf = vec![1.0f32];
+        merged
+            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+            .unwrap();
+        Some((merged.size(), buf[0]))
+    });
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let new = u.spawn_joiners(2, |p: Proc| match p.join_training() {
+        Ok(merged) => {
+            let mut buf = vec![1.0f32];
+            merged
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            Some((merged.size(), buf[0]))
+        }
+        Err(UlfmError::SelfDied) => None,
+        Err(e) => panic!("unexpected joiner exit: {e:?}"),
+    });
+    while u.fabric().dead_ranks().is_empty() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    gate.store(true, Ordering::SeqCst);
+    let mut results = Vec::new();
+    for h in old.into_iter().chain(new) {
+        results.push(h.join());
+    }
+    assert_eq!(results[3], None, "the doomed joiner must observe its death");
+    for (i, r) in results.iter().enumerate() {
+        if i == 3 {
+            continue;
+        }
+        assert_eq!(
+            *r,
+            Some((4, 4.0)),
+            "worker {i}: three members + the live joiner"
+        );
+    }
 }

@@ -48,6 +48,10 @@ fn main() {
             WorkerExit::Excluded(_) => {
                 println!("worker {i}: evicted by the drop-node policy (healthy node-mate)")
             }
+            WorkerExit::Aborted(s) => println!(
+                "worker {i}: run aborted below min_workers after {} steps",
+                s.steps_done
+            ),
         }
     }
 

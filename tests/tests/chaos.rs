@@ -9,10 +9,10 @@
 
 use collectives::AllreduceAlgo;
 use elastic::scenario::{Engine, ScenarioKind};
-use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
+use elastic::{run_scenario, RecoveryKind, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
 use std::sync::mpsc;
 use std::time::Duration;
-use transport::{LinkPerturb, PerturbPlan, RankId, RetryPolicy};
+use transport::{FaultPlan, LinkPerturb, PerturbPlan, RankId, RetryPolicy};
 
 /// Cases per engine (split across two test fns for parallelism).
 const CASES: u64 = 56;
@@ -91,6 +91,7 @@ fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        extra_faults: FaultPlan::none(),
     }
 }
 
@@ -222,6 +223,7 @@ fn perturbed_config(engine: Engine, plan: PerturbPlan) -> ScenarioConfig {
         renormalize: false,
         perturb: Some(plan),
         suspicion_timeout: None,
+        extra_faults: FaultPlan::none(),
     }
 }
 
@@ -431,6 +433,7 @@ fn total_link_loss_becomes_suspicion_recovery() {
         renormalize: false,
         perturb: Some(plan),
         suspicion_timeout: Some(Duration::from_millis(500)),
+        extra_faults: FaultPlan::none(),
     };
     let res = run_with_watchdog(cfg, "suspicion/total-loss");
     let died = res
@@ -451,4 +454,131 @@ fn total_link_loss_becomes_suspicion_recovery() {
         res.fabric_stats
     );
     res.assert_consistent_state();
+}
+
+// ---------------------------------------------------------------------------
+// Cascade schedules: a second kill inside the recovery machinery itself.
+// CI's seed matrix (CHAOS_SEED_OFFSET) rotates the world size and the fault
+// point each schedule targets; `tests/tests/cascade_sweep.rs` covers the
+// full point × engine × p grid deterministically.
+// ---------------------------------------------------------------------------
+
+fn cascade_base(engine: Engine, kind: ScenarioKind, workers: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        engine,
+        spec: TrainSpec {
+            total_steps: 6,
+            steps_per_epoch: 3,
+            seed: 9000 + seed_offset(),
+            ..TrainSpec::default()
+        },
+        workers,
+        ranks_per_node: 1,
+        policy: RecoveryPolicy::DropProcess,
+        kind,
+        victim: 0,
+        fail_at_op: 3,
+        joiners: if kind == ScenarioKind::Downscale {
+            0
+        } else {
+            1
+        },
+        renormalize: false,
+        perturb: None,
+        suspicion_timeout: None,
+        extra_faults: FaultPlan::none(),
+    }
+}
+
+/// Double-kill: the primary victim triggers recovery, a second victim dies
+/// inside it. Survivors must converge on a uniform group and state.
+#[test]
+fn cascade_double_kill_both_engines() {
+    let off = seed_offset() as usize;
+    let p = 4 + off % 2;
+    for (engine, point) in [
+        // ULFM points rotate with the seed matrix; the backward engine's
+        // only recovery fault point is its checkpoint.
+        (
+            Engine::UlfmForward,
+            ["agree.round", "shrink.attempt"][off % 2],
+        ),
+        (Engine::GlooBackward, "ckpt.sync"),
+    ] {
+        let occurrence = if point == "agree.round" { 2 } else { 1 };
+        let mut cfg = cascade_base(engine, ScenarioKind::Downscale, p);
+        cfg.extra_faults = FaultPlan::none().kill_at_point(RankId(1), point, occurrence);
+        let label = format!("cascade-double/{engine:?}/{point}");
+        let res = run_with_watchdog(cfg, &label);
+        let died = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Died))
+            .count();
+        assert_eq!(died, 2, "{label}: both scripted victims must die");
+        assert_eq!(res.completed(), p - 2, "{label}: survivors lost");
+        res.assert_consistent_state();
+    }
+}
+
+/// Kill-during-join: the second death lands on the join path — the
+/// accepting leader (`join.merge`) or the joiner itself (`join.ticket`).
+/// The group must still converge; a dead leader's pending joiner is
+/// re-ticketed by the surviving lowest rank.
+#[test]
+fn cascade_kill_during_join() {
+    let off = seed_offset() as usize;
+    let p = 4 + off % 2;
+    let (point, second) = [("join.merge", 1), ("join.ticket", p)][off % 2];
+    let mut cfg = cascade_base(Engine::UlfmForward, ScenarioKind::Replace, p);
+    cfg.extra_faults = FaultPlan::none().kill_at_point(RankId(second), point, 1);
+    let label = format!("cascade-join/{point}");
+    let res = run_with_watchdog(cfg, &label);
+    let died = res
+        .exits
+        .iter()
+        .filter(|e| matches!(e, WorkerExit::Died))
+        .count();
+    assert_eq!(died, 2, "{label}: both scripted victims must die");
+    // p + 1 participants, two dead — whether the joiner is among the
+    // completers depends on which join-path rank was the second victim.
+    assert_eq!(res.completed(), p - 1, "{label}: survivors lost");
+    res.assert_consistent_state();
+}
+
+/// Shrink-to-floor: the cascade drains the group below `min_workers`.
+/// Every survivor must return `WorkerExit::Aborted` — watchdog-provably no
+/// hang — and the abort must be traced as a recovery episode.
+#[test]
+fn cascade_shrink_to_floor_aborts() {
+    for (engine, point) in [
+        (Engine::UlfmForward, "shrink.attempt"),
+        (Engine::GlooBackward, "ckpt.sync"),
+    ] {
+        let mut cfg = cascade_base(engine, ScenarioKind::Downscale, 4);
+        cfg.spec.min_workers = 3;
+        cfg.extra_faults = FaultPlan::none().kill_at_point(RankId(1), point, 1);
+        let label = format!("cascade-floor/{engine:?}");
+        let res = run_with_watchdog(cfg, &label);
+        let died = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Died))
+            .count();
+        let aborted = res
+            .exits
+            .iter()
+            .filter(|e| matches!(e, WorkerExit::Aborted(_)))
+            .count();
+        assert_eq!(
+            (died, aborted, res.completed()),
+            (2, 2, 0),
+            "{label}: every survivor must abort below the floor (exits: {:?})",
+            res.exits
+        );
+        assert!(
+            res.breakdowns.iter().any(|b| b.kind == RecoveryKind::Abort),
+            "{label}: abort must be recorded as a recovery episode"
+        );
+    }
 }

@@ -31,6 +31,7 @@ fn kind_label(kind: RecoveryKind) -> &'static str {
         RecoveryKind::Forward => "forward",
         RecoveryKind::Backward => "backward",
         RecoveryKind::Join => "join",
+        RecoveryKind::Abort => "abort",
     }
 }
 
@@ -49,6 +50,7 @@ fn assert_reconciles(engine: Engine, kind: ScenarioKind) {
         RecoveryKind::Forward,
         RecoveryKind::Backward,
         RecoveryKind::Join,
+        RecoveryKind::Abort,
     ] {
         let label = kind_label(rk);
         let prof_ns: u64 = res
