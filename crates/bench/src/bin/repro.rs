@@ -26,6 +26,28 @@ use elastic::{run_scenario, Eq1Params, ScenarioConfig, TrainSpec};
 use simnet::{fig4_rows, figure_rows, ClusterModel, Level, SimScenario};
 
 fn main() {
+    // Multi-process subcommands dispatch before any section logic: `launch`
+    // drives N `worker` child processes through a socket-backed elastic run
+    // (see EXPERIMENTS.md "Multi-process runs").
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("worker") => {
+            if let Err(e) = bench::multiproc::worker_main(&argv[1..]) {
+                eprintln!("worker: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+        Some("launch") => match bench::multiproc::launch_main(&argv[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("launch: {e}");
+                std::process::exit(2);
+            }
+        },
+        _ => {}
+    }
+
     // Split the flag (and its value) off before the section keys, so
     // `repro --perturb drop=0.01 table2` still selects `table2` and a bare
     // `repro --perturb ...` runs only the perturbed scenarios.

@@ -4,6 +4,8 @@
 
 #![warn(missing_docs)]
 
+pub mod multiproc;
+
 use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
 use transport::{LinkPerturb, PerturbPlan};
@@ -150,6 +152,7 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
         perturb: None,
         suspicion_timeout: None,
         extra_faults: transport::FaultPlan::none(),
+        backend: transport::BackendKind::InProc,
     };
     let res = run_scenario(&cfg);
     let expected_completed = match (kind, policy) {

@@ -1,0 +1,197 @@
+//! Multi-process recovery integration tests.
+//!
+//! These drive the real `repro launch` / `repro worker` binaries: N
+//! separate OS processes form a socket mesh through the network rendezvous
+//! store, one (or two) of them are SIGKILLed mid-training by the scripted
+//! fault plan, and the survivors must detect the loss through socket
+//! EOF/timeout, run revoke → agree → shrink, and finish with bit-identical
+//! replicas.
+//!
+//! The launcher audits the run itself (exit code 0 only when every victim
+//! died and every survivor completed with matching fingerprints); the test
+//! additionally re-parses the per-rank result files so a launcher bug
+//! cannot silently vacuously pass.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Wall-clock bound for one launch, overridable for slow CI machines with
+/// the same knob the chaos suites use.
+fn watchdog() -> Duration {
+    let secs = std::env::var("CHAOS_WATCHDOG_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120u64);
+    Duration::from_secs(secs)
+}
+
+fn outdir(case: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join("multiproc")
+        .join(case);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create outdir");
+    dir
+}
+
+/// Run `repro launch` with a watchdog; return its exit code.
+fn launch(args: &[&str], dir: &Path) -> i32 {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("launch")
+        .args(args)
+        .arg("--outdir")
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro launch");
+    let deadline = Instant::now() + watchdog();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => return status.code().unwrap_or(-1),
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!(
+                    "repro launch {:?} exceeded the {}s watchdog (override with \
+                     CHAOS_WATCHDOG_SECS); worker logs in {}",
+                    args,
+                    watchdog().as_secs(),
+                    dir.display()
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Parse `result-{rank}.txt` files into rank → (exit label, fingerprint).
+fn results(dir: &Path, n: usize) -> BTreeMap<usize, (String, Option<String>)> {
+    let mut out = BTreeMap::new();
+    for rank in 0..n {
+        let path = dir.join(format!("result-{rank}.txt"));
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let mut exit = String::new();
+        let mut fp = None;
+        for tok in text.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("exit=") {
+                exit = v.to_string();
+            } else if let Some(v) = tok.strip_prefix("fp=") {
+                fp = Some(v.to_string());
+            }
+        }
+        out.insert(rank, (exit, fp));
+    }
+    out
+}
+
+fn assert_survivors_identical(
+    results: &BTreeMap<usize, (String, Option<String>)>,
+    victims: &[usize],
+    world: usize,
+) {
+    let mut fingerprints = Vec::new();
+    for (&rank, (exit, fp)) in results {
+        if victims.contains(&rank) {
+            // A victim either reported its own death or was SIGKILLed
+            // before reporting (empty file). It must NOT have completed.
+            assert_ne!(
+                exit, "completed",
+                "victim rank {rank} completed — the scripted kill never fired"
+            );
+        } else {
+            assert_eq!(
+                exit, "completed",
+                "survivor rank {rank} did not complete: {exit:?}"
+            );
+            fingerprints.push((rank, fp.clone().expect("survivor fingerprint")));
+        }
+    }
+    assert_eq!(
+        fingerprints.len(),
+        world - victims.len(),
+        "every survivor must report"
+    );
+    let first = &fingerprints[0].1;
+    for (rank, fp) in &fingerprints {
+        assert_eq!(
+            fp, first,
+            "rank {rank} replica diverged: {fp} != {first} — replicas must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn sigkill_mid_allreduce_p3_survivors_shrink_and_finish() {
+    let dir = outdir("kill-mid-allreduce-p3");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "unix",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--die",
+            "1@allreduce.step:5",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 3), &[1], 3);
+}
+
+#[test]
+fn sigkill_mid_allreduce_and_mid_recovery_p4() {
+    // Rank 1 dies in the 5th allreduce; rank 3 dies inside the *recovery*
+    // that rank 1's death triggers (the first shrink attempt) — a cascade.
+    // The remaining two workers must shrink twice and still agree.
+    let dir = outdir("kill-mid-recovery-p4");
+    let code = launch(
+        &[
+            "--n",
+            "4",
+            "--transport",
+            "tcp",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--die",
+            "1@allreduce.step:5,3@shrink.attempt:1",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 4), &[1, 3], 4);
+}
+
+#[test]
+fn clean_run_p3_all_complete_identically() {
+    let dir = outdir("clean-p3");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "tcp",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 3), &[], 3);
+}

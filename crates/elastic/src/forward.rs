@@ -122,7 +122,7 @@ fn run_inner(
     let mut model = spec.build_model();
     let mut opt = spec.build_optimizer();
     let ds = spec.build_dataset();
-    let topology = proc.endpoint().fabric().topology();
+    let topology = proc.endpoint().topology();
     let mut recoveries = 0usize;
     let mut last_loss = f32::NAN;
 
@@ -644,7 +644,7 @@ fn recover(
         Err(e) => unreachable!("agree only fails fatally: {e}"),
     };
 
-    let total_ranks = proc.endpoint().fabric().total_ranks();
+    let total_ranks = proc.endpoint().total_ranks();
     let policy = cfg.policy;
     let shrunk = episode.time("shrink", || {
         comm.shrink_with(|failed| policy_evictions(policy, failed, topology, total_ranks))

@@ -9,7 +9,10 @@ use crate::forward::{run_forward_worker, ForwardConfig};
 use crate::profiler::{mean_breakdown, RecoveryBreakdown, RecoveryKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, PerturbPlan, RankId, Topology};
+use transport::{
+    Backend, BackendKind, Endpoint, Fabric, FaultInjector, FaultPlan, PerturbPlan, RankId,
+    SocketBackend, Topology,
+};
 use ulfm::Universe;
 
 /// Which of the paper's dynamic-training scenarios to run.
@@ -72,6 +75,11 @@ pub struct ScenarioConfig {
     /// tests and `repro` express multi-victim and during-recovery cascades
     /// (e.g. a second kill at `shrink.attempt` or `ckpt.sync`).
     pub extra_faults: FaultPlan,
+    /// Transport backend the workers communicate over. `InProc` (the
+    /// default) is the shared-memory fabric; `Tcp`/`Unix` run every worker
+    /// over a real socket mesh (forward engine, `Downscale` only — joins
+    /// need the in-process join server).
+    pub backend: BackendKind,
 }
 
 impl ScenarioConfig {
@@ -91,6 +99,7 @@ impl ScenarioConfig {
             perturb: None,
             suspicion_timeout: None,
             extra_faults: FaultPlan::none(),
+            backend: BackendKind::InProc,
         }
     }
 }
@@ -174,6 +183,9 @@ fn joiner_count(cfg: &ScenarioConfig) -> usize {
 }
 
 fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    if cfg.backend != BackendKind::InProc {
+        return run_forward_scenario_sockets(cfg);
+    }
     let t0 = Instant::now();
     let topology = Topology::new(cfg.ranks_per_node);
     let universe = Universe::new(topology, fault_plan(cfg));
@@ -235,7 +247,96 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     }
 }
 
+/// Forward recovery over a real socket mesh: one backend (and one
+/// `Universe`) per worker, connected only by byte streams — the same shape
+/// a multi-process launch has, minus the process boundary. Restricted to
+/// `Downscale`: joins go through the in-process join server, which peers on
+/// other transports cannot reach.
+fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
+    assert_eq!(
+        cfg.kind,
+        ScenarioKind::Downscale,
+        "socket backends support Downscale scenarios only"
+    );
+    let t0 = Instant::now();
+    let topology = Topology::new(cfg.ranks_per_node);
+    let backends = SocketBackend::local_mesh(cfg.backend, topology, cfg.workers, fault_plan(cfg))
+        .expect("socket mesh");
+    for b in &backends {
+        if let Some(plan) = &cfg.perturb {
+            b.set_perturbation(plan.clone());
+        }
+        // Socket peers have no global wakeup: a worker that never touches
+        // the dead rank's link must learn of the death by suspicion, so the
+        // scenario always runs with a detection deadline here.
+        b.set_suspicion_timeout(Some(
+            cfg.suspicion_timeout.unwrap_or(Duration::from_secs(5)),
+        ));
+    }
+    let fwd_cfg = ForwardConfig {
+        spec: cfg.spec.clone(),
+        policy: cfg.policy,
+        accept_joiners: false,
+        expected_joiners: 0,
+        renormalize_after_loss: cfg.renormalize,
+        lr_scaling: None,
+    };
+    let group: Vec<RankId> = (0..cfg.workers).map(RankId).collect();
+    let (exits, breakdowns) = std::thread::scope(|s| {
+        let handles: Vec<_> = backends
+            .iter()
+            .cloned()
+            .map(|b| {
+                let group = group.clone();
+                let fwd_cfg = fwd_cfg.clone();
+                s.spawn(move || {
+                    let ep = Endpoint::from_backend(b as Arc<dyn Backend>);
+                    let (_universe, proc) = Universe::for_backend(ep, group);
+                    let out = run_forward_worker(&proc, &fwd_cfg, false);
+                    (out.exit, out.breakdowns)
+                })
+            })
+            .collect();
+        let mut exits = Vec::new();
+        let mut breakdowns = Vec::new();
+        for h in handles {
+            let (exit, bd) = h.join().expect("worker thread panicked");
+            exits.push(exit);
+            breakdowns.extend(bd);
+        }
+        (exits, breakdowns)
+    });
+    // Each backend observes its own traffic; the sum is the mesh total.
+    // (Unlike the shared fabric, `deaths`/`suspicions` count per-rank
+    // observations of the same event.)
+    let mut fabric_stats = transport::FabricStats::default();
+    for b in &backends {
+        let st = b.stats();
+        fabric_stats.messages += st.messages;
+        fabric_stats.bytes += st.bytes;
+        fabric_stats.deaths += st.deaths;
+        fabric_stats.retransmits += st.retransmits;
+        fabric_stats.corrupt_frames += st.corrupt_frames;
+        fabric_stats.dup_suppressed += st.dup_suppressed;
+        fabric_stats.suspicions += st.suspicions;
+    }
+    for b in &backends {
+        b.shutdown();
+    }
+    ScenarioResult {
+        exits,
+        breakdowns,
+        wall: t0.elapsed(),
+        fabric_stats,
+    }
+}
+
 fn run_backward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    assert_eq!(
+        cfg.backend,
+        BackendKind::InProc,
+        "the Gloo backward engine rendezvouses through the in-process store"
+    );
     let t0 = Instant::now();
     let topology = Topology::new(cfg.ranks_per_node);
     let fabric = Fabric::new(topology, FaultInjector::new(fault_plan(cfg)));

@@ -1,0 +1,74 @@
+//! Scenario runs on the socket backends, in-process edition: every rank
+//! is a thread, but bytes travel through real TCP / Unix-domain sockets
+//! and failure detection goes through EOF/suspicion instead of the shared
+//! alive table. The multi-*process* version of the same story lives in
+//! `crates/bench/tests/multiproc.rs`; this test keeps the socket path in
+//! the ordinary `cargo test` loop, where it is cheap and debuggable.
+
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, ScenarioConfig, TrainSpec, WorkerExit};
+use transport::BackendKind;
+
+fn socket_cfg(backend: BackendKind, victim_dies: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        spec: TrainSpec {
+            total_steps: 12,
+            steps_per_epoch: 4,
+            min_workers: 2,
+            ..TrainSpec::default()
+        },
+        workers: 3,
+        ranks_per_node: 3,
+        victim: 1,
+        // A fail_at_op beyond the run's fault-point hits never fires — the
+        // standard way to express "nobody dies" in a scenario config.
+        fail_at_op: if victim_dies { 5 } else { u64::MAX },
+        backend,
+        ..ScenarioConfig::quick(Engine::UlfmForward, ScenarioKind::Downscale)
+    }
+}
+
+#[test]
+fn tcp_downscale_survivors_agree_and_finish() {
+    let res = run_scenario(&socket_cfg(BackendKind::Tcp, true));
+    assert_eq!(res.completed(), 2, "exits: {:?}", res.exits);
+    assert!(
+        matches!(res.exits[1], WorkerExit::Died),
+        "victim must die: {:?}",
+        res.exits[1]
+    );
+    res.assert_consistent_state();
+}
+
+#[test]
+fn unix_downscale_survivors_agree_and_finish() {
+    let res = run_scenario(&socket_cfg(BackendKind::Unix, true));
+    assert_eq!(res.completed(), 2, "exits: {:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+#[test]
+fn tcp_clean_run_matches_inproc_fingerprint() {
+    // Same seed, same membership, no faults: the model fingerprint must
+    // not depend on which transport carried the gradients.
+    let sock = run_scenario(&socket_cfg(BackendKind::Tcp, false));
+    let inproc = run_scenario(&socket_cfg(BackendKind::InProc, false));
+    assert_eq!(sock.completed(), 3, "exits: {:?}", sock.exits);
+    assert_eq!(inproc.completed(), 3);
+    sock.assert_consistent_state();
+    inproc.assert_consistent_state();
+    let fp = |r: &elastic::ScenarioResult| {
+        r.exits
+            .iter()
+            .find_map(|e| match e {
+                WorkerExit::Completed(s) => Some(s.state_fingerprint),
+                _ => None,
+            })
+            .expect("a completed worker")
+    };
+    assert_eq!(
+        fp(&sock),
+        fp(&inproc),
+        "transport choice leaked into training state"
+    );
+}

@@ -23,12 +23,14 @@
 
 mod context;
 mod error;
+mod netstore;
 mod rendezvous;
 mod store;
 
 pub use context::{Context, ContextStats};
 pub use error::GlooError;
+pub use netstore::{NetStore, StoreServer};
 pub use rendezvous::{rendezvous, RendezvousConfig, RendezvousError, RendezvousReport};
-pub use store::{KvStore, KvStoreStats, StoreFaults, StoreUnavailable};
+pub use store::{KvStore, KvStoreStats, Store, StoreFaults, StoreUnavailable};
 
 pub use transport::{NodeId, RankId, Topology};

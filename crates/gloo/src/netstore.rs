@@ -1,0 +1,317 @@
+//! A TCP-served rendezvous store for multi-process launches.
+//!
+//! Horovod's elastic mode runs a rendezvous *server* in the driver process;
+//! workers talk to it over the network. [`StoreServer`] is that server: it
+//! wraps a [`KvStore`] and serves the three [`Store`] operations over a
+//! trivial length-prefixed request/response protocol. [`NetStore`] is the
+//! worker-side client; it implements [`Store`], so the unchanged
+//! [`crate::rendezvous`] protocol runs against it — connection failures
+//! surface as [`StoreUnavailable`] and are healed by the protocol's own
+//! retry-with-backoff.
+//!
+//! Wire format (all integers little-endian):
+//!
+//! ```text
+//! request:  [op u8] [klen u32] [key bytes] ([vlen u32] [value bytes] for SET)
+//! response: SET   -> [0u8]
+//!           COUNT -> [count u64]
+//!           SCAN  -> [n u64] then n × ([klen u32][key][vlen u32][value])
+//! ```
+//!
+//! One connection per request: rendezvous traffic is low-rate polling, and
+//! per-request connections keep the client free of connection-state
+//! recovery logic (a half-dead pooled connection would need its own
+//! suspicion machinery).
+
+use crate::store::{KvStore, Store, StoreUnavailable};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OP_SET: u8 = 1;
+const OP_COUNT: u8 = 2;
+const OP_SCAN: u8 = 3;
+
+/// Keys and values larger than this are rejected (a corrupt length prefix
+/// must not allocate gigabytes).
+const MAX_BLOB: u32 = 16 * 1024 * 1024;
+
+/// How long a single request/response exchange may take before the client
+/// declares the store transiently unavailable.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The driver-side rendezvous server: a [`KvStore`] behind a TCP accept
+/// loop. Drop (or [`StoreServer::shutdown`]) stops the loop.
+pub struct StoreServer {
+    store: Arc<KvStore>,
+    addr: String,
+    stopping: Arc<AtomicBool>,
+}
+
+impl StoreServer {
+    /// Bind a loopback listener and start serving `store`.
+    pub fn spawn(store: Arc<KvStore>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_store = Arc::clone(&store);
+        let accept_stop = Arc::clone(&stopping);
+        std::thread::Builder::new()
+            .name("store-server".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let store = Arc::clone(&accept_store);
+                    std::thread::Builder::new()
+                        .name("store-serve".into())
+                        .spawn(move || {
+                            let _ = serve_one(&store, conn);
+                        })
+                        .expect("spawn store connection thread");
+                }
+            })
+            .expect("spawn store accept thread");
+        Ok(Self {
+            store,
+            addr,
+            stopping,
+        })
+    }
+
+    /// The address workers should dial (`host:port`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The backing store (the driver can inspect keys directly).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop with a dummy connection so it sees the flag.
+        let _ = TcpStream::connect(&self.addr);
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn read_exact_timeout(conn: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+    conn.read_exact(buf)
+}
+
+fn read_blob(conn: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    read_exact_timeout(conn, &mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_BLOB {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized blob",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact_timeout(conn, &mut buf)?;
+    Ok(buf)
+}
+
+fn write_blob(out: &mut Vec<u8>, blob: &[u8]) {
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+}
+
+/// Serve one request on a fresh connection, then close it.
+fn serve_one(store: &KvStore, mut conn: TcpStream) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut op = [0u8; 1];
+    read_exact_timeout(&mut conn, &mut op)?;
+    let key = read_blob(&mut conn)?;
+    let key = String::from_utf8(key)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 key"))?;
+    match op[0] {
+        OP_SET => {
+            let value = read_blob(&mut conn)?;
+            store.set(&key, value);
+            conn.write_all(&[0u8])?;
+        }
+        OP_COUNT => {
+            let n = store.count_prefix(&key) as u64;
+            conn.write_all(&n.to_le_bytes())?;
+        }
+        OP_SCAN => {
+            let pairs = store.scan_prefix(&key);
+            let mut out = (pairs.len() as u64).to_le_bytes().to_vec();
+            for (k, v) in pairs {
+                write_blob(&mut out, k.as_bytes());
+                write_blob(&mut out, &v);
+            }
+            conn.write_all(&out)?;
+        }
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unknown store op {other}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Worker-side client of a [`StoreServer`]. Every [`Store`] operation is one
+/// connect/request/response exchange; any I/O failure is reported as
+/// [`StoreUnavailable`] for the caller's retry loop to absorb.
+#[derive(Clone, Debug)]
+pub struct NetStore {
+    addr: String,
+}
+
+impl NetStore {
+    /// A client for the server at `addr` (`host:port`). No connection is
+    /// made until the first operation.
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    fn request(&self, op: u8, key: &str, value: Option<&[u8]>) -> std::io::Result<TcpStream> {
+        let mut conn = TcpStream::connect(&self.addr)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(Some(IO_TIMEOUT))?;
+        conn.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut req = vec![op];
+        write_blob(&mut req, key.as_bytes());
+        if let Some(v) = value {
+            write_blob(&mut req, v);
+        }
+        conn.write_all(&req)?;
+        Ok(conn)
+    }
+}
+
+impl Store for NetStore {
+    fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable> {
+        let go = || -> std::io::Result<()> {
+            let mut conn = self.request(OP_SET, key, Some(&value))?;
+            let mut ack = [0u8; 1];
+            conn.read_exact(&mut ack)?;
+            Ok(())
+        };
+        go().map_err(|_| StoreUnavailable)
+    }
+
+    fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable> {
+        let go = || -> std::io::Result<usize> {
+            let mut conn = self.request(OP_COUNT, prefix, None)?;
+            let mut n = [0u8; 8];
+            conn.read_exact(&mut n)?;
+            Ok(u64::from_le_bytes(n) as usize)
+        };
+        go().map_err(|_| StoreUnavailable)
+    }
+
+    fn try_scan_prefix(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable> {
+        let go = || -> std::io::Result<Vec<(String, Vec<u8>)>> {
+            let mut conn = self.request(OP_SCAN, prefix, None)?;
+            let mut n = [0u8; 8];
+            conn.read_exact(&mut n)?;
+            let n = u64::from_le_bytes(n);
+            let mut out = Vec::with_capacity(n.min(4096) as usize);
+            for _ in 0..n {
+                let key = read_blob(&mut conn)?;
+                let key = String::from_utf8(key).map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 key")
+                })?;
+                let value = read_blob(&mut conn)?;
+                out.push((key, value));
+            }
+            Ok(out)
+        };
+        go().map_err(|_| StoreUnavailable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rendezvous::{rendezvous, RendezvousConfig};
+    use transport::{RankId, Topology};
+
+    #[test]
+    fn net_roundtrip_set_count_scan() {
+        let server = StoreServer::spawn(KvStore::shared()).unwrap();
+        let client = NetStore::connect(server.addr());
+        client.try_set("r/0", vec![1, 2]).unwrap();
+        client.try_set("r/1", vec![3]).unwrap();
+        client.try_set("other", vec![9]).unwrap();
+        assert_eq!(client.try_count_prefix("r/").unwrap(), 2);
+        let scan = client.try_scan_prefix("r/").unwrap();
+        assert_eq!(
+            scan,
+            vec![
+                ("r/0".to_string(), vec![1, 2]),
+                ("r/1".to_string(), vec![3])
+            ]
+        );
+        // The server sees the same state directly.
+        assert_eq!(server.store().get("other"), Some(vec![9]));
+    }
+
+    #[test]
+    fn dead_server_reports_unavailable() {
+        let server = StoreServer::spawn(KvStore::shared()).unwrap();
+        let addr = server.addr().to_string();
+        drop(server);
+        // Give the listener a moment to actually close.
+        std::thread::sleep(Duration::from_millis(20));
+        let client = NetStore::connect(addr);
+        // Either refused outright or accepted-then-dropped by the dying
+        // accept loop; both must surface as StoreUnavailable eventually.
+        let mut saw_failure = false;
+        for _ in 0..5 {
+            if client.try_count_prefix("x").is_err() {
+                saw_failure = true;
+                break;
+            }
+        }
+        assert!(saw_failure, "dead server never reported unavailable");
+    }
+
+    #[test]
+    fn rendezvous_runs_over_the_network_store() {
+        let server = StoreServer::spawn(KvStore::shared()).unwrap();
+        let cfg = RendezvousConfig {
+            run_id: "net".into(),
+            epoch: 0,
+            expected: 3,
+            timeout: Duration::from_secs(10),
+        };
+        let topo = Topology::flat();
+        let reports: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|r| {
+                    let client = NetStore::connect(server.addr());
+                    let cfg = cfg.clone();
+                    s.spawn(move || rendezvous(&client, &cfg, RankId(r), topo).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.members, vec![RankId(0), RankId(1), RankId(2)]);
+            assert_eq!(rep.my_rank, i);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! collectives). Both are reproduced here; the per-phase round-trip counts
 //! feed the recovery cost breakdowns of paper Fig. 4.
 
-use crate::store::{KvStore, StoreUnavailable};
+use crate::store::{Store, StoreUnavailable};
 use std::time::{Duration, Instant};
 use transport::{RankId, Topology, Wire};
 
@@ -98,8 +98,8 @@ impl std::error::Error for RendezvousError {}
 /// Protocol (mirrors Horovod's): publish `run/<epoch>/rank/<global>`; poll
 /// the prefix until `expected` keys exist; read them all to learn the
 /// member list; then publish and poll the node-local prefix likewise.
-pub fn rendezvous(
-    store: &KvStore,
+pub fn rendezvous<S: Store + ?Sized>(
+    store: &S,
     cfg: &RendezvousConfig,
     me: RankId,
     topology: Topology,
@@ -197,6 +197,7 @@ pub fn rendezvous(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::KvStore;
     use std::sync::Arc;
 
     fn cfg(epoch: u64, expected: usize) -> RendezvousConfig {

@@ -76,6 +76,46 @@ impl FaultState {
     }
 }
 
+/// The store surface the rendezvous protocol needs, abstracted so the same
+/// protocol runs against the in-process [`KvStore`] (single-process
+/// scenarios, tests) or a network client like [`crate::NetStore`]
+/// (multi-process launches). All three operations are fallible: a transient
+/// failure maps to [`StoreUnavailable`] and callers retry with backoff.
+pub trait Store: Send + Sync {
+    /// Publish `value` under `key` (overwrites); may transiently fail.
+    fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable>;
+    /// Number of keys under `prefix`; may transiently fail.
+    fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable>;
+    /// Sorted `(key, value)` pairs under `prefix`; may transiently fail.
+    fn try_scan_prefix(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable>;
+}
+
+impl Store for KvStore {
+    fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable> {
+        KvStore::try_set(self, key, value)
+    }
+    fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable> {
+        KvStore::try_count_prefix(self, prefix)
+    }
+    fn try_scan_prefix(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable> {
+        KvStore::try_scan_prefix(self, prefix)
+    }
+}
+
+/// `Arc<impl Store>` is itself a store, so existing call sites holding
+/// shared handles keep working with the generic rendezvous.
+impl<S: Store + ?Sized> Store for Arc<S> {
+    fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable> {
+        (**self).try_set(key, value)
+    }
+    fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable> {
+        (**self).try_count_prefix(prefix)
+    }
+    fn try_scan_prefix(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable> {
+        (**self).try_scan_prefix(prefix)
+    }
+}
+
 /// A shared in-memory KV store with blocking waits.
 pub struct KvStore {
     map: Mutex<HashMap<String, Vec<u8>>>,

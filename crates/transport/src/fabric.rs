@@ -1,6 +1,8 @@
 //! The shared fabric: rank registry, alive table, message routing, and the
-//! failure-injection hooks.
+//! failure-injection hooks — plus [`InProcBackend`], the in-process
+//! implementation of the [`Backend`] trait over this machinery.
 
+use crate::backend::{Backend, SignalHandler};
 use crate::error::TransportError;
 use crate::fault::FaultInjector;
 use crate::ids::{NodeId, RankId, Topology};
@@ -19,32 +21,34 @@ struct RankSlot {
     alive: Arc<AtomicBool>,
 }
 
-/// Cached telemetry handles — resolved once per fabric so the hot send/recv
-/// paths pay one relaxed atomic add, not a registry lookup.
-struct FabricTelemetry {
-    msgs_sent: Arc<Counter>,
-    bytes_sent: Arc<Counter>,
-    msgs_recvd: Arc<Counter>,
-    bytes_recvd: Arc<Counter>,
-    deaths: Arc<Counter>,
-    fault_point_hits: Arc<Counter>,
-    op_fault_hits: Arc<Counter>,
-    purged_msgs: Arc<Counter>,
-    recv_timeouts: Arc<Counter>,
-    retransmits: Arc<Counter>,
-    corrupt_frames: Arc<Counter>,
-    dup_suppressed: Arc<Counter>,
-    frames_dropped: Arc<Counter>,
-    frames_delayed: Arc<Counter>,
-    frames_duplicated: Arc<Counter>,
-    frames_reordered: Arc<Counter>,
-    suspicions: Arc<Counter>,
-    delay_hist: Arc<Histogram>,
-    backoff_hist: Arc<Histogram>,
+/// Cached telemetry handles — resolved once per backend so the hot
+/// send/recv paths pay one relaxed atomic add, not a registry lookup.
+/// Shared by the in-process fabric and the socket backend: both report
+/// under the same `transport.*` metric names.
+pub(crate) struct FabricTelemetry {
+    pub(crate) msgs_sent: Arc<Counter>,
+    pub(crate) bytes_sent: Arc<Counter>,
+    pub(crate) msgs_recvd: Arc<Counter>,
+    pub(crate) bytes_recvd: Arc<Counter>,
+    pub(crate) deaths: Arc<Counter>,
+    pub(crate) fault_point_hits: Arc<Counter>,
+    pub(crate) op_fault_hits: Arc<Counter>,
+    pub(crate) purged_msgs: Arc<Counter>,
+    pub(crate) recv_timeouts: Arc<Counter>,
+    pub(crate) retransmits: Arc<Counter>,
+    pub(crate) corrupt_frames: Arc<Counter>,
+    pub(crate) dup_suppressed: Arc<Counter>,
+    pub(crate) frames_dropped: Arc<Counter>,
+    pub(crate) frames_delayed: Arc<Counter>,
+    pub(crate) frames_duplicated: Arc<Counter>,
+    pub(crate) frames_reordered: Arc<Counter>,
+    pub(crate) suspicions: Arc<Counter>,
+    pub(crate) delay_hist: Arc<Histogram>,
+    pub(crate) backoff_hist: Arc<Histogram>,
 }
 
 impl FabricTelemetry {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             msgs_sent: telemetry::counter("transport.msgs_sent"),
             bytes_sent: telemetry::counter("transport.bytes_sent"),
@@ -344,37 +348,60 @@ impl Fabric {
     }
 }
 
-/// A rank's handle onto the fabric. Cheap to clone; all operations perform
-/// the fault-plan checks and the liveness checks that give the transport its
-/// ULFM-style per-operation error semantics.
-#[derive(Clone)]
-pub struct Endpoint {
+/// The in-process [`Backend`]: one rank's view of a shared [`Fabric`],
+/// where ranks are threads and message routing is a function call into the
+/// destination's mailbox. This is the seed transport, unchanged in
+/// semantics — the [`crate::Endpoint`] wrapper constructs it via
+/// [`crate::Endpoint::new`].
+pub(crate) struct InProcBackend {
     fabric: Arc<Fabric>,
     rank: RankId,
 }
 
-impl Endpoint {
-    /// Create the endpoint for `rank` (which must be registered).
-    pub fn new(fabric: Arc<Fabric>, rank: RankId) -> Self {
+impl InProcBackend {
+    /// The backend for `rank` (which must be registered with `fabric`).
+    pub(crate) fn new(fabric: Arc<Fabric>, rank: RankId) -> Self {
         assert!(
             rank.0 < fabric.total_ranks(),
             "rank {rank} not registered with the fabric"
         );
         Self { fabric, rank }
     }
+}
 
-    /// This endpoint's rank id.
-    pub fn rank(&self) -> RankId {
+impl Backend for InProcBackend {
+    fn rank(&self) -> RankId {
         self.rank
     }
 
-    /// The shared fabric.
-    pub fn fabric(&self) -> &Arc<Fabric> {
-        &self.fabric
+    fn topology(&self) -> Topology {
+        self.fabric.topology()
     }
 
-    /// Check scripted death at a transport operation. On death, marks this
-    /// rank dead and returns `Err(SelfDied)`.
+    fn total_ranks(&self) -> usize {
+        self.fabric.total_ranks()
+    }
+
+    fn is_alive(&self, rank: RankId) -> bool {
+        self.fabric.is_alive(rank)
+    }
+
+    fn alive_ranks(&self) -> Vec<RankId> {
+        self.fabric.alive_ranks()
+    }
+
+    fn suspect(&self, rank: RankId) {
+        self.fabric.suspect(rank);
+    }
+
+    fn kill_self(&self) {
+        self.fabric.kill_rank(self.rank);
+    }
+
+    fn wake_all(&self) {
+        self.fabric.wake_all();
+    }
+
     fn check_op_fault(&self) -> Result<(), TransportError> {
         if !self.fabric.is_alive(self.rank) {
             return Err(TransportError::SelfDied);
@@ -387,10 +414,7 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Protocol-level fault point (e.g. `"allreduce.step"`). Returns
-    /// `Err(SelfDied)` if the fault plan kills this rank here. Also
-    /// activates any perturbation plan gated on this point.
-    pub fn fault_point(&self, name: &str) -> Result<(), TransportError> {
+    fn fault_point(&self, name: &str) -> Result<(), TransportError> {
         if !self.fabric.is_alive(self.rank) {
             return Err(TransportError::SelfDied);
         }
@@ -403,17 +427,7 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Send `data` to `to` under `tag`.
-    ///
-    /// The payload travels as a checksummed, sequence-numbered frame; if the
-    /// link perturbation drops, corrupts, or reorders it away, the frame is
-    /// retransmitted under exponential backoff with jitter until the
-    /// receiver acks a copy. A peer that never acks within the retry budget
-    /// is *suspected* dead and reported as [`TransportError::PeerDead`] —
-    /// the same local error ULFM raises on communication with a failed
-    /// process. [`TransportError::SelfDied`] is returned if the fault plan
-    /// kills the caller at this operation.
-    pub fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
+    fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
         self.check_op_fault()?;
         let Some(mb) = self.fabric.mailbox_of(to) else {
             return Err(TransportError::UnknownRank(to));
@@ -464,40 +478,7 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Blocking receive of a message from `from` under `tag`.
-    ///
-    /// Messages the peer sent before dying are still delivered; once the
-    /// buffer is drained and the peer is dead, returns
-    /// [`TransportError::PeerDead`].
-    pub fn recv(&self, from: RankId, tag: u64) -> Result<Vec<u8>, TransportError> {
-        self.recv_inner(from, tag, &|| false, None)
-    }
-
-    /// Blocking receive with a deadline (used by rendezvous protocols that
-    /// poll an external condition).
-    pub fn recv_timeout(
-        &self,
-        from: RankId,
-        tag: u64,
-        timeout: Duration,
-    ) -> Result<Vec<u8>, TransportError> {
-        self.recv_inner(from, tag, &|| false, Some(Instant::now() + timeout))
-    }
-
-    /// Blocking receive that can additionally be interrupted by an external
-    /// stop condition (e.g. "this communicator was revoked"). Returns
-    /// [`TransportError::Stopped`] when `should_stop` fires. Combine with
-    /// [`Fabric::wake_all`] to make the interruption prompt.
-    pub fn recv_stoppable(
-        &self,
-        from: RankId,
-        tag: u64,
-        should_stop: &dyn Fn() -> bool,
-    ) -> Result<Vec<u8>, TransportError> {
-        self.recv_inner(from, tag, should_stop, None)
-    }
-
-    fn recv_inner(
+    fn recv(
         &self,
         from: RankId,
         tag: u64,
@@ -554,22 +535,19 @@ impl Endpoint {
         }
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&self, from: RankId, tag: u64) -> Option<Vec<u8>> {
+    fn try_recv(&self, from: RankId, tag: u64) -> Option<Vec<u8>> {
         self.fabric
             .mailbox_of(self.rank)
             .and_then(|mb| mb.try_pop(from, tag))
     }
 
-    /// Is a message from `(from, tag)` buffered?
-    pub fn probe(&self, from: RankId, tag: u64) -> bool {
+    fn probe(&self, from: RankId, tag: u64) -> bool {
         self.fabric
             .mailbox_of(self.rank)
             .is_some_and(|mb| mb.probe(from, tag))
     }
 
-    /// Drop buffered messages whose tag matches `pred` (used on revoke).
-    pub fn purge_tags(&self, pred: impl Fn(u64) -> bool) -> usize {
+    fn purge_tags(&self, pred: &dyn Fn(u64) -> bool) -> usize {
         let purged = self
             .fabric
             .mailbox_of(self.rank)
@@ -579,26 +557,41 @@ impl Endpoint {
         purged
     }
 
-    /// Is this rank still alive?
-    pub fn is_self_alive(&self) -> bool {
-        self.fabric.is_alive(self.rank)
+    fn set_perturbation(&self, plan: PerturbPlan) {
+        self.fabric.set_perturbation(plan);
     }
 
-    /// Is `peer` alive according to the failure detector?
-    pub fn is_peer_alive(&self, peer: RankId) -> bool {
-        self.fabric.is_alive(peer)
+    fn set_suspicion_timeout(&self, timeout: Option<Duration>) {
+        self.fabric.set_suspicion_timeout(timeout);
     }
 
-    /// Voluntarily leave the computation (used when the drop-node policy
-    /// retires healthy ranks that share a node with a failed one).
-    pub fn retire(&self) {
-        self.fabric.kill_rank(self.rank);
+    fn suspicion_timeout(&self) -> Option<Duration> {
+        self.fabric.suspicion_timeout()
+    }
+
+    fn broadcast_signal(&self, _payload: &[u8]) {
+        // The in-process control plane *is* shared memory: revocation state
+        // lives in one `Shared` and death wakes travel via `wake_all`.
+    }
+
+    fn set_signal_handler(&self, _handler: SignalHandler) {
+        // No out-of-band signals in process; nothing will ever invoke it.
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    fn shutdown(&self) {
+        // The fabric is shared by every rank in the job; it is torn down by
+        // dropping the last Arc, not by any single rank's endpoint.
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Endpoint;
     use crate::fault::FaultPlan;
 
     fn fabric_with(n: usize) -> (Arc<Fabric>, Vec<Endpoint>) {

@@ -31,21 +31,32 @@
 //!   that stalls past the deadline, declares the unresponsive peer dead and
 //!   reports [`TransportError::PeerDead`] — the eventually-perfect detector
 //!   ULFM actually requires.
+//!
+//! All of the above sits behind the [`Backend`] trait: the in-process
+//! fabric is one implementation ([`Endpoint::new`]), and [`SocketBackend`]
+//! provides the same contract across OS processes over TCP or Unix-domain
+//! stream sockets (see [`backend`] and [`socket`]).
 
 #![warn(missing_docs)]
 
+pub mod backend;
 mod error;
 mod fabric;
 mod fault;
 mod ids;
 mod mailbox;
 mod perturb;
+pub mod socket;
+pub mod stream;
 pub mod wire;
 
+pub use backend::{Backend, BackendKind, Endpoint, SignalHandler};
 pub use error::TransportError;
-pub use fabric::{Endpoint, Fabric, FabricStats};
+pub use fabric::{Fabric, FabricStats};
 pub use fault::{FaultInjector, FaultPlan, FaultTrigger};
 pub use ids::{NodeId, RankId, Topology};
 pub use mailbox::{Envelope, FrameAck, Mailbox, RecvOutcome};
 pub use perturb::{LinkPerturb, PerturbPlan, Perturber, RetryPolicy};
+pub use socket::{SocketBackend, SocketListener};
+pub use stream::{encode_envelope, StreamDecoder, StreamEnvelope, StreamError, StreamKind};
 pub use wire::{bytes_to_f32s, bytes_to_u64s, f32s_to_bytes, u64s_to_bytes, Wire};

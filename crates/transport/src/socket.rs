@@ -1,0 +1,1308 @@
+//! The multi-process socket backend: the same transport contract as the
+//! in-process fabric, carried over real TCP or Unix-domain stream sockets.
+//!
+//! One [`SocketBackend`] instance serves one rank — normally one OS
+//! process, though tests may host several backends in a single process.
+//! Peers form a full mesh of duplex connections; each connection carries
+//! [`crate::stream`] envelopes, and the payload of every `Data` envelope is
+//! the *same* checksummed, sequence-numbered wire frame
+//! ([`crate::wire`]) the in-process fabric exchanges. Ack/retransmit and
+//! the seeded [`PerturbPlan`] apply at exactly the same layer as before:
+//! the sender perturbs the wire frame (drop / delay / duplicate / reorder /
+//! bit-flip), the receiver deduplicates by sequence number, rejects bad
+//! checksums, and acks accepted frames; unacked frames retransmit under the
+//! plan's [`crate::RetryPolicy`].
+//!
+//! ## Event loop
+//!
+//! The workspace builds offline with no `epoll`/`mio` binding, so the
+//! "event loop" is the poll-style decomposition of one: a per-connection
+//! reader thread blocks in `read` and runs the [`StreamDecoder`]
+//! reassembly, a per-connection writer thread drains an outbound queue
+//! (senders never write to sockets directly — acks can therefore never
+//! deadlock against a full send buffer), and one accept thread services
+//! the listener. Connection establishment is deterministic: rank *r* dials
+//! every peer with a lower id (retrying with backoff until the connect
+//! timeout) and accepts from every higher one, identifying itself with a
+//! `Hello` envelope.
+//!
+//! ## Failure detection: EOF vs. timeout
+//!
+//! Two independent signals feed the unchanged ULFM revoke → agree → shrink
+//! path above:
+//!
+//! * **EOF / connection reset** — a SIGKILLed process's kernel closes its
+//!   sockets; every peer's reader observes it immediately and marks the
+//!   rank dead (the fail-stop signal the in-process alive table modeled);
+//! * **silence** — a reachable-but-stuck peer trips the same two suspicion
+//!   rules as in-process: send-retry exhaustion, or a blocking receive
+//!   with no explicit deadline stalling past the suspicion timeout.
+//!
+//! A suspected rank is additionally sent a best-effort `Die` envelope so
+//! that — exactly as with the shared alive table — a suspected process
+//! blocked in a receive observes [`TransportError::SelfDied`] rather than
+//! hanging on peers that have already written it off.
+
+use crate::backend::{Backend, BackendKind, SignalHandler};
+use crate::error::TransportError;
+use crate::fabric::{FabricStats, FabricTelemetry};
+use crate::fault::FaultInjector;
+use crate::ids::{RankId, Topology};
+use crate::mailbox::{FrameAck, Mailbox, RecvOutcome};
+use crate::perturb::{PerturbPlan, Perturber};
+use crate::stream::{encode_envelope, StreamDecoder, StreamEnvelope, StreamKind};
+use crate::wire;
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Debug tracing for the death/teardown paths, enabled with `SOCK_TRACE=1`.
+fn trace(msg: impl FnOnce() -> String) {
+    use std::sync::OnceLock;
+    static ON: OnceLock<bool> = OnceLock::new();
+    if *ON.get_or_init(|| std::env::var("SOCK_TRACE").is_ok()) {
+        eprintln!("[sock {:?}] {}", std::time::SystemTime::now(), msg());
+    }
+}
+
+/// Extra grace added to each ack-wait beyond the retry policy's backoff:
+/// unlike the in-process fabric, where delivery is a function call, a
+/// loopback round-trip through two service threads has real latency, and
+/// without the floor the default 100µs first backoff would retransmit
+/// almost every frame.
+const ACK_GRACE: Duration = Duration::from_millis(1);
+
+/// How long a freshly-accepted connection gets to present its `Hello`.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long `shutdown` waits for writer threads to flush draining links
+/// before force-closing them.
+const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
+
+/// Backoff between dial attempts while a peer's listener isn't up yet.
+const DIAL_RETRY: Duration = Duration::from_millis(10);
+
+/// A bound listening socket plus its dialable address string
+/// (`tcp:127.0.0.1:PORT` or `unix:/path`). Created by
+/// [`SocketBackend::bind`] *before* rendezvous so the address can be
+/// published, then consumed by [`SocketBackend::establish`].
+pub struct SocketListener {
+    inner: ListenerInner,
+    addr: String,
+}
+
+enum ListenerInner {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl SocketListener {
+    /// The address peers should dial, e.g. `tcp:127.0.0.1:41234`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+/// A duplex stream of either flavor.
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn connect(addr: &str) -> io::Result<Self> {
+        if let Some(rest) = addr.strip_prefix("tcp:") {
+            let s = TcpStream::connect(rest)?;
+            s.set_nodelay(true).ok();
+            Ok(Stream::Tcp(s))
+        } else if let Some(rest) = addr.strip_prefix("unix:") {
+            Ok(Stream::Unix(UnixStream::connect(rest)?))
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("address {addr:?} has no tcp:/unix: prefix"),
+            ))
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<Self> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                s.shutdown(std::net::Shutdown::Both).ok();
+            }
+            Stream::Unix(s) => {
+                s.shutdown(std::net::Shutdown::Both).ok();
+            }
+        }
+    }
+
+    fn read_bytes(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write_all_bytes(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.write_all(buf),
+            Stream::Unix(s) => s.write_all(buf),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LinkPhase {
+    /// Not yet connected.
+    Pending,
+    /// Connected; reader/writer threads running.
+    Up,
+    /// Close requested after the outbound queue drains (delivers a final
+    /// `Die`/`Bye` before the FIN).
+    Draining,
+    /// Closed; queue is discarded.
+    Closed,
+}
+
+struct LinkState {
+    phase: LinkPhase,
+    queue: VecDeque<Vec<u8>>,
+    /// Handle kept for shutdown; the reader/writer threads own clones.
+    stream: Option<Stream>,
+}
+
+struct Link {
+    state: Mutex<LinkState>,
+    cv: Condvar,
+}
+
+impl Link {
+    fn vacant() -> Self {
+        Self {
+            state: Mutex::new(LinkState {
+                phase: LinkPhase::Pending,
+                queue: VecDeque::new(),
+                stream: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The socket implementation of [`Backend`]. See the module docs for the
+/// threading model and failure-detection semantics.
+pub struct SocketBackend {
+    rank: RankId,
+    topology: Topology,
+    world: usize,
+    kind: BackendKind,
+    mailbox: Mailbox,
+    alive: Vec<AtomicBool>,
+    injector: FaultInjector,
+    perturber: RwLock<Arc<Perturber>>,
+    suspicion: RwLock<Option<Duration>>,
+    tx_seq: Mutex<HashMap<(RankId, u64), u64>>,
+    links: Vec<Link>,
+    /// Acks received but not yet claimed by a waiting sender.
+    acks: Mutex<HashSet<(RankId, u64, u64)>>,
+    ack_cv: Condvar,
+    signal_handler: RwLock<Option<SignalHandler>>,
+    shutting_down: AtomicBool,
+    /// Set when this rank dies *abruptly* (scripted fault, a peer's `Die`
+    /// verdict) as opposed to a voluntary `kill_self` retirement. Lets a
+    /// host process turn simulated hard deaths into real ones.
+    hard_died: AtomicBool,
+    /// Dialable address of the local listener (for the shutdown self-wake).
+    local_addr: String,
+    ready_links: AtomicUsize,
+    ready_mx: Mutex<()>,
+    ready_cv: Condvar,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    deaths: AtomicU64,
+    retransmits: AtomicU64,
+    corrupt_frames: AtomicU64,
+    dup_suppressed: AtomicU64,
+    suspicions: AtomicU64,
+    telem: FabricTelemetry,
+}
+
+impl SocketBackend {
+    /// Bind a listener of the requested kind on an ephemeral local address.
+    /// Returns the listener and its dialable address string; publish the
+    /// address (e.g. through the rendezvous store), then call
+    /// [`SocketBackend::establish`] once every peer's address is known.
+    pub fn bind(kind: BackendKind) -> io::Result<SocketListener> {
+        static UNIX_SEQ: AtomicU64 = AtomicU64::new(0);
+        match kind {
+            BackendKind::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let addr = format!("tcp:{}", l.local_addr()?);
+                Ok(SocketListener {
+                    inner: ListenerInner::Tcp(l),
+                    addr,
+                })
+            }
+            BackendKind::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "elfr-{}-{}.sock",
+                    std::process::id(),
+                    UNIX_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                // A crashed earlier run may have left the name behind.
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                let addr = format!("unix:{}", path.display());
+                Ok(SocketListener {
+                    inner: ListenerInner::Unix(l, path),
+                    addr,
+                })
+            }
+            BackendKind::InProc => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the in-process backend has no listener; use Endpoint::new",
+            )),
+        }
+    }
+
+    /// Establish the full mesh: dial every lower-ranked peer, accept from
+    /// every higher-ranked one, and return once all `world - 1` links are
+    /// up (or fail after `connect_timeout`).
+    ///
+    /// `peer_addrs[r]` must be rank `r`'s published address
+    /// (`peer_addrs[rank]` is ignored — it is this backend's own listener).
+    pub fn establish(
+        rank: RankId,
+        topology: Topology,
+        listener: SocketListener,
+        peer_addrs: &[String],
+        injector: FaultInjector,
+        connect_timeout: Duration,
+    ) -> io::Result<Arc<Self>> {
+        let world = peer_addrs.len();
+        assert!(rank.0 < world, "rank {rank} outside world of {world}");
+        let kind = match &listener.inner {
+            ListenerInner::Tcp(_) => BackendKind::Tcp,
+            ListenerInner::Unix(..) => BackendKind::Unix,
+        };
+        let backend = Arc::new(SocketBackend {
+            rank,
+            topology,
+            world,
+            kind,
+            mailbox: Mailbox::new(),
+            alive: (0..world).map(|_| AtomicBool::new(true)).collect(),
+            injector,
+            perturber: RwLock::new(Arc::new(Perturber::inert())),
+            suspicion: RwLock::new(None),
+            tx_seq: Mutex::new(HashMap::new()),
+            links: (0..world).map(|_| Link::vacant()).collect(),
+            acks: Mutex::new(HashSet::new()),
+            ack_cv: Condvar::new(),
+            signal_handler: RwLock::new(None),
+            shutting_down: AtomicBool::new(false),
+            hard_died: AtomicBool::new(false),
+            local_addr: listener.addr.clone(),
+            ready_links: AtomicUsize::new(0),
+            ready_mx: Mutex::new(()),
+            ready_cv: Condvar::new(),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            deaths: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            dup_suppressed: AtomicU64::new(0),
+            suspicions: AtomicU64::new(0),
+            telem: FabricTelemetry::new(),
+        });
+
+        // Accept thread: serves ranks above ours, runs until shutdown.
+        {
+            let b = Arc::clone(&backend);
+            std::thread::Builder::new()
+                .name(format!("sock-accept-{rank}"))
+                .spawn(move || b.accept_loop(listener))
+                .expect("spawn accept thread");
+        }
+
+        // Dial every lower-ranked peer (their listeners may not be up yet).
+        for (p, addr) in peer_addrs.iter().enumerate().take(rank.0) {
+            let deadline = Instant::now() + connect_timeout;
+            let mut stream = loop {
+                match Stream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            backend.shutdown();
+                            return Err(io::Error::new(
+                                e.kind(),
+                                format!("dialing rank {p} at {addr}: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(DIAL_RETRY);
+                    }
+                }
+            };
+            stream.write_all_bytes(&encode_envelope(
+                StreamKind::Hello,
+                &(rank.0 as u64).to_le_bytes(),
+            ))?;
+            backend.install_link(RankId(p), stream, StreamDecoder::new());
+        }
+
+        // Wait for the full mesh.
+        let deadline = Instant::now() + connect_timeout;
+        {
+            let mut g = backend.ready_mx.lock();
+            while backend.ready_links.load(Ordering::SeqCst) < world - 1 {
+                let now = Instant::now();
+                if now >= deadline {
+                    let have = backend.ready_links.load(Ordering::SeqCst);
+                    backend.shutdown();
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "rank {rank}: only {have}/{} links up within {connect_timeout:?}",
+                            world - 1
+                        ),
+                    ));
+                }
+                backend.ready_cv.wait_for(&mut g, deadline - now);
+            }
+        }
+        Ok(backend)
+    }
+
+    /// Did this rank die abruptly (scripted fault or a peer's `Die`
+    /// verdict), as opposed to retiring voluntarily? A multi-process host
+    /// can poll this to turn a simulated hard death into a real `SIGKILL`.
+    pub fn hard_died(&self) -> bool {
+        self.hard_died.load(Ordering::SeqCst)
+    }
+
+    /// Which flavor of socket this backend runs on.
+    pub fn kind(&self) -> BackendKind {
+        self.kind
+    }
+
+    /// Convenience for tests and single-process socket scenarios: bind and
+    /// establish a full mesh of `n` backends inside this process, all
+    /// sharing the scripted `injector` plan (each backend only ever fires
+    /// its own rank's triggers).
+    pub fn local_mesh(
+        kind: BackendKind,
+        topology: Topology,
+        n: usize,
+        injector_plan: crate::fault::FaultPlan,
+    ) -> io::Result<Vec<Arc<Self>>> {
+        let listeners = (0..n)
+            .map(|_| Self::bind(kind))
+            .collect::<io::Result<Vec<_>>>()?;
+        let addrs: Vec<String> = listeners.iter().map(|l| l.addr().to_string()).collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(r, listener)| {
+                let addrs = addrs.clone();
+                let plan = injector_plan.clone();
+                std::thread::spawn(move || {
+                    Self::establish(
+                        RankId(r),
+                        topology,
+                        listener,
+                        &addrs,
+                        FaultInjector::new(plan),
+                        Duration::from_secs(20),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mesh establish thread panicked"))
+            .collect()
+    }
+
+    // ---- connection service threads -------------------------------------
+
+    fn accept_loop(self: Arc<Self>, listener: SocketListener) {
+        loop {
+            let stream = match &listener.inner {
+                ListenerInner::Tcp(l) => l.accept().map(|(s, _)| {
+                    s.set_nodelay(true).ok();
+                    Stream::Tcp(s)
+                }),
+                ListenerInner::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            };
+            if self.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else {
+                if self.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            };
+            // Handshake: the dialer identifies itself first. The decoder
+            // comes back with it: a fast dialer's first data frames may
+            // already be coalesced behind the Hello, and dropping them
+            // would desync the stream.
+            match self.read_hello(&mut stream) {
+                Some((peer, dec)) if peer.0 < self.world && peer != self.rank => {
+                    self.install_link(peer, stream, dec);
+                }
+                _ => {
+                    stream.shutdown_both();
+                }
+            }
+        }
+        if let ListenerInner::Unix(_, path) = &listener.inner {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Read the dialer's Hello. Returns the peer's rank together with the
+    /// decoder, which may already hold bytes read past the Hello (the
+    /// dialer is free to start sending the moment its side of the link is
+    /// up); the reader loop continues from exactly that state.
+    fn read_hello(&self, stream: &mut Stream) -> Option<(RankId, StreamDecoder)> {
+        stream.set_read_timeout(Some(HELLO_TIMEOUT)).ok()?;
+        let mut dec = StreamDecoder::new();
+        let mut buf = [0u8; 256];
+        let env = loop {
+            match dec.next_envelope() {
+                Ok(Some(env)) => break env,
+                Ok(None) => {}
+                Err(_) => return None,
+            }
+            let n = stream.read_bytes(&mut buf).ok()?;
+            if n == 0 {
+                return None;
+            }
+            dec.push(&buf[..n]);
+        };
+        stream.set_read_timeout(None).ok()?;
+        if env.kind != StreamKind::Hello || env.payload.len() != 8 {
+            return None;
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&env.payload);
+        Some((RankId(u64::from_le_bytes(raw) as usize), dec))
+    }
+
+    fn install_link(self: &Arc<Self>, peer: RankId, stream: Stream, dec: StreamDecoder) {
+        let reader = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                stream.shutdown_both();
+                return;
+            }
+        };
+        let writer = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                stream.shutdown_both();
+                return;
+            }
+        };
+        {
+            let mut st = self.links[peer.0].state.lock();
+            if st.phase != LinkPhase::Pending {
+                // Duplicate or late connection; keep the first.
+                stream.shutdown_both();
+                return;
+            }
+            st.phase = LinkPhase::Up;
+            st.stream = Some(stream);
+        }
+        {
+            let b = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("sock-rd-{}-{peer}", self.rank))
+                .spawn(move || b.reader_loop(peer, reader, dec))
+                .expect("spawn reader thread");
+        }
+        {
+            let b = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("sock-wr-{}-{peer}", self.rank))
+                .spawn(move || b.writer_loop(peer, writer))
+                .expect("spawn writer thread");
+        }
+        self.ready_links.fetch_add(1, Ordering::SeqCst);
+        let _g = self.ready_mx.lock();
+        self.ready_cv.notify_all();
+    }
+
+    fn reader_loop(self: Arc<Self>, peer: RankId, mut stream: Stream, mut dec: StreamDecoder) {
+        let mut buf = vec![0u8; 64 * 1024];
+        'conn: loop {
+            // Drain before reading: the handshake may have handed us a
+            // decoder that already holds complete frames.
+            loop {
+                match dec.next_envelope() {
+                    Ok(Some(env)) => {
+                        if !self.handle_envelope(peer, env) {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    // Desynchronized stream: unrecoverable for this
+                    // connection; treat like a reset.
+                    Err(_) => break 'conn,
+                }
+            }
+            match stream.read_bytes(&mut buf) {
+                Ok(0) => break 'conn,
+                Ok(n) => dec.push(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break 'conn,
+            }
+        }
+        self.on_conn_lost(peer);
+    }
+
+    fn writer_loop(self: Arc<Self>, peer: RankId, mut stream: Stream) {
+        loop {
+            let (item, drain_done) = {
+                let link = &self.links[peer.0];
+                let mut st = link.state.lock();
+                loop {
+                    if let Some(item) = st.queue.pop_front() {
+                        break (Some(item), false);
+                    }
+                    match st.phase {
+                        LinkPhase::Closed => break (None, false),
+                        LinkPhase::Draining => break (None, true),
+                        _ => link.cv.wait(&mut st),
+                    }
+                }
+            };
+            match item {
+                Some(bytes) => {
+                    if stream.write_all_bytes(&bytes).is_err() {
+                        // Connection is gone; the reader observes it too.
+                        self.close_link(peer, false);
+                        return;
+                    }
+                }
+                None => {
+                    if drain_done {
+                        // Final envelope flushed: now actually close.
+                        self.close_link(peer, false);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The connection to `peer` dropped (EOF, reset, or desync). Outside of
+    /// our own teardown this *is* the fail-stop failure signal.
+    fn on_conn_lost(&self, peer: RankId) {
+        self.close_link(peer, false);
+        if self.shutting_down.load(Ordering::SeqCst) || !self.alive_local(self.rank) {
+            return;
+        }
+        trace(|| format!("rank {} conn lost to {peer}", self.rank));
+        self.mark_peer_dead(peer, false);
+    }
+
+    fn close_link(&self, peer: RankId, drain_first: bool) {
+        let link = &self.links[peer.0];
+        let mut st = link.state.lock();
+        match st.phase {
+            LinkPhase::Closed => return,
+            LinkPhase::Draining if drain_first => return,
+            _ => {}
+        }
+        if drain_first && st.phase == LinkPhase::Up {
+            st.phase = LinkPhase::Draining;
+        } else {
+            st.phase = LinkPhase::Closed;
+            st.queue.clear();
+            if let Some(s) = st.stream.take() {
+                s.shutdown_both();
+            }
+        }
+        link.cv.notify_all();
+    }
+
+    /// Queue an envelope for `peer`. Returns false if the link is not up.
+    fn enqueue(&self, peer: RankId, bytes: Vec<u8>) -> bool {
+        let link = &self.links[peer.0];
+        let mut st = link.state.lock();
+        if st.phase != LinkPhase::Up {
+            return false;
+        }
+        st.queue.push_back(bytes);
+        link.cv.notify_all();
+        true
+    }
+
+    fn handle_envelope(&self, peer: RankId, env: StreamEnvelope) -> bool {
+        match env.kind {
+            StreamKind::Data => {
+                match wire::decode_frame(&env.payload) {
+                    Err(_) => {
+                        // Bit-flipped by the perturbation plan: discard
+                        // without acking; the sender retransmits.
+                        self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        self.telem.corrupt_frames.incr();
+                    }
+                    Ok(frame) => {
+                        // Ack BEFORE delivering to the mailbox: delivery can
+                        // wake the engine thread, which may complete its last
+                        // collective and retire — moving this link out of
+                        // `Up` — before we get another chance to enqueue.
+                        // Acking first keeps the ack FIFO-ordered ahead of
+                        // any Bye that the delivery itself triggers. A
+                        // validated frame is always held (duplicates ack
+                        // too), so the early ack never lies.
+                        let mut payload = Vec::with_capacity(16);
+                        payload.extend_from_slice(&frame.tag.to_le_bytes());
+                        payload.extend_from_slice(&frame.seq.to_le_bytes());
+                        self.enqueue(peer, encode_envelope(StreamKind::Ack, &payload));
+                        match self.mailbox.accept_frame(&env.payload) {
+                            FrameAck::Corrupt(_) => {
+                                // Unreachable: decode_frame above already
+                                // validated the same bytes.
+                                self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                                self.telem.corrupt_frames.incr();
+                            }
+                            FrameAck::Duplicate => {
+                                self.dup_suppressed.fetch_add(1, Ordering::Relaxed);
+                                self.telem.dup_suppressed.incr();
+                            }
+                            FrameAck::Accepted => {}
+                        }
+                    }
+                }
+                true
+            }
+            StreamKind::Ack => {
+                if env.payload.len() == 16 {
+                    let mut tag = [0u8; 8];
+                    let mut seq = [0u8; 8];
+                    tag.copy_from_slice(&env.payload[..8]);
+                    seq.copy_from_slice(&env.payload[8..]);
+                    let mut acks = self.acks.lock();
+                    if acks.len() > 100_000 {
+                        // Redundant acks (duplicates of frames whose sender
+                        // already moved on) are never claimed; dropping them
+                        // can at worst cause one extra retransmit.
+                        acks.clear();
+                    }
+                    acks.insert((peer, u64::from_le_bytes(tag), u64::from_le_bytes(seq)));
+                    self.ack_cv.notify_all();
+                }
+                true
+            }
+            StreamKind::Signal => {
+                if let Some(h) = self.signal_handler.read().as_ref() {
+                    h(&env.payload);
+                }
+                true
+            }
+            StreamKind::Die => {
+                // A peer suspected us dead. Honor the verdict (ULFM's
+                // failure knowledge only grows): observe our own death and
+                // go dark so the rest of the world converges on it too.
+                trace(|| format!("rank {} got Die from {peer}", self.rank));
+                self.die_abruptly();
+                false
+            }
+            StreamKind::Bye => {
+                trace(|| format!("rank {} got Bye from {peer}", self.rank));
+                self.mark_peer_dead(peer, false);
+                false
+            }
+            StreamKind::Hello => {
+                // A Hello after the handshake means the stream is confused.
+                self.on_conn_lost(peer);
+                false
+            }
+        }
+    }
+
+    // ---- liveness -------------------------------------------------------
+
+    fn alive_local(&self, rank: RankId) -> bool {
+        self.alive
+            .get(rank.0)
+            .is_some_and(|a| a.load(Ordering::SeqCst))
+    }
+
+    /// Mark `peer` dead in the local view and wake every blocked local
+    /// waiter. With `send_die`, a final `Die` envelope is flushed to the
+    /// peer before its link closes (the suspicion path); otherwise the link
+    /// is torn down immediately (the EOF path).
+    fn mark_peer_dead(&self, peer: RankId, send_die: bool) {
+        if peer.0 >= self.world {
+            return;
+        }
+        if self.alive[peer.0].swap(false, Ordering::SeqCst) {
+            self.deaths.fetch_add(1, Ordering::Relaxed);
+            self.telem.deaths.incr();
+            if send_die {
+                self.enqueue(peer, encode_envelope(StreamKind::Die, b""));
+            }
+            self.close_link(peer, send_die);
+            self.wake_local();
+        }
+    }
+
+    /// Scripted or signaled self-death: go dark abruptly, like a crash —
+    /// no goodbyes, peers learn from the EOF.
+    fn die_abruptly(&self) {
+        self.hard_died.store(true, Ordering::SeqCst);
+        if self.alive[self.rank.0].swap(false, Ordering::SeqCst) {
+            self.deaths.fetch_add(1, Ordering::Relaxed);
+            self.telem.deaths.incr();
+            for p in 0..self.world {
+                if p != self.rank.0 {
+                    self.close_link(RankId(p), false);
+                }
+            }
+            self.wake_local();
+        }
+    }
+
+    fn wake_local(&self) {
+        self.mailbox.wake_waiters();
+        let _g = self.acks.lock();
+        self.ack_cv.notify_all();
+        let _r = self.ready_mx.lock();
+        self.ready_cv.notify_all();
+    }
+
+    /// Wait until the receiver acks `(to, tag, seq)`, a liveness change
+    /// interrupts the wait, or `timeout` elapses. True iff acked.
+    fn wait_ack(&self, to: RankId, tag: u64, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut acks = self.acks.lock();
+        loop {
+            if acks.remove(&(to, tag, seq)) {
+                return true;
+            }
+            if !self.alive_local(to) || !self.alive_local(self.rank) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return acks.remove(&(to, tag, seq));
+            }
+            self.ack_cv.wait_for(&mut acks, deadline - now);
+        }
+    }
+
+    fn next_tx_seq(&self, dst: RankId, tag: u64) -> u64 {
+        let mut seqs = self.tx_seq.lock();
+        let s = seqs.entry((dst, tag)).or_insert(0);
+        let seq = *s;
+        *s += 1;
+        seq
+    }
+}
+
+impl Backend for SocketBackend {
+    fn rank(&self) -> RankId {
+        self.rank
+    }
+
+    fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn total_ranks(&self) -> usize {
+        self.world
+    }
+
+    fn is_alive(&self, rank: RankId) -> bool {
+        self.alive_local(rank)
+    }
+
+    fn alive_ranks(&self) -> Vec<RankId> {
+        (0..self.world)
+            .filter(|r| self.alive[*r].load(Ordering::SeqCst))
+            .map(RankId)
+            .collect()
+    }
+
+    fn suspect(&self, rank: RankId) {
+        if rank == self.rank {
+            self.die_abruptly();
+            return;
+        }
+        if self.alive_local(rank) {
+            self.suspicions.fetch_add(1, Ordering::Relaxed);
+            self.telem.suspicions.incr();
+            // Tell the suspect: the in-process alive table made a suspected
+            // rank observe its own death; over sockets the Die envelope
+            // carries that verdict (best effort — a truly dead process
+            // simply won't read it).
+            self.mark_peer_dead(rank, true);
+        }
+    }
+
+    fn kill_self(&self) {
+        // Voluntary, clean departure: flush a Bye on every live link so
+        // peers record the death without an error-path teardown.
+        trace(|| format!("rank {} kill_self", self.rank));
+        if self.alive[self.rank.0].swap(false, Ordering::SeqCst) {
+            self.deaths.fetch_add(1, Ordering::Relaxed);
+            self.telem.deaths.incr();
+            for p in 0..self.world {
+                if p != self.rank.0 {
+                    self.enqueue(RankId(p), encode_envelope(StreamKind::Bye, b""));
+                    self.close_link(RankId(p), true);
+                }
+            }
+            self.wake_local();
+        }
+    }
+
+    fn wake_all(&self) {
+        self.wake_local();
+    }
+
+    fn check_op_fault(&self) -> Result<(), TransportError> {
+        if !self.alive_local(self.rank) {
+            return Err(TransportError::SelfDied);
+        }
+        if self.injector.hit_op(self.rank) {
+            self.telem.op_fault_hits.incr();
+            self.die_abruptly();
+            return Err(TransportError::SelfDied);
+        }
+        Ok(())
+    }
+
+    fn fault_point(&self, name: &str) -> Result<(), TransportError> {
+        if !self.alive_local(self.rank) {
+            return Err(TransportError::SelfDied);
+        }
+        self.perturber.read().notify_point(name);
+        if self.injector.hit_point(self.rank, name) {
+            self.telem.fault_point_hits.incr();
+            self.die_abruptly();
+            return Err(TransportError::SelfDied);
+        }
+        Ok(())
+    }
+
+    fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
+        self.check_op_fault()?;
+        if to.0 >= self.world {
+            return Err(TransportError::UnknownRank(to));
+        }
+        if !self.alive_local(to) {
+            return Err(TransportError::PeerDead(to));
+        }
+        let seq = self.next_tx_seq(to, tag);
+        let frame = wire::encode_frame(self.rank, tag, seq, data);
+        if to == self.rank {
+            // Loopback: no socket, no perturbation — as with the fabric,
+            // a rank's path to itself is its own mailbox.
+            self.mailbox.accept_frame(&frame);
+        } else {
+            let policy = self.perturber.read().plan().retry_policy();
+            let mut attempt = 0u32;
+            loop {
+                let perturber = Arc::clone(&self.perturber.read());
+                let verdict = perturber.transmit(self.rank, to, &frame);
+                if verdict.dropped {
+                    self.telem.frames_dropped.incr();
+                }
+                if verdict.duplicated {
+                    self.telem.frames_duplicated.incr();
+                }
+                if verdict.reordered {
+                    self.telem.frames_reordered.incr();
+                }
+                for d in verdict.deliveries {
+                    if let Some(delay) = d.delay {
+                        // Propagation delay runs on the sender thread, like
+                        // the in-process fabric's slow-call links.
+                        self.telem.frames_delayed.incr();
+                        self.telem.delay_hist.record_duration(delay);
+                        std::thread::sleep(delay);
+                    }
+                    self.enqueue(to, encode_envelope(StreamKind::Data, &d.bytes));
+                }
+                let salt = perturber.backoff_salt(self.rank, to, tag, seq, attempt);
+                let backoff = policy.backoff(attempt, salt);
+                if self.wait_ack(to, tag, seq, backoff + ACK_GRACE) {
+                    break;
+                }
+                if !self.alive_local(self.rank) {
+                    return Err(TransportError::SelfDied);
+                }
+                if !self.alive_local(to) {
+                    trace(|| {
+                        format!(
+                            "rank {} send to {to} tag {tag} seq {seq} attempt {attempt}: peer dead",
+                            self.rank
+                        )
+                    });
+                    return Err(TransportError::PeerDead(to));
+                }
+                if attempt >= policy.max_retries {
+                    // Silent past the retry budget: suspect the peer,
+                    // feeding the ULFM revoke → agree → shrink path.
+                    self.suspect(to);
+                    return Err(TransportError::PeerDead(to));
+                }
+                self.telem.backoff_hist.record_duration(backoff);
+                attempt += 1;
+                self.retransmits.fetch_add(1, Ordering::Relaxed);
+                self.telem.retransmits.incr();
+            }
+        }
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.telem.msgs_sent.incr();
+        self.telem.bytes_sent.add(data.len() as u64);
+        Ok(())
+    }
+
+    fn recv(
+        &self,
+        from: RankId,
+        tag: u64,
+        should_stop: &dyn Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.check_op_fault()?;
+        if from.0 >= self.world {
+            return Err(TransportError::UnknownRank(from));
+        }
+        // Same two-tier rule as the in-process fabric: an explicit deadline
+        // is the caller's own timeout; an open-ended wait is bounded by the
+        // suspicion timeout when one is configured.
+        let suspicion = match deadline {
+            Some(_) => None,
+            None => *self.suspicion.read(),
+        };
+        let effective = deadline.or_else(|| suspicion.map(|t| Instant::now() + t));
+        match self.mailbox.pop_matching(
+            from,
+            tag,
+            || self.alive_local(from),
+            || self.alive_local(self.rank),
+            should_stop,
+            effective,
+        ) {
+            RecvOutcome::Message(data) => {
+                self.telem.msgs_recvd.incr();
+                self.telem.bytes_recvd.add(data.len() as u64);
+                Ok(data)
+            }
+            RecvOutcome::SrcDead => {
+                trace(|| format!("rank {} recv from {from} tag {tag}: src dead", self.rank));
+                Err(TransportError::PeerDead(from))
+            }
+            RecvOutcome::SelfDead => Err(TransportError::SelfDied),
+            RecvOutcome::Stopped => Err(TransportError::Stopped),
+            RecvOutcome::TimedOut => {
+                if suspicion.is_some() {
+                    self.suspect(from);
+                    return Err(TransportError::PeerDead(from));
+                }
+                self.telem.recv_timeouts.incr();
+                Err(TransportError::Timeout)
+            }
+        }
+    }
+
+    fn try_recv(&self, from: RankId, tag: u64) -> Option<Vec<u8>> {
+        self.mailbox.try_pop(from, tag)
+    }
+
+    fn probe(&self, from: RankId, tag: u64) -> bool {
+        self.mailbox.probe(from, tag)
+    }
+
+    fn purge_tags(&self, pred: &dyn Fn(u64) -> bool) -> usize {
+        let purged = self.mailbox.purge_where(pred);
+        self.telem.purged_msgs.add(purged as u64);
+        purged
+    }
+
+    fn set_perturbation(&self, plan: PerturbPlan) {
+        *self.perturber.write() = Arc::new(Perturber::new(plan));
+    }
+
+    fn set_suspicion_timeout(&self, timeout: Option<Duration>) {
+        *self.suspicion.write() = timeout;
+    }
+
+    fn suspicion_timeout(&self) -> Option<Duration> {
+        *self.suspicion.read()
+    }
+
+    fn broadcast_signal(&self, payload: &[u8]) {
+        for p in 0..self.world {
+            if p != self.rank.0 && self.alive_local(RankId(p)) {
+                self.enqueue(RankId(p), encode_envelope(StreamKind::Signal, payload));
+            }
+        }
+    }
+
+    fn set_signal_handler(&self, handler: SignalHandler) {
+        *self.signal_handler.write() = Some(handler);
+    }
+
+    fn stats(&self) -> FabricStats {
+        FabricStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            deaths: self.deaths.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            dup_suppressed: self.dup_suppressed.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drain first: a link may still hold undelivered control traffic —
+        // the final ack and the Bye that `kill_self` enqueued moments ago.
+        // Closing abruptly here would clear those queues before the writer
+        // thread ever got scheduled, so peers would see a raw EOF mid-op
+        // instead of an acked, clean goodbye.
+        for p in 0..self.world {
+            if p != self.rank.0 {
+                self.close_link(RankId(p), true);
+            }
+        }
+        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        while Instant::now() < deadline
+            && self
+                .links
+                .iter()
+                .enumerate()
+                .any(|(p, l)| p != self.rank.0 && l.state.lock().phase == LinkPhase::Draining)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for p in 0..self.world {
+            if p != self.rank.0 {
+                self.close_link(RankId(p), false);
+            }
+        }
+        // Unblock the accept thread: it re-checks the flag after every
+        // accept, so one dummy connection to ourselves releases it.
+        let _ = Stream::connect(&self.local_addr);
+        // The accept thread also unlinks on exit, but it may still be
+        // blocked in a handshake; unlink here so teardown is prompt.
+        if let Some(path) = self.local_addr.strip_prefix("unix:") {
+            let _ = std::fs::remove_file(path);
+        }
+        self.wake_local();
+    }
+}
+
+impl Drop for SocketBackend {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Endpoint;
+    use crate::fault::FaultPlan;
+    use crate::perturb::{LinkPerturb, RetryPolicy};
+
+    fn mesh(kind: BackendKind, n: usize) -> Vec<Endpoint> {
+        SocketBackend::local_mesh(kind, Topology::flat(), n, FaultPlan::none())
+            .expect("mesh")
+            .into_iter()
+            .map(|b| Endpoint::from_backend(b as Arc<dyn Backend>))
+            .collect()
+    }
+
+    /// Service threads hold backend Arcs, so teardown is explicit.
+    fn teardown(eps: &[Endpoint]) {
+        for ep in eps {
+            ep.backend().shutdown();
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let eps = mesh(BackendKind::Tcp, 2);
+        eps[0].send(RankId(1), 9, b"over tcp").unwrap();
+        assert_eq!(eps[1].recv(RankId(0), 9).unwrap(), b"over tcp");
+        teardown(&eps);
+    }
+
+    #[test]
+    fn unix_roundtrip() {
+        let eps = mesh(BackendKind::Unix, 2);
+        eps[1].send(RankId(0), 4, b"over uds").unwrap();
+        assert_eq!(eps[0].recv(RankId(1), 4).unwrap(), b"over uds");
+        teardown(&eps);
+    }
+
+    #[test]
+    fn three_rank_mesh_full_exchange() {
+        let eps = mesh(BackendKind::Tcp, 3);
+        for (i, ep) in eps.iter().enumerate() {
+            for j in 0..3 {
+                if i != j {
+                    ep.send(RankId(j), 7, format!("{i}->{j}").as_bytes())
+                        .unwrap();
+                }
+            }
+        }
+        for (j, ep) in eps.iter().enumerate() {
+            for i in 0..3 {
+                if i != j {
+                    assert_eq!(
+                        ep.recv(RankId(i), 7).unwrap(),
+                        format!("{i}->{j}").as_bytes()
+                    );
+                }
+            }
+        }
+        teardown(&eps);
+    }
+
+    #[test]
+    fn retire_is_seen_as_peer_death() {
+        let eps = mesh(BackendKind::Unix, 2);
+        eps[1].send(RankId(0), 2, b"last words").unwrap();
+        eps[1].retire();
+        // Buffered message first, then the failure.
+        assert_eq!(eps[0].recv(RankId(1), 2).unwrap(), b"last words");
+        assert_eq!(
+            eps[0].recv(RankId(1), 2),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+        teardown(&eps);
+    }
+
+    #[test]
+    fn lossy_socket_link_heals_via_retransmission() {
+        let backends =
+            SocketBackend::local_mesh(BackendKind::Tcp, Topology::flat(), 2, FaultPlan::none())
+                .unwrap();
+        let plan = PerturbPlan::seeded(11)
+            .all_links(LinkPerturb::clean().drop(0.4).duplicate(0.2).corrupt(0.2))
+            .retry(RetryPolicy {
+                max_retries: 32,
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(2),
+            });
+        for b in &backends {
+            b.set_perturbation(plan.clone());
+        }
+        let eps: Vec<Endpoint> = backends
+            .iter()
+            .map(|b| Endpoint::from_backend(Arc::clone(b) as Arc<dyn Backend>))
+            .collect();
+        for i in 0..50u64 {
+            eps[0].send(RankId(1), 9, &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..50u64 {
+            assert_eq!(eps[1].recv(RankId(0), 9).unwrap(), i.to_le_bytes());
+        }
+        let tx = backends[0].stats();
+        let rx = backends[1].stats();
+        assert_eq!(tx.messages, 50);
+        assert!(
+            tx.retransmits > 0 || rx.dup_suppressed > 0,
+            "a 40% drop rate must force link-layer repair"
+        );
+        teardown(&eps);
+    }
+
+    #[test]
+    fn suspected_socket_rank_observes_own_death() {
+        let eps = mesh(BackendKind::Tcp, 3);
+        eps[0].set_suspicion_timeout(Some(Duration::from_millis(30)));
+        // Rank 1 blocks on a channel nobody serves; rank 0 gives up on it.
+        let e1 = eps[1].clone();
+        let t = std::thread::spawn(move || e1.recv(RankId(2), 99));
+        assert_eq!(
+            eps[0].recv(RankId(1), 3),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+        // The Die envelope makes the suspect observe its own death.
+        assert_eq!(t.join().unwrap(), Err(TransportError::SelfDied));
+        teardown(&eps);
+    }
+
+    #[test]
+    fn scripted_death_goes_dark_and_peers_see_eof() {
+        let plan = FaultPlan::none().kill_at_point(RankId(1), "allreduce.step", 1);
+        let backends =
+            SocketBackend::local_mesh(BackendKind::Unix, Topology::flat(), 2, plan).unwrap();
+        let eps: Vec<Endpoint> = backends
+            .iter()
+            .map(|b| Endpoint::from_backend(Arc::clone(b) as Arc<dyn Backend>))
+            .collect();
+        assert_eq!(
+            eps[1].fault_point("allreduce.step"),
+            Err(TransportError::SelfDied)
+        );
+        // No suspicion timeout configured: the EOF alone must inform rank 0.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while eps[0].is_peer_alive(RankId(1)) {
+            assert!(Instant::now() < deadline, "EOF never observed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            eps[0].recv(RankId(1), 0),
+            Err(TransportError::PeerDead(RankId(1)))
+        );
+        teardown(&eps);
+    }
+
+    #[test]
+    fn signals_reach_all_peers() {
+        use std::sync::atomic::AtomicU64;
+        let eps = mesh(BackendKind::Tcp, 3);
+        let hits = Arc::new(AtomicU64::new(0));
+        for ep in &eps[1..] {
+            let hits = Arc::clone(&hits);
+            ep.set_signal_handler(Box::new(move |payload| {
+                assert_eq!(payload, b"revoke:7");
+                hits.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        eps[0].broadcast_signal(b"revoke:7");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) < 2 {
+            assert!(Instant::now() < deadline, "signals not delivered");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        teardown(&eps);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the socket stream layer: arbitrary envelope
+//! sequences, split and coalesced at arbitrary byte boundaries, must
+//! reassemble exactly; a stream truncated mid-envelope must yield a clean
+//! [`StreamError::TruncatedStream`] from `finish()` — never a panic, never
+//! a partial envelope.
+
+use proptest::prelude::*;
+use transport::{encode_envelope, StreamDecoder, StreamEnvelope, StreamError, StreamKind};
+
+const KINDS: [StreamKind; 6] = [
+    StreamKind::Data,
+    StreamKind::Ack,
+    StreamKind::Hello,
+    StreamKind::Signal,
+    StreamKind::Die,
+    StreamKind::Bye,
+];
+
+/// Build an envelope sequence from independently generated kind indices
+/// and payloads (the proptest shim has no tuple strategies).
+fn zip_envelopes(kinds: &[usize], payloads: &[Vec<u8>]) -> Vec<StreamEnvelope> {
+    kinds
+        .iter()
+        .zip(payloads)
+        .map(|(k, payload)| StreamEnvelope {
+            kind: KINDS[k % KINDS.len()],
+            payload: payload.clone(),
+        })
+        .collect()
+}
+
+/// Concatenate the wire encoding of a sequence of envelopes.
+fn encode_all(envs: &[StreamEnvelope]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for e in envs {
+        bytes.extend_from_slice(&encode_envelope(e.kind, &e.payload));
+    }
+    bytes
+}
+
+/// Feed `bytes` to a decoder in chunks cut at the given boundaries,
+/// draining complete envelopes after every push (as the reader loop does).
+fn decode_chunked(bytes: &[u8], cuts: &[usize]) -> (Vec<StreamEnvelope>, StreamDecoder) {
+    let mut dec = StreamDecoder::new();
+    let mut out = Vec::new();
+    let mut prev = 0usize;
+    let mut cutpoints: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    cutpoints.sort_unstable();
+    cutpoints.push(bytes.len());
+    for cut in cutpoints {
+        if cut > prev {
+            dec.push(&bytes[prev..cut]);
+            prev = cut;
+        }
+        while let Some(env) = dec.next_envelope().expect("valid stream must decode") {
+            out.push(env);
+        }
+    }
+    (out, dec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any envelope sequence, split/coalesced at any byte boundaries,
+    /// round-trips exactly and ends on a clean boundary.
+    #[test]
+    fn arbitrary_splits_reassemble_exactly(
+        kinds in proptest::collection::vec(0usize..6, 0..12),
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96), 0..12),
+        cuts in proptest::collection::vec(any::<usize>(), 0..24),
+    ) {
+        let n = kinds.len().min(payloads.len());
+        let envs = zip_envelopes(&kinds[..n], &payloads[..n]);
+        let bytes = encode_all(&envs);
+        let (decoded, dec) = decode_chunked(&bytes, &cuts);
+        prop_assert_eq!(decoded, envs);
+        prop_assert_eq!(dec.finish(), Ok(()));
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A stream truncated anywhere strictly inside its final envelope
+    /// decodes every whole envelope before the tear, then reports
+    /// TruncatedStream from finish() — and never panics or yields a
+    /// partial envelope.
+    #[test]
+    fn truncated_tail_is_a_clean_error(
+        kinds in proptest::collection::vec(0usize..6, 1..8),
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..96), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+        cut_back in any::<usize>(),
+    ) {
+        let n = kinds.len().min(payloads.len());
+        let envs = zip_envelopes(&kinds[..n], &payloads[..n]);
+        let bytes = encode_all(&envs);
+        let last = envs.last().unwrap();
+        let last_len = encode_envelope(last.kind, &last.payload).len();
+        // Truncate somewhere strictly inside the final envelope: dropping
+        // all `last_len` bytes would leave a clean boundary, so keep at
+        // least one byte of it (headers are 5 bytes, so last_len > 1).
+        let drop = 1 + cut_back % (last_len - 1);
+        let torn = &bytes[..bytes.len() - drop];
+        let (decoded, mut dec) = decode_chunked(torn, &cuts);
+        // Every envelope before the torn one still decodes, in order.
+        prop_assert_eq!(decoded.as_slice(), &envs[..envs.len() - 1]);
+        prop_assert_eq!(dec.next_envelope(), Ok(None));
+        match dec.finish() {
+            Err(StreamError::TruncatedStream { leftover }) => {
+                prop_assert_eq!(leftover, last_len - drop);
+            }
+            other => prop_assert!(false, "expected TruncatedStream, got {:?}", other),
+        }
+    }
+
+    /// Hostile bytes never panic the decoder: it either produces envelopes
+    /// or reports a fatal error, and once it errors it stays errored.
+    #[test]
+    fn garbage_never_panics(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut dec = StreamDecoder::new();
+        let mut prev = 0usize;
+        let mut cutpoints: Vec<usize> = cuts.iter().map(|c| c % (junk.len() + 1)).collect();
+        cutpoints.sort_unstable();
+        cutpoints.push(junk.len());
+        'outer: for cut in cutpoints {
+            if cut > prev {
+                dec.push(&junk[prev..cut]);
+                prev = cut;
+            }
+            loop {
+                match dec.next_envelope() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Fatal and sticky: the same error again, forever.
+                        prop_assert_eq!(dec.next_envelope(), Err(e));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -27,8 +27,7 @@ impl Hierarchy {
     /// Build the node-local and leader communicators from `comm`.
     /// Collective over `comm`.
     pub fn build(comm: &Communicator) -> Result<Self, UlfmError> {
-        let fabric = comm.endpoint().fabric();
-        let node = fabric.node_of(comm.global_rank()).0 as u64;
+        let node = comm.endpoint().node_of(comm.global_rank()).0 as u64;
         let local = comm
             .split(node, comm.rank() as u64)?
             .expect("every rank has a node color");

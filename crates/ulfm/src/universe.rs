@@ -159,8 +159,24 @@ impl JoinServer {
     }
 }
 
+/// How this universe's process relates to the job: either it *is* the job
+/// (threads-as-ranks over one shared fabric), or it is a single rank of a
+/// multi-process job reached through a distributed backend.
+pub(crate) enum Runtime {
+    /// The classic mode: every rank is a thread over one [`Fabric`].
+    InProc(Arc<Fabric>),
+    /// This process hosts exactly one rank; the universe state (revocation
+    /// board, comm-id interner, join service) is process-local, and
+    /// revocations propagate to peer processes as control-plane signals
+    /// through the endpoint's backend.
+    Peer(Endpoint),
+}
+
+/// Signal-payload discriminant for a communicator revocation broadcast.
+const SIGNAL_REVOKE: u8 = 1;
+
 pub(crate) struct Shared {
-    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) runtime: Runtime,
     pub(crate) revoked: RwLock<HashSet<u64>>,
     comm_ids: Mutex<HashMap<CommKey, u64>>,
     next_comm_id: AtomicU64,
@@ -170,7 +186,32 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
+    /// The in-process fabric. Panics in peer (multi-process) mode, where no
+    /// shared fabric exists — callers needing global state must use the
+    /// endpoint's backend view instead.
+    pub(crate) fn fabric(&self) -> &Arc<Fabric> {
+        match &self.runtime {
+            Runtime::InProc(f) => f,
+            Runtime::Peer(_) => {
+                panic!("multi-process universe has no shared in-process fabric")
+            }
+        }
+    }
+
+    fn wake_all(&self) {
+        match &self.runtime {
+            Runtime::InProc(f) => f.wake_all(),
+            Runtime::Peer(ep) => ep.wake_all(),
+        }
+    }
+
     /// All members calling with the same key receive the same dense id.
+    ///
+    /// In peer mode every *process* runs its own interner, and the ids
+    /// still agree: communicator construction keys are derived from
+    /// SPMD-agreed protocol state (spawn batches, shrink agreements,
+    /// splits), so every surviving member interns the same sequence of
+    /// distinct keys in the same order.
     pub(crate) fn intern_comm(&self, key: CommKey) -> u64 {
         let mut ids = self.comm_ids.lock();
         let next = &self.next_comm_id;
@@ -185,10 +226,37 @@ impl Shared {
     pub(crate) fn revoke(&self, comm_id: u64) {
         let newly = self.revoked.write().insert(comm_id);
         if newly {
-            // Interrupt every pending receive so members observe the
-            // revocation promptly (the reliable-broadcast part of
-            // MPIX_Comm_revoke).
-            self.fabric.wake_all();
+            // Propagate first, then interrupt every local pending receive
+            // so members observe the revocation promptly (the
+            // reliable-broadcast part of MPIX_Comm_revoke). In-process the
+            // revocation board itself is shared; across processes the
+            // signal broadcast carries it, and a peer that misses the
+            // signal (sender died mid-broadcast) still converges through
+            // failure suspicion on the stalled collective.
+            if let Runtime::Peer(ep) = &self.runtime {
+                let mut payload = [0u8; 9];
+                payload[0] = SIGNAL_REVOKE;
+                payload[1..].copy_from_slice(&comm_id.to_le_bytes());
+                ep.broadcast_signal(&payload);
+            }
+            self.wake_all();
+        }
+    }
+
+    /// Handle a control-plane signal from a peer process (installed as the
+    /// backend's signal handler in peer mode). Runs on a backend service
+    /// thread: record and wake, nothing blocking.
+    pub(crate) fn handle_signal(&self, payload: &[u8]) {
+        if payload.len() == 9 && payload[0] == SIGNAL_REVOKE {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&payload[1..]);
+            let comm_id = u64::from_le_bytes(raw);
+            let newly = self.revoked.write().insert(comm_id);
+            if newly {
+                // Wake local receivers only; the originator already
+                // broadcast to everyone (no re-flood).
+                self.wake_all();
+            }
         }
     }
 
@@ -238,7 +306,7 @@ impl Proc {
 
     /// The node hosting this worker.
     pub fn node(&self) -> NodeId {
-        self.ep.fabric().node_of(self.ep.rank())
+        self.ep.node_of(self.ep.rank())
     }
 
     /// The transport endpoint (for custom protocols and fault points).
@@ -320,7 +388,7 @@ impl Universe {
     pub fn new(topology: Topology, plan: FaultPlan) -> Self {
         Self {
             shared: Arc::new(Shared {
-                fabric: Fabric::new(topology, FaultInjector::new(plan)),
+                runtime: Runtime::InProc(Fabric::new(topology, FaultInjector::new(plan))),
                 revoked: RwLock::new(HashSet::new()),
                 comm_ids: Mutex::new(HashMap::new()),
                 next_comm_id: AtomicU64::new(0),
@@ -336,17 +404,68 @@ impl Universe {
         Self::new(topology, FaultPlan::none())
     }
 
-    /// Install a message-perturbation plan on the underlying fabric
-    /// (adversarial links healed by the transport's retransmission layer).
+    /// Build a universe view for one rank of a *multi-process* job over an
+    /// already-established distributed backend (e.g.
+    /// `transport::SocketBackend`), returning it together with this rank's
+    /// [`Proc`]. `group` is the job's initial world, identical on every
+    /// process.
+    ///
+    /// The universe state is process-local: communicator ids come out of a
+    /// per-process interner (deterministic across processes, see
+    /// [`Shared::intern_comm`]) and revocations are relayed to peers as
+    /// backend signals. The join service is process-local too, so dynamic
+    /// joins are not available in this mode — `spawn_*`, `kill_*`, and
+    /// [`Universe::fabric`] panic, because there is no shared fabric to
+    /// operate on; real process management belongs to the launcher.
+    pub fn for_backend(ep: Endpoint, group: Vec<RankId>) -> (Self, Proc) {
+        assert!(
+            group.contains(&ep.rank()),
+            "rank {} not part of the initial group {group:?}",
+            ep.rank()
+        );
+        let shared = Arc::new(Shared {
+            runtime: Runtime::Peer(ep.clone()),
+            revoked: RwLock::new(HashSet::new()),
+            comm_ids: Mutex::new(HashMap::new()),
+            next_comm_id: AtomicU64::new(0),
+            join: JoinServer::new(),
+            next_batch: AtomicU64::new(1),
+            join_epoch: AtomicU64::new(0),
+        });
+        // The handler holds a Weak: the backend must not keep the Shared
+        // (which holds the endpoint, which holds the backend) alive forever.
+        let weak = Arc::downgrade(&shared);
+        ep.set_signal_handler(Box::new(move |payload| {
+            if let Some(shared) = weak.upgrade() {
+                shared.handle_signal(payload);
+            }
+        }));
+        let proc = Proc {
+            ep,
+            shared: Arc::clone(&shared),
+            initial_group: group,
+            batch: 0,
+        };
+        (Self { shared }, proc)
+    }
+
+    /// Install a message-perturbation plan on the underlying transport
+    /// (adversarial links healed by the retransmission layer).
     pub fn set_perturbation(&self, plan: transport::PerturbPlan) {
-        self.shared.fabric.set_perturbation(plan);
+        match &self.shared.runtime {
+            Runtime::InProc(f) => f.set_perturbation(plan),
+            Runtime::Peer(ep) => ep.set_perturbation(plan),
+        }
     }
 
     /// Configure timeout-based failure suspicion: a collective that stalls
     /// on a silent peer past `timeout` treats that peer as failed
     /// (`ProcFailed`), feeding the revoke → agree → shrink recovery path.
     pub fn set_suspicion_timeout(&self, timeout: std::time::Duration) {
-        self.shared.fabric.set_suspicion_timeout(Some(timeout));
+        match &self.shared.runtime {
+            Runtime::InProc(f) => f.set_suspicion_timeout(Some(timeout)),
+            Runtime::Peer(ep) => ep.set_suspicion_timeout(Some(timeout)),
+        }
     }
 
     /// Spawn `n` workers as one batch; each runs `f` and sees the whole
@@ -358,7 +477,7 @@ impl Universe {
     {
         telemetry::counter("ulfm.universe.spawned_workers").add(n as u64);
         let _span = telemetry::span("ulfm.universe.spawn_batch_ns");
-        let ranks = self.shared.fabric.register_ranks(n);
+        let ranks = self.shared.fabric().register_ranks(n);
         let batch = self.shared.next_batch.fetch_add(1, Ordering::SeqCst);
         ranks
             .iter()
@@ -369,9 +488,9 @@ impl Universe {
                 let thread = std::thread::Builder::new()
                     .name(format!("rank-{}", rank.0))
                     .spawn(move || {
-                        let fabric = Arc::clone(&shared.fabric);
+                        let fabric = Arc::clone(shared.fabric());
                         let proc = Proc {
-                            ep: Endpoint::new(Arc::clone(&shared.fabric), rank),
+                            ep: Endpoint::new(Arc::clone(&fabric), rank),
                             shared,
                             initial_group: group,
                             batch,
@@ -399,19 +518,21 @@ impl Universe {
         self.spawn_batch(k, f)
     }
 
-    /// Kill a rank from the outside (hardware failure).
+    /// Kill a rank from the outside (hardware failure). In-process mode
+    /// only: a multi-process job's ranks die by actual process death.
     pub fn kill_rank(&self, rank: RankId) {
-        self.shared.fabric.kill_rank(rank);
+        self.shared.fabric().kill_rank(rank);
     }
 
-    /// Kill every rank on a node.
+    /// Kill every rank on a node. In-process mode only.
     pub fn kill_node(&self, node: NodeId) {
-        self.shared.fabric.kill_node(node);
+        self.shared.fabric().kill_node(node);
     }
 
-    /// The underlying fabric (stats, alive table).
+    /// The underlying fabric (stats, alive table). In-process mode only;
+    /// panics for a [`Universe::for_backend`] universe.
     pub fn fabric(&self) -> &Arc<Fabric> {
-        &self.shared.fabric
+        self.shared.fabric()
     }
 
     /// Workers currently waiting on the join service.

@@ -24,7 +24,15 @@ use std::sync::mpsc;
 use std::time::Duration;
 use transport::{FaultPlan, RankId};
 
-const WATCHDOG: Duration = Duration::from_secs(120);
+/// Per-scenario wall-clock budget. Overridable for slow CI machines (or
+/// for patient local debugging) with `CHAOS_WATCHDOG_SECS`.
+fn watchdog() -> Duration {
+    let secs = std::env::var("CHAOS_WATCHDOG_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120u64);
+    Duration::from_secs(secs)
+}
 
 /// The named fault points inside the recovery machinery (tentpole §1).
 const RECOVERY_POINTS: [&str; 5] = [
@@ -43,10 +51,19 @@ fn run_with_watchdog(cfg: ScenarioConfig, label: &str) -> elastic::ScenarioResul
     std::thread::spawn(move || {
         let _ = tx.send(run_scenario(&cfg2));
     });
-    match rx.recv_timeout(WATCHDOG) {
+    match rx.recv_timeout(watchdog()) {
         Ok(r) => r,
         Err(mpsc::RecvTimeoutError::Timeout) => {
-            panic!("cascade {label} DEADLOCKED after {WATCHDOG:?}: {cfg:?}")
+            panic!(
+                "cascade {label} DEADLOCKED after {:?} (override with CHAOS_WATCHDOG_SECS)\n\
+                 replay: train-seed={} victim=rank{} fail_at_op={} extra_faults={:?}\n\
+                 full schedule: {cfg:?}",
+                watchdog(),
+                cfg.spec.seed,
+                cfg.victim,
+                cfg.fail_at_op,
+                cfg.extra_faults,
+            )
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             panic!("cascade {label} worker panicked: {cfg:?}")
@@ -97,6 +114,7 @@ fn cascade_config(engine: Engine, point: &'static str, p: usize) -> ScenarioConf
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none().kill_at_point(RankId(second), point, occurrence),
     }
 }
@@ -190,6 +208,7 @@ fn below_floor_config(engine: Engine, second_point: &'static str) -> ScenarioCon
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none().kill_at_point(RankId(1), second_point, 1),
     }
 }

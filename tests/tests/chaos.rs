@@ -16,7 +16,16 @@ use transport::{FaultPlan, LinkPerturb, PerturbPlan, RankId, RetryPolicy};
 
 /// Cases per engine (split across two test fns for parallelism).
 const CASES: u64 = 56;
-const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Per-scenario wall-clock budget. Overridable for slow CI machines (or
+/// for patient local debugging) with `CHAOS_WATCHDOG_SECS`.
+fn watchdog() -> Duration {
+    let secs = std::env::var("CHAOS_WATCHDOG_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120u64);
+    Duration::from_secs(secs)
+}
 
 /// CI runs the suite across a small seed matrix by exporting
 /// `CHAOS_SEED_OFFSET`; locally the offset defaults to 0 so failures are
@@ -91,6 +100,7 @@ fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
     }
 }
@@ -103,10 +113,19 @@ fn run_with_watchdog(cfg: ScenarioConfig, label: &str) -> elastic::ScenarioResul
     std::thread::spawn(move || {
         let _ = tx.send(run_scenario(&cfg2));
     });
-    match rx.recv_timeout(WATCHDOG) {
+    match rx.recv_timeout(watchdog()) {
         Ok(r) => r,
         Err(mpsc::RecvTimeoutError::Timeout) => {
-            panic!("chaos {label} DEADLOCKED after {WATCHDOG:?}: {cfg:?}")
+            panic!(
+                "chaos {label} DEADLOCKED after {:?} (override with CHAOS_WATCHDOG_SECS)\n\
+                 replay: CHAOS_SEED_OFFSET={} train-seed={} victim=rank{} fail_at_op={}\n\
+                 full schedule: {cfg:?}",
+                watchdog(),
+                seed_offset(),
+                cfg.spec.seed,
+                cfg.victim,
+                cfg.fail_at_op,
+            )
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             panic!("chaos {label} worker panicked: {cfg:?}")
@@ -223,6 +242,7 @@ fn perturbed_config(engine: Engine, plan: PerturbPlan) -> ScenarioConfig {
         renormalize: false,
         perturb: Some(plan),
         suspicion_timeout: None,
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
     }
 }
@@ -433,6 +453,7 @@ fn total_link_loss_becomes_suspicion_recovery() {
         renormalize: false,
         perturb: Some(plan),
         suspicion_timeout: Some(Duration::from_millis(500)),
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
     };
     let res = run_with_watchdog(cfg, "suspicion/total-loss");
@@ -486,6 +507,7 @@ fn cascade_base(engine: Engine, kind: ScenarioKind, workers: usize) -> ScenarioC
         renormalize: false,
         perturb: None,
         suspicion_timeout: None,
+        backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
     }
 }
