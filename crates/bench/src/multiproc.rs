@@ -86,6 +86,25 @@ fn parse_die_spec(spec: &str) -> Result<Vec<(usize, String, u64)>, String> {
     Ok(out)
 }
 
+/// Parse a joiner-spawn schedule: comma-separated `rank@step`, e.g.
+/// `3@2,4@5` — spawn a joiner process with rank 3 once any worker reports
+/// step 2, and rank 4 at step 5.
+fn parse_spawn_spec(spec: &str) -> Result<Vec<(usize, u64)>, String> {
+    let mut out = Vec::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let (rank, step) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("spawn entry `{entry}` is not rank@step"))?;
+        out.push((
+            rank.parse()
+                .map_err(|_| format!("spawn rank `{rank}` is not a number"))?,
+            step.parse()
+                .map_err(|_| format!("spawn step `{step}` is not a number"))?,
+        ));
+    }
+    Ok(out)
+}
+
 fn fault_plan_from(die: &[(usize, String, u64)]) -> FaultPlan {
     die.iter()
         .fold(FaultPlan::none(), |plan, (rank, point, occ)| {
@@ -120,8 +139,14 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let rank: usize = flag(&flags, "rank", usize::MAX)?;
     let world: usize = flag(&flags, "world", 0)?;
-    if rank >= world {
+    let is_joiner = flag::<usize>(&flags, "joiner", 0)? != 0;
+    if !is_joiner && rank >= world {
         return Err(format!("--rank {rank} outside --world {world}"));
+    }
+    if is_joiner && rank < world {
+        return Err(format!(
+            "joiner --rank {rank} collides with initial world {world}"
+        ));
     }
     let store_addr = flags
         .get("store")
@@ -133,48 +158,79 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
     let steps: usize = flag(&flags, "steps", 16)?;
     let min_workers: usize = flag(&flags, "min-workers", 1)?;
     let suspicion_ms: u64 = flag(&flags, "suspicion-ms", 2000)?;
+    let expect_joiners: usize = flag(&flags, "expect-joiners", 0)?;
+    let join_wait_secs: u64 = flag(&flags, "join-wait-secs", 30)?;
     let die = parse_die_spec(flags.get("die").map_or("", |s| s.as_str()))?;
 
-    // Address exchange through the rendezvous store: publish our listener
-    // address, poll until the whole world has arrived, read everyone's.
+    // Address exchange through the rendezvous store: members publish their
+    // listener address, then everyone (members and late joiners alike)
+    // polls until all of ranks `0..world` are present. The check is
+    // *scan*-based, not count-based: joiner announce keys and spare
+    // processes publish under the same run prefix, so a raw key count can
+    // reach `world` while an initial member is still missing.
     let store = NetStore::connect(store_addr);
     let listener = transport::SocketBackend::bind(kind).map_err(|e| format!("bind: {e}"))?;
+    let contact = listener.addr().to_string();
     let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
     let prefix = format!("{run_id}/addr/");
-    store_retry(deadline, "address publish", || {
-        store.try_set(
-            &format!("{prefix}{rank:08}"),
-            listener.addr().as_bytes().to_vec(),
-        )
-    })?;
-    loop {
-        let n = store_retry(deadline, "arrival poll", || store.try_count_prefix(&prefix))?;
-        if n >= world {
-            break;
+    if !is_joiner {
+        store_retry(deadline, "address publish", || {
+            store.try_set(&format!("{prefix}{rank:08}"), contact.as_bytes().to_vec())
+        })?;
+    }
+    let peer_addrs: Vec<String> = loop {
+        let pairs = store_retry(deadline, "address scan", || store.try_scan_prefix(&prefix))?;
+        let mut addrs: Vec<Option<String>> = vec![None; world];
+        for (key, value) in pairs {
+            if let Ok(peer) = key[prefix.len()..].parse::<usize>() {
+                if peer < world {
+                    addrs[peer] = Some(
+                        String::from_utf8(value)
+                            .map_err(|_| format!("non-utf8 address under `{key}`"))?,
+                    );
+                }
+            }
+        }
+        let present = addrs.iter().filter(|a| a.is_some()).count();
+        if present >= world {
+            break addrs.into_iter().map(|a| a.expect("checked")).collect();
         }
         if Instant::now() >= deadline {
-            return Err(format!("only {n}/{world} workers arrived"));
+            return Err(format!("only {present}/{world} workers arrived"));
         }
         std::thread::sleep(Duration::from_millis(5));
-    }
-    let mut peer_addrs = vec![String::new(); world];
-    for (key, value) in store_retry(deadline, "address scan", || store.try_scan_prefix(&prefix))? {
-        let peer: usize = key[prefix.len()..]
-            .parse()
-            .map_err(|_| format!("malformed address key `{key}`"))?;
-        peer_addrs[peer] =
-            String::from_utf8(value).map_err(|_| format!("non-utf8 address under `{key}`"))?;
-    }
+    };
 
-    let backend = transport::SocketBackend::establish(
-        RankId(rank),
-        Topology::flat(),
-        listener,
-        &peer_addrs,
-        FaultInjector::new(fault_plan_from(&die)),
-        Duration::from_secs(20),
-    )
-    .map_err(|e| format!("mesh establish: {e}"))?;
+    let injector = FaultInjector::new(fault_plan_from(&die));
+    let backend = if is_joiner {
+        // A joiner dials every initial member that still answers; members
+        // that died before we spawned fail the dial instantly (their
+        // listener is gone) and are marked dead rather than retried.
+        let member_addrs: Vec<(RankId, String)> = peer_addrs
+            .iter()
+            .enumerate()
+            .map(|(p, a)| (RankId(p), a.clone()))
+            .collect();
+        transport::SocketBackend::establish_joiner(
+            RankId(rank),
+            Topology::flat(),
+            listener,
+            &member_addrs,
+            injector,
+            Duration::from_secs(10),
+        )
+        .map_err(|e| format!("joiner establish: {e}"))?
+    } else {
+        transport::SocketBackend::establish(
+            RankId(rank),
+            Topology::flat(),
+            listener,
+            &peer_addrs,
+            injector,
+            Duration::from_secs(20),
+        )
+        .map_err(|e| format!("mesh establish: {e}"))?
+    };
     backend.set_suspicion_timeout(Some(Duration::from_millis(suspicion_ms)));
 
     // Scripted deaths must be real: the moment the fault plan kills this
@@ -207,9 +263,32 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
         })
         .map_err(|e| format!("spawn watcher: {e}"))?;
 
-    let group: Vec<RankId> = (0..world).map(RankId).collect();
+    // Progress beacon for the launcher: the current step count, republished
+    // under `{run}/step/{rank}` so `--spawn RANK@STEP` triggers can fire
+    // when the group reaches a scripted step. Best-effort — a missed write
+    // only delays a trigger by one poll.
+    let step_store = store.clone();
+    let step_key = format!("{run_id}/step/{rank:08}");
+    std::thread::Builder::new()
+        .name("step-pub".into())
+        .spawn(move || loop {
+            let s = telemetry::counter("elastic.forward.steps").get();
+            let _ = step_store.try_set(&step_key, s.to_le_bytes().to_vec());
+            std::thread::sleep(Duration::from_millis(25));
+        })
+        .map_err(|e| format!("spawn step publisher: {e}"))?;
+
+    // Cross-process join rendezvous: the same store carries announce/ticket
+    // keys; member addresses are already under `{run}/addr/` from the
+    // rendezvous above, which is exactly where `NetJoin::contact` looks.
+    let join = ulfm::NetJoin::new(store.clone(), format!("{run_id}/")).with_contact(contact);
     let ep = Endpoint::from_backend(Arc::clone(&backend) as Arc<dyn Backend>);
-    let (_universe, proc) = Universe::for_backend(ep, group);
+    let (_universe, proc) = if is_joiner {
+        Universe::joiner_for_backend(ep, Arc::new(join))
+    } else {
+        let group: Vec<RankId> = (0..world).map(RankId).collect();
+        Universe::for_backend_with_join(ep, group, Arc::new(join))
+    };
     let fwd = ForwardConfig {
         spec: TrainSpec {
             total_steps: steps,
@@ -217,14 +296,16 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
             ..TrainSpec::default()
         },
         policy: RecoveryPolicy::DropProcess,
-        // Joins need the in-process join server; multi-process runs are
-        // downscale-only (ROADMAP tracks cross-process joins).
-        accept_joiners: false,
-        expected_joiners: 0,
+        accept_joiners: expect_joiners > 0,
+        expected_joiners: expect_joiners,
         renormalize_after_loss: false,
         lr_scaling: None,
+        // Bounded waits everywhere: a joiner that never gets its ticket
+        // exits instead of hanging, and members give up on a joiner that
+        // never announces instead of stalling the epoch boundary.
+        join_wait: Some(Duration::from_secs(join_wait_secs)),
     };
-    let out = run_forward_worker(&proc, &fwd, false);
+    let out = run_forward_worker(&proc, &fwd, is_joiner);
 
     let (label, stats) = match &out.exit {
         WorkerExit::Completed(s) => ("completed", Some(s)),
@@ -299,6 +380,20 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
     let timeout_secs: u64 = flag(&flags, "timeout-secs", 120)?;
     let die_spec = flags.get("die").cloned().unwrap_or_default();
     let die = parse_die_spec(&die_spec)?;
+    let spares: usize = flag(&flags, "spares", 0)?;
+    let spawn_spec = flags.get("spawn").cloned().unwrap_or_default();
+    let spawns = parse_spawn_spec(&spawn_spec)?;
+    // Spares take ranks `world..world+spares`; `--spawn` ranks are explicit
+    // and must not collide with either range.
+    for (r, _) in &spawns {
+        if *r < world + spares {
+            return Err(format!(
+                "--spawn rank {r} collides with initial world {world} + {spares} spare(s)"
+            ));
+        }
+    }
+    let expect_joiners: usize = flag(&flags, "expect-joiners", spares + spawns.len())?;
+    let join_wait_secs: u64 = flag(&flags, "join-wait-secs", 30)?;
     let outdir = flags
         .get("outdir")
         .cloned()
@@ -316,11 +411,10 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
         println!("launch: scripted deaths: {die_spec}");
     }
 
-    let mut children = Vec::new();
-    for rank in 0..world {
+    let spawn_worker = |rank: usize, joiner: bool| -> Result<std::process::Child, String> {
         let log = std::fs::File::create(format!("{outdir}/worker-{rank}.log"))
             .map_err(|e| format!("create worker log: {e}"))?;
-        let child = std::process::Command::new(&exe)
+        std::process::Command::new(&exe)
             .args([
                 "worker",
                 "--store",
@@ -329,6 +423,8 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
                 &rank.to_string(),
                 "--world",
                 &world.to_string(),
+                "--joiner",
+                if joiner { "1" } else { "0" },
                 "--transport",
                 &transport,
                 "--run-id",
@@ -339,6 +435,10 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
                 &min_workers.to_string(),
                 "--suspicion-ms",
                 &suspicion_ms.to_string(),
+                "--expect-joiners",
+                &expect_joiners.to_string(),
+                "--join-wait-secs",
+                &join_wait_secs.to_string(),
                 "--die",
                 &die_spec,
                 "--outdir",
@@ -349,14 +449,52 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
             ))
             .stderr(std::process::Stdio::from(log))
             .spawn()
-            .map_err(|e| format!("spawn worker {rank}: {e}"))?;
-        children.push((rank, child));
+            .map_err(|e| format!("spawn worker {rank}: {e}"))
+    };
+
+    let mut children = Vec::new();
+    let mut joiner_ranks = Vec::new();
+    for rank in 0..world {
+        children.push((rank, spawn_worker(rank, false)?));
+    }
+    // Warm spares join immediately: they announce, then wait for the
+    // group's next epoch boundary to admit them.
+    for i in 0..spares {
+        let rank = world + i;
+        println!("launch: spawning spare joiner {rank}");
+        children.push((rank, spawn_worker(rank, true)?));
+        joiner_ranks.push(rank);
     }
 
-    // Wait for every worker, SIGKILLing stragglers at the deadline.
+    // Wait for every worker, firing scripted `--spawn` joiners when the
+    // progress beacons reach their step, and SIGKILLing stragglers at the
+    // deadline.
     let deadline = Instant::now() + Duration::from_secs(timeout_secs);
+    let step_prefix = format!("{run_id}/step/");
+    let mut pending = spawns;
     let mut timed_out = Vec::new();
-    while !children.is_empty() {
+    while !children.is_empty() || !pending.is_empty() {
+        if !pending.is_empty() {
+            // The launcher owns the store, so it reads the beacons directly.
+            let step_now = server
+                .store()
+                .scan_prefix(&step_prefix)
+                .iter()
+                .filter_map(|(_, v)| Some(u64::from_le_bytes(v.as_slice().try_into().ok()?)))
+                .max()
+                .unwrap_or(0);
+            let mut rest = Vec::new();
+            for (rank, at_step) in pending {
+                if step_now >= at_step {
+                    println!("launch: step {step_now} reached — spawning joiner {rank}");
+                    children.push((rank, spawn_worker(rank, true)?));
+                    joiner_ranks.push(rank);
+                } else {
+                    rest.push((rank, at_step));
+                }
+            }
+            pending = rest;
+        }
         children.retain_mut(|(rank, child)| match child.try_wait() {
             Ok(Some(status)) => {
                 println!("launch: worker {rank} exited: {status}");
@@ -368,6 +506,12 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
                 false
             }
         });
+        if children.is_empty() && !pending.is_empty() {
+            for (rank, at_step) in &pending {
+                eprintln!("launch: joiner {rank} never spawned (step {at_step} not reached)");
+            }
+            break;
+        }
         if children.is_empty() {
             break;
         }
@@ -384,14 +528,16 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
     }
     server.shutdown();
 
-    // Audit: every non-victim must complete with the same model
-    // fingerprint; every scripted victim must *not* have completed.
+    // Audit: every non-victim — initial member or admitted joiner — must
+    // complete with the same model fingerprint; every scripted victim must
+    // *not* have completed. Joiners that were never spawned (their trigger
+    // step was not reached) are not audited.
     let victims: Vec<usize> = die.iter().map(|(r, _, _)| *r).collect();
     let mut ok = timed_out.is_empty();
     let mut fingerprints = Vec::new();
     println!("\n rank | outcome");
     println!("------+---------");
-    for rank in 0..world {
+    for rank in (0..world).chain(joiner_ranks) {
         let report = read_report(&outdir, rank);
         println!(" {rank:>4} | {}", report.detail);
         if victims.contains(&rank) {

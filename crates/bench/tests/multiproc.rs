@@ -175,6 +175,126 @@ fn sigkill_mid_allreduce_and_mid_recovery_p4() {
 }
 
 #[test]
+fn upscale_spare_joins_p3_and_matches_members() {
+    // A warm spare (rank 3) is spawned alongside the three members; it
+    // dials in through the store, announces, and is admitted at the first
+    // epoch boundary. All four processes must finish bit-identical.
+    let dir = outdir("upscale-spare-p3");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "tcp",
+            "--steps",
+            "8",
+            "--min-workers",
+            "2",
+            "--spares",
+            "1",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 4), &[], 4);
+}
+
+#[test]
+fn replace_killed_worker_p3_with_spawned_joiner() {
+    // True replacement: rank 1 is SIGKILLed mid-allreduce, the survivors
+    // shrink (degrading past one joinerless epoch boundary on the short
+    // join deadline), and only then does the launcher's `--spawn 3@6`
+    // trigger fire — a fresh OS process that joins the shrunk group at the
+    // next boundary and finishes in lockstep with the survivors.
+    let dir = outdir("replace-killed-p3");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "unix",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--die",
+            "1@allreduce.step:5",
+            "--spawn",
+            "3@6",
+            "--join-wait-secs",
+            "3",
+            "--timeout-secs",
+            "90",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 4), &[1], 4);
+}
+
+#[test]
+fn joiner_sigkilled_at_merge_is_survived() {
+    // Two spares announce; one is SIGKILLed at its join.merge fault point —
+    // after every member committed the merge, before its first synced step.
+    // The members and the surviving joiner must shrink the corpse back out
+    // and finish identically.
+    let dir = outdir("joiner-killed-at-merge");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "tcp",
+            "--steps",
+            "8",
+            "--min-workers",
+            "2",
+            "--spares",
+            "2",
+            "--die",
+            "4@join.merge:1",
+            "--timeout-secs",
+            "90",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 5), &[4], 5);
+}
+
+#[test]
+fn join_deadline_expiry_degrades_to_shrunk_group() {
+    // The members expect a joiner that never spawns. Each epoch boundary
+    // waits out the 1s join deadline, the leader commits giving up, and the
+    // group continues shrunk instead of wedging. The launcher's self-audit
+    // (exit 0) is the acceptance check: all three members completed.
+    let dir = outdir("join-deadline-degrades");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "tcp",
+            "--steps",
+            "8",
+            "--min-workers",
+            "2",
+            "--expect-joiners",
+            "1",
+            "--join-wait-secs",
+            "1",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 3), &[], 3);
+}
+
+#[test]
 fn clean_run_p3_all_complete_identically() {
     let dir = outdir("clean-p3");
     let code = launch(

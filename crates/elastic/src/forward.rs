@@ -38,7 +38,7 @@ use crate::profiler::{RecoveryBreakdown, RecoveryKind};
 use collectives::ReduceOp;
 use dnn::Checkpoint;
 use transport::RankId;
-use ulfm::{Communicator, Proc, ShrinkOutcome, UlfmError};
+use ulfm::{Communicator, JoinOutcome, Proc, ShrinkOutcome, UlfmError};
 
 /// Configuration of the forward-recovery engine.
 #[derive(Clone, Debug)]
@@ -55,6 +55,14 @@ pub struct ForwardConfig {
     /// deterministic instead of racing training speed against joiner
     /// startup. Zero (the default) never waits.
     pub expected_joiners: usize,
+    /// Upper bound on the epoch-boundary wait for expected joiners, and on
+    /// a joiner's own wait for its admission ticket. `None` (the default)
+    /// waits forever — correct in-process, where every expected joiner is a
+    /// thread that provably starts. Multi-process launches set a bound so a
+    /// crashed joiner degrades the group to running shrunk instead of
+    /// stalling it; the give-up decision travels inside the committed join
+    /// proposal, so members never diverge on local clocks.
+    pub join_wait: Option<std::time::Duration>,
     /// Rescale redone gradients by the lost contribution fraction so the
     /// degraded step keeps the same expected gradient magnitude.
     pub renormalize_after_loss: bool,
@@ -82,6 +90,7 @@ impl ForwardConfig {
             policy: RecoveryPolicy::DropProcess,
             accept_joiners: true,
             expected_joiners: 0,
+            join_wait: None,
             renormalize_after_loss: false,
             lr_scaling: None,
         }
@@ -128,12 +137,29 @@ fn run_inner(
 
     // --- membership -----------------------------------------------------
     let mut comm = if is_joiner {
-        match proc.join_training() {
+        match proc.join_training_deadline(cfg.join_wait) {
             Ok(c) => c,
             Err(UlfmError::SelfDied) => return WorkerExit::Died,
             Err(UlfmError::Aborted) => {
                 // The run shut down before this joiner was admitted.
                 return abort_exit(proc, 0, f32::NAN, 0, 0, &model, &opt, breakdowns);
+            }
+            Err(UlfmError::JoinTimeout) => {
+                // Orphaned joiner: the group completed, degraded to running
+                // shrunk, or partitioned away without ever ticketing us.
+                // Leave quietly — crucially *without* abort_joins, which
+                // would dismiss other still-viable joiners.
+                telemetry::counter("elastic.join.ticket_timeouts").incr();
+                proc.retire();
+                return WorkerExit::Aborted(WorkerStats {
+                    steps_done: 0,
+                    final_loss: f32::NAN,
+                    recoveries: 0,
+                    final_world: 0,
+                    state_fingerprint: state_fingerprint(&model.state_flat()),
+                    final_lr: f32::NAN,
+                    steps_recomputed: 0,
+                });
             }
             Err(e) => unreachable!("join_training failed unexpectedly: {e}"),
         }
@@ -461,16 +487,27 @@ fn run_inner(
             // every expected joiner has announced itself. The counter is
             // monotone and global, so all members unblock on the same
             // condition regardless of who drains the pending list when.
-            while proc.announced_joiners() < cfg.expected_joiners as u64 {
+            // `join_wait` bounds the stall: past the deadline the group
+            // gives up and continues shrunk rather than waiting on a joiner
+            // that crashed before announcing.
+            let wait_deadline = cfg.join_wait.map(|w| std::time::Instant::now() + w);
+            while proc.announced_joiners() < cfg.expected_joiners as u64
+                && wait_deadline.is_none_or(|d| std::time::Instant::now() < d)
+            {
                 std::thread::sleep(std::time::Duration::from_micros(300));
             }
             // The admission itself is re-entrant: a death mid-handshake
             // (leader included) fails the commit uniformly, the survivors
             // shrink, and the shrunk group's new rank 0 re-proposes the
-            // still-pending joiners.
+            // still-pending joiners. The give-up hint below is only the
+            // *leader's* input — the decision every member acts on rides in
+            // the committed proposal, so deadline clocks cannot diverge the
+            // SPMD control flow.
             loop {
-                match comm.accept_joiners() {
-                    Ok(Some(mut merged)) => {
+                let arrived = proc.announced_joiners() >= cfg.expected_joiners as u64;
+                let expired = wait_deadline.is_some_and(|d| std::time::Instant::now() >= d);
+                match comm.accept_joiners_directed(arrived || expired) {
+                    Ok(JoinOutcome::Merged(mut merged)) => {
                         let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, step);
                         let mut has_state = true;
                         let res = checkpoint_sync(
@@ -506,7 +543,20 @@ fn run_inner(
                             }
                         }
                     }
-                    Ok(None) => break,
+                    Ok(JoinOutcome::NoneYet) => {
+                        // Leader asked the group to keep waiting: nobody had
+                        // announced when it proposed. Poll again shortly.
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    Ok(JoinOutcome::StopWaiting) => {
+                        if expired && !arrived {
+                            // Degradation to a shrunk-but-progressing group:
+                            // the expected joiner never came and the leader
+                            // committed giving up on it.
+                            telemetry::counter("elastic.join.wait_timeouts").incr();
+                        }
+                        break;
+                    }
                     Err(UlfmError::SelfDied) => return WorkerExit::Died,
                     Err(_) => {
                         // Failed admission commit (or a death observed on

@@ -77,8 +77,9 @@ pub struct ScenarioConfig {
     pub extra_faults: FaultPlan,
     /// Transport backend the workers communicate over. `InProc` (the
     /// default) is the shared-memory fabric; `Tcp`/`Unix` run every worker
-    /// over a real socket mesh (forward engine, `Downscale` only — joins
-    /// need the in-process join server).
+    /// over a real socket mesh (forward engine). Socket joins rendezvous
+    /// through a shared KV store ([`ulfm::NetJoin`]), so all three
+    /// scenarios run on all backends.
     pub backend: BackendKind,
 }
 
@@ -202,6 +203,7 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         expected_joiners: joiner_count(cfg),
         renormalize_after_loss: cfg.renormalize,
         lr_scaling: None,
+        join_wait: None,
     };
 
     let c1 = fwd_cfg.clone();
@@ -249,57 +251,131 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
 
 /// Forward recovery over a real socket mesh: one backend (and one
 /// `Universe`) per worker, connected only by byte streams — the same shape
-/// a multi-process launch has, minus the process boundary. Restricted to
-/// `Downscale`: joins go through the in-process join server, which peers on
-/// other transports cannot reach.
+/// a multi-process launch has, minus the process boundary. All three
+/// scenarios run here: joins rendezvous through a [`gloo::KvStore`] via
+/// [`ulfm::NetJoin`] (the in-process stand-in for the launcher's TCP store
+/// server), and joiners bootstrap exactly like a fresh OS process — bind a
+/// listener, scan the members' published addresses, dial in, announce.
 fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
-    assert_eq!(
-        cfg.kind,
-        ScenarioKind::Downscale,
-        "socket backends support Downscale scenarios only"
-    );
     let t0 = Instant::now();
     let topology = Topology::new(cfg.ranks_per_node);
-    let backends = SocketBackend::local_mesh(cfg.backend, topology, cfg.workers, fault_plan(cfg))
+    let plan = fault_plan(cfg);
+    let backends = SocketBackend::local_mesh(cfg.backend, topology, cfg.workers, plan.clone())
         .expect("socket mesh");
+    // Socket peers have no global wakeup: a worker that never touches
+    // the dead rank's link must learn of the death by suspicion, so the
+    // scenario always runs with a detection deadline here.
+    let suspicion = cfg.suspicion_timeout.unwrap_or(Duration::from_secs(5));
     for b in &backends {
         if let Some(plan) = &cfg.perturb {
             b.set_perturbation(plan.clone());
         }
-        // Socket peers have no global wakeup: a worker that never touches
-        // the dead rank's link must learn of the death by suspicion, so the
-        // scenario always runs with a detection deadline here.
-        b.set_suspicion_timeout(Some(
-            cfg.suspicion_timeout.unwrap_or(Duration::from_secs(5)),
-        ));
+        b.set_suspicion_timeout(Some(suspicion));
     }
+    let joiners = joiner_count(cfg);
+    let store = gloo::KvStore::shared();
+    let prefix = "scn/";
+    let addr_prefix = format!("{prefix}addr/");
     let fwd_cfg = ForwardConfig {
         spec: cfg.spec.clone(),
         policy: cfg.policy,
-        accept_joiners: false,
-        expected_joiners: 0,
+        accept_joiners: joiners > 0,
+        expected_joiners: joiners,
         renormalize_after_loss: cfg.renormalize,
         lr_scaling: None,
+        // Bounded so a crashed joiner degrades the group to running shrunk
+        // instead of wedging the epoch boundary (and an orphaned joiner
+        // exits instead of polling the store forever).
+        join_wait: Some(Duration::from_secs(10)),
     };
     let group: Vec<RankId> = (0..cfg.workers).map(RankId).collect();
+    // Joiner backends surface here for stats aggregation and shutdown.
+    let joined_backends: parking_lot::Mutex<Vec<Arc<SocketBackend>>> =
+        parking_lot::Mutex::new(Vec::new());
+    let joined_sink = &joined_backends;
     let (exits, breakdowns) = std::thread::scope(|s| {
-        let handles: Vec<_> = backends
+        let member_handles: Vec<_> = backends
             .iter()
             .cloned()
             .map(|b| {
                 let group = group.clone();
                 let fwd_cfg = fwd_cfg.clone();
+                let store = Arc::clone(&store);
                 s.spawn(move || {
+                    let rank = b.rank();
+                    let join =
+                        ulfm::NetJoin::new(store, prefix).with_contact(b.local_addr().to_string());
+                    join.publish_contact(rank);
                     let ep = Endpoint::from_backend(b as Arc<dyn Backend>);
-                    let (_universe, proc) = Universe::for_backend(ep, group);
+                    let (_universe, proc) =
+                        Universe::for_backend_with_join(ep, group, Arc::new(join));
                     let out = run_forward_worker(&proc, &fwd_cfg, false);
                     (out.exit, out.breakdowns)
                 })
             })
             .collect();
+
+        let joiner_handles: Vec<_> = (0..joiners)
+            .map(|i| {
+                let jrank = RankId(cfg.workers + i);
+                let fwd_cfg = fwd_cfg.clone();
+                let store = Arc::clone(&store);
+                let addr_prefix = addr_prefix.clone();
+                let plan = plan.clone();
+                // A surviving member's backend doubles as the failure
+                // observer triggering Replace joiners.
+                let watch = Arc::clone(&backends[(cfg.victim + 1) % cfg.workers]);
+                s.spawn(move || {
+                    match cfg.kind {
+                        ScenarioKind::Replace => {
+                            while watch.is_alive(RankId(cfg.victim)) {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        ScenarioKind::Upscale => std::thread::sleep(Duration::from_millis(10)),
+                        ScenarioKind::Downscale => unreachable!(),
+                    }
+                    // Bootstrap like a fresh process: every member address
+                    // must be published before we dial the mesh.
+                    while store.count_prefix(&addr_prefix) < cfg.workers {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let member_addrs: Vec<(RankId, String)> = store
+                        .scan_prefix(&addr_prefix)
+                        .into_iter()
+                        .filter_map(|(k, v)| {
+                            let rank = k.rsplit('/').next()?.parse::<usize>().ok()?;
+                            Some((RankId(rank), String::from_utf8(v).ok()?))
+                        })
+                        .collect();
+                    let listener = SocketBackend::bind(cfg.backend).expect("bind joiner listener");
+                    let contact = listener.addr().to_string();
+                    let b = SocketBackend::establish_joiner(
+                        jrank,
+                        topology,
+                        listener,
+                        &member_addrs,
+                        transport::FaultInjector::new(plan),
+                        Duration::from_secs(10),
+                    )
+                    .expect("joiner could not reach any member");
+                    if let Some(plan) = &cfg.perturb {
+                        b.set_perturbation(plan.clone());
+                    }
+                    b.set_suspicion_timeout(Some(suspicion));
+                    joined_sink.lock().push(Arc::clone(&b));
+                    let join = ulfm::NetJoin::new(store, prefix).with_contact(contact);
+                    let ep = Endpoint::from_backend(b as Arc<dyn Backend>);
+                    let (_universe, proc) = Universe::joiner_for_backend(ep, Arc::new(join));
+                    let out = run_forward_worker(&proc, &fwd_cfg, true);
+                    (out.exit, out.breakdowns)
+                })
+            })
+            .collect();
+
         let mut exits = Vec::new();
         let mut breakdowns = Vec::new();
-        for h in handles {
+        for h in member_handles.into_iter().chain(joiner_handles) {
             let (exit, bd) = h.join().expect("worker thread panicked");
             exits.push(exit);
             breakdowns.extend(bd);
@@ -310,7 +386,11 @@ fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
     // (Unlike the shared fabric, `deaths`/`suspicions` count per-rank
     // observations of the same event.)
     let mut fabric_stats = transport::FabricStats::default();
-    for b in &backends {
+    let all_backends: Vec<Arc<SocketBackend>> = backends
+        .into_iter()
+        .chain(std::mem::take(&mut *joined_backends.lock()))
+        .collect();
+    for b in &all_backends {
         let st = b.stats();
         fabric_stats.messages += st.messages;
         fabric_stats.bytes += st.bytes;
@@ -320,7 +400,7 @@ fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
         fabric_stats.dup_suppressed += st.dup_suppressed;
         fabric_stats.suspicions += st.suspicions;
     }
-    for b in &backends {
+    for b in &all_backends {
         b.shutdown();
     }
     ScenarioResult {

@@ -48,6 +48,41 @@ fn unix_downscale_survivors_agree_and_finish() {
 }
 
 #[test]
+fn tcp_upscale_admits_network_joiner() {
+    // Scenario III over sockets: a fresh worker binds its own listener,
+    // discovers the members through the rendezvous store, dials in, and is
+    // admitted at an epoch boundary. All four replicas must converge.
+    let cfg = ScenarioConfig {
+        kind: ScenarioKind::Upscale,
+        joiners: 1,
+        ..socket_cfg(BackendKind::Tcp, false)
+    };
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), 4, "exits: {:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+#[test]
+fn unix_replace_swaps_dead_worker_for_joiner() {
+    // Scenario II over Unix sockets: the victim dies mid-allreduce (EOF on
+    // its links), survivors shrink, and a replacement joiner restores the
+    // worker count.
+    let cfg = ScenarioConfig {
+        kind: ScenarioKind::Replace,
+        joiners: 1,
+        ..socket_cfg(BackendKind::Unix, true)
+    };
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), 3, "exits: {:?}", res.exits);
+    assert!(
+        matches!(res.exits[1], WorkerExit::Died),
+        "victim must die: {:?}",
+        res.exits[1]
+    );
+    res.assert_consistent_state();
+}
+
+#[test]
 fn tcp_clean_run_matches_inproc_fingerprint() {
     // Same seed, same membership, no faults: the model fingerprint must
     // not depend on which transport carried the gradients.

@@ -172,18 +172,77 @@ fn serve_one(store: &KvStore, mut conn: TcpStream) -> std::io::Result<()> {
 }
 
 /// Worker-side client of a [`StoreServer`]. Every [`Store`] operation is one
-/// connect/request/response exchange; any I/O failure is reported as
-/// [`StoreUnavailable`] for the caller's retry loop to absorb.
+/// connect/request/response exchange, retried in-client with exponential
+/// backoff and deterministic jitter before an I/O failure is reported as
+/// [`StoreUnavailable`] for the caller's own (coarser) retry loop to absorb.
 #[derive(Clone, Debug)]
 pub struct NetStore {
     addr: String,
+    /// Extra in-client attempts after the first failure.
+    retries: u32,
+    /// First backoff sleep; doubles per attempt.
+    backoff_base: Duration,
+}
+
+/// Deterministic jitter in microseconds for retry `attempt` of the request
+/// touching `key`: FNV-1a over the key, splitmix64-finalised with the
+/// attempt index. No wall-clock entropy, so retry schedules reproduce.
+fn jitter_us(key: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut z = h
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % 500
 }
 
 impl NetStore {
+    /// Extra attempts after a first failed exchange (elastic workers poll
+    /// the store from recovery paths, so a blip must not surface).
+    const DEFAULT_RETRIES: u32 = 3;
+
     /// A client for the server at `addr` (`host:port`). No connection is
     /// made until the first operation.
     pub fn connect(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into() }
+        Self {
+            addr: addr.into(),
+            retries: Self::DEFAULT_RETRIES,
+            backoff_base: Duration::from_millis(1),
+        }
+    }
+
+    /// Override the in-client retry budget (`retries` extra attempts,
+    /// backoff starting at `backoff_base` and doubling per attempt).
+    pub fn with_retries(mut self, retries: u32, backoff_base: Duration) -> Self {
+        self.retries = retries;
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// Run one request with the retry budget. Each failed attempt bumps the
+    /// `gloo.netstore.retries` counter and sleeps backoff + jitter.
+    fn with_retry<T>(
+        &self,
+        key: &str,
+        op: impl Fn() -> std::io::Result<T>,
+    ) -> Result<T, StoreUnavailable> {
+        let mut backoff = self.backoff_base;
+        for attempt in 0..=self.retries {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(_) if attempt < self.retries => {
+                    telemetry::counter("gloo.netstore.retries").incr();
+                    std::thread::sleep(backoff + Duration::from_micros(jitter_us(key, attempt)));
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        }
+        Err(StoreUnavailable)
     }
 
     fn request(&self, op: u8, key: &str, value: Option<&[u8]>) -> std::io::Result<TcpStream> {
@@ -203,27 +262,27 @@ impl NetStore {
 
 impl Store for NetStore {
     fn try_set(&self, key: &str, value: Vec<u8>) -> Result<(), StoreUnavailable> {
-        let go = || -> std::io::Result<()> {
+        // Idempotent (last-writer-wins overwrite), so a retry after a lost
+        // ack is safe.
+        self.with_retry(key, || {
             let mut conn = self.request(OP_SET, key, Some(&value))?;
             let mut ack = [0u8; 1];
             conn.read_exact(&mut ack)?;
             Ok(())
-        };
-        go().map_err(|_| StoreUnavailable)
+        })
     }
 
     fn try_count_prefix(&self, prefix: &str) -> Result<usize, StoreUnavailable> {
-        let go = || -> std::io::Result<usize> {
+        self.with_retry(prefix, || {
             let mut conn = self.request(OP_COUNT, prefix, None)?;
             let mut n = [0u8; 8];
             conn.read_exact(&mut n)?;
             Ok(u64::from_le_bytes(n) as usize)
-        };
-        go().map_err(|_| StoreUnavailable)
+        })
     }
 
     fn try_scan_prefix(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, StoreUnavailable> {
-        let go = || -> std::io::Result<Vec<(String, Vec<u8>)>> {
+        self.with_retry(prefix, || {
             let mut conn = self.request(OP_SCAN, prefix, None)?;
             let mut n = [0u8; 8];
             conn.read_exact(&mut n)?;
@@ -238,8 +297,7 @@ impl Store for NetStore {
                 out.push((key, value));
             }
             Ok(out)
-        };
-        go().map_err(|_| StoreUnavailable)
+        })
     }
 }
 
@@ -267,6 +325,22 @@ mod tests {
         );
         // The server sees the same state directly.
         assert_eq!(server.store().get("other"), Some(vec![9]));
+    }
+
+    #[test]
+    fn dead_server_retries_with_backoff_then_reports_unavailable() {
+        let server = StoreServer::spawn(KvStore::shared()).unwrap();
+        let addr = server.addr().to_string();
+        drop(server);
+        std::thread::sleep(Duration::from_millis(20));
+        let before = telemetry::counter("gloo.netstore.retries").get();
+        let client = NetStore::connect(addr).with_retries(2, Duration::from_millis(1));
+        assert!(client.try_count_prefix("x").is_err());
+        let retried = telemetry::counter("gloo.netstore.retries").get() - before;
+        assert!(
+            retried >= 2,
+            "expected at least the configured 2 retries, saw {retried}"
+        );
     }
 
     #[test]

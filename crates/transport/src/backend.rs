@@ -158,6 +158,26 @@ pub trait Backend: Send + Sync {
     /// Tear the backend down: stop service threads and close links. Peers
     /// observe the departure as a death. Idempotent.
     fn shutdown(&self);
+
+    /// Register `rank` as a forthcoming peer (an elastic joiner committed
+    /// into the group). After this, `rank` is known — sends to it buffer
+    /// and retry instead of failing with `UnknownRank` — and its eventual
+    /// silence is handled by the ordinary suspicion machinery. The
+    /// in-process backend shares one liveness table across all ranks, so
+    /// the default is a no-op.
+    fn expect_rank(&self, rank: RankId) {
+        let _ = rank;
+    }
+
+    /// Ensure a live link to `rank`, dialing `addr` if one is missing
+    /// (joiners use this at ticket time to close residual gaps toward
+    /// members and earlier joiners they never dialed). Returns true once a
+    /// link is up or the backend needs none (the in-process default);
+    /// false if the peer is dead or unreachable.
+    fn connect_peer(&self, rank: RankId, addr: &str) -> bool {
+        let _ = (rank, addr);
+        true
+    }
 }
 
 /// A rank's handle onto the transport. Cheap to clone; all operations
@@ -334,5 +354,16 @@ impl Endpoint {
     /// Aggregate traffic counters of the underlying backend.
     pub fn stats(&self) -> FabricStats {
         self.backend.stats()
+    }
+
+    /// Register a forthcoming peer (see [`Backend::expect_rank`]).
+    pub fn expect_rank(&self, rank: RankId) {
+        self.backend.expect_rank(rank);
+    }
+
+    /// Ensure a live link to `rank`, dialing `addr` if missing (see
+    /// [`Backend::connect_peer`]).
+    pub fn connect_peer(&self, rank: RankId, addr: &str) -> bool {
+        self.backend.connect_peer(rank, addr)
     }
 }

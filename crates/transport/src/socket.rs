@@ -59,7 +59,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Debug tracing for the death/teardown paths, enabled with `SOCK_TRACE=1`.
@@ -87,6 +87,10 @@ const SHUTDOWN_DRAIN: Duration = Duration::from_millis(500);
 
 /// Backoff between dial attempts while a peer's listener isn't up yet.
 const DIAL_RETRY: Duration = Duration::from_millis(10);
+
+/// Dial budget for a join-time `connect_peer` (ticket-time gap filling):
+/// the target published its address, so it is either accepting or dead.
+const JOIN_DIAL_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A bound listening socket plus its dialable address string
 /// (`tcp:127.0.0.1:PORT` or `unix:/path`). Created by
@@ -209,20 +213,43 @@ impl Link {
     }
 }
 
+/// Per-peer state: the liveness flag the in-process fabric kept in its
+/// shared alive table, plus the link carrying traffic to that peer. Slots
+/// are created for the initial world at establish time and appended when a
+/// joiner is admitted (or dials in), so the peer table can *grow* while
+/// collectives are running — readers hold cheap `Arc` clones and never see
+/// a slot disappear.
+struct PeerSlot {
+    alive: AtomicBool,
+    link: Link,
+}
+
+impl PeerSlot {
+    fn vacant() -> Arc<Self> {
+        Arc::new(Self {
+            alive: AtomicBool::new(true),
+            link: Link::vacant(),
+        })
+    }
+}
+
 /// The socket implementation of [`Backend`]. See the module docs for the
 /// threading model and failure-detection semantics.
 pub struct SocketBackend {
     rank: RankId,
     topology: Topology,
-    world: usize,
     kind: BackendKind,
     mailbox: Mailbox,
-    alive: Vec<AtomicBool>,
+    /// Growable peer table indexed by rank; see [`PeerSlot`].
+    peers: RwLock<Vec<Arc<PeerSlot>>>,
+    /// Handle to ourselves for spawning service threads from `&self`
+    /// methods (joiner dials arrive through the object-safe [`Backend`]
+    /// trait, which has no `Arc<Self>` receiver).
+    self_weak: Weak<SocketBackend>,
     injector: FaultInjector,
     perturber: RwLock<Arc<Perturber>>,
     suspicion: RwLock<Option<Duration>>,
     tx_seq: Mutex<HashMap<(RankId, u64), u64>>,
-    links: Vec<Link>,
     /// Acks received but not yet claimed by a waiting sender.
     acks: Mutex<HashSet<(RankId, u64, u64)>>,
     ack_cv: Condvar,
@@ -285,38 +312,30 @@ impl SocketBackend {
         }
     }
 
-    /// Establish the full mesh: dial every lower-ranked peer, accept from
-    /// every higher-ranked one, and return once all `world - 1` links are
-    /// up (or fail after `connect_timeout`).
-    ///
-    /// `peer_addrs[r]` must be rank `r`'s published address
-    /// (`peer_addrs[rank]` is ignored — it is this backend's own listener).
-    pub fn establish(
+    /// Shared constructor: a backend with `slots` vacant peer slots (all
+    /// initially alive) and its accept thread running on `listener`.
+    fn construct(
         rank: RankId,
         topology: Topology,
+        slots: usize,
         listener: SocketListener,
-        peer_addrs: &[String],
         injector: FaultInjector,
-        connect_timeout: Duration,
-    ) -> io::Result<Arc<Self>> {
-        let world = peer_addrs.len();
-        assert!(rank.0 < world, "rank {rank} outside world of {world}");
+    ) -> Arc<Self> {
         let kind = match &listener.inner {
             ListenerInner::Tcp(_) => BackendKind::Tcp,
             ListenerInner::Unix(..) => BackendKind::Unix,
         };
-        let backend = Arc::new(SocketBackend {
+        let backend = Arc::new_cyclic(|weak| SocketBackend {
             rank,
             topology,
-            world,
             kind,
             mailbox: Mailbox::new(),
-            alive: (0..world).map(|_| AtomicBool::new(true)).collect(),
+            peers: RwLock::new((0..slots).map(|_| PeerSlot::vacant()).collect()),
+            self_weak: weak.clone(),
             injector,
             perturber: RwLock::new(Arc::new(Perturber::inert())),
             suspicion: RwLock::new(None),
             tx_seq: Mutex::new(HashMap::new()),
-            links: (0..world).map(|_| Link::vacant()).collect(),
             acks: Mutex::new(HashSet::new()),
             ack_cv: Condvar::new(),
             signal_handler: RwLock::new(None),
@@ -335,8 +354,6 @@ impl SocketBackend {
             suspicions: AtomicU64::new(0),
             telem: FabricTelemetry::new(),
         });
-
-        // Accept thread: serves ranks above ours, runs until shutdown.
         {
             let b = Arc::clone(&backend);
             std::thread::Builder::new()
@@ -344,6 +361,26 @@ impl SocketBackend {
                 .spawn(move || b.accept_loop(listener))
                 .expect("spawn accept thread");
         }
+        backend
+    }
+
+    /// Establish the full mesh: dial every lower-ranked peer, accept from
+    /// every higher-ranked one, and return once all `world - 1` links are
+    /// up (or fail after `connect_timeout`).
+    ///
+    /// `peer_addrs[r]` must be rank `r`'s published address
+    /// (`peer_addrs[rank]` is ignored — it is this backend's own listener).
+    pub fn establish(
+        rank: RankId,
+        topology: Topology,
+        listener: SocketListener,
+        peer_addrs: &[String],
+        injector: FaultInjector,
+        connect_timeout: Duration,
+    ) -> io::Result<Arc<Self>> {
+        let world = peer_addrs.len();
+        assert!(rank.0 < world, "rank {rank} outside world of {world}");
+        let backend = Self::construct(rank, topology, world, listener, injector);
 
         // Dial every lower-ranked peer (their listeners may not be up yet).
         for (p, addr) in peer_addrs.iter().enumerate().take(rank.0) {
@@ -393,11 +430,118 @@ impl SocketBackend {
         Ok(backend)
     }
 
+    /// Establish a *joiner* backend: a process that arrives after the
+    /// initial mesh is up and wants to be admitted through the elastic
+    /// join handshake. Unlike [`SocketBackend::establish`], this does not
+    /// wait for a full mesh — it dials every published member address in
+    /// parallel and succeeds as long as at least one member is reachable
+    /// (unreachable members are marked dead locally, exactly as if their
+    /// EOF had been observed). Links to members that publish *later*
+    /// (e.g. other joiners) are filled in on demand via
+    /// [`Backend::connect_peer`] or by accepting their dial.
+    pub fn establish_joiner(
+        rank: RankId,
+        topology: Topology,
+        listener: SocketListener,
+        peer_addrs: &[(RankId, String)],
+        injector: FaultInjector,
+        connect_timeout: Duration,
+    ) -> io::Result<Arc<Self>> {
+        let backend = Self::construct(rank, topology, rank.0 + 1, listener, injector);
+        let dials: Vec<_> = peer_addrs
+            .iter()
+            .filter(|(p, _)| *p != rank)
+            .cloned()
+            .map(|(p, addr)| {
+                let b = Arc::clone(&backend);
+                std::thread::Builder::new()
+                    .name(format!("sock-dial-{rank}-{p}"))
+                    .spawn(move || b.connect_peer_addr(p, &addr, connect_timeout))
+                    .expect("spawn dial thread")
+            })
+            .collect();
+        let expected = dials.len();
+        let up = dials
+            .into_iter()
+            .map(|h| h.join())
+            .filter(|r| matches!(r, Ok(true)))
+            .count();
+        if up == 0 && expected > 0 {
+            backend.shutdown();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("joiner rank {rank}: none of {expected} members reachable"),
+            ));
+        }
+        Ok(backend)
+    }
+
+    /// Dial `peer` at its published `addr` and install the link. Returns
+    /// true once a link to `peer` is up (possibly pre-existing: a crossing
+    /// dial from the peer that already installed wins, which is fine —
+    /// there is exactly one connection either way). Returns false — and
+    /// marks the peer dead, the same verdict an EOF would have produced —
+    /// if the peer is already known dead, refuses the connection, or the
+    /// timeout expires. A published address with nobody listening means
+    /// the process behind it is gone (addresses are only ever published
+    /// *after* the listener binds), so refusal fails fast instead of
+    /// burning the whole timeout.
+    pub fn connect_peer_addr(&self, peer: RankId, addr: &str, timeout: Duration) -> bool {
+        if peer == self.rank {
+            return true;
+        }
+        let slot = self.ensure_rank_slot(peer);
+        if !slot.alive.load(Ordering::SeqCst) {
+            return false;
+        }
+        if slot.link.state.lock().phase != LinkPhase::Pending {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut stream = loop {
+            if self.shutting_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            match Stream::connect(addr) {
+                Ok(s) => break s,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                    ) || Instant::now() >= deadline =>
+                {
+                    trace(|| format!("rank {} dial {peer} at {addr}: {e}", self.rank));
+                    self.mark_peer_dead(peer, false);
+                    return false;
+                }
+                Err(_) => std::thread::sleep(DIAL_RETRY),
+            }
+        };
+        if stream
+            .write_all_bytes(&encode_envelope(
+                StreamKind::Hello,
+                &(self.rank.0 as u64).to_le_bytes(),
+            ))
+            .is_err()
+        {
+            self.mark_peer_dead(peer, false);
+            return false;
+        }
+        self.install_link(peer, stream, StreamDecoder::new());
+        true
+    }
+
     /// Did this rank die abruptly (scripted fault or a peer's `Die`
     /// verdict), as opposed to retiring voluntarily? A multi-process host
     /// can poll this to turn a simulated hard death into a real `SIGKILL`.
     pub fn hard_died(&self) -> bool {
         self.hard_died.load(Ordering::SeqCst)
+    }
+
+    /// The dialable address of this backend's listener, as published to
+    /// peers (e.g. `tcp:127.0.0.1:PORT`).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
     }
 
     /// Which flavor of socket this backend runs on.
@@ -443,6 +587,34 @@ impl SocketBackend {
             .collect()
     }
 
+    // ---- peer table -----------------------------------------------------
+
+    fn slot(&self, rank: RankId) -> Option<Arc<PeerSlot>> {
+        self.peers.read().get(rank.0).cloned()
+    }
+
+    /// Grow the peer table so `rank` has a slot (new slots are alive with a
+    /// pending, buffering link). Idempotent; existing slots are untouched.
+    fn ensure_rank_slot(&self, rank: RankId) -> Arc<PeerSlot> {
+        if let Some(slot) = self.slot(rank) {
+            return slot;
+        }
+        let mut peers = self.peers.write();
+        while peers.len() <= rank.0 {
+            peers.push(PeerSlot::vacant());
+        }
+        Arc::clone(&peers[rank.0])
+    }
+
+    fn peers_snapshot(&self) -> Vec<Arc<PeerSlot>> {
+        self.peers.read().clone()
+    }
+
+    fn known_dead(&self, rank: RankId) -> bool {
+        self.slot(rank)
+            .is_some_and(|s| !s.alive.load(Ordering::SeqCst))
+    }
+
     // ---- connection service threads -------------------------------------
 
     fn accept_loop(self: Arc<Self>, listener: SocketListener) {
@@ -467,8 +639,11 @@ impl SocketBackend {
             // comes back with it: a fast dialer's first data frames may
             // already be coalesced behind the Hello, and dropping them
             // would desync the stream.
+            // Any rank may dial in — including one beyond the current
+            // world, i.e. a joiner — but a rank we already saw die stays
+            // dead (failure knowledge only grows).
             match self.read_hello(&mut stream) {
-                Some((peer, dec)) if peer.0 < self.world && peer != self.rank => {
+                Some((peer, dec)) if peer != self.rank && !self.known_dead(peer) => {
                     self.install_link(peer, stream, dec);
                 }
                 _ => {
@@ -510,7 +685,11 @@ impl SocketBackend {
         Some((RankId(u64::from_le_bytes(raw) as usize), dec))
     }
 
-    fn install_link(self: &Arc<Self>, peer: RankId, stream: Stream, dec: StreamDecoder) {
+    fn install_link(&self, peer: RankId, stream: Stream, dec: StreamDecoder) {
+        let Some(this) = self.self_weak.upgrade() else {
+            stream.shutdown_both();
+            return;
+        };
         let reader = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => {
@@ -525,8 +704,9 @@ impl SocketBackend {
                 return;
             }
         };
+        let slot = self.ensure_rank_slot(peer);
         {
-            let mut st = self.links[peer.0].state.lock();
+            let mut st = slot.link.state.lock();
             if st.phase != LinkPhase::Pending {
                 // Duplicate or late connection; keep the first.
                 stream.shutdown_both();
@@ -536,14 +716,14 @@ impl SocketBackend {
             st.stream = Some(stream);
         }
         {
-            let b = Arc::clone(self);
+            let b = Arc::clone(&this);
             std::thread::Builder::new()
                 .name(format!("sock-rd-{}-{peer}", self.rank))
                 .spawn(move || b.reader_loop(peer, reader, dec))
                 .expect("spawn reader thread");
         }
         {
-            let b = Arc::clone(self);
+            let b = this;
             std::thread::Builder::new()
                 .name(format!("sock-wr-{}-{peer}", self.rank))
                 .spawn(move || b.writer_loop(peer, writer))
@@ -583,9 +763,10 @@ impl SocketBackend {
     }
 
     fn writer_loop(self: Arc<Self>, peer: RankId, mut stream: Stream) {
+        let Some(slot) = self.slot(peer) else { return };
         loop {
             let (item, drain_done) = {
-                let link = &self.links[peer.0];
+                let link = &slot.link;
                 let mut st = link.state.lock();
                 loop {
                     if let Some(item) = st.queue.pop_front() {
@@ -629,7 +810,8 @@ impl SocketBackend {
     }
 
     fn close_link(&self, peer: RankId, drain_first: bool) {
-        let link = &self.links[peer.0];
+        let Some(slot) = self.slot(peer) else { return };
+        let link = &slot.link;
         let mut st = link.state.lock();
         match st.phase {
             LinkPhase::Closed => return,
@@ -648,16 +830,25 @@ impl SocketBackend {
         link.cv.notify_all();
     }
 
-    /// Queue an envelope for `peer`. Returns false if the link is not up.
+    /// Queue an envelope for `peer`. Returns false if the link is closing
+    /// or closed. A *pending* link buffers: a committed joiner's link may
+    /// still be dialing in, and the writer thread drains the queue the
+    /// moment the link installs — so sends to a freshly-admitted rank
+    /// retry against a real queue rather than failing outright.
     fn enqueue(&self, peer: RankId, bytes: Vec<u8>) -> bool {
-        let link = &self.links[peer.0];
-        let mut st = link.state.lock();
-        if st.phase != LinkPhase::Up {
+        let Some(slot) = self.slot(peer) else {
             return false;
+        };
+        let link = &slot.link;
+        let mut st = link.state.lock();
+        match st.phase {
+            LinkPhase::Up | LinkPhase::Pending => {
+                st.queue.push_back(bytes);
+                link.cv.notify_all();
+                true
+            }
+            LinkPhase::Draining | LinkPhase::Closed => false,
         }
-        st.queue.push_back(bytes);
-        link.cv.notify_all();
-        true
     }
 
     fn handle_envelope(&self, peer: RankId, env: StreamEnvelope) -> bool {
@@ -748,9 +939,8 @@ impl SocketBackend {
     // ---- liveness -------------------------------------------------------
 
     fn alive_local(&self, rank: RankId) -> bool {
-        self.alive
-            .get(rank.0)
-            .is_some_and(|a| a.load(Ordering::SeqCst))
+        self.slot(rank)
+            .is_some_and(|s| s.alive.load(Ordering::SeqCst))
     }
 
     /// Mark `peer` dead in the local view and wake every blocked local
@@ -758,10 +948,8 @@ impl SocketBackend {
     /// peer before its link closes (the suspicion path); otherwise the link
     /// is torn down immediately (the EOF path).
     fn mark_peer_dead(&self, peer: RankId, send_die: bool) {
-        if peer.0 >= self.world {
-            return;
-        }
-        if self.alive[peer.0].swap(false, Ordering::SeqCst) {
+        let Some(slot) = self.slot(peer) else { return };
+        if slot.alive.swap(false, Ordering::SeqCst) {
             self.deaths.fetch_add(1, Ordering::Relaxed);
             self.telem.deaths.incr();
             if send_die {
@@ -776,10 +964,13 @@ impl SocketBackend {
     /// no goodbyes, peers learn from the EOF.
     fn die_abruptly(&self) {
         self.hard_died.store(true, Ordering::SeqCst);
-        if self.alive[self.rank.0].swap(false, Ordering::SeqCst) {
+        let Some(me) = self.slot(self.rank) else {
+            return;
+        };
+        if me.alive.swap(false, Ordering::SeqCst) {
             self.deaths.fetch_add(1, Ordering::Relaxed);
             self.telem.deaths.incr();
-            for p in 0..self.world {
+            for p in 0..self.peers_snapshot().len() {
                 if p != self.rank.0 {
                     self.close_link(RankId(p), false);
                 }
@@ -835,7 +1026,7 @@ impl Backend for SocketBackend {
     }
 
     fn total_ranks(&self) -> usize {
-        self.world
+        self.peers.read().len()
     }
 
     fn is_alive(&self, rank: RankId) -> bool {
@@ -843,10 +1034,20 @@ impl Backend for SocketBackend {
     }
 
     fn alive_ranks(&self) -> Vec<RankId> {
-        (0..self.world)
-            .filter(|r| self.alive[*r].load(Ordering::SeqCst))
-            .map(RankId)
+        self.peers_snapshot()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive.load(Ordering::SeqCst))
+            .map(|(r, _)| RankId(r))
             .collect()
+    }
+
+    fn expect_rank(&self, rank: RankId) {
+        self.ensure_rank_slot(rank);
+    }
+
+    fn connect_peer(&self, rank: RankId, addr: &str) -> bool {
+        self.connect_peer_addr(rank, addr, JOIN_DIAL_TIMEOUT)
     }
 
     fn suspect(&self, rank: RankId) {
@@ -869,10 +1070,13 @@ impl Backend for SocketBackend {
         // Voluntary, clean departure: flush a Bye on every live link so
         // peers record the death without an error-path teardown.
         trace(|| format!("rank {} kill_self", self.rank));
-        if self.alive[self.rank.0].swap(false, Ordering::SeqCst) {
+        let Some(me) = self.slot(self.rank) else {
+            return;
+        };
+        if me.alive.swap(false, Ordering::SeqCst) {
             self.deaths.fetch_add(1, Ordering::Relaxed);
             self.telem.deaths.incr();
-            for p in 0..self.world {
+            for p in 0..self.peers_snapshot().len() {
                 if p != self.rank.0 {
                     self.enqueue(RankId(p), encode_envelope(StreamKind::Bye, b""));
                     self.close_link(RankId(p), true);
@@ -913,7 +1117,7 @@ impl Backend for SocketBackend {
 
     fn send(&self, to: RankId, tag: u64, data: &[u8]) -> Result<(), TransportError> {
         self.check_op_fault()?;
-        if to.0 >= self.world {
+        if self.slot(to).is_none() {
             return Err(TransportError::UnknownRank(to));
         }
         if !self.alive_local(to) {
@@ -994,7 +1198,7 @@ impl Backend for SocketBackend {
         deadline: Option<Instant>,
     ) -> Result<Vec<u8>, TransportError> {
         self.check_op_fault()?;
-        if from.0 >= self.world {
+        if self.slot(from).is_none() {
             return Err(TransportError::UnknownRank(from));
         }
         // Same two-tier rule as the in-process fabric: an explicit deadline
@@ -1062,8 +1266,8 @@ impl Backend for SocketBackend {
     }
 
     fn broadcast_signal(&self, payload: &[u8]) {
-        for p in 0..self.world {
-            if p != self.rank.0 && self.alive_local(RankId(p)) {
+        for (p, slot) in self.peers_snapshot().iter().enumerate() {
+            if p != self.rank.0 && slot.alive.load(Ordering::SeqCst) {
                 self.enqueue(RankId(p), encode_envelope(StreamKind::Signal, payload));
             }
         }
@@ -1094,22 +1298,22 @@ impl Backend for SocketBackend {
         // Closing abruptly here would clear those queues before the writer
         // thread ever got scheduled, so peers would see a raw EOF mid-op
         // instead of an acked, clean goodbye.
-        for p in 0..self.world {
+        let snapshot = self.peers_snapshot();
+        for p in 0..snapshot.len() {
             if p != self.rank.0 {
                 self.close_link(RankId(p), true);
             }
         }
         let deadline = Instant::now() + SHUTDOWN_DRAIN;
         while Instant::now() < deadline
-            && self
-                .links
+            && snapshot
                 .iter()
                 .enumerate()
-                .any(|(p, l)| p != self.rank.0 && l.state.lock().phase == LinkPhase::Draining)
+                .any(|(p, s)| p != self.rank.0 && s.link.state.lock().phase == LinkPhase::Draining)
         {
             std::thread::sleep(Duration::from_millis(1));
         }
-        for p in 0..self.world {
+        for p in 0..snapshot.len() {
             if p != self.rank.0 {
                 self.close_link(RankId(p), false);
             }

@@ -72,10 +72,19 @@ impl Communicator {
     }
 
     pub(crate) fn from_join_ticket(shared: Arc<Shared>, ep: Endpoint, ticket: &JoinTicket) -> Self {
-        let id = shared.intern_comm(CommKey::Join {
+        let key = CommKey::Join {
             epoch: ticket.epoch,
             group: ticket.group.clone(),
-        });
+        };
+        let id = match ticket.comm_id {
+            // Adopt the members' interned id so this (possibly fresh)
+            // process's id sequence aligns with theirs from here on.
+            Some(id) => {
+                shared.adopt_comm_id(key, id);
+                id
+            }
+            None => shared.intern_comm(key),
+        };
         Self::construct(shared, ep, id, ticket.group.clone())
     }
 
@@ -441,22 +450,44 @@ impl Communicator {
     /// Joiners call [`crate::Proc::join_training`]; the first collective on
     /// the merged communicator synchronizes old and new members.
     pub fn accept_joiners(&self) -> Result<Option<Communicator>, UlfmError> {
+        match self.accept_joiners_directed(true)? {
+            JoinOutcome::Merged(c) => Ok(Some(c)),
+            JoinOutcome::NoneYet | JoinOutcome::StopWaiting => Ok(None),
+        }
+    }
+
+    /// [`Communicator::accept_joiners`] with an explicit waiting directive,
+    /// for engines that poll the join service at an epoch boundary under a
+    /// deadline. `give_up` is this member's *local* hint that waiting
+    /// should end (expected joiners all announced, or the deadline passed)
+    /// — but only the leader's hint matters: it travels inside the
+    /// committed proposal, so every member makes the identical
+    /// keep-waiting/stop decision no matter how their local clocks
+    /// disagree. Pending joiners always win over the hint — a last-moment
+    /// arrival is admitted, not abandoned.
+    pub fn accept_joiners_directed(&self, give_up: bool) -> Result<JoinOutcome, UlfmError> {
         // Named fault point: scripts can kill the join leader (or any
         // member) mid-handshake, before the proposal is broadcast.
         self.ep
             .fault_point("join.merge")
             .map_err(|e| self.map_transport(e))?;
 
-        // Leader proposes (epoch, joiners). Dead joiners are filtered out
-        // of the snapshot so the group proceeds without them.
+        // Leader proposes (epoch, stop-flag, joiners). Dead joiners are
+        // filtered out of the snapshot so the group proceeds without them.
+        // A rank beyond the leader's table is one whose announcement raced
+        // ahead of its first inbound link (network joiners dial before they
+        // announce, but the accept thread may not have installed the stream
+        // yet) — never seen dying, so it counts as alive; post-commit sends
+        // buffer on its pending link until the stream lands.
         let mut payload = Vec::new();
         if self.my_idx == 0 {
+            let table = self.ep.total_ranks();
             let pending = self
                 .shared
                 .join
-                .snapshot_pending(|r| self.ep.is_peer_alive(r));
+                .snapshot_pending(&|r| r.0 >= table || self.ep.is_peer_alive(r));
             let epoch = self.shared.next_join_epoch();
-            let mut words = vec![epoch, pending.len() as u64];
+            let mut words = vec![epoch, give_up as u64, pending.len() as u64];
             words.extend(pending.iter().map(|r| r.0 as u64));
             payload = u64::encode_slice(&words);
         }
@@ -494,31 +525,62 @@ impl Communicator {
 
         let words = u64::decode_slice(&payload);
         let epoch = words[0];
-        let joiners: Vec<RankId> = words[2..2 + words[1] as usize]
+        let stop = words[1] != 0;
+        let joiners: Vec<RankId> = words[3..3 + words[2] as usize]
             .iter()
             .map(|&w| RankId(w as usize))
             .collect();
         if joiners.is_empty() {
-            return Ok(None);
+            return Ok(if stop {
+                JoinOutcome::StopWaiting
+            } else {
+                JoinOutcome::NoneYet
+            });
         }
 
         let mut merged = self.group.clone();
         merged.extend(joiners.iter().copied());
+        // Register every joiner with the local transport *before* anyone
+        // can address it: the first collective on the merged communicator
+        // must find a known (if still-connecting) rank, never UnknownRank.
+        for &j in &joiners {
+            self.ep.expect_rank(j);
+        }
+        // Intern the merged communicator's id first so the ticket can carry
+        // it: a joiner process's own interner starts at zero and must adopt
+        // the members' id sequence (see JoinTicket::comm_id).
+        let id = self.shared.intern_comm(CommKey::Join {
+            epoch,
+            group: merged.clone(),
+        });
         let ticket = JoinTicket {
             group: merged.clone(),
             epoch,
+            comm_id: Some(id),
         };
         // Committed: every member confirms the identical tickets
         // (idempotent), so no single death after the decision can leave a
         // joiner waiting forever.
         self.shared.join.confirm_tickets(&joiners, &ticket);
         telemetry::counter("ulfm.join.accepted").add(joiners.len() as u64);
-        Ok(Some(Communicator::from_join_ticket(
+        Ok(JoinOutcome::Merged(Communicator::construct(
             Arc::clone(&self.shared),
             self.ep.clone(),
-            &ticket,
+            id,
+            merged,
         )))
     }
+}
+
+/// Result of one [`Communicator::accept_joiners_directed`] round.
+pub enum JoinOutcome {
+    /// Joiners were committed; train on the merged communicator from now on.
+    Merged(Communicator),
+    /// Nobody was pending and the committed directive says keep waiting.
+    NoneYet,
+    /// Nobody was pending and the committed directive says stop waiting:
+    /// proceed (possibly shrunk) rather than stall at this epoch boundary.
+    StopWaiting,
 }
 
 /// `PeerComm` adapter: maps group-local indices to global ranks, enforces

@@ -32,6 +32,12 @@ pub enum UlfmError {
     /// below the configured minimum); the rank must exit cleanly instead of
     /// waiting on peers that will never come back.
     Aborted,
+    /// A joiner's wait for its admission ticket passed its deadline: the
+    /// accepting group completed, degraded to running shrunk, or
+    /// partitioned away without ever committing the join. Terminal for the
+    /// joiner — it must exit instead of hanging on a rendezvous that will
+    /// never answer.
+    JoinTimeout,
 }
 
 impl UlfmError {
@@ -53,6 +59,7 @@ impl fmt::Display for UlfmError {
             UlfmError::SelfDied => write!(f, "local rank died"),
             UlfmError::Excluded => write!(f, "rank excluded from shrunk communicator"),
             UlfmError::Aborted => write!(f, "computation aborted"),
+            UlfmError::JoinTimeout => write!(f, "join ticket wait timed out"),
         }
     }
 }
@@ -74,5 +81,6 @@ mod tests {
         assert!(!UlfmError::SelfDied.is_recoverable());
         assert!(!UlfmError::Excluded.is_recoverable());
         assert!(!UlfmError::Aborted.is_recoverable());
+        assert!(!UlfmError::JoinTimeout.is_recoverable());
     }
 }

@@ -43,13 +43,15 @@ mod agree;
 mod comm;
 mod error;
 mod hierarchy;
+mod netjoin;
 mod tags;
 mod universe;
 
 pub use agree::AgreeResult;
-pub use comm::{Communicator, ShrinkOutcome};
+pub use comm::{Communicator, JoinOutcome, ShrinkOutcome};
 pub use error::UlfmError;
 pub use hierarchy::Hierarchy;
-pub use universe::{JoinTicket, Proc, Universe, WorkerHandle};
+pub use netjoin::NetJoin;
+pub use universe::{JoinService, JoinTicket, Proc, Universe, WorkerHandle};
 
 pub use transport::{NodeId, RankId, Topology};

@@ -1,0 +1,397 @@
+//! Store-backed join rendezvous for multi-process elastic launches.
+//!
+//! The in-process [`crate::Universe`] runs its join handshake through a
+//! shared [`crate::universe::JoinService`] object. Across real OS processes
+//! there is no shared memory, so [`NetJoin`] re-implements the same service
+//! surface on top of a [`gloo::Store`] (the rendezvous KV store every
+//! worker can already reach): joiners *announce* by publishing a key,
+//! members *snapshot* the announced set by scanning a prefix, and a
+//! committed admission is materialised as a per-joiner *ticket* key that
+//! the joiner polls for. The two-phase commit itself (leader proposal
+//! broadcast + uniform agreement) still runs over the collective fabric in
+//! [`crate::Communicator::accept_joiners_directed`]; the store only carries
+//! the out-of-band rendezvous state, exactly like Horovod's driver store.
+//!
+//! Key schema under the configured run `prefix`:
+//!
+//! | key | value |
+//! |---|---|
+//! | `{prefix}join/announce/{rank:08}` | joiner's dialable address (may be empty) |
+//! | `{prefix}join/ticket/{rank:08}` | committed ticket, LE u64 words `[epoch, comm_id+1, n, ranks…]` (`comm_id+1 = 0` encodes `None`) |
+//! | `{prefix}join/abort` | present ⇒ the computation aborted; waiters exit |
+//! | `{prefix}addr/{rank:08}` | contact address of an established member |
+//!
+//! Announce keys are never deleted — `announced_total` stays monotone (the
+//! leader's give-up heuristic depends on that) and the *pending* set is
+//! derived as announced-minus-ticketed, so leader failover re-reads the
+//! same pending joiners a dead leader saw.
+//!
+//! Every store operation is fallible ([`gloo::StoreUnavailable`]) and is
+//! wrapped in bounded retry with exponential backoff plus deterministic
+//! jitter (hash of operation name and attempt — no wall-clock entropy).
+//! Retries are counted under `ulfm.netjoin.store_retries`.
+
+use crate::universe::{JoinService, JoinTicket};
+use crate::UlfmError;
+use gloo::{Store, StoreUnavailable};
+use std::time::{Duration, Instant};
+use transport::RankId;
+
+/// Bounded attempts for one logical store operation before giving up.
+const STORE_ATTEMPTS: u32 = 64;
+/// First backoff sleep; doubles per attempt.
+const BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Backoff ceiling.
+const BACKOFF_CAP: Duration = Duration::from_millis(50);
+/// Poll interval while a joiner waits for its ticket.
+const TICKET_POLL: Duration = Duration::from_millis(2);
+
+/// Deterministic jitter in microseconds for retry `attempt` of operation
+/// `what`: FNV-1a over the name, splitmix64-finalised with the attempt
+/// index. No `SystemTime`/`rand` — schedules are reproducible.
+fn jitter_us(what: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in what.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut z = h
+        .wrapping_add(attempt as u64)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % 500
+}
+
+fn encode_ticket(t: &JoinTicket) -> Vec<u8> {
+    let mut words = Vec::with_capacity(3 + t.group.len());
+    words.push(t.epoch);
+    words.push(t.comm_id.map_or(0, |id| id + 1));
+    words.push(t.group.len() as u64);
+    words.extend(t.group.iter().map(|r| r.0 as u64));
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+fn decode_ticket(bytes: &[u8]) -> Option<JoinTicket> {
+    if !bytes.len().is_multiple_of(8) || bytes.len() < 24 {
+        return None;
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let n = words[2] as usize;
+    if words.len() != 3 + n {
+        return None;
+    }
+    Some(JoinTicket {
+        group: words[3..].iter().map(|&w| RankId(w as usize)).collect(),
+        epoch: words[0],
+        comm_id: words[1].checked_sub(1),
+    })
+}
+
+/// [`JoinService`] over a rendezvous [`Store`]: the network counterpart of
+/// the in-process `JoinServer`, used by every rank of a multi-process
+/// elastic job (members and joiners alike share the same store prefix).
+pub struct NetJoin<S: Store> {
+    store: S,
+    prefix: String,
+    /// This process's dialable listener address; published with announce
+    /// (joiners) or via [`NetJoin::publish_contact`] (members) so peers can
+    /// establish late links at ticket time.
+    contact: Option<String>,
+}
+
+impl<S: Store> NetJoin<S> {
+    /// A join service rooted at `prefix` (typically `"{run_id}/"`; keys for
+    /// distinct runs must not collide).
+    pub fn new(store: S, prefix: impl Into<String>) -> Self {
+        Self {
+            store,
+            prefix: prefix.into(),
+            contact: None,
+        }
+    }
+
+    /// Attach this process's dialable address, published alongside its
+    /// announce/contact keys.
+    pub fn with_contact(mut self, addr: impl Into<String>) -> Self {
+        self.contact = Some(addr.into());
+        self
+    }
+
+    /// Publish this process's contact address under the member-address key
+    /// for `rank`. Established members call this once after binding so
+    /// late joiners can dial them (see [`JoinService::contact`]).
+    pub fn publish_contact(&self, rank: RankId) {
+        let addr = self.contact.clone().unwrap_or_default();
+        self.retry("publish_contact", || {
+            self.store
+                .try_set(&self.addr_key(rank), addr.clone().into_bytes())
+        });
+    }
+
+    fn announce_key(&self, rank: RankId) -> String {
+        format!("{}join/announce/{:08}", self.prefix, rank.0)
+    }
+
+    fn ticket_key(&self, rank: RankId) -> String {
+        format!("{}join/ticket/{:08}", self.prefix, rank.0)
+    }
+
+    fn abort_key(&self) -> String {
+        format!("{}join/abort", self.prefix)
+    }
+
+    fn addr_key(&self, rank: RankId) -> String {
+        format!("{}addr/{:08}", self.prefix, rank.0)
+    }
+
+    /// Run `op` with bounded retry, exponential backoff and deterministic
+    /// jitter. `None` after [`STORE_ATTEMPTS`] consecutive failures — the
+    /// caller treats that as "state unknown" and its own polling loop (or
+    /// the collective commit) absorbs the gap.
+    fn retry<T>(
+        &self,
+        what: &str,
+        mut op: impl FnMut() -> Result<T, StoreUnavailable>,
+    ) -> Option<T> {
+        let mut backoff = BACKOFF_BASE;
+        for attempt in 0..STORE_ATTEMPTS {
+            match op() {
+                Ok(v) => return Some(v),
+                Err(StoreUnavailable) => {
+                    telemetry::counter("ulfm.netjoin.store_retries").incr();
+                    std::thread::sleep(backoff + Duration::from_micros(jitter_us(what, attempt)));
+                    backoff = (backoff * 2).min(BACKOFF_CAP);
+                }
+            }
+        }
+        telemetry::counter("ulfm.netjoin.store_gave_up").incr();
+        None
+    }
+
+    /// Exact-key read via prefix scan (the store surface has no point get).
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.retry("get", || self.store.try_scan_prefix(key))?
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Rank parsed from the zero-padded tail of a schema key.
+    fn key_rank(key: &str) -> Option<RankId> {
+        key.rsplit('/').next()?.parse::<usize>().ok().map(RankId)
+    }
+}
+
+impl<S: Store> JoinService for NetJoin<S> {
+    fn announce(&self, rank: RankId) {
+        let addr = self.contact.clone().unwrap_or_default();
+        self.retry("announce", || {
+            self.store
+                .try_set(&self.announce_key(rank), addr.clone().into_bytes())
+        });
+        if self.contact.is_some() {
+            // Mirror under the member-address key: after the merge commits
+            // this joiner *is* a member, and later joiners dial it there.
+            self.publish_contact(rank);
+        }
+    }
+
+    fn announced_total(&self) -> u64 {
+        let prefix = format!("{}join/announce/", self.prefix);
+        self.retry("announced_total", || self.store.try_count_prefix(&prefix))
+            .unwrap_or(0) as u64
+    }
+
+    fn snapshot_pending(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId> {
+        let ann_prefix = format!("{}join/announce/", self.prefix);
+        let tkt_prefix = format!("{}join/ticket/", self.prefix);
+        let Some(announced) =
+            self.retry("scan_announced", || self.store.try_scan_prefix(&ann_prefix))
+        else {
+            return Vec::new();
+        };
+        let ticketed: Vec<RankId> = self
+            .retry("scan_ticketed", || self.store.try_scan_prefix(&tkt_prefix))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|(k, _)| Self::key_rank(k))
+            .collect();
+        // Zero-padded keys scan in rank order, so the pending set is sorted.
+        announced
+            .iter()
+            .filter_map(|(k, _)| Self::key_rank(k))
+            .filter(|r| !ticketed.contains(r) && alive(*r))
+            .collect()
+    }
+
+    fn pending_count(&self) -> usize {
+        self.snapshot_pending(&|_| true).len()
+    }
+
+    fn confirm_tickets(&self, joiners: &[RankId], ticket: &JoinTicket) {
+        let bytes = encode_ticket(ticket);
+        for &j in joiners {
+            // Idempotent: every surviving member writes the identical
+            // committed ticket, so re-confirmation after leader death is a
+            // harmless overwrite.
+            self.retry("confirm_ticket", || {
+                self.store.try_set(&self.ticket_key(j), bytes.clone())
+            });
+        }
+    }
+
+    fn abort(&self) {
+        self.retry("abort", || self.store.try_set(&self.abort_key(), vec![1]));
+    }
+
+    fn wait_ticket(
+        &self,
+        rank: RankId,
+        is_alive: &dyn Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> Result<JoinTicket, UlfmError> {
+        let key = self.ticket_key(rank);
+        loop {
+            // A transient scan failure is indistinguishable from "no ticket
+            // yet"; the poll loop itself is the retry.
+            if let Ok(pairs) = self.store.try_scan_prefix(&key) {
+                if let Some((_, v)) = pairs.into_iter().find(|(k, _)| k == &key) {
+                    if let Some(t) = decode_ticket(&v) {
+                        return Ok(t);
+                    }
+                }
+                if self
+                    .store
+                    .try_count_prefix(&self.abort_key())
+                    .is_ok_and(|n| n > 0)
+                {
+                    return Err(UlfmError::Aborted);
+                }
+            } else {
+                telemetry::counter("ulfm.netjoin.store_retries").incr();
+            }
+            if !is_alive() {
+                return Err(UlfmError::SelfDied);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(UlfmError::JoinTimeout);
+            }
+            std::thread::sleep(TICKET_POLL);
+        }
+    }
+
+    fn contact(&self, rank: RankId) -> Option<String> {
+        let bytes = self
+            .get(&self.addr_key(rank))
+            .or_else(|| self.get(&self.announce_key(rank)))?;
+        if bytes.is_empty() {
+            return None;
+        }
+        String::from_utf8(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloo::{KvStore, StoreFaults};
+    use std::sync::Arc;
+
+    fn ticket() -> JoinTicket {
+        JoinTicket {
+            group: vec![RankId(0), RankId(1), RankId(3)],
+            epoch: 5,
+            comm_id: Some(9),
+        }
+    }
+
+    #[test]
+    fn ticket_roundtrips_through_wire_words() {
+        let t = ticket();
+        assert_eq!(decode_ticket(&encode_ticket(&t)), Some(t));
+        let none = JoinTicket {
+            group: vec![RankId(2)],
+            epoch: 0,
+            comm_id: None,
+        };
+        assert_eq!(decode_ticket(&encode_ticket(&none)), Some(none));
+        assert_eq!(decode_ticket(&[1, 2, 3]), None);
+        assert_eq!(decode_ticket(&[0u8; 16]), None);
+    }
+
+    #[test]
+    fn announce_snapshot_confirm_wait() {
+        let store = KvStore::shared();
+        let j = NetJoin::new(Arc::clone(&store), "run/");
+        j.announce(RankId(4));
+        j.announce(RankId(3));
+        assert_eq!(j.announced_total(), 2);
+        assert_eq!(j.snapshot_pending(&|_| true), vec![RankId(3), RankId(4)]);
+        assert_eq!(j.snapshot_pending(&|r| r != RankId(4)), vec![RankId(3)]);
+        assert_eq!(j.pending_count(), 2);
+
+        let t = ticket();
+        j.confirm_tickets(&[RankId(3)], &t);
+        // Ticketed joiners leave the pending set; announce stays monotone.
+        assert_eq!(j.snapshot_pending(&|_| true), vec![RankId(4)]);
+        assert_eq!(j.announced_total(), 2);
+        assert_eq!(j.wait_ticket(RankId(3), &|| true, None), Ok(t));
+    }
+
+    #[test]
+    fn wait_ticket_deadline_alive_and_abort() {
+        let store = KvStore::shared();
+        let j = NetJoin::new(Arc::clone(&store), "run/");
+        let deadline = Some(Instant::now() + Duration::from_millis(15));
+        assert_eq!(
+            j.wait_ticket(RankId(7), &|| true, deadline),
+            Err(UlfmError::JoinTimeout)
+        );
+        assert_eq!(
+            j.wait_ticket(RankId(7), &|| false, None),
+            Err(UlfmError::SelfDied)
+        );
+        j.abort();
+        assert_eq!(
+            j.wait_ticket(RankId(7), &|| true, None),
+            Err(UlfmError::Aborted)
+        );
+    }
+
+    #[test]
+    fn contact_prefers_member_addr_then_announce() {
+        let store = KvStore::shared();
+        let member = NetJoin::new(Arc::clone(&store), "run/").with_contact("127.0.0.1:9000");
+        member.publish_contact(RankId(0));
+        let joiner = NetJoin::new(Arc::clone(&store), "run/").with_contact("127.0.0.1:9001");
+        joiner.announce(RankId(3));
+        let bare = NetJoin::new(Arc::clone(&store), "run/");
+        bare.announce(RankId(5));
+
+        let probe = NetJoin::new(Arc::clone(&store), "run/");
+        assert_eq!(probe.contact(RankId(0)), Some("127.0.0.1:9000".into()));
+        assert_eq!(probe.contact(RankId(3)), Some("127.0.0.1:9001".into()));
+        assert_eq!(probe.contact(RankId(5)), None, "empty announce ⇒ no addr");
+        assert_eq!(probe.contact(RankId(9)), None, "unknown rank ⇒ no addr");
+    }
+
+    #[test]
+    fn transient_store_failures_are_retried_and_counted() {
+        let before = telemetry::counter("ulfm.netjoin.store_retries").get();
+        let store = KvStore::shared_flaky(StoreFaults::rate(0.8, 11));
+        let j = NetJoin::new(Arc::clone(&store), "flaky/");
+        j.announce(RankId(2));
+        let t = ticket();
+        j.confirm_tickets(&[RankId(2)], &t);
+        // max_consecutive bounds failure runs, so bounded retry always
+        // lands the writes; the poll loop then finds the ticket.
+        assert_eq!(j.wait_ticket(RankId(2), &|| true, None), Ok(t));
+        assert!(
+            telemetry::counter("ulfm.netjoin.store_retries").get() > before,
+            "injected store faults must surface as counted retries"
+        );
+    }
+}

@@ -14,7 +14,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use transport::{Endpoint, Fabric, FaultInjector, FaultPlan, NodeId, RankId, Topology};
 
 /// Construction key for a communicator; every member derives the identical
@@ -49,6 +49,71 @@ pub struct JoinTicket {
     pub group: Vec<RankId>,
     /// Join epoch (used to derive the merged communicator's identity).
     pub epoch: u64,
+    /// The communicator id the accepting members interned for the merged
+    /// group. A joiner *process* runs its own comm-id interner starting
+    /// from zero, while members have been interning ids since launch;
+    /// adopting the members' id (and bumping the interner past it) keeps
+    /// the SPMD id sequence aligned from the merge onward. `None` on
+    /// tickets minted by code predating this field (the in-process test
+    /// helpers), in which case the joiner interns the key itself — correct
+    /// there because the interner is shared.
+    pub comm_id: Option<u64>,
+}
+
+/// The out-of-band join rendezvous, abstracted: how a new worker announces
+/// itself, how members discover and ticket pending joiners, and how a
+/// joiner learns its admission. Two implementations exist — the in-process
+/// [`JoinServer`] (one shared instance per [`Universe`]) and the
+/// store-backed [`crate::NetJoin`] used by multi-process jobs, where every
+/// process holds its own handle onto a shared KV namespace.
+///
+/// All methods must be callable from multiple threads; `announce` totals
+/// must be monotone so members can wait for an expected joiner count
+/// without racing admission timing.
+pub trait JoinService: Send + Sync {
+    /// A new worker announces itself as ready to join.
+    fn announce(&self, rank: RankId);
+
+    /// Total announcements ever made (monotone).
+    fn announced_total(&self) -> u64;
+
+    /// Sorted snapshot of joiners awaiting admission, filtered by `alive`
+    /// so dead joiners are not re-proposed forever. Non-destructive: a
+    /// pending entry is only cleared by a committed
+    /// [`JoinService::confirm_tickets`].
+    fn snapshot_pending(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId>;
+
+    /// How many workers are waiting to join.
+    fn pending_count(&self) -> usize;
+
+    /// A *committed* admission: issue the merged-group ticket to each
+    /// joiner and retire it from the pending set. Idempotent — every
+    /// surviving member issues the identical ticket after the commit
+    /// agreement, so no single leader death can strand a decided joiner.
+    fn confirm_tickets(&self, joiners: &[RankId], ticket: &JoinTicket);
+
+    /// Abort the join service: wake and dismiss every pending joiner.
+    fn abort(&self);
+
+    /// A joiner blocks until its ticket arrives, it dies, the computation
+    /// aborts, or `deadline` passes (`Err(JoinTimeout)` — an orphaned
+    /// joiner must exit rather than hang when the accepting group has
+    /// completed or given up without aborting explicitly).
+    fn wait_ticket(
+        &self,
+        rank: RankId,
+        is_alive: &dyn Fn() -> bool,
+        deadline: Option<Instant>,
+    ) -> Result<JoinTicket, UlfmError>;
+
+    /// The published contact address of `rank`, if the service knows one
+    /// (the network implementation records each announcer's dialable
+    /// listener address so late links can be established at ticket time).
+    /// In-process there is nothing to dial.
+    fn contact(&self, rank: RankId) -> Option<String> {
+        let _ = rank;
+        None
+    }
 }
 
 #[derive(Default)]
@@ -76,31 +141,27 @@ pub(crate) struct JoinServer {
 }
 
 impl JoinServer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             state: Mutex::new(JoinState::default()),
             cv: Condvar::new(),
             announced: AtomicU64::new(0),
         }
     }
+}
 
-    /// A new worker announces itself as ready to join.
-    pub(crate) fn announce(&self, rank: RankId) {
+impl JoinService for JoinServer {
+    fn announce(&self, rank: RankId) {
         self.state.lock().pending.insert(rank);
         self.announced.fetch_add(1, Ordering::SeqCst);
         self.cv.notify_all();
     }
 
-    /// Total announcements ever made (monotone).
-    pub(crate) fn announced_total(&self) -> u64 {
+    fn announced_total(&self) -> u64 {
         self.announced.load(Ordering::SeqCst)
     }
 
-    /// Sorted snapshot of the joiners awaiting admission, filtered by
-    /// `alive` so dead joiners are not re-proposed forever. Non-destructive:
-    /// pending entries are only cleared by [`JoinServer::confirm_tickets`]
-    /// once an admission attempt commits.
-    pub(crate) fn snapshot_pending(&self, alive: impl Fn(RankId) -> bool) -> Vec<RankId> {
+    fn snapshot_pending(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId> {
         self.state
             .lock()
             .pending
@@ -110,17 +171,11 @@ impl JoinServer {
             .collect()
     }
 
-    /// How many workers are waiting to join.
-    pub(crate) fn pending_count(&self) -> usize {
+    fn pending_count(&self) -> usize {
         self.state.lock().pending.len()
     }
 
-    /// A *committed* admission: issue the merged-group ticket to each
-    /// joiner and retire it from the pending set. Every surviving member
-    /// calls this after the commit agreement — the tickets are identical,
-    /// so redundant issuance is idempotent and no single leader death can
-    /// strand a decided joiner.
-    pub(crate) fn confirm_tickets(&self, joiners: &[RankId], ticket: &JoinTicket) {
+    fn confirm_tickets(&self, joiners: &[RankId], ticket: &JoinTicket) {
         let mut st = self.state.lock();
         for &j in joiners {
             st.pending.remove(&j);
@@ -129,19 +184,16 @@ impl JoinServer {
         self.cv.notify_all();
     }
 
-    /// Abort the join service: wake and dismiss every pending joiner.
-    pub(crate) fn abort(&self) {
+    fn abort(&self) {
         self.state.lock().aborted = true;
         self.cv.notify_all();
     }
 
-    /// A joiner blocks until its ticket arrives, it dies, or the
-    /// computation aborts. `is_alive` is polled so a joiner killed by the
-    /// fault plan while waiting unwinds instead of hanging forever.
-    pub(crate) fn wait_ticket(
+    fn wait_ticket(
         &self,
         rank: RankId,
-        is_alive: impl Fn() -> bool,
+        is_alive: &dyn Fn() -> bool,
+        deadline: Option<Instant>,
     ) -> Result<JoinTicket, UlfmError> {
         let mut st = self.state.lock();
         loop {
@@ -153,6 +205,9 @@ impl JoinServer {
             }
             if !is_alive() {
                 return Err(UlfmError::SelfDied);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(UlfmError::JoinTimeout);
             }
             self.cv.wait_for(&mut st, Duration::from_micros(200));
         }
@@ -180,7 +235,7 @@ pub(crate) struct Shared {
     pub(crate) revoked: RwLock<HashSet<u64>>,
     comm_ids: Mutex<HashMap<CommKey, u64>>,
     next_comm_id: AtomicU64,
-    pub(crate) join: JoinServer,
+    pub(crate) join: Arc<dyn JoinService>,
     next_batch: AtomicU64,
     join_epoch: AtomicU64,
 }
@@ -217,6 +272,17 @@ impl Shared {
         let next = &self.next_comm_id;
         *ids.entry(key)
             .or_insert_with(|| next.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Adopt a communicator id decided by *other* processes (the accepting
+    /// members of a join, whose interner has been running since launch) and
+    /// advance the local interner past it, so ids this process interns
+    /// afterwards continue the same SPMD sequence as everyone else's.
+    pub(crate) fn adopt_comm_id(&self, key: CommKey, id: u64) {
+        let mut ids = self.comm_ids.lock();
+        let prev = ids.insert(key, id);
+        debug_assert!(prev.is_none_or(|p| p == id), "comm-id adoption conflict");
+        self.next_comm_id.fetch_max(id + 1, Ordering::SeqCst);
     }
 
     pub(crate) fn is_revoked(&self, comm_id: u64) -> bool {
@@ -338,6 +404,17 @@ impl Proc {
     /// [`UlfmError::Aborted`] if the computation shuts down before the join
     /// commits — the joiner must exit instead of waiting forever.
     pub fn join_training(&self) -> Result<Communicator, UlfmError> {
+        self.join_training_deadline(None)
+    }
+
+    /// [`Proc::join_training`] with an upper bound on the ticket wait:
+    /// after `wait`, gives up with [`UlfmError::JoinTimeout`] — the
+    /// accepting group may have completed, degraded to running shrunk, or
+    /// partitioned away, and an orphaned joiner must exit rather than hang.
+    pub fn join_training_deadline(
+        &self,
+        wait: Option<Duration>,
+    ) -> Result<Communicator, UlfmError> {
         telemetry::counter("ulfm.universe.joins").incr();
         self.shared.join.announce(self.rank());
         // Named fault point: a joiner can be scripted to die after it has
@@ -346,11 +423,36 @@ impl Proc {
         if self.ep.fault_point("join.ticket").is_err() {
             return Err(UlfmError::SelfDied);
         }
+        let deadline = wait.map(|w| Instant::now() + w);
         let ticket = telemetry::time("ulfm.universe.join_wait_ns", || {
             self.shared
                 .join
-                .wait_ticket(self.rank(), || self.ep.is_self_alive())
+                .wait_ticket(self.rank(), &|| self.ep.is_self_alive(), deadline)
         })?;
+        // The merge may have committed before this process ever linked to
+        // some group members (it only pre-dials the addresses it saw
+        // published before announcing). Close the residual gaps: dial every
+        // lower-id member we have a contact for, and register the rest so
+        // sends on the merged communicator retry against a live (buffering)
+        // link instead of failing with UnknownRank. In-process both calls
+        // are no-ops.
+        for &g in &ticket.group {
+            if g == self.rank() {
+                continue;
+            }
+            if g.0 < self.rank().0 {
+                if let Some(addr) = self.shared.join.contact(g) {
+                    self.ep.connect_peer(g, &addr);
+                }
+            }
+            self.ep.expect_rank(g);
+        }
+        // Named fault point on the joiner's side of the merge: it holds a
+        // committed ticket but dies before the merged communicator does any
+        // work — members must detect the EOF and shrink the merge back out.
+        if self.ep.fault_point("join.merge").is_err() {
+            return Err(UlfmError::SelfDied);
+        }
         Ok(Communicator::from_join_ticket(
             Arc::clone(&self.shared),
             self.ep.clone(),
@@ -392,7 +494,7 @@ impl Universe {
                 revoked: RwLock::new(HashSet::new()),
                 comm_ids: Mutex::new(HashMap::new()),
                 next_comm_id: AtomicU64::new(0),
-                join: JoinServer::new(),
+                join: Arc::new(JoinServer::new()),
                 next_batch: AtomicU64::new(0),
                 join_epoch: AtomicU64::new(0),
             }),
@@ -413,11 +515,26 @@ impl Universe {
     /// The universe state is process-local: communicator ids come out of a
     /// per-process interner (deterministic across processes, see
     /// [`Shared::intern_comm`]) and revocations are relayed to peers as
-    /// backend signals. The join service is process-local too, so dynamic
-    /// joins are not available in this mode — `spawn_*`, `kill_*`, and
-    /// [`Universe::fabric`] panic, because there is no shared fabric to
-    /// operate on; real process management belongs to the launcher.
+    /// backend signals. The join service defaults to a process-local
+    /// [`JoinServer`], which no other process can reach — dynamic joins in
+    /// multi-process mode need a shared service; see
+    /// [`Universe::for_backend_with_join`] and [`crate::NetJoin`].
+    /// `spawn_*`, `kill_*`, and [`Universe::fabric`] panic, because there
+    /// is no shared fabric to operate on; real process management belongs
+    /// to the launcher.
     pub fn for_backend(ep: Endpoint, group: Vec<RankId>) -> (Self, Proc) {
+        Self::for_backend_with_join(ep, group, Arc::new(JoinServer::new()))
+    }
+
+    /// [`Universe::for_backend`] with an explicit join service — pass a
+    /// store-backed [`crate::NetJoin`] (every process holding a handle onto
+    /// the same KV namespace) to enable Replace/Upscale joins across real
+    /// process boundaries.
+    pub fn for_backend_with_join(
+        ep: Endpoint,
+        group: Vec<RankId>,
+        join: Arc<dyn JoinService>,
+    ) -> (Self, Proc) {
         assert!(
             group.contains(&ep.rank()),
             "rank {} not part of the initial group {group:?}",
@@ -428,7 +545,7 @@ impl Universe {
             revoked: RwLock::new(HashSet::new()),
             comm_ids: Mutex::new(HashMap::new()),
             next_comm_id: AtomicU64::new(0),
-            join: JoinServer::new(),
+            join,
             next_batch: AtomicU64::new(1),
             join_epoch: AtomicU64::new(0),
         });
@@ -447,6 +564,16 @@ impl Universe {
             batch: 0,
         };
         (Self { shared }, proc)
+    }
+
+    /// Build the universe view for a *joining* process of a multi-process
+    /// job: it is not part of any initial group (its `init_comm` spans just
+    /// itself) and is expected to call [`Proc::join_training`] — announcing
+    /// through the shared `join` service — to merge into the running
+    /// computation.
+    pub fn joiner_for_backend(ep: Endpoint, join: Arc<dyn JoinService>) -> (Self, Proc) {
+        let rank = ep.rank();
+        Self::for_backend_with_join(ep, vec![rank], join)
     }
 
     /// Install a message-perturbation plan on the underlying transport
@@ -601,7 +728,7 @@ mod tests {
         let shared = Arc::clone(u.shared());
         let t = std::thread::spawn(move || {
             shared.join.announce(RankId(7));
-            shared.join.wait_ticket(RankId(7), || true)
+            shared.join.wait_ticket(RankId(7), &|| true, None)
         });
         // Leader side: wait for the announcement, then confirm the ticket.
         while u.pending_joiners() == 0 {
@@ -609,14 +736,15 @@ mod tests {
         }
         // Snapshots are non-destructive: repeated snapshots see the same
         // pending joiner until an admission commits.
-        let pending = u.shared().join.snapshot_pending(|_| true);
+        let pending = u.shared().join.snapshot_pending(&|_| true);
         assert_eq!(pending, vec![RankId(7)]);
-        assert_eq!(u.shared().join.snapshot_pending(|_| true), pending);
+        assert_eq!(u.shared().join.snapshot_pending(&|_| true), pending);
         // A dead joiner is filtered out of the proposal set.
-        assert!(u.shared().join.snapshot_pending(|_| false).is_empty());
+        assert!(u.shared().join.snapshot_pending(&|_| false).is_empty());
         let ticket = JoinTicket {
             group: vec![RankId(0), RankId(7)],
             epoch: 0,
+            comm_id: None,
         };
         u.shared().join.confirm_tickets(&pending, &ticket);
         assert_eq!(u.pending_joiners(), 0);
@@ -636,15 +764,37 @@ mod tests {
         let t = std::thread::spawn(move || {
             shared
                 .join
-                .wait_ticket(RankId(3), || alive2.load(Ordering::SeqCst))
+                .wait_ticket(RankId(3), &|| alive2.load(Ordering::SeqCst), None)
         });
         alive.store(false, Ordering::SeqCst);
         assert_eq!(t.join().unwrap(), Err(UlfmError::SelfDied));
         // Abort while waiting: every waiter is dismissed.
         let shared = Arc::clone(u.shared());
-        let t = std::thread::spawn(move || shared.join.wait_ticket(RankId(4), || true));
+        let t = std::thread::spawn(move || shared.join.wait_ticket(RankId(4), &|| true, None));
         u.abort_joins();
         assert_eq!(t.join().unwrap(), Err(UlfmError::Aborted));
+    }
+
+    #[test]
+    fn wait_ticket_deadline_times_out_instead_of_hanging() {
+        let u = Universe::without_faults(Topology::flat());
+        // Nobody will ever ticket rank 5: the deadline must bail it out.
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        let got = u.shared().join.wait_ticket(RankId(5), &|| true, deadline);
+        assert_eq!(got, Err(UlfmError::JoinTimeout));
+        // A ticket issued before the deadline is consumed normally.
+        let ticket = JoinTicket {
+            group: vec![RankId(0), RankId(5)],
+            epoch: 1,
+            comm_id: None,
+        };
+        u.shared().join.announce(RankId(5));
+        u.shared().join.confirm_tickets(&[RankId(5)], &ticket);
+        let deadline = Some(Instant::now() + Duration::from_secs(5));
+        assert_eq!(
+            u.shared().join.wait_ticket(RankId(5), &|| true, deadline),
+            Ok(ticket)
+        );
     }
 
     #[test]

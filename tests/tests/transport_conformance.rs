@@ -13,7 +13,10 @@
 //!  * timeout-based failure suspicion on silent peers (and the absence of
 //!    suspicion for explicit caller deadlines),
 //!  * clean teardown with no spurious deaths,
-//!  * buffered messages surviving the sender's voluntary retirement.
+//!  * buffered messages surviving the sender's voluntary retirement,
+//!  * elastic joins surviving joiner deaths at the `join.ticket` and
+//!    `join.merge` fault points (socket flavors — the join rendezvous and
+//!    link establishment are what differ per backend).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -237,6 +240,84 @@ fn clean_teardown_is_prompt_and_never_a_suspicion() {
             0,
             "{flavor:?}: clean teardown must not look like a silent failure"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic-join conformance: a joiner death at either join fault point must
+// leave the group progressing, on every backend. The join rendezvous and
+// link bootstrap are exactly what differ per backend (shared JoinServer
+// in-process, store-backed NetJoin + socket dials for Tcp/Unix), so these
+// run the full scenario harness rather than raw endpoints.
+// ---------------------------------------------------------------------------
+
+use elastic::scenario::{Engine, ScenarioKind};
+use elastic::{run_scenario, ScenarioConfig, TrainSpec, WorkerExit};
+
+fn join_fault_cfg(
+    flavor: Flavor,
+    joiners: usize,
+    dead_joiner: usize,
+    point: &str,
+) -> ScenarioConfig {
+    let backend = match flavor {
+        Flavor::InProc => BackendKind::InProc,
+        Flavor::Tcp => BackendKind::Tcp,
+        Flavor::Unix => BackendKind::Unix,
+    };
+    ScenarioConfig {
+        spec: TrainSpec {
+            total_steps: 12,
+            steps_per_epoch: 4,
+            min_workers: 2,
+            ..TrainSpec::default()
+        },
+        workers: 3,
+        ranks_per_node: 3,
+        // Upscale schedules no member faults; the only scripted death is
+        // the joiner's, at the requested join fault point.
+        joiners,
+        extra_faults: FaultPlan::none().kill_at_point(RankId(dead_joiner), point, 1),
+        backend,
+        ..ScenarioConfig::quick(Engine::UlfmForward, ScenarioKind::Upscale)
+    }
+}
+
+#[test]
+fn joiner_killed_at_ticket_does_not_block_its_peer() {
+    // Two joiners announce; one is killed right after announcing (before its
+    // ticket lands). The members must not wedge on the corpse: the surviving
+    // joiner is admitted and all four live replicas converge. Depending on
+    // when the leader's failure detector catches the death, the corpse is
+    // either filtered from the proposal or merged-then-shrunk — both end in
+    // the same live membership.
+    for flavor in ALL_FLAVORS {
+        let res = run_scenario(&join_fault_cfg(flavor, 2, 4, "join.ticket"));
+        assert_eq!(res.completed(), 4, "{flavor:?}: exits: {:?}", res.exits);
+        assert!(
+            matches!(res.exits[4], WorkerExit::Died),
+            "{flavor:?}: killed joiner must report Died: {:?}",
+            res.exits[4]
+        );
+        res.assert_consistent_state();
+    }
+}
+
+#[test]
+fn joiner_killed_at_merge_is_shrunk_back_out() {
+    // The joiner holds a committed ticket — every member has already agreed
+    // to the merge — and dies before its first synced step. The members'
+    // next collective hits the corpse, revokes, and shrinks back to the
+    // original three, which finish the run in agreement.
+    for flavor in ALL_FLAVORS {
+        let res = run_scenario(&join_fault_cfg(flavor, 1, 3, "join.merge"));
+        assert_eq!(res.completed(), 3, "{flavor:?}: exits: {:?}", res.exits);
+        assert!(
+            matches!(res.exits[3], WorkerExit::Died),
+            "{flavor:?}: killed joiner must report Died: {:?}",
+            res.exits[3]
+        );
+        res.assert_consistent_state();
     }
 }
 
