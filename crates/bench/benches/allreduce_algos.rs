@@ -23,14 +23,16 @@ fn bench_allreduce(c: &mut Criterion) {
                 |b, &elems| {
                     b.iter(|| {
                         let u = Universe::without_faults(Topology::flat());
-                        let handles = u.spawn_batch(8, move |p: Proc| {
-                            let comm = p.init_comm();
-                            let mut buf = vec![1.0f32; elems];
-                            for _ in 0..4 {
-                                comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
-                            }
-                            buf[0]
-                        });
+                        let handles = u
+                            .spawn_batch(8, move |p: Proc| {
+                                let comm = p.init_comm();
+                                let mut buf = vec![1.0f32; elems];
+                                for _ in 0..4 {
+                                    comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+                                }
+                                buf[0]
+                            })
+                            .unwrap();
                         handles.into_iter().map(|h| h.join()).sum::<f32>()
                     });
                 },

@@ -14,16 +14,18 @@ use ulfm::{Proc, Topology, Universe};
 
 fn run_steps(workers: usize, lens: Vec<usize>, algo: AllreduceAlgo) -> f32 {
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(workers, move |p: Proc| {
-        let comm = p.init_comm();
-        let mut sink = 0.0f32;
-        for &n in &lens {
-            let mut buf = vec![1.0f32; n];
-            comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
-            sink += buf.first().copied().unwrap_or(0.0);
-        }
-        sink
-    });
+    let handles = u
+        .spawn_batch(workers, move |p: Proc| {
+            let comm = p.init_comm();
+            let mut sink = 0.0f32;
+            for &n in &lens {
+                let mut buf = vec![1.0f32; n];
+                comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+                sink += buf.first().copied().unwrap_or(0.0);
+            }
+            sink
+        })
+        .unwrap();
     handles.into_iter().map(|h| h.join()).sum()
 }
 

@@ -16,15 +16,17 @@ fn bench_hierarchical(c: &mut Criterion) {
             |b, &(workers, rpn)| {
                 b.iter(|| {
                     let u = Universe::without_faults(Topology::new(rpn));
-                    let handles = u.spawn_batch(workers, move |p: Proc| {
-                        let comm = p.init_comm();
-                        let mut buf = vec![1.0f32; elems];
-                        for _ in 0..3 {
-                            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-                                .unwrap();
-                        }
-                        buf[0]
-                    });
+                    let handles = u
+                        .spawn_batch(workers, move |p: Proc| {
+                            let comm = p.init_comm();
+                            let mut buf = vec![1.0f32; elems];
+                            for _ in 0..3 {
+                                comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                    .unwrap();
+                            }
+                            buf[0]
+                        })
+                        .unwrap();
                     handles.into_iter().map(|h| h.join()).sum::<f32>()
                 });
             },
@@ -35,16 +37,18 @@ fn bench_hierarchical(c: &mut Criterion) {
             |b, &(workers, rpn)| {
                 b.iter(|| {
                     let u = Universe::without_faults(Topology::new(rpn));
-                    let handles = u.spawn_batch(workers, move |p: Proc| {
-                        let comm = p.init_comm();
-                        let h = Hierarchy::build(&comm).unwrap();
-                        let mut buf = vec![1.0f32; elems];
-                        for _ in 0..3 {
-                            h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-                                .unwrap();
-                        }
-                        buf[0]
-                    });
+                    let handles = u
+                        .spawn_batch(workers, move |p: Proc| {
+                            let comm = p.init_comm();
+                            let h = Hierarchy::build(&comm).unwrap();
+                            let mut buf = vec![1.0f32; elems];
+                            for _ in 0..3 {
+                                h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                    .unwrap();
+                            }
+                            buf[0]
+                        })
+                        .unwrap();
                     handles.into_iter().map(|h| h.join()).sum::<f32>()
                 });
             },

@@ -50,11 +50,13 @@ fn bench_gloo_rebuild(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ulfm_shrink", p), &p, |b, &p| {
             b.iter(|| {
                 let u = Universe::without_faults(Topology::new(4));
-                let handles = u.spawn_batch(p, |proc: Proc| {
-                    let comm = proc.init_comm();
-                    comm.revoke();
-                    comm.shrink().unwrap().size()
-                });
+                let handles = u
+                    .spawn_batch(p, |proc: Proc| {
+                        let comm = proc.init_comm();
+                        comm.revoke();
+                        comm.shrink().unwrap().size()
+                    })
+                    .unwrap();
                 handles.into_iter().map(|h| h.join()).sum::<usize>()
             });
         });

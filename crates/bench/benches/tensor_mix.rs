@@ -22,17 +22,19 @@ fn bench_tensor_mix(c: &mut Criterion) {
                 b.iter(|| {
                     let u = Universe::without_faults(Topology::flat());
                     let sizes = sizes.clone();
-                    let handles = u.spawn_batch(4, move |p: Proc| {
-                        let comm = p.init_comm();
-                        let mut sum = 0.0f32;
-                        for &n in &sizes {
-                            let mut buf = vec![1.0f32; n];
-                            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-                                .unwrap();
-                            sum += buf[0];
-                        }
-                        sum
-                    });
+                    let handles = u
+                        .spawn_batch(4, move |p: Proc| {
+                            let comm = p.init_comm();
+                            let mut sum = 0.0f32;
+                            for &n in &sizes {
+                                let mut buf = vec![1.0f32; n];
+                                comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                                    .unwrap();
+                                sum += buf[0];
+                            }
+                            sum
+                        })
+                        .unwrap();
                     handles.into_iter().map(|h| h.join()).sum::<f32>()
                 });
             },

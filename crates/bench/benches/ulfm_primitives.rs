@@ -12,10 +12,12 @@ fn bench_agree(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 let u = Universe::without_faults(Topology::flat());
-                let handles = u.spawn_batch(p, |proc: Proc| {
-                    let comm = proc.init_comm();
-                    comm.agree(u64::MAX, proc.rank().0 as u64).unwrap().min
-                });
+                let handles = u
+                    .spawn_batch(p, |proc: Proc| {
+                        let comm = proc.init_comm();
+                        comm.agree(u64::MAX, proc.rank().0 as u64).unwrap().min
+                    })
+                    .unwrap();
                 handles.into_iter().map(|h| h.join()).sum::<u64>()
             });
         });
@@ -30,12 +32,14 @@ fn bench_shrink(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
             b.iter(|| {
                 let u = Universe::without_faults(Topology::flat());
-                let handles = u.spawn_batch(p, |proc: Proc| {
-                    let comm = proc.init_comm();
-                    comm.revoke();
-                    let shrunk = comm.shrink().unwrap();
-                    shrunk.size()
-                });
+                let handles = u
+                    .spawn_batch(p, |proc: Proc| {
+                        let comm = proc.init_comm();
+                        comm.revoke();
+                        let shrunk = comm.shrink().unwrap();
+                        shrunk.size()
+                    })
+                    .unwrap();
                 handles.into_iter().map(|h| h.join()).sum::<usize>()
             });
         });

@@ -102,6 +102,9 @@ fn main() {
     if wants("cascade") {
         cascade();
     }
+    if wants("policy") {
+        policy();
+    }
     if let Some(spec) = &perturb_spec {
         match parse_perturb_spec(spec) {
             Ok(plan) => perturbed(plan),
@@ -314,6 +317,159 @@ fn cascade() {
     );
     println!("Double kills converge on a uniform shrunk group; a dead join leader's pending");
     println!("joiners are re-ticketed; draining below min_workers aborts every survivor.\n");
+}
+
+/// Regret benchmark for the adaptive recovery policy ("Chameleon mode"):
+/// replay deterministic failure-schedule families through the oracle, the
+/// adaptive engine and the three static engines, scored against per-event
+/// ground truth (see `bench::policy_regret`). Writes `BENCH_policy.json`
+/// and *asserts* the headline claims — adaptive strictly beats the worst
+/// static in aggregate and stays within a sane factor of the oracle —
+/// exiting nonzero on violation so CI catches a regressed policy.
+fn policy() {
+    use bench::policy_regret::{regret_report, Aggregate, STATIC_ARMS};
+
+    const EVENTS: usize = 400;
+    const SEED: u64 = 42;
+    /// Adaptive may cost at most this multiple of the perfect-knowledge
+    /// oracle in aggregate (its only blind spot is the hidden
+    /// cascade-spare-death outcome, which bounds the gap).
+    const REGRET_RATIO_BOUND: f64 = 1.25;
+
+    println!("== Policy regret: adaptive vs static recovery arms ({EVENTS} events/family) ==\n");
+    let rows = regret_report(EVENTS, SEED);
+    let agg = Aggregate::of(&rows);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.family.to_string(),
+                r.events.to_string(),
+                format!("{:.1}", r.oracle_s),
+                format!("{:.1}", r.adaptive_s),
+                format!("{:.1}", r.static_s[0]),
+                format!("{:.1}", r.static_s[1]),
+                format!("{:.1}", r.static_s[2]),
+                format!("{:.1}", r.adaptive_regret()),
+            ]
+        })
+        .chain(std::iter::once(vec![
+            "TOTAL".to_string(),
+            (EVENTS * rows.len()).to_string(),
+            format!("{:.1}", agg.oracle_s),
+            format!("{:.1}", agg.adaptive_s),
+            format!("{:.1}", agg.static_s[0]),
+            format!("{:.1}", agg.static_s[1]),
+            format!("{:.1}", agg.static_s[2]),
+            format!("{:.1}", agg.adaptive_s - agg.oracle_s),
+        ]))
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Family",
+                "Events",
+                "Oracle (s)",
+                "Adaptive (s)",
+                "Shrink (s)",
+                "Spare (s)",
+                "Rollback (s)",
+                "Adaptive regret (s)",
+            ],
+            &table
+        )
+    );
+    println!(
+        "aggregate: adaptive {:.1}s vs statics [best {:.1}s, worst {:.1}s]; \
+         oracle {:.1}s (regret ratio {:.3})\n",
+        agg.adaptive_s,
+        agg.best_static(),
+        agg.worst_static(),
+        agg.oracle_s,
+        agg.regret_ratio()
+    );
+
+    telemetry::counter("repro.policy.events").add((EVENTS * rows.len()) as u64);
+    telemetry::counter("repro.policy.adaptive_ms").add((agg.adaptive_s * 1e3) as u64);
+    telemetry::counter("repro.policy.oracle_ms").add((agg.oracle_s * 1e3) as u64);
+    telemetry::counter("repro.policy.worst_static_ms").add((agg.worst_static() * 1e3) as u64);
+
+    let fam_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"family\": \"{}\", \"events\": {}, \"oracle_s\": {:.4}, \
+                 \"adaptive_s\": {:.4}, \"static_shrink_s\": {:.4}, \
+                 \"static_spare_s\": {:.4}, \"static_rollback_s\": {:.4}, \
+                 \"adaptive_regret_s\": {:.4}}}",
+                r.family,
+                r.events,
+                r.oracle_s,
+                r.adaptive_s,
+                r.static_s[0],
+                r.static_s[1],
+                r.static_s[2],
+                r.adaptive_regret()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"events_per_family\": {EVENTS},\n  \"seed\": {SEED},\n  \
+         \"static_arms\": [\"{:?}\", \"{:?}\", \"{:?}\"],\n  \"families\": [\n{}\n  ],\n  \
+         \"aggregate\": {{\"oracle_s\": {:.4}, \"adaptive_s\": {:.4}, \
+         \"static_s\": [{:.4}, {:.4}, {:.4}], \"worst_static_s\": {:.4}, \
+         \"regret_ratio\": {:.4}, \"regret_ratio_bound\": {REGRET_RATIO_BOUND}}}\n}}\n",
+        STATIC_ARMS[0],
+        STATIC_ARMS[1],
+        STATIC_ARMS[2],
+        fam_json.join(",\n"),
+        agg.oracle_s,
+        agg.adaptive_s,
+        agg.static_s[0],
+        agg.static_s[1],
+        agg.static_s[2],
+        agg.worst_static(),
+        agg.regret_ratio(),
+    );
+    match std::fs::write("BENCH_policy.json", &json) {
+        Ok(()) => println!("policy: wrote BENCH_policy.json"),
+        Err(e) => eprintln!("policy: failed to write BENCH_policy.json: {e}"),
+    }
+
+    let mut violations = Vec::new();
+    if agg.adaptive_s >= agg.worst_static() {
+        violations.push(format!(
+            "adaptive ({:.1}s) must strictly beat the worst static ({:.1}s) in aggregate",
+            agg.adaptive_s,
+            agg.worst_static()
+        ));
+    }
+    if agg.adaptive_s >= agg.best_static() {
+        violations.push(format!(
+            "adaptive ({:.1}s) must strictly beat even the best static ({:.1}s) \
+             in aggregate — no single arm wins every family",
+            agg.adaptive_s,
+            agg.best_static()
+        ));
+    }
+    if agg.regret_ratio() > REGRET_RATIO_BOUND {
+        violations.push(format!(
+            "adaptive regret ratio {:.3} exceeds the sanity bound {REGRET_RATIO_BOUND}",
+            agg.regret_ratio()
+        ));
+    }
+    if agg.oracle_s > agg.adaptive_s + 1e-9 {
+        violations.push("oracle must lower-bound every policy".to_string());
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("policy REGRESSION: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("policy: adaptive strictly beats every static arm; regret ratio within bound.\n");
 }
 
 /// Export the telemetry registry accumulated across everything this

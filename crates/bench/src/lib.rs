@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod multiproc;
+pub mod policy_regret;
 
 use elastic::scenario::{Engine, ScenarioKind};
 use elastic::{run_scenario, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
@@ -153,6 +154,9 @@ pub fn demonstrate_cell(row: usize, ulfm: bool) -> bool {
         suspicion_timeout: None,
         extra_faults: transport::FaultPlan::none(),
         backend: transport::BackendKind::InProc,
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     };
     let res = run_scenario(&cfg);
     let expected_completed = match (kind, policy) {
@@ -238,6 +242,7 @@ fn timed_allreduce_steps(
         }
         sink
     });
+    let handles = handles.expect("in-process universe");
     let _: f32 = handles.into_iter().map(|h| h.join()).sum();
     t0.elapsed().as_secs_f64() / steps as f64
 }

@@ -304,6 +304,9 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
         // exits instead of hanging, and members give up on a joiner that
         // never announces instead of stalling the epoch boundary.
         join_wait: Some(Duration::from_secs(join_wait_secs)),
+        policy_mode: elastic::PolicyMode::default(),
+        expected_spares: 0,
+        ckpt_every: 0,
     };
     let out = run_forward_worker(&proc, &fwd, is_joiner);
 

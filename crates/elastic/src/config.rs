@@ -108,7 +108,9 @@ pub struct WorkerStats {
     /// scaling makes this world-size dependent).
     pub final_lr: f32,
     /// Optimizer steps this worker re-executed because of checkpoint
-    /// rollbacks (always 0 under forward recovery — that is the point).
+    /// rollbacks. Always 0 under pure forward recovery — that is the
+    /// point; nonzero only when the policy layer commits a rollback arm
+    /// (or a promotion rewinds a raced-ahead worker by one apply).
     pub steps_recomputed: u64,
 }
 

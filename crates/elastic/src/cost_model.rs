@@ -144,6 +144,147 @@ impl CommModel {
     }
 }
 
+/// Live inputs the recovery-policy engine scores the arms with, gathered
+/// at the failure site: group state from the communicator, training state
+/// from the engine, timing from the profiler's per-step EMA, and link
+/// health from the transport's fabric stats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyInputs {
+    /// Surviving world size (after the shrink that detected the failure).
+    pub world: usize,
+    /// Ranks lost in this failure (pre-shrink minus post-shrink size).
+    pub lost: usize,
+    /// Live warm spares observed in the pool (leader's local view; the
+    /// committed decision re-validates against the pool atomically).
+    pub spares: usize,
+    /// Does a local checkpoint exist to roll back to?
+    pub has_ckpt: bool,
+    /// Steps of work since that checkpoint (recompute distance).
+    pub ckpt_age_steps: u64,
+    /// Steps of training still ahead (the window a throughput deficit
+    /// accrues over).
+    pub remaining_steps: u64,
+    /// Smoothed seconds per training step at the current world size.
+    pub step_time: f64,
+    /// Bytes of model + optimizer state (sync payload for promotion and
+    /// rollback broadcasts).
+    pub state_bytes: f64,
+    /// Observed perturbation rate: retransmits per delivered message on
+    /// this worker's links, `[0, 1]`-ish. Inflates every communication
+    /// term — a lossy fabric makes sync-heavy arms relatively costlier.
+    pub perturb_rate: f64,
+}
+
+/// Analytic cost of each recovery arm, extending [`Eq1Params`] with the
+/// α–β [`CommModel`] so the arms are comparable *per failure* from live
+/// inputs (Eq. (1) models a whole window; the policy engine needs the
+/// marginal cost of the next recovery).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryCostModel {
+    /// Point-to-point network model for the collective terms.
+    pub comm: CommModel,
+    /// Seconds to load a checkpoint from storage (rollback only).
+    pub ckpt_load: f64,
+    /// Seconds a promoted spare needs to become step-ready beyond the
+    /// state broadcast (framework re-init; Eq. (1)'s `new_worker_init`).
+    pub spare_init: f64,
+}
+
+impl Default for RecoveryCostModel {
+    fn default() -> Self {
+        Self {
+            comm: CommModel::summit(),
+            ckpt_load: 0.5,
+            spare_init: 0.2,
+        }
+    }
+}
+
+impl RecoveryCostModel {
+    /// Flood-set agreement over `p` ranks: `⌈log₂ p⌉` rounds, each an α
+    /// startup per peer (the threaded runtime's agreement is p-round, but
+    /// the *model* uses ERA's logarithmic cost like `simnet`).
+    pub fn agree_time(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p as f64).log2().ceil() * self.comm.alpha * p as f64
+    }
+
+    /// Reconfiguration (revoke + agree-on-failed + shrink commit): two
+    /// agreements plus a communicator rebuild's worth of startups. Strictly
+    /// increasing in `p`.
+    pub fn reconfig_time(&self, p: usize) -> f64 {
+        2.0 * self.agree_time(p) + self.comm.alpha * p as f64
+    }
+
+    /// Direct cost of *executing* `arm` once, given `inputs`. Infeasible
+    /// arms (promotion with a cold pool, rollback without a checkpoint)
+    /// cost `f64::INFINITY`, so `choose` can argmin without special cases.
+    pub fn recovery_cost(&self, arm: ulfm::RecoveryArm, inputs: &PolicyInputs) -> f64 {
+        use ulfm::RecoveryArm::*;
+        let p = inputs.world.max(1);
+        // A lossy fabric retransmits: every communication term pays the
+        // observed overhead.
+        let lossy = 1.0 + inputs.perturb_rate.max(0.0);
+        match arm {
+            // Forward-shrink: reconfigure, then redo the interrupted
+            // collective from retained inputs (one step's comm volume).
+            Shrink => lossy * (self.reconfig_time(p) + self.comm.ring_time(inputs.state_bytes, p)),
+            // Promotion: reconfigure, run the policy-commit round (a
+            // broadcast + agreement), broadcast full state to the merged
+            // group, and pay the spare's init.
+            PromoteSpares => {
+                if inputs.spares == 0 {
+                    return f64::INFINITY;
+                }
+                let merged = p + inputs.lost.min(inputs.spares);
+                lossy
+                    * (self.reconfig_time(p)
+                        + self.agree_time(p)
+                        + self
+                            .comm
+                            .recursive_doubling_time(inputs.state_bytes, merged))
+                    + self.spare_init
+            }
+            // Rollback: reconfigure, load + broadcast the checkpoint, then
+            // recompute everything since it was taken.
+            Rollback => {
+                if !inputs.has_ckpt {
+                    return f64::INFINITY;
+                }
+                lossy
+                    * (self.reconfig_time(p)
+                        + self.comm.recursive_doubling_time(inputs.state_bytes, p))
+                    + self.ckpt_load
+                    + inputs.ckpt_age_steps as f64 * inputs.step_time
+            }
+        }
+    }
+
+    /// Throughput deficit an arm leaves behind: shrink and rollback both
+    /// continue on `world` survivors, losing `lost/world` of aggregate
+    /// throughput over the remaining steps; promotion restores the world
+    /// and forfeits nothing. (First-order model: per-step time is taken as
+    /// world-size-independent, which is exact for the fixed-per-worker
+    /// shard the engines train.)
+    pub fn deficit(&self, arm: ulfm::RecoveryArm, inputs: &PolicyInputs) -> f64 {
+        use ulfm::RecoveryArm::*;
+        match arm {
+            PromoteSpares => 0.0,
+            Shrink | Rollback => {
+                let p = inputs.world.max(1) as f64;
+                inputs.remaining_steps as f64 * inputs.step_time * inputs.lost as f64 / p
+            }
+        }
+    }
+
+    /// Total score of an arm: execution cost plus the deficit it leaves.
+    pub fn score(&self, arm: ulfm::RecoveryArm, inputs: &PolicyInputs) -> f64 {
+        self.recovery_cost(arm, inputs) + self.deficit(arm, inputs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

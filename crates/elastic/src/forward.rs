@@ -30,15 +30,41 @@
 //! Both are idempotent to redo (allreduces are re-fed from saved inputs;
 //! the barrier carries no data), so replicas stay bit-identical — which
 //! the tests assert via state fingerprints.
+//!
+//! ## The policy layer ("Chameleon mode")
+//!
+//! When [`ForwardConfig::policy_mode`] departs from pure shrink or a warm
+//! spare pool is expected, step 3 gains a *policy round*: after the
+//! shrink, the survivors uniformly commit one recovery arm
+//! ([`ulfm::Communicator::commit_recovery_policy`]) —
+//!
+//! * **shrink** — the paper's retained-inputs redo above, unchanged;
+//! * **spare** — promote pre-joined warm spares ([`Role::Spare`]) into the
+//!   gap, synchronize them from live state, and restart the interrupted
+//!   step at full strength: no capacity lost, no rollback;
+//! * **rollback** — restore *every* survivor from the newest local
+//!   checkpoint ([`ForwardConfig::ckpt_every`]) and recompute from there
+//!   (the classic engine, available per-failure instead of per-run).
+//!
+//! The arm is chosen by [`PolicyEngine`](crate::policy::PolicyEngine) from
+//! live [`PolicyInputs`], but only the leader's choice matters — it rides
+//! inside the committed proposal, so locally-diverging inputs can never
+//! diverge the SPMD control flow. If the committed arm itself dies
+//! mid-recovery (a spare killed during promotion, a checkpoint sync broken
+//! by a cascade), survivors fall down a deterministic chain — spare →
+//! shrink → abort-below-floor — whose backstop, the retained-inputs redo,
+//! has no preconditions and therefore always applies.
 
 use crate::config::{
     policy_evictions, state_fingerprint, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats,
 };
+use crate::cost_model::PolicyInputs;
+use crate::policy::{PolicyEngine, PolicyMode};
 use crate::profiler::{RecoveryBreakdown, RecoveryKind};
 use collectives::ReduceOp;
 use dnn::Checkpoint;
 use transport::RankId;
-use ulfm::{Communicator, JoinOutcome, Proc, ShrinkOutcome, UlfmError};
+use ulfm::{Communicator, JoinOutcome, PolicyCommit, Proc, RecoveryArm, ShrinkOutcome, UlfmError};
 
 /// Configuration of the forward-recovery engine.
 #[derive(Clone, Debug)]
@@ -71,6 +97,19 @@ pub struct ForwardConfig {
     /// `spec.lr × world / base_world` over `warmup_steps` (paper §5's
     /// convergence techniques [16][22], applied elastically).
     pub lr_scaling: Option<LrScaling>,
+    /// How the recovery arm is picked at each failure. The default —
+    /// static forward-shrink — reproduces the seed engine bit-identically
+    /// (with no spare pool, no policy round runs at all).
+    pub policy_mode: PolicyMode,
+    /// Warm spares this run expects ([`Role::Spare`] workers). Members
+    /// wait for that many pool announcements before training starts, so
+    /// the pool is warm before the first failure can hit. Zero (the
+    /// default) disables the wait.
+    pub expected_spares: usize,
+    /// Capture a local in-memory checkpoint every this many steps — the
+    /// rollback arm's restore source. Zero (the default) disables capture,
+    /// which makes rollback infeasible and degrades it to shrink.
+    pub ckpt_every: u64,
 }
 
 /// Elastic learning-rate policy.
@@ -83,7 +122,8 @@ pub struct LrScaling {
 }
 
 impl ForwardConfig {
-    /// Defaults: drop-process policy, joins enabled, no renormalization.
+    /// Defaults: drop-process policy, joins enabled, no renormalization,
+    /// static forward-shrink (no policy layer).
     pub fn new(spec: TrainSpec) -> Self {
         Self {
             spec,
@@ -93,8 +133,34 @@ impl ForwardConfig {
             join_wait: None,
             renormalize_after_loss: false,
             lr_scaling: None,
+            policy_mode: PolicyMode::default(),
+            expected_spares: 0,
+            ckpt_every: 0,
         }
     }
+
+    /// Does recovery run the policy round at all? Pure static shrink with
+    /// no spare pool skips it entirely, keeping the seed engine's exact
+    /// recovery sequence (and cost). Uniform across workers because `cfg`
+    /// is shared — the round is a collective, so all survivors must agree
+    /// on whether it runs.
+    pub fn policy_active(&self) -> bool {
+        self.policy_mode != PolicyMode::Static(RecoveryArm::Shrink) || self.expected_spares > 0
+    }
+}
+
+/// How a worker participates in the computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Founding member: starts in the initial communicator.
+    Member,
+    /// Joins a running group at an epoch boundary (replacement/upscale).
+    Joiner,
+    /// Pre-joins the warm spare pool and waits for a promotion ticket; it
+    /// enters the group only when a recovery's policy round commits a
+    /// promotion (never at epoch boundaries). Dismissed spares exit with
+    /// [`WorkerExit::Aborted`] and zeroed stats.
+    Spare,
 }
 
 /// Outcome plus per-episode breakdowns (for the figure benches).
@@ -113,18 +179,52 @@ enum Fatal {
     Aborted,
 }
 
+/// What the op loop does after a recovery episode resolves.
+enum Flow {
+    /// Redo from the agreed restart operation on the shrunk group (the
+    /// paper's forward path).
+    Redo(u64),
+    /// Restart the step loop at this step — state was re-synchronized by a
+    /// committed promotion or rollback.
+    Restart(u64),
+}
+
+/// What the policy round decided (relative to the already-shrunk group).
+enum PolicyAction {
+    /// Keep the forward redo.
+    Shrink,
+    /// State re-synchronized; restart the step loop here.
+    Restart(u64),
+}
+
 /// Run one worker under forward recovery. `is_joiner` workers attach to a
 /// running group via the join service instead of the initial communicator.
 pub fn run_forward_worker(proc: &Proc, cfg: &ForwardConfig, is_joiner: bool) -> ForwardOutcome {
+    run_forward_role(
+        proc,
+        cfg,
+        if is_joiner {
+            Role::Joiner
+        } else {
+            Role::Member
+        },
+    )
+}
+
+/// Run one worker in the given [`Role`]. Members and joiners behave as in
+/// [`run_forward_worker`]; spares park in the warm pool until a policy
+/// round promotes them (after which they train as full members) or the run
+/// ends and dismisses them.
+pub fn run_forward_role(proc: &Proc, cfg: &ForwardConfig, role: Role) -> ForwardOutcome {
     let mut breakdowns = Vec::new();
-    let exit = run_inner(proc, cfg, is_joiner, &mut breakdowns);
+    let exit = run_inner(proc, cfg, role, &mut breakdowns);
     ForwardOutcome { exit, breakdowns }
 }
 
 fn run_inner(
     proc: &Proc,
     cfg: &ForwardConfig,
-    is_joiner: bool,
+    role: Role,
     breakdowns: &mut Vec<RecoveryBreakdown>,
 ) -> WorkerExit {
     let spec = &cfg.spec;
@@ -134,43 +234,61 @@ fn run_inner(
     let topology = proc.endpoint().topology();
     let mut recoveries = 0usize;
     let mut last_loss = f32::NAN;
+    let mut steps_recomputed: u64 = 0;
+    // Rollback arm's restore source (captured every `ckpt_every` steps).
+    let mut local_ckpt: Option<Checkpoint> = None;
+    // Per-step wall time estimate feeding the policy cost model.
+    let mut step_time_ema: f64 = 0.0;
 
     // --- membership -----------------------------------------------------
-    let mut comm = if is_joiner {
-        match proc.join_training_deadline(cfg.join_wait) {
-            Ok(c) => c,
-            Err(UlfmError::SelfDied) => return WorkerExit::Died,
-            Err(UlfmError::Aborted) => {
-                // The run shut down before this joiner was admitted.
-                return abort_exit(proc, 0, f32::NAN, 0, 0, &model, &opt, breakdowns);
+    let mut comm = match role {
+        Role::Member => proc.init_comm(),
+        Role::Joiner | Role::Spare => {
+            let joined = if role == Role::Spare {
+                proc.join_training_as_spare(cfg.join_wait)
+            } else {
+                proc.join_training_deadline(cfg.join_wait)
+            };
+            match joined {
+                Ok(c) => c,
+                Err(UlfmError::SelfDied) => return WorkerExit::Died,
+                Err(UlfmError::Aborted) if role == Role::Spare => {
+                    // Dismissed: the run finished (or aborted) without
+                    // needing this spare. A clean non-event — crucially not
+                    // a below-minimum abort.
+                    telemetry::counter("elastic.spare.dismissed").incr();
+                    proc.retire();
+                    return WorkerExit::Aborted(idle_stats(&model));
+                }
+                Err(UlfmError::Aborted) => {
+                    // The run shut down before this joiner was admitted.
+                    return abort_exit(proc, 0, f32::NAN, 0, 0, 0, &model, &opt, breakdowns);
+                }
+                Err(UlfmError::JoinTimeout) => {
+                    // Orphaned: the group completed, degraded to running
+                    // shrunk, or partitioned away without ever ticketing
+                    // us. Leave quietly — crucially *without* abort_joins,
+                    // which would dismiss other still-viable joiners.
+                    telemetry::counter(if role == Role::Spare {
+                        "elastic.spare.ticket_timeouts"
+                    } else {
+                        "elastic.join.ticket_timeouts"
+                    })
+                    .incr();
+                    proc.retire();
+                    return WorkerExit::Aborted(idle_stats(&model));
+                }
+                Err(e) => unreachable!("join_training failed unexpectedly: {e}"),
             }
-            Err(UlfmError::JoinTimeout) => {
-                // Orphaned joiner: the group completed, degraded to running
-                // shrunk, or partitioned away without ever ticketing us.
-                // Leave quietly — crucially *without* abort_joins, which
-                // would dismiss other still-viable joiners.
-                telemetry::counter("elastic.join.ticket_timeouts").incr();
-                proc.retire();
-                return WorkerExit::Aborted(WorkerStats {
-                    steps_done: 0,
-                    final_loss: f32::NAN,
-                    recoveries: 0,
-                    final_world: 0,
-                    state_fingerprint: state_fingerprint(&model.state_flat()),
-                    final_lr: f32::NAN,
-                    steps_recomputed: 0,
-                });
-            }
-            Err(e) => unreachable!("join_training failed unexpectedly: {e}"),
         }
-    } else {
-        proc.init_comm()
     };
-    let mut step: u64 = if is_joiner {
+    let mut step: u64 = if role != Role::Member {
         // Receive (state, step) from the group; the paper's "reinitializing
         // the training state for the new workers". The sync survives sender
         // deaths: it retries on the recovered group until a state-holder
-        // commits the broadcast (or none survives and the run aborts).
+        // commits the broadcast (or none survives and the run aborts). A
+        // promoted spare bootstraps exactly like a joiner — the members'
+        // side of its promotion is this same sync.
         let mut episode = RecoveryBreakdown::new(RecoveryKind::Join, 0);
         let mut has_state = false;
         let s = checkpoint_sync(
@@ -181,6 +299,12 @@ fn run_inner(
             &mut opt,
             &mut has_state,
             0,
+            &None,
+            SyncOpts {
+                source: SyncSource::Live,
+                restore_all: false,
+                bound: SyncBound::Unbounded,
+            },
             &mut episode,
             topology,
             &mut recoveries,
@@ -188,16 +312,42 @@ fn run_inner(
         episode.publish(proc.rank().0);
         breakdowns.push(episode);
         match s {
-            Ok(step) => step,
+            Ok(SyncOutcome::Synced(step)) => step,
+            Ok(SyncOutcome::GaveUp) => unreachable!("unbounded sync never gives up"),
             Err(Fatal::Died) => return WorkerExit::Died,
-            Err(Fatal::Excluded) => return exclude_exit(proc, 0, f32::NAN, recoveries, 0, &model),
+            Err(Fatal::Excluded) => {
+                return exclude_exit(proc, 0, f32::NAN, recoveries, 0, 0, &model)
+            }
             Err(Fatal::Aborted) => {
-                return abort_exit(proc, 0, f32::NAN, recoveries, 0, &model, &opt, breakdowns)
+                return abort_exit(
+                    proc,
+                    0,
+                    f32::NAN,
+                    recoveries,
+                    0,
+                    0,
+                    &model,
+                    &opt,
+                    breakdowns,
+                )
             }
         }
     } else {
         0
     };
+
+    // Warm-pool determinism: like expected_joiners, members block until
+    // every expected spare has announced itself, so the first failure
+    // already sees a warm pool instead of racing spare startup. The
+    // counter is monotone and global; `join_wait` bounds the stall.
+    if role == Role::Member && cfg.expected_spares > 0 {
+        let deadline = cfg.join_wait.map(|w| std::time::Instant::now() + w);
+        while proc.announced_spares() < cfg.expected_spares as u64
+            && deadline.is_none_or(|d| std::time::Instant::now() < d)
+        {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+        }
+    }
 
     // Fusion schedule (if enabled): gradients pack into buckets in ready
     // order and each bucket allreduces as one resilient collective. The
@@ -225,12 +375,14 @@ fn run_inner(
     while (step as usize) < spec.total_steps {
         telemetry::counter("elastic.forward.steps").incr();
         let _step_span = telemetry::span("elastic.forward.step_ns");
+        let step_t0 = std::time::Instant::now();
         let recoveries_before = recoveries;
         // The step body may be re-attempted from scratch: if this worker had
         // raced ahead into step S+1 when a failure struck step S's commit
         // barrier, it redoes that barrier and then *recomputes* its S+1
         // gradients with the post-recovery membership (its pre-failure
-        // shard was cut for the old world).
+        // shard was cut for the old world). A committed promotion or
+        // rollback also restarts here, at the re-synchronized step.
         let grads = 'attempt: loop {
             // --- local gradient computation -------------------------------
             let world = comm.size();
@@ -327,13 +479,57 @@ fn run_inner(
                         recoveries += 1;
                         let my_global = global_op(step, n_ops, local_op);
                         let mut episode = RecoveryBreakdown::new(RecoveryKind::Forward, step);
-                        let recovered =
-                            recover(proc, cfg, &comm, my_global, &mut episode, topology);
+                        // Recover, then — if the policy layer is on — run
+                        // the policy round. *Every* survivor of the shrink
+                        // runs it (racing workers included: they align here
+                        // before diverging into their redo paths), so the
+                        // commit's collectives stay collective.
+                        let flow =
+                            match recover(proc, cfg, &comm, my_global, &mut episode, topology) {
+                                Ok((new_comm, restart)) => {
+                                    comm = new_comm;
+                                    if cfg.policy_active() {
+                                        policy_dispatch(
+                                            proc,
+                                            cfg,
+                                            &mut comm,
+                                            &mut model,
+                                            &mut opt,
+                                            step,
+                                            &local_ckpt,
+                                            step_time_ema,
+                                            world,
+                                            &mut episode,
+                                            topology,
+                                            &mut recoveries,
+                                        )
+                                        .map(|action| {
+                                            match action {
+                                                PolicyAction::Shrink => Flow::Redo(restart),
+                                                PolicyAction::Restart(s) => Flow::Restart(s),
+                                            }
+                                        })
+                                    } else {
+                                        Ok(Flow::Redo(restart))
+                                    }
+                                }
+                                Err(f) => Err(f),
+                            };
                         episode.publish(proc.rank().0);
                         breakdowns.push(breakdowns_last_fix(&mut episode));
-                        match recovered {
-                            Ok((new_comm, restart)) => {
-                                comm = new_comm;
+                        match flow {
+                            Ok(Flow::Restart(s)) => {
+                                // Promotion or rollback re-synchronized the
+                                // state; recompute from step `s` (racing
+                                // workers count their rewound applies as
+                                // recomputation).
+                                if s < step {
+                                    steps_recomputed += step - s;
+                                }
+                                step = s;
+                                continue 'attempt;
+                            }
+                            Ok(Flow::Redo(restart)) => {
                                 let first_of_step = global_op(step, n_ops, 0);
                                 if restart >= first_of_step {
                                     // Restart within this step: restore the
@@ -372,12 +568,14 @@ fn run_inner(
                                                     RecoveryKind::Forward,
                                                     step,
                                                 );
-                                                let r = recover(
+                                                // The policy round runs here
+                                                // too: the slower survivors
+                                                // of this cascade run it in
+                                                // their op loops, and its
+                                                // commit must see everyone.
+                                                let flow2 = match recover(
                                                     proc, cfg, &comm, restart, &mut ep, topology,
-                                                );
-                                                ep.publish(proc.rank().0);
-                                                breakdowns.push(breakdowns_last_fix(&mut ep));
-                                                match r {
+                                                ) {
                                                     Ok((c, r2)) => {
                                                         assert_eq!(
                                                             r2, restart,
@@ -385,18 +583,69 @@ fn run_inner(
                                                              redone barrier"
                                                         );
                                                         comm = c;
+                                                        if cfg.policy_active() {
+                                                            policy_dispatch(
+                                                                proc,
+                                                                cfg,
+                                                                &mut comm,
+                                                                &mut model,
+                                                                &mut opt,
+                                                                step,
+                                                                &local_ckpt,
+                                                                step_time_ema,
+                                                                world,
+                                                                &mut ep,
+                                                                topology,
+                                                                &mut recoveries,
+                                                            )
+                                                            .map(|action| match action {
+                                                                PolicyAction::Shrink => {
+                                                                    Flow::Redo(restart)
+                                                                }
+                                                                PolicyAction::Restart(s) => {
+                                                                    Flow::Restart(s)
+                                                                }
+                                                            })
+                                                        } else {
+                                                            Ok(Flow::Redo(restart))
+                                                        }
+                                                    }
+                                                    Err(f) => Err(f),
+                                                };
+                                                ep.publish(proc.rank().0);
+                                                breakdowns.push(breakdowns_last_fix(&mut ep));
+                                                match flow2 {
+                                                    Ok(Flow::Redo(_)) => {}
+                                                    Ok(Flow::Restart(s)) => {
+                                                        if s < step {
+                                                            steps_recomputed += step - s;
+                                                        }
+                                                        step = s;
+                                                        continue 'attempt;
                                                     }
                                                     Err(Fatal::Died) => return WorkerExit::Died,
                                                     Err(Fatal::Excluded) => {
                                                         return exclude_exit(
-                                                            proc, step, last_loss, recoveries,
-                                                            world, &model,
+                                                            proc,
+                                                            step,
+                                                            last_loss,
+                                                            recoveries,
+                                                            world,
+                                                            steps_recomputed,
+                                                            &model,
                                                         )
                                                     }
                                                     Err(Fatal::Aborted) => {
                                                         return abort_exit(
-                                                            proc, step, last_loss, recoveries,
-                                                            world, &model, &opt, breakdowns,
+                                                            proc,
+                                                            step,
+                                                            last_loss,
+                                                            recoveries,
+                                                            world,
+                                                            steps_recomputed,
+                                                            &model,
+                                                            &opt,
+                                                            breakdowns,
                                                         )
                                                     }
                                                 }
@@ -409,12 +658,25 @@ fn run_inner(
                             Err(Fatal::Died) => return WorkerExit::Died,
                             Err(Fatal::Excluded) => {
                                 return exclude_exit(
-                                    proc, step, last_loss, recoveries, world, &model,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    world,
+                                    steps_recomputed,
+                                    &model,
                                 )
                             }
                             Err(Fatal::Aborted) => {
                                 return abort_exit(
-                                    proc, step, last_loss, recoveries, world, &model, &opt,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    world,
+                                    steps_recomputed,
+                                    &model,
+                                    &opt,
                                     breakdowns,
                                 )
                             }
@@ -480,6 +742,19 @@ fn run_inner(
         }
         opt.step(&mut model.params_mut());
         step += 1;
+        if cfg.ckpt_every > 0 && step.is_multiple_of(cfg.ckpt_every) {
+            let mut ck = Checkpoint::capture(&model, &opt);
+            // Anchor to the training step (state is ready to compute it),
+            // which the rollback arm uses for the restart point and age.
+            ck.step = step;
+            local_ckpt = Some(ck);
+        }
+        let dt = step_t0.elapsed().as_secs_f64();
+        step_time_ema = if step_time_ema > 0.0 {
+            0.8 * step_time_ema + 0.2 * dt
+        } else {
+            dt
+        };
 
         // --- epoch boundary: accept joiners (scenarios II & III) ---------
         if cfg.accept_joiners && (step as usize).is_multiple_of(spec.steps_per_epoch) {
@@ -489,7 +764,8 @@ fn run_inner(
             // condition regardless of who drains the pending list when.
             // `join_wait` bounds the stall: past the deadline the group
             // gives up and continues shrunk rather than waiting on a joiner
-            // that crashed before announcing.
+            // that crashed before announcing. Spares are a different
+            // namespace entirely: epoch boundaries never drain the pool.
             let wait_deadline = cfg.join_wait.map(|w| std::time::Instant::now() + w);
             while proc.announced_joiners() < cfg.expected_joiners as u64
                 && wait_deadline.is_none_or(|d| std::time::Instant::now() < d)
@@ -518,6 +794,12 @@ fn run_inner(
                             &mut opt,
                             &mut has_state,
                             step,
+                            &None,
+                            SyncOpts {
+                                source: SyncSource::Live,
+                                restore_all: false,
+                                bound: SyncBound::Unbounded,
+                            },
                             &mut episode,
                             topology,
                             &mut recoveries,
@@ -532,12 +814,25 @@ fn run_inner(
                             Err(Fatal::Died) => return WorkerExit::Died,
                             Err(Fatal::Excluded) => {
                                 return exclude_exit(
-                                    proc, step, last_loss, recoveries, lr_world, &model,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    lr_world,
+                                    steps_recomputed,
+                                    &model,
                                 )
                             }
                             Err(Fatal::Aborted) => {
                                 return abort_exit(
-                                    proc, step, last_loss, recoveries, lr_world, &model, &opt,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    lr_world,
+                                    steps_recomputed,
+                                    &model,
+                                    &opt,
                                     breakdowns,
                                 )
                             }
@@ -572,12 +867,25 @@ fn run_inner(
                             Err(Fatal::Died) => return WorkerExit::Died,
                             Err(Fatal::Excluded) => {
                                 return exclude_exit(
-                                    proc, step, last_loss, recoveries, lr_world, &model,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    lr_world,
+                                    steps_recomputed,
+                                    &model,
                                 )
                             }
                             Err(Fatal::Aborted) => {
                                 return abort_exit(
-                                    proc, step, last_loss, recoveries, lr_world, &model, &opt,
+                                    proc,
+                                    step,
+                                    last_loss,
+                                    recoveries,
+                                    lr_world,
+                                    steps_recomputed,
+                                    &model,
+                                    &opt,
                                     breakdowns,
                                 )
                             }
@@ -588,8 +896,10 @@ fn run_inner(
         }
     }
 
-    // Leaving the computation cleanly: mark ourselves gone so that any
-    // concurrent recovery among slower workers does not wait for us.
+    // Leaving the computation cleanly: dismiss spares the run never needed
+    // (idempotent — racing completers may all call it), then mark ourselves
+    // gone so that any concurrent recovery among slower workers does not
+    // wait for us.
     let stats = WorkerStats {
         steps_done: step,
         final_loss: last_loss,
@@ -597,10 +907,25 @@ fn run_inner(
         final_world: comm.size(),
         state_fingerprint: state_fingerprint(&model.state_flat()),
         final_lr: opt.current_lr(),
-        steps_recomputed: 0,
+        steps_recomputed,
     };
+    proc.dismiss_spares();
     proc.retire();
     WorkerExit::Completed(stats)
+}
+
+/// Stats for a worker that never trained (dismissed or orphaned spare /
+/// joiner).
+fn idle_stats(model: &dnn::Model) -> WorkerStats {
+    WorkerStats {
+        steps_done: 0,
+        final_loss: f32::NAN,
+        recoveries: 0,
+        final_world: 0,
+        state_fingerprint: state_fingerprint(&model.state_flat()),
+        final_lr: f32::NAN,
+        steps_recomputed: 0,
+    }
 }
 
 /// Work around borrowck: move the episode out (it was filled in-place).
@@ -615,6 +940,7 @@ fn exclude_exit(
     last_loss: f32,
     recoveries: usize,
     world: usize,
+    steps_recomputed: u64,
     model: &dnn::Model,
 ) -> WorkerExit {
     proc.retire();
@@ -625,7 +951,7 @@ fn exclude_exit(
         final_world: world,
         state_fingerprint: state_fingerprint(&model.state_flat()),
         final_lr: f32::NAN,
-        steps_recomputed: 0,
+        steps_recomputed,
     })
 }
 
@@ -638,6 +964,7 @@ fn abort_exit(
     last_loss: f32,
     recoveries: usize,
     world: usize,
+    steps_recomputed: u64,
     model: &dnn::Model,
     opt: &dnn::Sgd,
     breakdowns: &mut Vec<RecoveryBreakdown>,
@@ -645,10 +972,10 @@ fn abort_exit(
     telemetry::counter("elastic.abort.below_min").incr();
     let mut episode = RecoveryBreakdown::new(RecoveryKind::Abort, step);
     episode.time("below_min", || {
-        // Joiners still blocked on the ticket service would otherwise wait
-        // for a computation that no longer exists; dismiss them, then leave
-        // so concurrent recoveries observe the departure instead of
-        // hanging on our silence.
+        // Joiners (and spares) still blocked on the ticket service would
+        // otherwise wait for a computation that no longer exists; dismiss
+        // them, then leave so concurrent recoveries observe the departure
+        // instead of hanging on our silence.
         proc.abort_joins();
         proc.retire();
     });
@@ -661,7 +988,7 @@ fn abort_exit(
         final_world: world,
         state_fingerprint: state_fingerprint(&model.state_flat()),
         final_lr: opt.current_lr(),
-        steps_recomputed: 0,
+        steps_recomputed,
     })
 }
 
@@ -712,29 +1039,269 @@ fn recover(
     }
 }
 
+/// The policy round: score the arms, commit one uniformly, execute it, and
+/// fall down the deterministic fallback chain if it dies mid-recovery.
+/// Runs on the *already-shrunk* group; `world_before` is the size the
+/// failed attempt started with. Returns what the op loop should do next.
+#[allow(clippy::too_many_arguments)]
+fn policy_dispatch(
+    proc: &Proc,
+    cfg: &ForwardConfig,
+    comm: &mut Communicator,
+    model: &mut dnn::Model,
+    opt: &mut dnn::Sgd,
+    step: u64,
+    local_ckpt: &Option<Checkpoint>,
+    step_time_ema: f64,
+    world_before: usize,
+    episode: &mut RecoveryBreakdown,
+    topology: transport::Topology,
+    recoveries: &mut usize,
+) -> Result<PolicyAction, Fatal> {
+    let r = policy_dispatch_inner(
+        proc,
+        cfg,
+        comm,
+        model,
+        opt,
+        step,
+        local_ckpt,
+        step_time_ema,
+        world_before,
+        episode,
+        topology,
+        recoveries,
+    );
+    if matches!(r, Err(Fatal::Aborted)) {
+        // The chain's last edge: whatever arm was running, a cascade drove
+        // the group below the floor and the run aborts.
+        telemetry::counter("elastic.policy.fallback.to_abort").incr();
+    }
+    r
+}
+
+#[allow(clippy::too_many_arguments)]
+fn policy_dispatch_inner(
+    proc: &Proc,
+    cfg: &ForwardConfig,
+    comm: &mut Communicator,
+    model: &mut dnn::Model,
+    opt: &mut dnn::Sgd,
+    step: u64,
+    local_ckpt: &Option<Checkpoint>,
+    step_time_ema: f64,
+    world_before: usize,
+    episode: &mut RecoveryBreakdown,
+    topology: transport::Topology,
+    recoveries: &mut usize,
+) -> Result<PolicyAction, Fatal> {
+    // Live inputs, gathered locally. Only the leader's copy decides — the
+    // decision rides inside the committed proposal, so divergent local
+    // views (clocks, fabric stats, pool races) cannot split the SPMD flow.
+    let fabric = proc.endpoint().stats();
+    let inputs = PolicyInputs {
+        world: comm.size(),
+        lost: world_before.saturating_sub(comm.size()).max(1),
+        spares: proc.waiting_spares(),
+        has_ckpt: local_ckpt.is_some(),
+        ckpt_age_steps: local_ckpt
+            .as_ref()
+            .map_or(0, |c| step.saturating_sub(c.step)),
+        remaining_steps: (cfg.spec.total_steps as u64).saturating_sub(step),
+        step_time: step_time_ema.max(1e-6),
+        state_bytes: (model.state_flat().len() * 8) as f64,
+        perturb_rate: fabric.retransmits as f64 / fabric.messages.max(1) as f64,
+    };
+    let hint = PolicyEngine::new(cfg.policy_mode).choose(&inputs);
+    telemetry::counter(match hint {
+        RecoveryArm::Shrink => "elastic.policy.decision.shrink",
+        RecoveryArm::PromoteSpares => "elastic.policy.decision.spare",
+        RecoveryArm::Rollback => "elastic.policy.decision.rollback",
+    })
+    .incr();
+
+    let group_before: Vec<RankId> = comm.group().to_vec();
+    let committed = episode.time("policy_commit", || {
+        comm.commit_recovery_policy(hint, inputs.lost)
+    });
+    match committed {
+        Err(UlfmError::SelfDied) => Err(Fatal::Died),
+        Err(_) => {
+            // The policy round itself died (a member or spare lost during
+            // the proposal): recover once more and fall back to plain
+            // shrink — the arm with no preconditions.
+            telemetry::counter("elastic.policy.fallback.round_to_shrink").incr();
+            *recoveries += 1;
+            match recover(proc, cfg, comm, u64::MAX, episode, topology) {
+                Ok((c, _)) => {
+                    *comm = c;
+                    episode.policy = Some("shrink");
+                    Ok(PolicyAction::Shrink)
+                }
+                Err(f) => Err(f),
+            }
+        }
+        Ok(PolicyCommit::Shrink) => {
+            episode.policy = Some("shrink");
+            Ok(PolicyAction::Shrink)
+        }
+        Ok(PolicyCommit::Promoted(merged)) => {
+            // The spares hold their promotion tickets; synchronize them
+            // from live state. `restore_all` reconciles racing survivors
+            // (divergent by at most one optimizer apply) onto rank 0's
+            // state; the bound gives up — uniformly, since post-recovery
+            // membership is agreed — if no promoted spare survives the
+            // sync, falling back to the shrink redo.
+            let promoted: Vec<RankId> = merged
+                .group()
+                .iter()
+                .copied()
+                .filter(|r| !group_before.contains(r))
+                .collect();
+            *comm = merged;
+            let mut has_state = true;
+            let synced = checkpoint_sync(
+                proc,
+                cfg,
+                comm,
+                model,
+                opt,
+                &mut has_state,
+                step,
+                &None,
+                SyncOpts {
+                    source: SyncSource::Live,
+                    restore_all: true,
+                    bound: SyncBound::RanksAlive(&promoted),
+                },
+                episode,
+                topology,
+                recoveries,
+            )?;
+            match synced {
+                SyncOutcome::Synced(s) => {
+                    telemetry::counter("elastic.policy.outcome.promoted").incr();
+                    episode.policy = Some("spare");
+                    Ok(PolicyAction::Restart(s))
+                }
+                SyncOutcome::GaveUp => {
+                    telemetry::counter("elastic.policy.fallback.spare_to_shrink").incr();
+                    episode.policy = Some("spare->shrink");
+                    Ok(PolicyAction::Shrink)
+                }
+            }
+        }
+        Ok(PolicyCommit::Rollback) => {
+            // One shot: broadcast rank 0's local checkpoint and restore
+            // every survivor from it. Any failure inside the attempt —
+            // including the post-shrink root lacking a checkpoint — gives
+            // up and falls back to the shrink redo (retained inputs are
+            // still held).
+            let mut has_state = true;
+            let synced = checkpoint_sync(
+                proc,
+                cfg,
+                comm,
+                model,
+                opt,
+                &mut has_state,
+                step,
+                local_ckpt,
+                SyncOpts {
+                    source: SyncSource::Ckpt,
+                    restore_all: true,
+                    bound: SyncBound::Attempts(1),
+                },
+                episode,
+                topology,
+                recoveries,
+            )?;
+            match synced {
+                SyncOutcome::Synced(s) => {
+                    episode.policy = Some("rollback");
+                    Ok(PolicyAction::Restart(s))
+                }
+                SyncOutcome::GaveUp => {
+                    telemetry::counter("elastic.policy.fallback.rollback_to_shrink").incr();
+                    episode.policy = Some("rollback->shrink");
+                    Ok(PolicyAction::Shrink)
+                }
+            }
+        }
+    }
+}
+
 /// Outcome of one checkpoint-broadcast attempt.
 enum SyncAttempt {
     /// The commit agreement accepted the broadcast; payload as delivered.
     Committed(Vec<u8>),
     /// A failure broke the attempt; recover and retry.
     Retry,
-    /// No surviving member holds trained state.
+    /// The root holds no state of the requested source.
     Abort,
     /// This rank died.
     Died,
 }
 
-/// Resilient (step ‖ checkpoint) synchronization, shared by the joiner
-/// bootstrap and the epoch-boundary admission. Group rank 0 broadcasts its
-/// state, then a uniform commit agreement decides whether every member got
-/// it; on failure the group recovers (revoke → agree → shrink → floor
-/// check) and retries with the shrunk group's rank 0 as the new sender.
+/// What the sender broadcasts in [`checkpoint_sync`].
+enum SyncSource {
+    /// Live training state, captured fresh at the root.
+    Live,
+    /// The root's most recent local checkpoint (the rollback arm).
+    Ckpt,
+}
+
+/// When a bounded [`checkpoint_sync`] stops retrying. Every variant is
+/// SPMD-uniform: per-attempt outcomes and post-recovery membership are both
+/// agreed, so all survivors count attempts and see the group identically.
+enum SyncBound<'a> {
+    /// Retry until committed or no state-holder survives (legacy behavior
+    /// of joiner bootstrap and epoch-boundary admission).
+    Unbounded,
+    /// Give up after this many *failed* attempts (the rollback arm's
+    /// single shot).
+    Attempts(u32),
+    /// Give up once none of these ranks remains in the group (the
+    /// promotion arm: stop once every promoted spare is dead).
+    RanksAlive(&'a [RankId]),
+}
+
+/// How a [`checkpoint_sync`] behaves.
+struct SyncOpts<'a> {
+    /// What the root broadcasts.
+    source: SyncSource,
+    /// Restore *every* member from the payload, not just state-less ones —
+    /// rollback semantics, and the racing-survivor reconciliation under
+    /// promotion.
+    restore_all: bool,
+    /// Retry bound.
+    bound: SyncBound<'a>,
+}
+
+/// How a bounded [`checkpoint_sync`] ended.
+enum SyncOutcome {
+    /// Committed; the step the synchronized state is ready to compute.
+    Synced(u64),
+    /// The bound tripped before a commit; nobody restored anything (the
+    /// restore only happens on the uniform commit), so the caller can fall
+    /// back safely.
+    GaveUp,
+}
+
+/// Resilient (step ‖ state) synchronization, shared by the joiner/spare
+/// bootstrap, the epoch-boundary admission, and the promotion and rollback
+/// policy arms. Group rank 0 broadcasts its state (live or checkpointed
+/// per [`SyncOpts`]), then a uniform commit agreement decides whether every
+/// member got it; on failure the group recovers (revoke → agree → shrink →
+/// floor check) and — within the bound — retries with the shrunk group's
+/// rank 0 as the new sender.
 ///
 /// The sender is always a state-holder while one survives: state-holders
 /// form a prefix of the merged group (members before joiners, and shrink
 /// preserves relative order), so rank 0 lacking state means *no* original
-/// member survives — which the commit agreement reports uniformly and
-/// every participant aborts instead of restoring garbage.
+/// member survives — which the commit agreement reports uniformly; an
+/// unbounded sync aborts on that (restoring garbage is the alternative),
+/// a bounded one gives up and lets the caller fall back.
 #[allow(clippy::too_many_arguments)]
 fn checkpoint_sync(
     proc: &Proc,
@@ -744,11 +1311,14 @@ fn checkpoint_sync(
     opt: &mut dnn::Sgd,
     has_state: &mut bool,
     my_step: u64,
+    local_ckpt: &Option<Checkpoint>,
+    opts: SyncOpts<'_>,
     episode: &mut RecoveryBreakdown,
     topology: transport::Topology,
     recoveries: &mut usize,
-) -> Result<u64, Fatal> {
+) -> Result<SyncOutcome, Fatal> {
     let mut attempt = 0u64;
+    let mut failed_attempts = 0u32;
     loop {
         if attempt > 0 {
             telemetry::counter("elastic.ckpt_sync.retries").incr();
@@ -761,11 +1331,25 @@ fn checkpoint_sync(
         }
         let outcome = episode.time("state_sync", || {
             let root = comm.rank() == 0;
-            let mut payload = if root && *has_state {
-                let ck = Checkpoint::capture(model, opt);
-                let mut bytes = my_step.to_le_bytes().to_vec();
-                bytes.extend_from_slice(&ck.bytes);
-                bytes
+            let provides = match opts.source {
+                SyncSource::Live => *has_state,
+                SyncSource::Ckpt => local_ckpt.is_some(),
+            };
+            let mut payload = if root && provides {
+                match opts.source {
+                    SyncSource::Live => {
+                        let ck = Checkpoint::capture(model, opt);
+                        let mut bytes = my_step.to_le_bytes().to_vec();
+                        bytes.extend_from_slice(&ck.bytes);
+                        bytes
+                    }
+                    SyncSource::Ckpt => {
+                        let ck = local_ckpt.as_ref().expect("provides checked");
+                        let mut bytes = ck.step.to_le_bytes().to_vec();
+                        bytes.extend_from_slice(&ck.bytes);
+                        bytes
+                    }
+                }
             } else {
                 Vec::new()
             };
@@ -777,9 +1361,9 @@ fn checkpoint_sync(
                 return SyncAttempt::Died;
             }
             // Commit flags: bit0 = my broadcast completed; bit1 = the root
-            // holds trained state (non-roots contribute 1 so the AND
-            // isolates the root's claim).
-            let flags = (sent.is_ok() as u64) | if root { (*has_state as u64) << 1 } else { 0b10 };
+            // holds state of the requested source (non-roots contribute 1
+            // so the AND isolates the root's claim).
+            let flags = (sent.is_ok() as u64) | if root { (provides as u64) << 1 } else { 0b10 };
             match comm.agree(flags, u64::MAX) {
                 Ok(v) if v.flags & 0b10 == 0 => SyncAttempt::Abort,
                 Ok(v) if v.flags & 1 == 1 && v.failed.is_empty() => SyncAttempt::Committed(payload),
@@ -790,7 +1374,7 @@ fn checkpoint_sync(
         });
         match outcome {
             SyncAttempt::Committed(payload) => {
-                if !*has_state {
+                if opts.restore_all || !*has_state {
                     let step = u64::from_le_bytes(payload[..8].try_into().unwrap());
                     let ck = Checkpoint {
                         step,
@@ -798,17 +1382,34 @@ fn checkpoint_sync(
                     };
                     ck.restore(model, opt);
                     *has_state = true;
-                    return Ok(step);
+                    return Ok(SyncOutcome::Synced(step));
                 }
-                return Ok(my_step);
+                return Ok(SyncOutcome::Synced(my_step));
             }
             SyncAttempt::Died => return Err(Fatal::Died),
-            SyncAttempt::Abort => return Err(Fatal::Aborted),
+            SyncAttempt::Abort => {
+                return match opts.bound {
+                    // No state-holder left and nothing to fall back to.
+                    SyncBound::Unbounded => Err(Fatal::Aborted),
+                    // The agreement that reported it is uniform, so every
+                    // survivor gives up here together.
+                    _ => Ok(SyncOutcome::GaveUp),
+                };
+            }
             SyncAttempt::Retry => {
                 *recoveries += 1;
                 match recover(proc, cfg, comm, u64::MAX, episode, topology) {
                     Ok((c, _)) => *comm = c,
                     Err(f) => return Err(f),
+                }
+                failed_attempts += 1;
+                let give_up = match opts.bound {
+                    SyncBound::Unbounded => false,
+                    SyncBound::Attempts(n) => failed_attempts >= n,
+                    SyncBound::RanksAlive(ranks) => !ranks.iter().any(|r| comm.group().contains(r)),
+                };
+                if give_up {
+                    return Ok(SyncOutcome::GaveUp);
                 }
             }
         }
@@ -818,6 +1419,7 @@ fn checkpoint_sync(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TrainSpec;
 
     #[test]
     fn global_op_encoding() {
@@ -832,5 +1434,18 @@ mod tests {
     fn shard_len_tiles() {
         let total: usize = (0..5).map(|r| shard_len(r, 5, 64)).sum();
         assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn policy_inactive_by_default() {
+        // The seed configuration must not grow a policy round.
+        let cfg = ForwardConfig::new(TrainSpec::default());
+        assert!(!cfg.policy_active());
+        let mut adaptive = ForwardConfig::new(TrainSpec::default());
+        adaptive.policy_mode = PolicyMode::Adaptive;
+        assert!(adaptive.policy_active());
+        let mut spared = ForwardConfig::new(TrainSpec::default());
+        spared.expected_spares = 1;
+        assert!(spared.policy_active());
     }
 }

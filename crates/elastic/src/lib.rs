@@ -26,6 +26,13 @@
 //! rejoins), and *automated upscaling* (new workers join at epoch
 //! boundaries), and both record per-phase recovery cost breakdowns that
 //! the `bench` crate turns into the paper's Figures 4–7.
+//!
+//! On top of the forward engine sits the adaptive recovery-policy layer
+//! ([`policy`], "Chameleon mode"): at each failure a [`PolicyEngine`]
+//! scores forward-shrink vs. hot-spare promotion vs. checkpoint rollback
+//! with the live-input [`cost_model`] and commits the winning arm
+//! uniformly, falling down a deterministic spare → shrink → abort chain
+//! when the chosen arm itself dies mid-recovery.
 
 #![warn(missing_docs)]
 
@@ -34,13 +41,15 @@ pub mod config;
 pub mod cost_model;
 pub mod forward;
 pub mod fusion;
+pub mod policy;
 pub mod profiler;
 pub mod scenario;
 
 pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver, Membership};
 pub use config::{RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
-pub use cost_model::{CommModel, Eq1Params};
-pub use forward::{run_forward_worker, ForwardConfig, LrScaling};
+pub use cost_model::{CommModel, Eq1Params, PolicyInputs, RecoveryCostModel};
+pub use forward::{run_forward_role, run_forward_worker, ForwardConfig, LrScaling, Role};
 pub use fusion::FusionSetup;
+pub use policy::{PolicyEngine, PolicyMode};
 pub use profiler::{Phase, RecoveryBreakdown, RecoveryKind};
 pub use scenario::{run_scenario, ScenarioConfig, ScenarioKind, ScenarioResult};

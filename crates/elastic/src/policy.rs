@@ -1,0 +1,193 @@
+//! The adaptive recovery-policy engine ("Chameleon mode").
+//!
+//! The paper fixes the recovery engine per run: forward-shrink or
+//! rollback-rendezvous, chosen at launch. But which arm survives a given
+//! failure *cheapest* depends on live state — how stale the checkpoint is,
+//! how big the group is, how expensive a step is, whether warm spares are
+//! standing by, how lossy the links have been. Chameleon-style systems
+//! show real-time selection beats any static policy; Prime-CCL-style warm
+//! spare pools show a failure can be absorbed with *no* shrink at all.
+//!
+//! [`PolicyEngine`] scores the three arms of
+//! [`ulfm::RecoveryArm`] with the extended
+//! [`cost_model`](crate::cost_model) on [`PolicyInputs`] gathered at the
+//! failure site, and the forward engine commits the chosen arm uniformly
+//! through [`ulfm::Communicator::commit_recovery_policy`] — only the
+//! leader's choice matters, and it rides inside the committed proposal, so
+//! locally-diverging inputs (clocks, fabric stats) can never diverge the
+//! SPMD control flow.
+//!
+//! The policy layer is itself recoverable: if the chosen arm dies
+//! mid-recovery (a spare killed during promotion, a checkpoint sync broken
+//! by a cascade), the engine falls down a deterministic chain —
+//! spare → shrink → abort-below-floor — instead of wedging. Forward-shrink
+//! is the chain's backstop because it is the only arm with no
+//! preconditions: retained inputs always exist.
+//!
+//! The scoring itself is deterministic (a pure function of the inputs) and
+//! monotone in checkpoint age and group size — property-tested in
+//! `tests/cost_props.rs`.
+
+use crate::cost_model::{PolicyInputs, RecoveryCostModel};
+use ulfm::RecoveryArm;
+
+/// How the forward engine picks a recovery arm at each failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyMode {
+    /// Score all arms with the cost model and pick the cheapest
+    /// (Chameleon mode).
+    Adaptive,
+    /// Always use one arm (the paper's fixed-engine behaviour). Infeasible
+    /// choices degrade to [`RecoveryArm::Shrink`] — never a wedge.
+    Static(RecoveryArm),
+}
+
+impl Default for PolicyMode {
+    fn default() -> Self {
+        // The seed behaviour: pure forward-shrink, no policy round at all
+        // (see `ForwardConfig::policy_active`).
+        PolicyMode::Static(RecoveryArm::Shrink)
+    }
+}
+
+/// The recovery-policy engine: a [`PolicyMode`] plus the cost model that
+/// scores the arms under [`PolicyMode::Adaptive`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PolicyEngine {
+    /// Selection mode.
+    pub mode: PolicyMode,
+    /// Analytic per-arm cost model.
+    pub model: RecoveryCostModel,
+}
+
+/// The fixed preference order that breaks exact score ties — and the
+/// fallback chain's direction: every arm falls back *toward* `Shrink`.
+pub const ARM_ORDER: [RecoveryArm; 3] = [
+    RecoveryArm::Shrink,
+    RecoveryArm::PromoteSpares,
+    RecoveryArm::Rollback,
+];
+
+impl PolicyEngine {
+    /// An engine in the given mode with the default (Summit-calibrated)
+    /// cost model.
+    pub fn new(mode: PolicyMode) -> Self {
+        Self {
+            mode,
+            model: RecoveryCostModel::default(),
+        }
+    }
+
+    /// Pick the recovery arm for one failure. Deterministic: a pure
+    /// function of `inputs` (ties break by [`ARM_ORDER`]). Arms whose
+    /// preconditions fail (promotion with no spares, rollback with no
+    /// checkpoint) score infinite and can never win; a *static* infeasible
+    /// choice degrades to [`RecoveryArm::Shrink`], which has no
+    /// preconditions.
+    pub fn choose(&self, inputs: &PolicyInputs) -> RecoveryArm {
+        match self.mode {
+            PolicyMode::Static(arm) => {
+                if self.model.recovery_cost(arm, inputs).is_finite() {
+                    arm
+                } else {
+                    RecoveryArm::Shrink
+                }
+            }
+            PolicyMode::Adaptive => {
+                let mut best = RecoveryArm::Shrink;
+                let mut best_score = f64::INFINITY;
+                for arm in ARM_ORDER {
+                    let s = self.model.score(arm, inputs);
+                    // Strict `<`: earlier arms in ARM_ORDER win ties.
+                    if s < best_score {
+                        best = arm;
+                        best_score = s;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// The scores behind [`PolicyEngine::choose`], in [`ARM_ORDER`] — used
+    /// by the regret bench to compare the adaptive pick against an oracle
+    /// with perfect knowledge.
+    pub fn scores(&self, inputs: &PolicyInputs) -> [(RecoveryArm, f64); 3] {
+        ARM_ORDER.map(|arm| (arm, self.model.score(arm, inputs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> PolicyInputs {
+        PolicyInputs {
+            world: 6,
+            lost: 1,
+            spares: 1,
+            has_ckpt: true,
+            ckpt_age_steps: 3,
+            remaining_steps: 400,
+            step_time: 0.01,
+            state_bytes: 4096.0,
+            perturb_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn adaptive_prefers_promotion_when_spares_exist_and_work_remains() {
+        // A warm spare forfeits no throughput; with many steps ahead the
+        // deficit term dominates and promotion must win.
+        let e = PolicyEngine::new(PolicyMode::Adaptive);
+        assert_eq!(e.choose(&inputs()), RecoveryArm::PromoteSpares);
+    }
+
+    #[test]
+    fn adaptive_without_spares_never_picks_promotion() {
+        let e = PolicyEngine::new(PolicyMode::Adaptive);
+        let inp = PolicyInputs {
+            spares: 0,
+            ..inputs()
+        };
+        assert_ne!(e.choose(&inp), RecoveryArm::PromoteSpares);
+    }
+
+    #[test]
+    fn static_infeasible_degrades_to_shrink() {
+        let no_spares = PolicyInputs {
+            spares: 0,
+            ..inputs()
+        };
+        let e = PolicyEngine::new(PolicyMode::Static(RecoveryArm::PromoteSpares));
+        assert_eq!(e.choose(&no_spares), RecoveryArm::Shrink);
+        let no_ckpt = PolicyInputs {
+            has_ckpt: false,
+            ..inputs()
+        };
+        let e = PolicyEngine::new(PolicyMode::Static(RecoveryArm::Rollback));
+        assert_eq!(e.choose(&no_ckpt), RecoveryArm::Shrink);
+    }
+
+    #[test]
+    fn static_feasible_is_honoured() {
+        let e = PolicyEngine::new(PolicyMode::Static(RecoveryArm::Rollback));
+        assert_eq!(e.choose(&inputs()), RecoveryArm::Rollback);
+    }
+
+    #[test]
+    fn scores_align_with_choice() {
+        let e = PolicyEngine::new(PolicyMode::Adaptive);
+        let scores = e.scores(&inputs());
+        let min = scores
+            .iter()
+            .fold((RecoveryArm::Shrink, f64::INFINITY), |acc, &(a, s)| {
+                if s < acc.1 {
+                    (a, s)
+                } else {
+                    acc
+                }
+            });
+        assert_eq!(min.0, e.choose(&inputs()));
+    }
+}

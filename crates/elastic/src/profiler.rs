@@ -36,6 +36,10 @@ pub struct RecoveryBreakdown {
     pub at_step: u64,
     /// Ordered phases.
     pub phases: Vec<Phase>,
+    /// Recovery arm the policy engine committed for this episode, with
+    /// fallbacks recorded as a chain (`"spare->shrink"`). `None` when the
+    /// policy layer was not engaged (seed-style pure forward recovery).
+    pub policy: Option<&'static str>,
 }
 
 impl RecoveryBreakdown {
@@ -45,6 +49,7 @@ impl RecoveryBreakdown {
             kind,
             at_step,
             phases: Vec::new(),
+            policy: None,
         }
     }
 
@@ -91,6 +96,7 @@ impl RecoveryBreakdown {
             },
             rank,
             at_step: self.at_step,
+            policy: self.policy,
             phases: self
                 .phases
                 .iter()

@@ -5,7 +5,8 @@
 
 use crate::backward::{run_backward_worker, BackwardConfig, ElasticDriver};
 use crate::config::{RecoveryPolicy, TrainSpec, WorkerExit};
-use crate::forward::{run_forward_worker, ForwardConfig};
+use crate::forward::{run_forward_role, run_forward_worker, ForwardConfig, Role};
+use crate::policy::PolicyMode;
 use crate::profiler::{mean_breakdown, RecoveryBreakdown, RecoveryKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -81,6 +82,16 @@ pub struct ScenarioConfig {
     /// through a shared KV store ([`ulfm::NetJoin`]), so all three
     /// scenarios run on all backends.
     pub backend: BackendKind,
+    /// Warm spares to pre-join the pool (forward engine): spawned at
+    /// launch, promoted only by a recovery's policy round, dismissed at
+    /// completion. Their exits append after members and joiners.
+    pub spares: usize,
+    /// Recovery-arm selection for the forward engine's policy layer. The
+    /// default (static shrink) keeps the seed behavior.
+    pub policy_mode: PolicyMode,
+    /// Forward engine: capture a local checkpoint every this many steps
+    /// (the rollback arm's restore source); 0 disables.
+    pub ckpt_every: u64,
 }
 
 impl ScenarioConfig {
@@ -101,6 +112,9 @@ impl ScenarioConfig {
             suspicion_timeout: None,
             extra_faults: FaultPlan::none(),
             backend: BackendKind::InProc,
+            spares: 0,
+            policy_mode: PolicyMode::default(),
+            ckpt_every: 0,
         }
     }
 }
@@ -108,7 +122,8 @@ impl ScenarioConfig {
 /// What a scenario produced.
 #[derive(Debug)]
 pub struct ScenarioResult {
-    /// Exit of every worker, initial workers first, then joiners.
+    /// Exit of every worker: initial workers first, then joiners, then
+    /// warm spares.
     pub exits: Vec<WorkerExit>,
     /// All recovery breakdowns from all workers.
     pub breakdowns: Vec<RecoveryBreakdown>,
@@ -204,13 +219,33 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         renormalize_after_loss: cfg.renormalize,
         lr_scaling: None,
         join_wait: None,
+        policy_mode: cfg.policy_mode,
+        expected_spares: cfg.spares,
+        ckpt_every: cfg.ckpt_every,
     };
 
     let c1 = fwd_cfg.clone();
-    let initial = universe.spawn_batch(cfg.workers, move |proc| {
-        let out = run_forward_worker(&proc, &c1, false);
-        (out.exit, out.breakdowns)
-    });
+    let initial = universe
+        .spawn_batch(cfg.workers, move |proc| {
+            let out = run_forward_worker(&proc, &c1, false);
+            (out.exit, out.breakdowns)
+        })
+        .expect("in-process universe");
+
+    // Warm spares park in the pool immediately — members wait for their
+    // announcements before training, so the pool is warm before the
+    // scripted failure can hit.
+    let spare_handles = if cfg.spares > 0 {
+        let cs = fwd_cfg.clone();
+        universe
+            .spawn_joiners(cfg.spares, move |proc| {
+                let out = run_forward_role(&proc, &cs, Role::Spare);
+                (out.exit, out.breakdowns)
+            })
+            .expect("in-process universe")
+    } else {
+        Vec::new()
+    };
 
     // Spawn joiners once the trigger condition holds: after the failure
     // (Replace) or after a fixed dwell (Upscale).
@@ -218,7 +253,12 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     let joiner_handles = if joiners > 0 {
         match cfg.kind {
             ScenarioKind::Replace => {
-                while universe.fabric().dead_ranks().is_empty() {
+                while universe
+                    .fabric()
+                    .expect("in-process universe")
+                    .dead_ranks()
+                    .is_empty()
+                {
                     std::thread::sleep(Duration::from_millis(1));
                 }
             }
@@ -226,17 +266,23 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
             ScenarioKind::Downscale => unreachable!(),
         }
         let c2 = fwd_cfg.clone();
-        universe.spawn_joiners(joiners, move |proc| {
-            let out = run_forward_worker(&proc, &c2, true);
-            (out.exit, out.breakdowns)
-        })
+        universe
+            .spawn_joiners(joiners, move |proc| {
+                let out = run_forward_worker(&proc, &c2, true);
+                (out.exit, out.breakdowns)
+            })
+            .expect("in-process universe")
     } else {
         Vec::new()
     };
 
     let mut exits = Vec::new();
     let mut breakdowns = Vec::new();
-    for h in initial.into_iter().chain(joiner_handles) {
+    for h in initial
+        .into_iter()
+        .chain(joiner_handles)
+        .chain(spare_handles)
+    {
         let (exit, bd) = h.join();
         exits.push(exit);
         breakdowns.extend(bd);
@@ -245,7 +291,7 @@ fn run_forward_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         exits,
         breakdowns,
         wall: t0.elapsed(),
-        fabric_stats: universe.fabric().stats(),
+        fabric_stats: universe.fabric().expect("in-process universe").stats(),
     }
 }
 
@@ -287,6 +333,9 @@ fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
         // instead of wedging the epoch boundary (and an orphaned joiner
         // exits instead of polling the store forever).
         join_wait: Some(Duration::from_secs(10)),
+        policy_mode: cfg.policy_mode,
+        expected_spares: cfg.spares,
+        ckpt_every: cfg.ckpt_every,
     };
     let group: Vec<RankId> = (0..cfg.workers).map(RankId).collect();
     // Joiner backends surface here for stats aggregation and shutdown.
@@ -373,9 +422,60 @@ fn run_forward_scenario_sockets(cfg: &ScenarioConfig) -> ScenarioResult {
             })
             .collect();
 
+        // Warm spares bootstrap exactly like joiners — bind, scan member
+        // addresses, dial the mesh — but immediately (the pool must be
+        // warm before the scripted failure) and into the spare namespace.
+        let spare_handles: Vec<_> = (0..cfg.spares)
+            .map(|i| {
+                let srank = RankId(cfg.workers + joiners + i);
+                let fwd_cfg = fwd_cfg.clone();
+                let store = Arc::clone(&store);
+                let addr_prefix = addr_prefix.clone();
+                let plan = plan.clone();
+                s.spawn(move || {
+                    while store.count_prefix(&addr_prefix) < cfg.workers {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let member_addrs: Vec<(RankId, String)> = store
+                        .scan_prefix(&addr_prefix)
+                        .into_iter()
+                        .filter_map(|(k, v)| {
+                            let rank = k.rsplit('/').next()?.parse::<usize>().ok()?;
+                            Some((RankId(rank), String::from_utf8(v).ok()?))
+                        })
+                        .collect();
+                    let listener = SocketBackend::bind(cfg.backend).expect("bind spare listener");
+                    let contact = listener.addr().to_string();
+                    let b = SocketBackend::establish_joiner(
+                        srank,
+                        topology,
+                        listener,
+                        &member_addrs,
+                        transport::FaultInjector::new(plan),
+                        Duration::from_secs(10),
+                    )
+                    .expect("spare could not reach any member");
+                    if let Some(plan) = &cfg.perturb {
+                        b.set_perturbation(plan.clone());
+                    }
+                    b.set_suspicion_timeout(Some(suspicion));
+                    joined_sink.lock().push(Arc::clone(&b));
+                    let join = ulfm::NetJoin::new(store, prefix).with_contact(contact);
+                    let ep = Endpoint::from_backend(b as Arc<dyn Backend>);
+                    let (_universe, proc) = Universe::joiner_for_backend(ep, Arc::new(join));
+                    let out = run_forward_role(&proc, &fwd_cfg, Role::Spare);
+                    (out.exit, out.breakdowns)
+                })
+            })
+            .collect();
+
         let mut exits = Vec::new();
         let mut breakdowns = Vec::new();
-        for h in member_handles.into_iter().chain(joiner_handles) {
+        for h in member_handles
+            .into_iter()
+            .chain(joiner_handles)
+            .chain(spare_handles)
+        {
             let (exit, bd) = h.join().expect("worker thread panicked");
             exits.push(exit);
             breakdowns.extend(bd);

@@ -1,0 +1,222 @@
+//! Property tests for the recovery-policy cost model and engine.
+//!
+//! The policy layer's correctness argument leans on three analytic
+//! properties — the scoring is a *pure deterministic* function of its
+//! inputs, recovery cost is *monotone* in checkpoint age (rollback pays
+//! for staleness) and in group size (reconfiguration pays per rank), and
+//! infeasible arms can *never* win. Each property is swept over a
+//! SplitMix64-derived input grid so a failure is replayable by case
+//! number alone.
+
+use elastic::{PolicyEngine, PolicyInputs, PolicyMode, RecoveryCostModel};
+use ulfm::RecoveryArm;
+
+fn splitmix64(s: &mut u64) -> u64 {
+    *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized-but-deterministic input point, always feasible for every
+/// arm (spares and a checkpoint both exist) unless the test strips them.
+fn inputs_for(case: u64) -> PolicyInputs {
+    let mut s = 0xDEAD_BEEF ^ (case << 3);
+    let mut pick = |m: u64| splitmix64(&mut s) % m;
+    PolicyInputs {
+        world: 2 + pick(62) as usize,
+        lost: 1 + pick(3) as usize,
+        spares: 1 + pick(4) as usize,
+        has_ckpt: true,
+        ckpt_age_steps: pick(50),
+        remaining_steps: 1 + pick(5000),
+        step_time: 1e-4 * (1 + pick(1000)) as f64,
+        state_bytes: 1024.0 * (1 + pick(4096)) as f64,
+        perturb_rate: pick(100) as f64 / 400.0,
+    }
+}
+
+const ARMS: [RecoveryArm; 3] = [
+    RecoveryArm::Shrink,
+    RecoveryArm::PromoteSpares,
+    RecoveryArm::Rollback,
+];
+
+#[test]
+fn rollback_cost_is_monotone_in_checkpoint_age() {
+    let m = RecoveryCostModel::default();
+    for case in 0..200 {
+        let base = inputs_for(case);
+        let mut prev = f64::NEG_INFINITY;
+        for age in [0u64, 1, 2, 5, 10, 50, 500] {
+            let c = m.recovery_cost(
+                RecoveryArm::Rollback,
+                &PolicyInputs {
+                    ckpt_age_steps: age,
+                    ..base
+                },
+            );
+            assert!(
+                c >= prev,
+                "case {case}: rollback got cheaper with a staler checkpoint \
+                 (age {age}: {c} < {prev})"
+            );
+            prev = c;
+        }
+    }
+}
+
+#[test]
+fn every_arm_cost_is_monotone_in_group_size() {
+    // Reconfiguration (revoke/agree/shrink) and the sync collectives all
+    // pay per rank, so each arm's execution cost must grow with the group.
+    let m = RecoveryCostModel::default();
+    for case in 0..200 {
+        let base = inputs_for(case);
+        for arm in ARMS {
+            let mut prev = f64::NEG_INFINITY;
+            for world in [2usize, 4, 8, 16, 64, 256] {
+                let c = m.recovery_cost(arm, &PolicyInputs { world, ..base });
+                assert!(
+                    c >= prev,
+                    "case {case}: {arm:?} got cheaper on a bigger group \
+                     (world {world}: {c} < {prev})"
+                );
+                prev = c;
+            }
+        }
+    }
+}
+
+#[test]
+fn perturbation_inflates_every_communication_bound_arm() {
+    // A lossy fabric retransmits: each arm's cost on a perturbed link must
+    // be at least its clean-link cost.
+    let m = RecoveryCostModel::default();
+    for case in 0..200 {
+        let clean = PolicyInputs {
+            perturb_rate: 0.0,
+            ..inputs_for(case)
+        };
+        let lossy = PolicyInputs {
+            perturb_rate: 0.5,
+            ..clean
+        };
+        for arm in ARMS {
+            assert!(
+                m.recovery_cost(arm, &lossy) >= m.recovery_cost(arm, &clean),
+                "case {case}: {arm:?} got cheaper on a lossy link"
+            );
+        }
+    }
+}
+
+#[test]
+fn choice_is_deterministic() {
+    // The engine is a pure function: the same inputs always yield the same
+    // arm, across calls and across engine copies. (This is what lets only
+    // the leader's hint matter — any replica scoring the same inputs would
+    // have picked the same arm.)
+    for mode in [
+        PolicyMode::Adaptive,
+        PolicyMode::Static(RecoveryArm::Rollback),
+        PolicyMode::Static(RecoveryArm::PromoteSpares),
+    ] {
+        for case in 0..300 {
+            let inp = inputs_for(case);
+            let first = PolicyEngine::new(mode).choose(&inp);
+            for _ in 0..3 {
+                assert_eq!(
+                    PolicyEngine::new(mode).choose(&inp),
+                    first,
+                    "nondeterministic choice for case {case} under {mode:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn infeasible_arms_never_win() {
+    for case in 0..300 {
+        let no_spares = PolicyInputs {
+            spares: 0,
+            ..inputs_for(case)
+        };
+        assert_ne!(
+            PolicyEngine::new(PolicyMode::Adaptive).choose(&no_spares),
+            RecoveryArm::PromoteSpares,
+            "case {case}: promotion chosen with a cold pool"
+        );
+        let no_ckpt = PolicyInputs {
+            has_ckpt: false,
+            ..inputs_for(case)
+        };
+        assert_ne!(
+            PolicyEngine::new(PolicyMode::Adaptive).choose(&no_ckpt),
+            RecoveryArm::Rollback,
+            "case {case}: rollback chosen without a checkpoint"
+        );
+    }
+}
+
+#[test]
+fn adaptive_choice_is_the_score_argmin() {
+    // `choose` and `scores` must agree — the regret bench trusts `scores`
+    // to explain what `choose` did.
+    for case in 0..300 {
+        let inp = inputs_for(case);
+        let e = PolicyEngine::new(PolicyMode::Adaptive);
+        let chosen = e.choose(&inp);
+        let best =
+            e.scores(&inp)
+                .iter()
+                .fold((RecoveryArm::Shrink, f64::INFINITY), |acc, &(a, s)| {
+                    if s < acc.1 {
+                        (a, s)
+                    } else {
+                        acc
+                    }
+                });
+        assert_eq!(chosen, best.0, "case {case}");
+    }
+}
+
+#[test]
+fn feasible_scores_are_finite_and_infeasible_infinite() {
+    let m = RecoveryCostModel::default();
+    for case in 0..200 {
+        let inp = inputs_for(case);
+        for arm in ARMS {
+            assert!(
+                m.score(arm, &inp).is_finite(),
+                "case {case}: feasible {arm:?} scored non-finite"
+            );
+        }
+        let bare = PolicyInputs {
+            spares: 0,
+            has_ckpt: false,
+            ..inp
+        };
+        assert!(m
+            .recovery_cost(RecoveryArm::PromoteSpares, &bare)
+            .is_infinite());
+        assert!(m.recovery_cost(RecoveryArm::Rollback, &bare).is_infinite());
+        assert!(
+            m.recovery_cost(RecoveryArm::Shrink, &bare).is_finite(),
+            "shrink must have no preconditions — it is the fallback backstop"
+        );
+    }
+}
+
+#[test]
+fn promotion_alone_forfeits_no_throughput() {
+    let m = RecoveryCostModel::default();
+    for case in 0..200 {
+        let inp = inputs_for(case);
+        assert_eq!(m.deficit(RecoveryArm::PromoteSpares, &inp), 0.0);
+        assert!(m.deficit(RecoveryArm::Shrink, &inp) > 0.0);
+        assert!(m.deficit(RecoveryArm::Rollback, &inp) > 0.0);
+    }
+}

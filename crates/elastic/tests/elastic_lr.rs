@@ -27,7 +27,9 @@ fn lr_tracks_world_size_after_downscale() {
     let plan = FaultPlan::none().kill_at_point(RankId(3), "allreduce.step", 5);
     let u = Universe::new(Topology::flat(), plan);
     let c = cfg.clone();
-    let handles = u.spawn_batch(8, move |p| run_forward_worker(&p, &c, false));
+    let handles = u
+        .spawn_batch(8, move |p| run_forward_worker(&p, &c, false))
+        .unwrap();
     let mut survivors = 0;
     for h in handles {
         match h.join().exit {
@@ -53,7 +55,9 @@ fn lr_constant_without_policy() {
     cfg.accept_joiners = false;
     let u = Universe::without_faults(Topology::flat());
     let c = cfg.clone();
-    let handles = u.spawn_batch(4, move |p| run_forward_worker(&p, &c, false));
+    let handles = u
+        .spawn_batch(4, move |p| run_forward_worker(&p, &c, false))
+        .unwrap();
     for h in handles {
         let s = match h.join().exit {
             WorkerExit::Completed(s) => s,
@@ -76,7 +80,9 @@ fn survives_two_sequential_failures() {
         .kill_at_point(RankId(5), "allreduce.step", 160);
     let u = Universe::new(Topology::flat(), plan);
     let c = cfg.clone();
-    let handles = u.spawn_batch(7, move |p| run_forward_worker(&p, &c, false));
+    let handles = u
+        .spawn_batch(7, move |p| run_forward_worker(&p, &c, false))
+        .unwrap();
     let mut fps = Vec::new();
     let mut died = 0;
     for h in handles {
@@ -112,7 +118,9 @@ fn survives_overlapping_failure_storm() {
         .kill_at_point(RankId(4), "allreduce.step", 90);
     let u = Universe::new(Topology::flat(), plan);
     let c = cfg.clone();
-    let handles = u.spawn_batch(8, move |p| run_forward_worker(&p, &c, false));
+    let handles = u
+        .spawn_batch(8, move |p| run_forward_worker(&p, &c, false))
+        .unwrap();
     let mut fps = Vec::new();
     for h in handles {
         if let WorkerExit::Completed(s) = h.join().exit {
@@ -136,7 +144,9 @@ fn drop_node_with_two_failed_nodes() {
         .kill_at_point(RankId(7), "allreduce.step", 80); // node 2
     let u = Universe::new(Topology::new(3), plan);
     let c = cfg.clone();
-    let handles = u.spawn_batch(9, move |p| run_forward_worker(&p, &c, false));
+    let handles = u
+        .spawn_batch(9, move |p| run_forward_worker(&p, &c, false))
+        .unwrap();
     let mut completed = 0;
     let mut excluded = 0;
     let mut died = 0;

@@ -207,6 +207,10 @@ pub struct Episode {
     pub rank: usize,
     /// Training step at which the episode began.
     pub at_step: u64,
+    /// Recovery arm committed by the policy layer for this episode
+    /// (`"shrink"`, `"spare"`, `"rollback"`, or a fallback chain like
+    /// `"spare->shrink"`). `None` when no policy round ran.
+    pub policy: Option<&'static str>,
     /// Ordered per-phase costs.
     pub phases: Vec<EpisodePhase>,
 }
@@ -365,6 +369,10 @@ impl Snapshot {
             w.uint(e.rank as u64);
             w.key("at_step");
             w.uint(e.at_step);
+            if let Some(p) = e.policy {
+                w.key("policy");
+                w.string(p);
+            }
             w.key("total_ns");
             w.uint(e.total_ns());
             w.key("phases");
@@ -507,6 +515,7 @@ mod tests {
             kind: "forward",
             rank: 3,
             at_step: 7,
+            policy: None,
             phases: vec![
                 EpisodePhase {
                     name: "revoke",
@@ -535,6 +544,7 @@ mod tests {
             kind: "backward",
             rank: 0,
             at_step: 2,
+            policy: Some("spare"),
             phases: vec![EpisodePhase {
                 name: "rendezvous",
                 ns: 99,

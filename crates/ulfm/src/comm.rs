@@ -570,6 +570,124 @@ impl Communicator {
             merged,
         )))
     }
+
+    /// Commit a recovery-policy decision uniformly across the (already
+    /// shrunk) group. Collective; group-local rank 0 is the policy leader
+    /// and `hint` is *its* scored choice — every other member's hint is
+    /// ignored, because the decision travels inside the committed proposal
+    /// (exactly the join-commit pattern: leader proposal broadcast →
+    /// uniform agreement → idempotent ticket confirmation), so SPMD
+    /// control flow cannot diverge on locally-scored inputs.
+    ///
+    /// For [`RecoveryArm::PromoteSpares`] the leader snapshots up to `want`
+    /// live warm spares from the join service; if the pool turns out empty
+    /// the committed decision *is* the downgrade to shrink (counted under
+    /// `ulfm.policy.spare_unavailable`), never a wedge. On a committed
+    /// promotion every member expects and tickets the spares like joiners
+    /// and the merged communicator is returned.
+    ///
+    /// Any failure during the round (proposal broadcast, commit agreement)
+    /// surfaces as the usual recoverable errors — the caller re-enters its
+    /// revoke → agree → shrink recovery and retries or falls back
+    /// (`ulfm.policy.failed_commits`).
+    pub fn commit_recovery_policy(
+        &self,
+        hint: RecoveryArm,
+        want: usize,
+    ) -> Result<PolicyCommit, UlfmError> {
+        // Named fault point: scripts can kill the policy leader (or any
+        // member) mid-round, before the decision is committed.
+        self.ep
+            .fault_point("policy.round")
+            .map_err(|e| self.map_transport(e))?;
+
+        let mut payload = Vec::new();
+        if self.my_idx == 0 {
+            let table = self.ep.total_ranks();
+            let (arm, spares) = match hint {
+                RecoveryArm::PromoteSpares => {
+                    // Same alive filter as the join snapshot: a rank beyond
+                    // the leader's peer table raced its announce ahead of
+                    // its first inbound link and counts as alive.
+                    let mut pool = self
+                        .shared
+                        .join
+                        .snapshot_spares(&|r| r.0 >= table || self.ep.is_peer_alive(r));
+                    pool.truncate(want.max(1));
+                    if pool.is_empty() {
+                        // The pool is cold (never filled, drained, or every
+                        // spare died): commit the downgrade so all members
+                        // fall to shrink together.
+                        telemetry::counter("ulfm.policy.spare_unavailable").incr();
+                        (RecoveryArm::Shrink, Vec::new())
+                    } else {
+                        (RecoveryArm::PromoteSpares, pool)
+                    }
+                }
+                arm => (arm, Vec::new()),
+            };
+            let epoch = self.shared.next_join_epoch();
+            let mut words = vec![epoch, arm.to_wire(), spares.len() as u64];
+            words.extend(spares.iter().map(|r| r.0 as u64));
+            payload = u64::encode_slice(&words);
+        }
+        // Reliable-teardown broadcast + uniform agreement, verbatim from
+        // the join handshake (see accept_joiners_directed for why nothing
+        // here may revoke).
+        let proposal = self.bcast(0, &mut payload);
+        if matches!(proposal, Err(UlfmError::SelfDied)) {
+            return Err(UlfmError::SelfDied);
+        }
+        let ok = proposal.is_ok();
+        let verdict = self.agree(ok as u64, u64::MAX)?;
+        if verdict.flags != 1 || !verdict.failed.is_empty() {
+            telemetry::counter("ulfm.policy.failed_commits").incr();
+            if let Some(&g) = verdict.failed.first() {
+                return Err(self.map_transport(TransportError::PeerDead(g)));
+            }
+            if let Some(&g) = self.group.iter().find(|&&g| !self.ep.is_peer_alive(g)) {
+                return Err(self.map_transport(TransportError::PeerDead(g)));
+            }
+            self.revoke();
+            return Err(UlfmError::Revoked);
+        }
+
+        let words = u64::decode_slice(&payload);
+        let epoch = words[0];
+        let arm = RecoveryArm::from_wire(words[1]);
+        let spares: Vec<RankId> = words[3..3 + words[2] as usize]
+            .iter()
+            .map(|&w| RankId(w as usize))
+            .collect();
+        match arm {
+            RecoveryArm::Shrink => Ok(PolicyCommit::Shrink),
+            RecoveryArm::Rollback => Ok(PolicyCommit::Rollback),
+            RecoveryArm::PromoteSpares => {
+                let mut merged = self.group.clone();
+                merged.extend(spares.iter().copied());
+                for &s in &spares {
+                    self.ep.expect_rank(s);
+                }
+                let id = self.shared.intern_comm(CommKey::Join {
+                    epoch,
+                    group: merged.clone(),
+                });
+                let ticket = JoinTicket {
+                    group: merged.clone(),
+                    epoch,
+                    comm_id: Some(id),
+                };
+                self.shared.join.confirm_tickets(&spares, &ticket);
+                telemetry::counter("ulfm.policy.promoted").add(spares.len() as u64);
+                Ok(PolicyCommit::Promoted(Communicator::construct(
+                    Arc::clone(&self.shared),
+                    self.ep.clone(),
+                    id,
+                    merged,
+                )))
+            }
+        }
+    }
 }
 
 /// Result of one [`Communicator::accept_joiners_directed`] round.
@@ -581,6 +699,60 @@ pub enum JoinOutcome {
     /// Nobody was pending and the committed directive says stop waiting:
     /// proceed (possibly shrunk) rather than stall at this epoch boundary.
     StopWaiting,
+}
+
+/// The recovery arms a policy engine can choose between after a failure.
+/// Wire-encoded inside the committed policy proposal so every member acts
+/// on the *leader's* choice, never its own locally-scored one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryArm {
+    /// Continue forward on the shrunk group, redoing the interrupted step
+    /// from retained inputs (the paper's forward-shrink engine).
+    Shrink,
+    /// Promote warm spares from the standby pool into the group, absorbing
+    /// the failure with no shrink.
+    PromoteSpares,
+    /// Roll every survivor back to the last checkpoint and recompute.
+    Rollback,
+}
+
+impl RecoveryArm {
+    pub(crate) fn to_wire(self) -> u64 {
+        match self {
+            RecoveryArm::Shrink => 0,
+            RecoveryArm::PromoteSpares => 1,
+            RecoveryArm::Rollback => 2,
+        }
+    }
+
+    pub(crate) fn from_wire(w: u64) -> Self {
+        match w {
+            1 => RecoveryArm::PromoteSpares,
+            2 => RecoveryArm::Rollback,
+            // Unknown encodings degrade to the always-available arm.
+            _ => RecoveryArm::Shrink,
+        }
+    }
+
+    /// Stable lowercase name, used in telemetry counters and breakdowns.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryArm::Shrink => "shrink",
+            RecoveryArm::PromoteSpares => "spare",
+            RecoveryArm::Rollback => "rollback",
+        }
+    }
+}
+
+/// Result of one [`Communicator::commit_recovery_policy`] round: the
+/// uniformly-committed decision every member must now act on.
+pub enum PolicyCommit {
+    /// Proceed with forward-shrink on the current (shrunk) communicator.
+    Shrink,
+    /// Roll back to the last checkpoint on the current communicator.
+    Rollback,
+    /// Spares were committed in: train on the merged communicator.
+    Promoted(Communicator),
 }
 
 /// `PeerComm` adapter: maps group-local indices to global ranks, enforces

@@ -38,6 +38,12 @@ pub enum UlfmError {
     /// joiner — it must exit instead of hanging on a rendezvous that will
     /// never answer.
     JoinTimeout,
+    /// An in-process-only operation (spawning threads, killing ranks,
+    /// reading the shared alive table) was requested on a *multi-process*
+    /// universe, which has no shared fabric. A misconfigured launch should
+    /// observe this and exit the worker cleanly instead of crashing; real
+    /// process management belongs to the launcher.
+    NoSharedFabric,
 }
 
 impl UlfmError {
@@ -60,6 +66,9 @@ impl fmt::Display for UlfmError {
             UlfmError::Excluded => write!(f, "rank excluded from shrunk communicator"),
             UlfmError::Aborted => write!(f, "computation aborted"),
             UlfmError::JoinTimeout => write!(f, "join ticket wait timed out"),
+            UlfmError::NoSharedFabric => {
+                write!(f, "multi-process universe has no shared in-process fabric")
+            }
         }
     }
 }
@@ -82,5 +91,6 @@ mod tests {
         assert!(!UlfmError::Excluded.is_recoverable());
         assert!(!UlfmError::Aborted.is_recoverable());
         assert!(!UlfmError::JoinTimeout.is_recoverable());
+        assert!(!UlfmError::NoSharedFabric.is_recoverable());
     }
 }

@@ -94,17 +94,19 @@ mod tests {
     fn hierarchical_equals_flat_for_integers() {
         // 3 nodes × 3 ranks.
         let u = Universe::without_faults(Topology::new(3));
-        let handles = u.spawn_batch(9, |p: Proc| {
-            let comm = p.init_comm();
-            let h = Hierarchy::build(&comm).unwrap();
-            let mut hier = input_for(comm.rank(), 25);
-            h.allreduce(&mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
-                .unwrap();
-            let mut flat = input_for(comm.rank(), 25);
-            comm.allreduce(&mut flat, ReduceOp::Sum, AllreduceAlgo::Ring)
-                .unwrap();
-            (hier, flat, h.is_leader(), h.local().size())
-        });
+        let handles = u
+            .spawn_batch(9, |p: Proc| {
+                let comm = p.init_comm();
+                let h = Hierarchy::build(&comm).unwrap();
+                let mut hier = input_for(comm.rank(), 25);
+                h.allreduce(&mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
+                    .unwrap();
+                let mut flat = input_for(comm.rank(), 25);
+                comm.allreduce(&mut flat, ReduceOp::Sum, AllreduceAlgo::Ring)
+                    .unwrap();
+                (hier, flat, h.is_leader(), h.local().size())
+            })
+            .unwrap();
         let mut leaders = 0;
         for h in handles {
             let (hier, flat, leader, local_size) = h.join();
@@ -119,14 +121,16 @@ mod tests {
     fn works_with_partial_last_node() {
         // 7 ranks over 3-per-node: nodes of 3, 3, 1.
         let u = Universe::without_faults(Topology::new(3));
-        let handles = u.spawn_batch(7, |p: Proc| {
-            let comm = p.init_comm();
-            let h = Hierarchy::build(&comm).unwrap();
-            let mut buf = vec![comm.rank() as i64];
-            h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-                .unwrap();
-            buf[0]
-        });
+        let handles = u
+            .spawn_batch(7, |p: Proc| {
+                let comm = p.init_comm();
+                let h = Hierarchy::build(&comm).unwrap();
+                let mut buf = vec![comm.rank() as i64];
+                h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                    .unwrap();
+                buf[0]
+            })
+            .unwrap();
         for h in handles {
             assert_eq!(h.join(), (0..7).sum::<i64>());
         }
@@ -135,14 +139,16 @@ mod tests {
     #[test]
     fn max_and_min_ops() {
         let u = Universe::without_faults(Topology::new(2));
-        let handles = u.spawn_batch(4, |p: Proc| {
-            let comm = p.init_comm();
-            let h = Hierarchy::build(&comm).unwrap();
-            let mut buf = vec![comm.rank() as i64 * 10];
-            h.allreduce(&mut buf, ReduceOp::Max, AllreduceAlgo::Ring)
-                .unwrap();
-            buf[0]
-        });
+        let handles = u
+            .spawn_batch(4, |p: Proc| {
+                let comm = p.init_comm();
+                let h = Hierarchy::build(&comm).unwrap();
+                let mut buf = vec![comm.rank() as i64 * 10];
+                h.allreduce(&mut buf, ReduceOp::Max, AllreduceAlgo::Ring)
+                    .unwrap();
+                buf[0]
+            })
+            .unwrap();
         for h in handles {
             assert_eq!(h.join(), 30);
         }

@@ -48,7 +48,7 @@ mod tags;
 mod universe;
 
 pub use agree::AgreeResult;
-pub use comm::{Communicator, JoinOutcome, ShrinkOutcome};
+pub use comm::{Communicator, JoinOutcome, PolicyCommit, RecoveryArm, ShrinkOutcome};
 pub use error::UlfmError;
 pub use hierarchy::Hierarchy;
 pub use netjoin::NetJoin;

@@ -17,9 +17,15 @@
 //! | key | value |
 //! |---|---|
 //! | `{prefix}join/announce/{rank:08}` | joiner's dialable address (may be empty) |
-//! | `{prefix}join/ticket/{rank:08}` | committed ticket, LE u64 words `[epoch, comm_id+1, n, ranks…]` (`comm_id+1 = 0` encodes `None`) |
+//! | `{prefix}join/spare/{rank:08}` | warm spare's dialable address (may be empty) |
+//! | `{prefix}join/ticket/{rank:08}` | committed ticket, LE u64 words `[epoch, comm_id+1, n, ranks…]` (`comm_id+1 = 0` encodes `None`), or the `DISMISS` sentinel |
 //! | `{prefix}join/abort` | present ⇒ the computation aborted; waiters exit |
 //! | `{prefix}addr/{rank:08}` | contact address of an established member |
+//!
+//! Spare announces live under their own prefix so the epoch-boundary join
+//! path never drains the warm pool; a dismissed spare's ticket key holds
+//! the `DISMISS` sentinel (which also removes it from future spare
+//! snapshots, making dismissal idempotent across processes).
 //!
 //! Announce keys are never deleted — `announced_total` stays monotone (the
 //! leader's give-up heuristic depends on that) and the *pending* set is
@@ -45,6 +51,10 @@ const BACKOFF_BASE: Duration = Duration::from_millis(1);
 const BACKOFF_CAP: Duration = Duration::from_millis(50);
 /// Poll interval while a joiner waits for its ticket.
 const TICKET_POLL: Duration = Duration::from_millis(2);
+
+/// Sentinel ticket value marking a *dismissed* spare. Deliberately not a
+/// multiple of 8 bytes so it can never be confused with an encoded ticket.
+const DISMISS_SENTINEL: &[u8] = b"DISMISS";
 
 /// Deterministic jitter in microseconds for retry `attempt` of operation
 /// `what`: FNV-1a over the name, splitmix64-finalised with the attempt
@@ -133,6 +143,10 @@ impl<S: Store> NetJoin<S> {
 
     fn announce_key(&self, rank: RankId) -> String {
         format!("{}join/announce/{:08}", self.prefix, rank.0)
+    }
+
+    fn spare_key(&self, rank: RankId) -> String {
+        format!("{}join/spare/{:08}", self.prefix, rank.0)
     }
 
     fn ticket_key(&self, rank: RankId) -> String {
@@ -259,6 +273,11 @@ impl<S: Store> JoinService for NetJoin<S> {
             // yet"; the poll loop itself is the retry.
             if let Ok(pairs) = self.store.try_scan_prefix(&key) {
                 if let Some((_, v)) = pairs.into_iter().find(|(k, _)| k == &key) {
+                    if v == DISMISS_SENTINEL {
+                        // Dismissed spare: the run completed without
+                        // needing this standby; exit instead of idling.
+                        return Err(UlfmError::Aborted);
+                    }
                     if let Some(t) = decode_ticket(&v) {
                         return Ok(t);
                     }
@@ -286,11 +305,63 @@ impl<S: Store> JoinService for NetJoin<S> {
     fn contact(&self, rank: RankId) -> Option<String> {
         let bytes = self
             .get(&self.addr_key(rank))
-            .or_else(|| self.get(&self.announce_key(rank)))?;
+            .or_else(|| self.get(&self.announce_key(rank)))
+            .or_else(|| self.get(&self.spare_key(rank)))?;
         if bytes.is_empty() {
             return None;
         }
         String::from_utf8(bytes).ok()
+    }
+
+    fn announce_spare(&self, rank: RankId) {
+        let addr = self.contact.clone().unwrap_or_default();
+        self.retry("announce_spare", || {
+            self.store
+                .try_set(&self.spare_key(rank), addr.clone().into_bytes())
+        });
+        if self.contact.is_some() {
+            // A promoted spare becomes a member; later joiners dial it via
+            // the member-address key, same as a committed joiner.
+            self.publish_contact(rank);
+        }
+    }
+
+    fn spare_total(&self) -> u64 {
+        let prefix = format!("{}join/spare/", self.prefix);
+        self.retry("spare_total", || self.store.try_count_prefix(&prefix))
+            .unwrap_or(0) as u64
+    }
+
+    fn snapshot_spares(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId> {
+        let spare_prefix = format!("{}join/spare/", self.prefix);
+        let tkt_prefix = format!("{}join/ticket/", self.prefix);
+        let Some(announced) =
+            self.retry("scan_spares", || self.store.try_scan_prefix(&spare_prefix))
+        else {
+            return Vec::new();
+        };
+        // A ticketed spare is either promoted or dismissed; both leave the
+        // pool. Announce keys stay monotone, like the joiner pending set.
+        let ticketed: Vec<RankId> = self
+            .retry("scan_ticketed", || self.store.try_scan_prefix(&tkt_prefix))
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|(k, _)| Self::key_rank(k))
+            .collect();
+        announced
+            .iter()
+            .filter_map(|(k, _)| Self::key_rank(k))
+            .filter(|r| !ticketed.contains(r) && alive(*r))
+            .collect()
+    }
+
+    fn dismiss_spare(&self, rank: RankId) {
+        // The sentinel doubles as the "ticketed" marker that removes the
+        // spare from every future snapshot — idempotent by overwrite.
+        self.retry("dismiss_spare", || {
+            self.store
+                .try_set(&self.ticket_key(rank), DISMISS_SENTINEL.to_vec())
+        });
     }
 }
 
@@ -376,6 +447,41 @@ mod tests {
         assert_eq!(probe.contact(RankId(3)), Some("127.0.0.1:9001".into()));
         assert_eq!(probe.contact(RankId(5)), None, "empty announce ⇒ no addr");
         assert_eq!(probe.contact(RankId(9)), None, "unknown rank ⇒ no addr");
+    }
+
+    #[test]
+    fn spare_pool_announce_snapshot_promote_dismiss() {
+        let store = KvStore::shared();
+        let j = NetJoin::new(Arc::clone(&store), "run/").with_contact("127.0.0.1:9100");
+        j.announce_spare(RankId(8));
+        let bare = NetJoin::new(Arc::clone(&store), "run/");
+        bare.announce_spare(RankId(6));
+        assert_eq!(j.spare_total(), 2);
+        // Spares live apart from the joiner pending set.
+        assert_eq!(j.pending_count(), 0);
+        assert_eq!(j.snapshot_spares(&|_| true), vec![RankId(6), RankId(8)]);
+        assert_eq!(j.snapshot_spares(&|r| r != RankId(6)), vec![RankId(8)]);
+        // A spare with a contact is dialable like a member.
+        assert_eq!(j.contact(RankId(8)), Some("127.0.0.1:9100".into()));
+
+        // Promotion: a committed ticket removes the spare from the pool and
+        // wakes it exactly like a joiner.
+        let t = ticket();
+        j.confirm_tickets(&[RankId(8)], &t);
+        assert_eq!(j.snapshot_spares(&|_| true), vec![RankId(6)]);
+        assert_eq!(j.wait_ticket(RankId(8), &|| true, None), Ok(t));
+
+        // Dismissal: the sentinel wakes the waiter with Aborted and keeps
+        // the spare out of future snapshots (idempotent).
+        j.dismiss_spare(RankId(6));
+        j.dismiss_spare(RankId(6));
+        assert!(j.snapshot_spares(&|_| true).is_empty());
+        assert_eq!(
+            j.wait_ticket(RankId(6), &|| true, None),
+            Err(UlfmError::Aborted)
+        );
+        // Announce totals stay monotone through promote/dismiss.
+        assert_eq!(j.spare_total(), 2);
     }
 
     #[test]

@@ -114,6 +114,29 @@ pub trait JoinService: Send + Sync {
         let _ = rank;
         None
     }
+
+    /// A standby worker announces itself into the *warm spare pool* — a
+    /// namespace separate from the joiner pending set, so epoch-boundary
+    /// admission never drains workers being held back to absorb failures.
+    /// A spare waits for its promotion ticket via
+    /// [`JoinService::wait_ticket`], exactly like a joiner.
+    fn announce_spare(&self, rank: RankId);
+
+    /// Total spare announcements ever made (monotone, like
+    /// [`JoinService::announced_total`]) — lets members wait
+    /// deterministically for an expected spare-pool size before training.
+    fn spare_total(&self) -> u64;
+
+    /// Sorted snapshot of spares awaiting promotion, filtered by `alive`.
+    /// Non-destructive: a spare leaves the pool only through a committed
+    /// [`JoinService::confirm_tickets`] or [`JoinService::dismiss_spare`].
+    fn snapshot_spares(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId>;
+
+    /// Dismiss one waiting spare: it wakes from
+    /// [`JoinService::wait_ticket`] with [`UlfmError::Aborted`] and exits.
+    /// Called by completing workers so unused spares do not idle until
+    /// their deadline. Idempotent.
+    fn dismiss_spare(&self, rank: RankId);
 }
 
 #[derive(Default)]
@@ -125,6 +148,13 @@ struct JoinState {
     /// (join-leader failover).
     pending: BTreeSet<RankId>,
     tickets: HashMap<RankId, JoinTicket>,
+    /// Warm spares awaiting promotion — kept apart from `pending` so the
+    /// epoch-boundary join path never drains the spare pool.
+    spares: BTreeSet<RankId>,
+    /// Spares individually dismissed by a completing run; their
+    /// `wait_ticket` returns `Aborted` so they exit instead of idling to
+    /// their deadline.
+    dismissed: BTreeSet<RankId>,
     /// Set when the computation aborts (e.g. shrunk below the minimum
     /// world size): pending joiners must stop waiting and exit.
     aborted: bool,
@@ -138,6 +168,8 @@ pub(crate) struct JoinServer {
     /// wait deterministically for an expected number of joiners without
     /// racing against admission timing.
     announced: AtomicU64,
+    /// Monotone count of spare-pool announcements ever made.
+    spare_announced: AtomicU64,
 }
 
 impl JoinServer {
@@ -146,6 +178,7 @@ impl JoinServer {
             state: Mutex::new(JoinState::default()),
             cv: Condvar::new(),
             announced: AtomicU64::new(0),
+            spare_announced: AtomicU64::new(0),
         }
     }
 }
@@ -179,6 +212,9 @@ impl JoinService for JoinServer {
         let mut st = self.state.lock();
         for &j in joiners {
             st.pending.remove(&j);
+            // A promoted spare leaves the pool the same way a joiner
+            // leaves the pending set: through the committed ticket.
+            st.spares.remove(&j);
             st.tickets.insert(j, ticket.clone());
         }
         self.cv.notify_all();
@@ -200,7 +236,7 @@ impl JoinService for JoinServer {
             if let Some(t) = st.tickets.remove(&rank) {
                 return Ok(t);
             }
-            if st.aborted {
+            if st.aborted || st.dismissed.contains(&rank) {
                 return Err(UlfmError::Aborted);
             }
             if !is_alive() {
@@ -211,6 +247,33 @@ impl JoinService for JoinServer {
             }
             self.cv.wait_for(&mut st, Duration::from_micros(200));
         }
+    }
+
+    fn announce_spare(&self, rank: RankId) {
+        self.state.lock().spares.insert(rank);
+        self.spare_announced.fetch_add(1, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn spare_total(&self) -> u64 {
+        self.spare_announced.load(Ordering::SeqCst)
+    }
+
+    fn snapshot_spares(&self, alive: &dyn Fn(RankId) -> bool) -> Vec<RankId> {
+        self.state
+            .lock()
+            .spares
+            .iter()
+            .copied()
+            .filter(|&r| alive(r))
+            .collect()
+    }
+
+    fn dismiss_spare(&self, rank: RankId) {
+        let mut st = self.state.lock();
+        st.spares.remove(&rank);
+        st.dismissed.insert(rank);
+        self.cv.notify_all();
     }
 }
 
@@ -241,15 +304,14 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    /// The in-process fabric. Panics in peer (multi-process) mode, where no
-    /// shared fabric exists — callers needing global state must use the
-    /// endpoint's backend view instead.
-    pub(crate) fn fabric(&self) -> &Arc<Fabric> {
+    /// The in-process fabric. In peer (multi-process) mode no shared fabric
+    /// exists, so this returns [`UlfmError::NoSharedFabric`] — callers
+    /// surface the typed error (and a worker can exit cleanly) instead of
+    /// crashing the process on a misconfigured launch.
+    pub(crate) fn fabric(&self) -> Result<&Arc<Fabric>, UlfmError> {
         match &self.runtime {
-            Runtime::InProc(f) => f,
-            Runtime::Peer(_) => {
-                panic!("multi-process universe has no shared in-process fabric")
-            }
+            Runtime::InProc(f) => Ok(f),
+            Runtime::Peer(_) => Err(UlfmError::NoSharedFabric),
         }
     }
 
@@ -415,8 +477,34 @@ impl Proc {
         &self,
         wait: Option<Duration>,
     ) -> Result<Communicator, UlfmError> {
-        telemetry::counter("ulfm.universe.joins").incr();
-        self.shared.join.announce(self.rank());
+        self.join_training_inner(wait, false)
+    }
+
+    /// Join the *warm spare pool*: announce as a standby and block until a
+    /// failure promotes this worker (the members commit a promotion ticket,
+    /// exactly a join ticket), the pool is dismissed ([`UlfmError::Aborted`]
+    /// — the run completed without needing this spare), or `wait` expires
+    /// ([`UlfmError::JoinTimeout`]). A promoted spare bootstraps like any
+    /// joiner: state sync first, then the training loop.
+    pub fn join_training_as_spare(
+        &self,
+        wait: Option<Duration>,
+    ) -> Result<Communicator, UlfmError> {
+        self.join_training_inner(wait, true)
+    }
+
+    fn join_training_inner(
+        &self,
+        wait: Option<Duration>,
+        spare: bool,
+    ) -> Result<Communicator, UlfmError> {
+        if spare {
+            telemetry::counter("ulfm.universe.spare_joins").incr();
+            self.shared.join.announce_spare(self.rank());
+        } else {
+            telemetry::counter("ulfm.universe.joins").incr();
+            self.shared.join.announce(self.rank());
+        }
         // Named fault point: a joiner can be scripted to die after it has
         // announced but before it consumes its ticket — the admission
         // protocol must not strand the rest of the group on it.
@@ -478,6 +566,30 @@ impl Proc {
     pub fn announced_joiners(&self) -> u64 {
         self.shared.join.announced_total()
     }
+
+    /// Total spare-pool announcements ever made on this universe (monotone).
+    /// Members wait on this before training so the warm pool is actually
+    /// warm when the first failure hits.
+    pub fn announced_spares(&self) -> u64 {
+        self.shared.join.spare_total()
+    }
+
+    /// Spares currently waiting in the pool (announced, not yet promoted
+    /// or dismissed). This is the policy engine's "can promotion absorb
+    /// this failure" signal; the commit round re-checks liveness, so a
+    /// slightly stale count here only costs a fallback, never correctness.
+    pub fn waiting_spares(&self) -> usize {
+        self.shared.join.snapshot_spares(&|_| true).len()
+    }
+
+    /// Dismiss every spare still waiting in the pool (the run completed
+    /// without needing them): each wakes from its ticket wait with
+    /// [`UlfmError::Aborted`] and exits cleanly. Idempotent.
+    pub fn dismiss_spares(&self) {
+        for r in self.shared.join.snapshot_spares(&|_| true) {
+            self.shared.join.dismiss_spare(r);
+        }
+    }
 }
 
 /// The runtime: owns the fabric and spawns worker threads.
@@ -519,9 +631,9 @@ impl Universe {
     /// [`JoinServer`], which no other process can reach — dynamic joins in
     /// multi-process mode need a shared service; see
     /// [`Universe::for_backend_with_join`] and [`crate::NetJoin`].
-    /// `spawn_*`, `kill_*`, and [`Universe::fabric`] panic, because there
-    /// is no shared fabric to operate on; real process management belongs
-    /// to the launcher.
+    /// `spawn_*`, `kill_*`, and [`Universe::fabric`] return
+    /// [`UlfmError::NoSharedFabric`], because there is no shared fabric to
+    /// operate on; real process management belongs to the launcher.
     pub fn for_backend(ep: Endpoint, group: Vec<RankId>) -> (Self, Proc) {
         Self::for_backend_with_join(ep, group, Arc::new(JoinServer::new()))
     }
@@ -597,16 +709,21 @@ impl Universe {
 
     /// Spawn `n` workers as one batch; each runs `f` and sees the whole
     /// batch as its [`Proc::init_comm`] group.
-    pub fn spawn_batch<R, F>(&self, n: usize, f: F) -> Vec<WorkerHandle<R>>
+    ///
+    /// In-process mode only: a multi-process ([`Universe::for_backend`])
+    /// universe has no shared fabric to spawn threads onto, and returns
+    /// [`UlfmError::NoSharedFabric`] — real process management belongs to
+    /// the launcher.
+    pub fn spawn_batch<R, F>(&self, n: usize, f: F) -> Result<Vec<WorkerHandle<R>>, UlfmError>
     where
         R: Send + 'static,
         F: Fn(Proc) -> R + Send + Sync + Clone + 'static,
     {
         telemetry::counter("ulfm.universe.spawned_workers").add(n as u64);
         let _span = telemetry::span("ulfm.universe.spawn_batch_ns");
-        let ranks = self.shared.fabric().register_ranks(n);
+        let ranks = self.shared.fabric()?.register_ranks(n);
         let batch = self.shared.next_batch.fetch_add(1, Ordering::SeqCst);
-        ranks
+        Ok(ranks
             .iter()
             .map(|&rank| {
                 let shared = Arc::clone(&self.shared);
@@ -615,7 +732,10 @@ impl Universe {
                 let thread = std::thread::Builder::new()
                     .name(format!("rank-{}", rank.0))
                     .spawn(move || {
-                        let fabric = Arc::clone(shared.fabric());
+                        // Checked by the outer `fabric()?` before any thread
+                        // was spawned; the runtime mode never changes.
+                        let fabric =
+                            Arc::clone(shared.fabric().expect("spawn_batch verified in-proc"));
                         let proc = Proc {
                             ep: Endpoint::new(Arc::clone(&fabric), rank),
                             shared,
@@ -632,12 +752,13 @@ impl Universe {
                     .expect("failed to spawn worker thread");
                 WorkerHandle { rank, thread }
             })
-            .collect()
+            .collect())
     }
 
     /// Spawn `k` *joining* workers (replacement or upscale); they should
     /// call [`Proc::join_training`] to merge into the running computation.
-    pub fn spawn_joiners<R, F>(&self, k: usize, f: F) -> Vec<WorkerHandle<R>>
+    /// In-process mode only, like [`Universe::spawn_batch`].
+    pub fn spawn_joiners<R, F>(&self, k: usize, f: F) -> Result<Vec<WorkerHandle<R>>, UlfmError>
     where
         R: Send + 'static,
         F: Fn(Proc) -> R + Send + Sync + Clone + 'static,
@@ -646,19 +767,24 @@ impl Universe {
     }
 
     /// Kill a rank from the outside (hardware failure). In-process mode
-    /// only: a multi-process job's ranks die by actual process death.
-    pub fn kill_rank(&self, rank: RankId) {
-        self.shared.fabric().kill_rank(rank);
+    /// only ([`UlfmError::NoSharedFabric`] otherwise): a multi-process
+    /// job's ranks die by actual process death.
+    pub fn kill_rank(&self, rank: RankId) -> Result<(), UlfmError> {
+        self.shared.fabric()?.kill_rank(rank);
+        Ok(())
     }
 
-    /// Kill every rank on a node. In-process mode only.
-    pub fn kill_node(&self, node: NodeId) {
-        self.shared.fabric().kill_node(node);
+    /// Kill every rank on a node. In-process mode only
+    /// ([`UlfmError::NoSharedFabric`] otherwise).
+    pub fn kill_node(&self, node: NodeId) -> Result<(), UlfmError> {
+        self.shared.fabric()?.kill_node(node);
+        Ok(())
     }
 
     /// The underlying fabric (stats, alive table). In-process mode only;
-    /// panics for a [`Universe::for_backend`] universe.
-    pub fn fabric(&self) -> &Arc<Fabric> {
+    /// [`UlfmError::NoSharedFabric`] for a [`Universe::for_backend`]
+    /// universe.
+    pub fn fabric(&self) -> Result<&Arc<Fabric>, UlfmError> {
         self.shared.fabric()
     }
 
@@ -687,7 +813,7 @@ mod tests {
     #[test]
     fn spawn_batch_assigns_dense_ranks() {
         let u = Universe::without_faults(Topology::flat());
-        let handles = u.spawn_batch(4, |p| p.rank().0);
+        let handles = u.spawn_batch(4, |p| p.rank().0).unwrap();
         let got: Vec<usize> = handles.into_iter().map(|h| h.join()).collect();
         assert_eq!(got, vec![0, 1, 2, 3]);
     }
@@ -695,7 +821,7 @@ mod tests {
     #[test]
     fn init_comm_ids_are_shared_within_batch() {
         let u = Universe::without_faults(Topology::flat());
-        let handles = u.spawn_batch(3, |p| p.init_comm().id());
+        let handles = u.spawn_batch(3, |p| p.init_comm().id()).unwrap();
         let ids: Vec<u64> = handles.into_iter().map(|h| h.join()).collect();
         assert!(ids.iter().all(|&i| i == ids[0]));
     }
@@ -703,9 +829,9 @@ mod tests {
     #[test]
     fn separate_batches_get_separate_comm_ids() {
         let u = Universe::without_faults(Topology::flat());
-        let a = u.spawn_batch(2, |p| p.init_comm().id());
+        let a = u.spawn_batch(2, |p| p.init_comm().id()).unwrap();
         let ids_a: Vec<u64> = a.into_iter().map(|h| h.join()).collect();
-        let b = u.spawn_batch(2, |p| p.init_comm().id());
+        let b = u.spawn_batch(2, |p| p.init_comm().id()).unwrap();
         let ids_b: Vec<u64> = b.into_iter().map(|h| h.join()).collect();
         assert_ne!(ids_a[0], ids_b[0]);
     }
@@ -800,18 +926,20 @@ mod tests {
     #[test]
     fn kill_rank_via_universe() {
         let u = Universe::without_faults(Topology::flat());
-        let handles = u.spawn_batch(2, |p| {
-            // Rank 1 waits until killed.
-            if p.rank() == RankId(1) {
-                while p.endpoint().is_self_alive() {
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+        let handles = u
+            .spawn_batch(2, |p| {
+                // Rank 1 waits until killed.
+                if p.rank() == RankId(1) {
+                    while p.endpoint().is_self_alive() {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    "killed"
+                } else {
+                    "fine"
                 }
-                "killed"
-            } else {
-                "fine"
-            }
-        });
-        u.kill_rank(RankId(1));
+            })
+            .unwrap();
+        u.kill_rank(RankId(1)).unwrap();
         let results: Vec<&str> = handles.into_iter().map(|h| h.join()).collect();
         assert_eq!(results, vec!["fine", "killed"]);
     }

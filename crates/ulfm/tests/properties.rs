@@ -32,7 +32,7 @@ proptest! {
         let handles = u.spawn_batch(p, move |proc: Proc| {
             let comm = proc.init_comm();
             comm.agree(fl[proc.rank().0 % fl.len()], proc.rank().0 as u64).ok()
-        });
+        }).unwrap();
         let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         let oks: Vec<_> = results.iter().flatten().collect();
         prop_assert!(!oks.is_empty(), "at least one rank survives two faults");
@@ -72,7 +72,7 @@ proptest! {
                 Ok(c) => Some((c.rank(), c.group().to_vec())),
                 Err(_) => None,
             }
-        });
+        }).unwrap();
         let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
         let survivors: Vec<&(usize, Vec<RankId>)> = results.iter().flatten().collect();
         // If the victim's death fired (it may not, if `at` exceeds the

@@ -28,12 +28,14 @@ fn fault_free_allreduce_all_algorithms() {
         AllreduceAlgo::Rabenseifner,
     ] {
         let u = Universe::without_faults(Topology::flat());
-        let handles = u.spawn_batch(6, move |p: Proc| {
-            let comm = p.init_comm();
-            let mut buf = input_for(comm.rank(), 40);
-            comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
-            buf
-        });
+        let handles = u
+            .spawn_batch(6, move |p: Proc| {
+                let comm = p.init_comm();
+                let mut buf = input_for(comm.rank(), 40);
+                comm.allreduce(&mut buf, ReduceOp::Sum, algo).unwrap();
+                buf
+            })
+            .unwrap();
         let want = sum_over(&[0, 1, 2, 3, 4, 5], 40);
         for h in handles {
             assert_eq!(h.join(), want, "{algo:?}");
@@ -44,17 +46,19 @@ fn fault_free_allreduce_all_algorithms() {
 #[test]
 fn sequence_of_collectives_stays_matched() {
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(4, |p: Proc| {
-        let comm = p.init_comm();
-        let mut a = vec![comm.rank() as f32];
-        comm.allreduce(&mut a, ReduceOp::Sum, AllreduceAlgo::Ring)
-            .unwrap();
-        comm.barrier().unwrap();
-        let mut b = vec![1u8 + comm.rank() as u8];
-        let blocks = comm.allgather(&b, AllgatherAlgo::Bruck).unwrap();
-        comm.bcast(2, &mut b).unwrap();
-        (a[0], blocks, b)
-    });
+    let handles = u
+        .spawn_batch(4, |p: Proc| {
+            let comm = p.init_comm();
+            let mut a = vec![comm.rank() as f32];
+            comm.allreduce(&mut a, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            comm.barrier().unwrap();
+            let mut b = vec![1u8 + comm.rank() as u8];
+            let blocks = comm.allgather(&b, AllgatherAlgo::Bruck).unwrap();
+            comm.bcast(2, &mut b).unwrap();
+            (a[0], blocks, b)
+        })
+        .unwrap();
     for h in handles {
         let (sum, blocks, b) = h.join();
         assert_eq!(sum, 6.0);
@@ -72,32 +76,34 @@ fn forward_recovery_after_death_mid_allreduce() {
     let victim = 3usize;
     let plan = FaultPlan::none().kill_at_point(RankId(victim), "allreduce.step", 3);
     let u = Universe::new(Topology::flat(), plan);
-    let handles = u.spawn_batch(n, move |p: Proc| {
-        let comm = p.init_comm();
-        let saved = input_for(comm.rank(), 48); // retained input (the gradient)
-        let mut buf = saved.clone();
-        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-            Ok(()) => {
-                // This rank did not observe the failure; it will observe the
-                // revocation on its next operation and must join recovery.
-                match comm.barrier() {
-                    Ok(()) => {} // possible if it raced ahead of the revoke
-                    Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+    let handles = u
+        .spawn_batch(n, move |p: Proc| {
+            let comm = p.init_comm();
+            let saved = input_for(comm.rank(), 48); // retained input (the gradient)
+            let mut buf = saved.clone();
+            match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Ok(()) => {
+                    // This rank did not observe the failure; it will observe the
+                    // revocation on its next operation and must join recovery.
+                    match comm.barrier() {
+                        Ok(()) => {} // possible if it raced ahead of the revoke
+                        Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+                    }
                 }
+                Err(UlfmError::SelfDied) => return None,
+                Err(e) => assert!(e.is_recoverable(), "{e:?}"),
             }
-            Err(UlfmError::SelfDied) => return None,
-            Err(e) => assert!(e.is_recoverable(), "{e:?}"),
-        }
-        // Recovery: revoke, shrink, retry from the retained input.
-        comm.revoke();
-        let shrunk = comm.shrink().expect("survivor must shrink");
-        assert_eq!(shrunk.size(), n - 1);
-        let mut buf = saved;
-        shrunk
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-            .expect("retry on shrunk communicator must succeed");
-        Some((shrunk.rank(), buf))
-    });
+            // Recovery: revoke, shrink, retry from the retained input.
+            comm.revoke();
+            let shrunk = comm.shrink().expect("survivor must shrink");
+            assert_eq!(shrunk.size(), n - 1);
+            let mut buf = saved;
+            shrunk
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .expect("retry on shrunk communicator must succeed");
+            Some((shrunk.rank(), buf))
+        })
+        .unwrap();
     let want = sum_over(&[0, 1, 2, 4, 5], 48);
     let mut seen_ranks = Vec::new();
     for (i, h) in handles.into_iter().enumerate() {
@@ -132,50 +138,52 @@ fn silent_peer_is_suspected_and_shrunk_away() {
             }),
     );
     u.set_suspicion_timeout(std::time::Duration::from_millis(500));
-    let handles = u.spawn_batch(n, move |p: Proc| {
-        let comm = p.init_comm();
-        let saved = input_for(comm.rank(), 32);
-        let mut buf = saved.clone();
-        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-            // The silenced rank is eventually suspected (killed) and must
-            // observe its own declared death rather than block forever.
-            Err(UlfmError::SelfDied) => return None,
-            Ok(()) => match comm.barrier() {
-                Ok(()) | Err(UlfmError::Revoked) => {}
-                Err(UlfmError::SelfDied) => return None,
-                Err(e) => assert!(e.is_recoverable(), "{e:?}"),
-            },
-            Err(e) => assert!(
-                e.is_recoverable(),
-                "suspicion must map to ProcFailed: {e:?}"
-            ),
-        }
-        // The victim can reach this point too (a survivor's revoke wakes
-        // its blocked receive before the suspicion lands), so every
-        // recovery stage must tolerate SelfDied.
-        comm.revoke();
-        let mut cur = match comm.shrink() {
-            Ok(c) => c,
-            Err(UlfmError::SelfDied) => return None,
-            Err(e) => panic!("{e}"),
-        };
-        assert_eq!(cur.size(), n - 1, "suspected rank must be excluded");
-        loop {
+    let handles = u
+        .spawn_batch(n, move |p: Proc| {
+            let comm = p.init_comm();
+            let saved = input_for(comm.rank(), 32);
             let mut buf = saved.clone();
-            match cur.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-                Ok(()) => return Some(buf),
+            match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                // The silenced rank is eventually suspected (killed) and must
+                // observe its own declared death rather than block forever.
                 Err(UlfmError::SelfDied) => return None,
-                Err(_) => {
-                    cur.revoke();
-                    cur = match cur.shrink() {
-                        Ok(c) => c,
-                        Err(UlfmError::SelfDied) => return None,
-                        Err(e) => panic!("{e}"),
-                    };
+                Ok(()) => match comm.barrier() {
+                    Ok(()) | Err(UlfmError::Revoked) => {}
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => assert!(e.is_recoverable(), "{e:?}"),
+                },
+                Err(e) => assert!(
+                    e.is_recoverable(),
+                    "suspicion must map to ProcFailed: {e:?}"
+                ),
+            }
+            // The victim can reach this point too (a survivor's revoke wakes
+            // its blocked receive before the suspicion lands), so every
+            // recovery stage must tolerate SelfDied.
+            comm.revoke();
+            let mut cur = match comm.shrink() {
+                Ok(c) => c,
+                Err(UlfmError::SelfDied) => return None,
+                Err(e) => panic!("{e}"),
+            };
+            assert_eq!(cur.size(), n - 1, "suspected rank must be excluded");
+            loop {
+                let mut buf = saved.clone();
+                match cur.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                    Ok(()) => return Some(buf),
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(_) => {
+                        cur.revoke();
+                        cur = match cur.shrink() {
+                            Ok(c) => c,
+                            Err(UlfmError::SelfDied) => return None,
+                            Err(e) => panic!("{e}"),
+                        };
+                    }
                 }
             }
-        }
-    });
+        })
+        .unwrap();
     let want = sum_over(&[0, 1, 3], 32);
     for (i, h) in handles.into_iter().enumerate() {
         match h.join() {
@@ -184,7 +192,7 @@ fn silent_peer_is_suspected_and_shrunk_away() {
         }
     }
     assert!(
-        u.fabric().stats().suspicions >= 1,
+        u.fabric().unwrap().stats().suspicions >= 1,
         "death must have come from the failure detector"
     );
 }
@@ -194,16 +202,18 @@ fn revoke_interrupts_blocked_receiver() {
     // Rank 1 blocks receiving a p2p message that will never come; rank 0
     // revokes; rank 1 must unblock with Revoked.
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(2, |p: Proc| {
-        let comm = p.init_comm();
-        if comm.rank() == 1 {
-            comm.recv(0, 7).map(|_| ())
-        } else {
-            std::thread::sleep(std::time::Duration::from_millis(30));
-            comm.revoke();
-            Ok(())
-        }
-    });
+    let handles = u
+        .spawn_batch(2, |p: Proc| {
+            let comm = p.init_comm();
+            if comm.rank() == 1 {
+                comm.recv(0, 7).map(|_| ())
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                comm.revoke();
+                Ok(())
+            }
+        })
+        .unwrap();
     let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
     assert_eq!(results[0], Ok(()));
     assert_eq!(results[1], Err(UlfmError::Revoked));
@@ -212,25 +222,27 @@ fn revoke_interrupts_blocked_receiver() {
 #[test]
 fn operations_on_revoked_comm_fail_but_shrink_works() {
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(3, |p: Proc| {
-        let comm = p.init_comm();
-        // (No pre-revoke collective: a peer's revoke may interrupt it —
-        // that interruption semantics is covered by other tests.)
-        comm.revoke();
-        let mut buf = vec![0.0f32; 4];
-        assert_eq!(
-            comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring),
-            Err(UlfmError::Revoked)
-        );
-        // Nobody failed: shrink must return a same-size working communicator.
-        let shrunk = comm.shrink().unwrap();
-        assert_eq!(shrunk.size(), 3);
-        let mut buf = vec![1.0f32];
-        shrunk
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-            .unwrap();
-        buf[0]
-    });
+    let handles = u
+        .spawn_batch(3, |p: Proc| {
+            let comm = p.init_comm();
+            // (No pre-revoke collective: a peer's revoke may interrupt it —
+            // that interruption semantics is covered by other tests.)
+            comm.revoke();
+            let mut buf = vec![0.0f32; 4];
+            assert_eq!(
+                comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring),
+                Err(UlfmError::Revoked)
+            );
+            // Nobody failed: shrink must return a same-size working communicator.
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 3);
+            let mut buf = vec![1.0f32];
+            shrunk
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            buf[0]
+        })
+        .unwrap();
     for h in handles {
         assert_eq!(h.join(), 3.0);
     }
@@ -245,43 +257,45 @@ fn shrink_with_drop_node_policy() {
     let victim = RankId(4); // node 1 (ranks 3,4,5)
     let plan = FaultPlan::none().kill_at_point(victim, "allreduce.step", 2);
     let u = Universe::new(topo, plan);
-    let handles = u.spawn_batch(9, move |p: Proc| {
-        let comm = p.init_comm();
-        let mut buf = vec![1.0f32; 16];
-        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-            Err(UlfmError::SelfDied) => return "died",
-            r => {
-                if r.is_ok() {
-                    let _ = comm.barrier();
+    let handles = u
+        .spawn_batch(9, move |p: Proc| {
+            let comm = p.init_comm();
+            let mut buf = vec![1.0f32; 16];
+            match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Err(UlfmError::SelfDied) => return "died",
+                r => {
+                    if r.is_ok() {
+                        let _ = comm.barrier();
+                    }
                 }
             }
-        }
-        comm.revoke();
-        let outcome = comm
-            .shrink_with(|failed| {
-                // Evict every rank co-located with a failure.
-                let mut evicted = Vec::new();
-                for &f in failed {
-                    evicted.extend(topo.node_peers(f, 9));
+            comm.revoke();
+            let outcome = comm
+                .shrink_with(|failed| {
+                    // Evict every rank co-located with a failure.
+                    let mut evicted = Vec::new();
+                    for &f in failed {
+                        evicted.extend(topo.node_peers(f, 9));
+                    }
+                    evicted
+                })
+                .expect("shrink_with failed");
+            match outcome {
+                ShrinkOutcome::Excluded => {
+                    p.retire();
+                    "excluded"
                 }
-                evicted
-            })
-            .expect("shrink_with failed");
-        match outcome {
-            ShrinkOutcome::Excluded => {
-                p.retire();
-                "excluded"
+                ShrinkOutcome::Member(c) => {
+                    assert_eq!(c.size(), 6, "two full nodes remain");
+                    let mut b = vec![1.0f32];
+                    c.allreduce(&mut b, ReduceOp::Sum, AllreduceAlgo::Ring)
+                        .unwrap();
+                    assert_eq!(b[0], 6.0);
+                    "member"
+                }
             }
-            ShrinkOutcome::Member(c) => {
-                assert_eq!(c.size(), 6, "two full nodes remain");
-                let mut b = vec![1.0f32];
-                c.allreduce(&mut b, ReduceOp::Sum, AllreduceAlgo::Ring)
-                    .unwrap();
-                assert_eq!(b[0], 6.0);
-                "member"
-            }
-        }
-    });
+        })
+        .unwrap();
     let results: Vec<&str> = handles.into_iter().map(|h| h.join()).collect();
     assert_eq!(results[4], "died");
     assert_eq!(results[3], "excluded");
@@ -296,30 +310,34 @@ fn shrink_with_drop_node_policy() {
 #[test]
 fn joiners_merge_into_running_group() {
     let u = Universe::without_faults(Topology::flat());
-    let old = u.spawn_batch(3, |p: Proc| {
-        let comm = p.init_comm();
-        // Epoch boundary: wait until *both* joiners have announced (the
-        // monotone counter makes this deterministic), then everyone calls
-        // accept_joiners collectively.
-        while p.announced_joiners() < 2 {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        let merged = comm.accept_joiners().unwrap().expect("joiners pending");
-        let mut buf = vec![1.0f32];
-        merged
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-            .unwrap();
-        (merged.size(), buf[0], merged.rank())
-    });
+    let old = u
+        .spawn_batch(3, |p: Proc| {
+            let comm = p.init_comm();
+            // Epoch boundary: wait until *both* joiners have announced (the
+            // monotone counter makes this deterministic), then everyone calls
+            // accept_joiners collectively.
+            while p.announced_joiners() < 2 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let merged = comm.accept_joiners().unwrap().expect("joiners pending");
+            let mut buf = vec![1.0f32];
+            merged
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            (merged.size(), buf[0], merged.rank())
+        })
+        .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(20));
-    let new = u.spawn_joiners(2, |p: Proc| {
-        let merged = p.join_training().expect("fault-free join must succeed");
-        let mut buf = vec![1.0f32];
-        merged
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-            .unwrap();
-        (merged.size(), buf[0], merged.rank())
-    });
+    let new = u
+        .spawn_joiners(2, |p: Proc| {
+            let merged = p.join_training().expect("fault-free join must succeed");
+            let mut buf = vec![1.0f32];
+            merged
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            (merged.size(), buf[0], merged.rank())
+        })
+        .unwrap();
     let mut ranks = Vec::new();
     for h in old.into_iter().chain(new) {
         let (size, sum, rank) = h.join();
@@ -334,10 +352,12 @@ fn joiners_merge_into_running_group() {
 #[test]
 fn accept_joiners_with_nobody_waiting_returns_none() {
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(2, |p: Proc| {
-        let comm = p.init_comm();
-        comm.accept_joiners().unwrap().is_none()
-    });
+    let handles = u
+        .spawn_batch(2, |p: Proc| {
+            let comm = p.init_comm();
+            comm.accept_joiners().unwrap().is_none()
+        })
+        .unwrap();
     for h in handles {
         assert!(h.join());
     }
@@ -348,12 +368,14 @@ fn agree_min_supports_restart_index() {
     // Survivors agree on the earliest failed collective index: the elastic
     // layer uses the min-merge to decide where to resume.
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(4, |p: Proc| {
-        let comm = p.init_comm();
-        let my_failed_op = 10 + comm.rank() as u64 * 3;
-        let res = comm.agree(u64::MAX, my_failed_op).unwrap();
-        (res.min, res.flags)
-    });
+    let handles = u
+        .spawn_batch(4, |p: Proc| {
+            let comm = p.init_comm();
+            let my_failed_op = 10 + comm.rank() as u64 * 3;
+            let res = comm.agree(u64::MAX, my_failed_op).unwrap();
+            (res.min, res.flags)
+        })
+        .unwrap();
     for h in handles {
         let (min, flags) = h.join();
         assert_eq!(min, 10);
@@ -369,43 +391,45 @@ fn double_failure_shrink_iterates() {
         .kill_at_point(RankId(1), "allreduce.step", 2)
         .kill_at_point(RankId(4), "agree.round", 2);
     let u = Universe::new(Topology::flat(), plan);
-    let handles = u.spawn_batch(6, |p: Proc| {
-        let comm = p.init_comm();
-        let mut buf = input_for(comm.rank(), 24);
-        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-            Err(UlfmError::SelfDied) => return None,
-            r => {
-                if r.is_ok() {
-                    if let Err(UlfmError::SelfDied) = comm.barrier() {
-                        return None;
+    let handles = u
+        .spawn_batch(6, |p: Proc| {
+            let comm = p.init_comm();
+            let mut buf = input_for(comm.rank(), 24);
+            match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Err(UlfmError::SelfDied) => return None,
+                r => {
+                    if r.is_ok() {
+                        if let Err(UlfmError::SelfDied) = comm.barrier() {
+                            return None;
+                        }
                     }
                 }
             }
-        }
-        comm.revoke();
-        let mut cur = match comm.shrink() {
-            Ok(c) => c,
-            Err(UlfmError::SelfDied) => return None,
-            Err(e) => panic!("{e}"),
-        };
-        // Retry until the collective completes (additional failures during
-        // recovery trigger further shrinks).
-        loop {
-            let mut retry = input_for(p.rank().0, 24);
-            match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
-                Ok(()) => return Some((cur.size(), retry)),
+            comm.revoke();
+            let mut cur = match comm.shrink() {
+                Ok(c) => c,
                 Err(UlfmError::SelfDied) => return None,
-                Err(_) => {
-                    cur.revoke();
-                    cur = match cur.shrink() {
-                        Ok(c) => c,
-                        Err(UlfmError::SelfDied) => return None,
-                        Err(e) => panic!("{e}"),
-                    };
+                Err(e) => panic!("{e}"),
+            };
+            // Retry until the collective completes (additional failures during
+            // recovery trigger further shrinks).
+            loop {
+                let mut retry = input_for(p.rank().0, 24);
+                match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                    Ok(()) => return Some((cur.size(), retry)),
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(_) => {
+                        cur.revoke();
+                        cur = match cur.shrink() {
+                            Ok(c) => c,
+                            Err(UlfmError::SelfDied) => return None,
+                            Err(e) => panic!("{e}"),
+                        };
+                    }
                 }
             }
-        }
-    });
+        })
+        .unwrap();
     let want = sum_over(&[0, 2, 3, 5], 24);
     let mut survivors = 0;
     for (i, h) in handles.into_iter().enumerate() {
@@ -433,38 +457,40 @@ fn shrink_iterates_when_member_dies_mid_shrink() {
         .kill_at_point(RankId(1), "allreduce.step", 2)
         .kill_at_point(RankId(2), "shrink.attempt", 1);
     let u = Universe::new(Topology::flat(), plan);
-    let handles = u.spawn_batch(6, |p: Proc| {
-        let comm = p.init_comm();
-        let saved = input_for(comm.rank(), 24);
-        let mut buf = saved.clone();
-        match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
-            Err(UlfmError::SelfDied) => return None,
-            r => {
-                if r.is_ok() {
-                    if let Err(UlfmError::SelfDied) = comm.barrier() {
-                        return None;
+    let handles = u
+        .spawn_batch(6, |p: Proc| {
+            let comm = p.init_comm();
+            let saved = input_for(comm.rank(), 24);
+            let mut buf = saved.clone();
+            match comm.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                Err(UlfmError::SelfDied) => return None,
+                r => {
+                    if r.is_ok() {
+                        if let Err(UlfmError::SelfDied) = comm.barrier() {
+                            return None;
+                        }
                     }
                 }
             }
-        }
-        let mut cur = comm;
-        loop {
-            cur.revoke();
-            cur = match cur.shrink() {
-                Ok(c) => c,
-                Err(UlfmError::SelfDied) => return None,
-                Err(e) => panic!("{e}"),
-            };
-            let mut retry = input_for(p.rank().0, 24);
-            match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
-                Ok(()) => return Some((cur.size(), retry)),
-                Err(UlfmError::SelfDied) => return None,
-                // The mid-shrink death raced the candidate verification
-                // and leaked into the shrunk group; go around again.
-                Err(_) => {}
+            let mut cur = comm;
+            loop {
+                cur.revoke();
+                cur = match cur.shrink() {
+                    Ok(c) => c,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => panic!("{e}"),
+                };
+                let mut retry = input_for(p.rank().0, 24);
+                match cur.allreduce(&mut retry, ReduceOp::Sum, AllreduceAlgo::Ring) {
+                    Ok(()) => return Some((cur.size(), retry)),
+                    Err(UlfmError::SelfDied) => return None,
+                    // The mid-shrink death raced the candidate verification
+                    // and leaked into the shrunk group; go around again.
+                    Err(_) => {}
+                }
             }
-        }
-    });
+        })
+        .unwrap();
     let want = sum_over(&[0, 3, 4, 5], 24);
     let mut survivors = 0;
     for (i, h) in handles.into_iter().enumerate() {
@@ -486,45 +512,49 @@ fn shrink_iterates_when_member_dies_mid_shrink() {
 fn join_leader_death_mid_handshake_reissues_tickets() {
     let plan = FaultPlan::none().kill_at_point(RankId(0), "join.merge", 1);
     let u = Universe::new(Topology::flat(), plan);
-    let old = u.spawn_batch(4, |p: Proc| {
-        let comm = p.init_comm();
-        while p.announced_joiners() < 1 {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        let mut cur = comm;
-        let merged = loop {
-            match cur.accept_joiners() {
-                Ok(Some(m)) => break m,
-                Ok(None) => panic!("pending joiner lost without being admitted"),
-                Err(UlfmError::SelfDied) => return None,
-                Err(e) => {
-                    assert!(e.is_recoverable(), "{e:?}");
-                    cur.revoke();
-                    cur = match cur.shrink() {
-                        Ok(c) => c,
-                        Err(UlfmError::SelfDied) => return None,
-                        Err(e) => panic!("{e}"),
-                    };
-                }
+    let old = u
+        .spawn_batch(4, |p: Proc| {
+            let comm = p.init_comm();
+            while p.announced_joiners() < 1 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
             }
-        };
-        let mut buf = vec![1.0f32];
-        merged
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-            .unwrap();
-        Some((merged.size(), buf[0]))
-    });
+            let mut cur = comm;
+            let merged = loop {
+                match cur.accept_joiners() {
+                    Ok(Some(m)) => break m,
+                    Ok(None) => panic!("pending joiner lost without being admitted"),
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => {
+                        assert!(e.is_recoverable(), "{e:?}");
+                        cur.revoke();
+                        cur = match cur.shrink() {
+                            Ok(c) => c,
+                            Err(UlfmError::SelfDied) => return None,
+                            Err(e) => panic!("{e}"),
+                        };
+                    }
+                }
+            };
+            let mut buf = vec![1.0f32];
+            merged
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            Some((merged.size(), buf[0]))
+        })
+        .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(10));
-    let new = u.spawn_joiners(1, |p: Proc| {
-        let merged = p
-            .join_training()
-            .expect("surviving members must re-issue the ticket");
-        let mut buf = vec![1.0f32];
-        merged
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-            .unwrap();
-        Some((merged.size(), buf[0]))
-    });
+    let new = u
+        .spawn_joiners(1, |p: Proc| {
+            let merged = p
+                .join_training()
+                .expect("surviving members must re-issue the ticket");
+            let mut buf = vec![1.0f32];
+            merged
+                .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                .unwrap();
+            Some((merged.size(), buf[0]))
+        })
+        .unwrap();
     let mut admitted = 0;
     for (i, h) in old.into_iter().chain(new).enumerate() {
         match h.join() {
@@ -553,36 +583,40 @@ fn dead_joiner_is_filtered_from_admission() {
     let u = Universe::new(Topology::flat(), plan);
     let gate = Arc::new(AtomicBool::new(false));
     let g = Arc::clone(&gate);
-    let old = u.spawn_batch(3, move |p: Proc| {
-        let comm = p.init_comm();
-        // Wait until both joiners have announced *and* the main thread has
-        // confirmed the doomed one is dead, so the snapshot must filter it.
-        while p.announced_joiners() < 2 || !g.load(Ordering::SeqCst) {
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        let merged = comm
-            .accept_joiners()
-            .expect("admission with a live joiner must commit")
-            .expect("live joiner must be pending");
-        let mut buf = vec![1.0f32];
-        merged
-            .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-            .unwrap();
-        Some((merged.size(), buf[0]))
-    });
-    std::thread::sleep(std::time::Duration::from_millis(5));
-    let new = u.spawn_joiners(2, |p: Proc| match p.join_training() {
-        Ok(merged) => {
+    let old = u
+        .spawn_batch(3, move |p: Proc| {
+            let comm = p.init_comm();
+            // Wait until both joiners have announced *and* the main thread has
+            // confirmed the doomed one is dead, so the snapshot must filter it.
+            while p.announced_joiners() < 2 || !g.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            let merged = comm
+                .accept_joiners()
+                .expect("admission with a live joiner must commit")
+                .expect("live joiner must be pending");
             let mut buf = vec![1.0f32];
             merged
                 .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
                 .unwrap();
             Some((merged.size(), buf[0]))
-        }
-        Err(UlfmError::SelfDied) => None,
-        Err(e) => panic!("unexpected joiner exit: {e:?}"),
-    });
-    while u.fabric().dead_ranks().is_empty() {
+        })
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let new = u
+        .spawn_joiners(2, |p: Proc| match p.join_training() {
+            Ok(merged) => {
+                let mut buf = vec![1.0f32];
+                merged
+                    .allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
+                    .unwrap();
+                Some((merged.size(), buf[0]))
+            }
+            Err(UlfmError::SelfDied) => None,
+            Err(e) => panic!("unexpected joiner exit: {e:?}"),
+        })
+        .unwrap();
+    while u.fabric().unwrap().dead_ranks().is_empty() {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     gate.store(true, Ordering::SeqCst);

@@ -25,8 +25,9 @@ fn main() {
 
     let universe = Universe::without_faults(Topology::flat());
     let cfg2 = cfg.clone();
-    let handles =
-        universe.spawn_batch(workers, move |proc| run_forward_worker(&proc, &cfg2, false));
+    let handles = universe
+        .spawn_batch(workers, move |proc| run_forward_worker(&proc, &cfg2, false))
+        .unwrap();
 
     for (i, h) in handles.into_iter().enumerate() {
         match h.join().exit {

@@ -116,6 +116,9 @@ fn cascade_config(engine: Engine, point: &'static str, p: usize) -> ScenarioConf
         suspicion_timeout: None,
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none().kill_at_point(RankId(second), point, occurrence),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     }
 }
 
@@ -210,6 +213,9 @@ fn below_floor_config(engine: Engine, second_point: &'static str) -> ScenarioCon
         suspicion_timeout: None,
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none().kill_at_point(RankId(1), second_point, 1),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     }
 }
 

@@ -102,6 +102,9 @@ fn chaos_config(engine: Engine, case: u64) -> ScenarioConfig {
         suspicion_timeout: None,
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     }
 }
 
@@ -244,6 +247,9 @@ fn perturbed_config(engine: Engine, plan: PerturbPlan) -> ScenarioConfig {
         suspicion_timeout: None,
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     }
 }
 
@@ -455,6 +461,9 @@ fn total_link_loss_becomes_suspicion_recovery() {
         suspicion_timeout: Some(Duration::from_millis(500)),
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     };
     let res = run_with_watchdog(cfg, "suspicion/total-loss");
     let died = res
@@ -509,6 +518,9 @@ fn cascade_base(engine: Engine, kind: ScenarioKind, workers: usize) -> ScenarioC
         suspicion_timeout: None,
         backend: transport::BackendKind::InProc,
         extra_faults: FaultPlan::none(),
+        spares: 0,
+        policy_mode: elastic::PolicyMode::default(),
+        ckpt_every: 0,
     }
 }
 

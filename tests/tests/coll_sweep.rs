@@ -178,41 +178,43 @@ impl Coll {
 fn run_case(p: usize, victim: usize, coll: Coll, fault_index: u64, case: u64) {
     let plan = FaultPlan::none().kill_at_point(RankId(victim), coll.point(), fault_index);
     let u = Universe::new(Topology::flat(), plan);
-    let handles = u.spawn_batch(p, move |proc: Proc| {
-        let orig = proc.rank().0;
-        let mut cur = proc.init_comm();
-        loop {
-            // Attempt the collective from (re)generated inputs.
-            let attempt = coll.execute(&cur, orig, case);
-            let ok = match &attempt {
-                Ok(_) => true,
-                Err(UlfmError::SelfDied) => return None,
-                Err(_) => {
-                    // Wake peers blocked on the dead rank's silence.
-                    cur.revoke();
-                    false
+    let handles = u
+        .spawn_batch(p, move |proc: Proc| {
+            let orig = proc.rank().0;
+            let mut cur = proc.init_comm();
+            loop {
+                // Attempt the collective from (re)generated inputs.
+                let attempt = coll.execute(&cur, orig, case);
+                let ok = match &attempt {
+                    Ok(_) => true,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(_) => {
+                        // Wake peers blocked on the dead rank's silence.
+                        cur.revoke();
+                        false
+                    }
+                };
+                // Uniform agreement on group-wide success (AND over flags):
+                // a raced-ahead rank may hold a completed result while a peer
+                // failed, and must discard it and join the retry.
+                let agreed = match cur.agree(ok as u64, 0) {
+                    Ok(r) => r,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => panic!("agree must tolerate peer death: {e}"),
+                };
+                if agreed.flags == 1 {
+                    let replica = attempt.expect("agreement said every rank succeeded");
+                    return Some((cur.size(), cur.rank(), replica));
                 }
-            };
-            // Uniform agreement on group-wide success (AND over flags):
-            // a raced-ahead rank may hold a completed result while a peer
-            // failed, and must discard it and join the retry.
-            let agreed = match cur.agree(ok as u64, 0) {
-                Ok(r) => r,
-                Err(UlfmError::SelfDied) => return None,
-                Err(e) => panic!("agree must tolerate peer death: {e}"),
-            };
-            if agreed.flags == 1 {
-                let replica = attempt.expect("agreement said every rank succeeded");
-                return Some((cur.size(), cur.rank(), replica));
+                cur.revoke();
+                cur = match cur.shrink() {
+                    Ok(c) => c,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => panic!("survivor shrink failed: {e}"),
+                };
             }
-            cur.revoke();
-            cur = match cur.shrink() {
-                Ok(c) => c,
-                Err(UlfmError::SelfDied) => return None,
-                Err(e) => panic!("survivor shrink failed: {e}"),
-            };
-        }
-    });
+        })
+        .unwrap();
 
     type Outcome = Option<(usize, usize, Vec<u8>)>;
     let results: Vec<Outcome> = handles.into_iter().map(|h| h.join()).collect();

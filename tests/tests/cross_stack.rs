@@ -27,30 +27,32 @@ fn reference_run() -> Vec<f32> {
 
 fn distributed_run(world: usize) -> Vec<Vec<f32>> {
     let u = Universe::without_faults(Topology::flat());
-    let handles = u.spawn_batch(world, move |p: Proc| {
-        let comm = p.init_comm();
-        let mut model = Model::mlp(FEATURES, &[12], CLASSES, 11);
-        let mut opt = Sgd::new(0.1, 0.9);
-        let ds = SyntheticDataset::new(FEATURES, CLASSES, 5);
-        for step in 0..STEPS {
-            let shard = ds.shard(step, GLOBAL_BATCH, comm.rank(), comm.size());
-            let weight = shard.labels.len() as f32 / GLOBAL_BATCH as f32;
-            model.zero_grads();
-            model.compute_gradients(&shard);
-            let mut grads: Vec<Vec<f32>> = model
-                .grads()
-                .iter()
-                .map(|g| g.data().iter().map(|v| v * weight).collect())
-                .collect();
-            for g in grads.iter_mut() {
-                comm.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring)
-                    .unwrap();
+    let handles = u
+        .spawn_batch(world, move |p: Proc| {
+            let comm = p.init_comm();
+            let mut model = Model::mlp(FEATURES, &[12], CLASSES, 11);
+            let mut opt = Sgd::new(0.1, 0.9);
+            let ds = SyntheticDataset::new(FEATURES, CLASSES, 5);
+            for step in 0..STEPS {
+                let shard = ds.shard(step, GLOBAL_BATCH, comm.rank(), comm.size());
+                let weight = shard.labels.len() as f32 / GLOBAL_BATCH as f32;
+                model.zero_grads();
+                model.compute_gradients(&shard);
+                let mut grads: Vec<Vec<f32>> = model
+                    .grads()
+                    .iter()
+                    .map(|g| g.data().iter().map(|v| v * weight).collect())
+                    .collect();
+                for g in grads.iter_mut() {
+                    comm.allreduce(g, ReduceOp::Sum, AllreduceAlgo::Ring)
+                        .unwrap();
+                }
+                model.set_grads(&grads);
+                opt.step(&mut model.params_mut());
             }
-            model.set_grads(&grads);
-            opt.step(&mut model.params_mut());
-        }
-        model.state_flat()
-    });
+            model.state_flat()
+        })
+        .unwrap();
     handles.into_iter().map(|h| h.join()).collect()
 }
 
@@ -142,65 +144,67 @@ fn manual_forward_recovery_over_raw_stack() {
     let world = 4;
     let plan = FaultPlan::none().kill_at_point(transport::RankId(2), "allreduce.step", 4);
     let u = Universe::new(Topology::flat(), plan);
-    let handles = u.spawn_batch(world, move |p: Proc| {
-        let mut comm = p.init_comm();
-        let mut model = Model::mlp(FEATURES, &[12], CLASSES, 11);
-        let mut opt = Sgd::new(0.1, 0.9);
-        let ds = SyntheticDataset::new(FEATURES, CLASSES, 5);
-        let mut step = 0usize;
-        while step < STEPS {
-            let shard = ds.shard(step, GLOBAL_BATCH, comm.rank(), comm.size());
-            let weight = shard.labels.len() as f32 / GLOBAL_BATCH as f32;
-            model.zero_grads();
-            model.compute_gradients(&shard);
-            let grads_saved: Vec<Vec<f32>> = model
-                .grads()
-                .iter()
-                .map(|g| g.data().iter().map(|v| v * weight).collect())
-                .collect();
-            let mut grads = grads_saved.clone();
-            let mut i = 0usize;
-            let ok = loop {
-                if i == grads.len() {
-                    match comm.barrier() {
-                        Ok(()) => break true,
-                        Err(ulfm::UlfmError::SelfDied) => return None,
-                        Err(_) => {}
-                    }
-                } else {
-                    match comm.allreduce(&mut grads[i], ReduceOp::Sum, AllreduceAlgo::Ring) {
-                        Ok(()) => {
-                            i += 1;
-                            continue;
+    let handles = u
+        .spawn_batch(world, move |p: Proc| {
+            let mut comm = p.init_comm();
+            let mut model = Model::mlp(FEATURES, &[12], CLASSES, 11);
+            let mut opt = Sgd::new(0.1, 0.9);
+            let ds = SyntheticDataset::new(FEATURES, CLASSES, 5);
+            let mut step = 0usize;
+            while step < STEPS {
+                let shard = ds.shard(step, GLOBAL_BATCH, comm.rank(), comm.size());
+                let weight = shard.labels.len() as f32 / GLOBAL_BATCH as f32;
+                model.zero_grads();
+                model.compute_gradients(&shard);
+                let grads_saved: Vec<Vec<f32>> = model
+                    .grads()
+                    .iter()
+                    .map(|g| g.data().iter().map(|v| v * weight).collect())
+                    .collect();
+                let mut grads = grads_saved.clone();
+                let mut i = 0usize;
+                let ok = loop {
+                    if i == grads.len() {
+                        match comm.barrier() {
+                            Ok(()) => break true,
+                            Err(ulfm::UlfmError::SelfDied) => return None,
+                            Err(_) => {}
                         }
-                        Err(ulfm::UlfmError::SelfDied) => return None,
-                        Err(_) => {}
+                    } else {
+                        match comm.allreduce(&mut grads[i], ReduceOp::Sum, AllreduceAlgo::Ring) {
+                            Ok(()) => {
+                                i += 1;
+                                continue;
+                            }
+                            Err(ulfm::UlfmError::SelfDied) => return None,
+                            Err(_) => {}
+                        }
                     }
-                }
-                // Recovery: revoke, agree on the earliest failed op, shrink,
-                // restore retained inputs and redo.
-                comm.revoke();
-                let agreed = match comm.agree(u64::MAX, i as u64) {
-                    Ok(a) => a,
-                    Err(_) => return None,
+                    // Recovery: revoke, agree on the earliest failed op, shrink,
+                    // restore retained inputs and redo.
+                    comm.revoke();
+                    let agreed = match comm.agree(u64::MAX, i as u64) {
+                        Ok(a) => a,
+                        Err(_) => return None,
+                    };
+                    comm = match comm.shrink() {
+                        Ok(c) => c,
+                        Err(_) => return None,
+                    };
+                    i = agreed.min as usize;
+                    for (k, s) in grads_saved.iter().enumerate().skip(i) {
+                        grads[k].copy_from_slice(s);
+                    }
                 };
-                comm = match comm.shrink() {
-                    Ok(c) => c,
-                    Err(_) => return None,
-                };
-                i = agreed.min as usize;
-                for (k, s) in grads_saved.iter().enumerate().skip(i) {
-                    grads[k].copy_from_slice(s);
-                }
-            };
-            assert!(ok);
-            model.set_grads(&grads);
-            opt.step(&mut model.params_mut());
-            step += 1;
-        }
-        p.retire();
-        Some((comm.size(), model.state_flat()))
-    });
+                assert!(ok);
+                model.set_grads(&grads);
+                opt.step(&mut model.params_mut());
+                step += 1;
+            }
+            p.retire();
+            Some((comm.size(), model.state_flat()))
+        })
+        .unwrap();
     let results: Vec<Option<(usize, Vec<f32>)>> = handles.into_iter().map(|h| h.join()).collect();
     assert!(results[2].is_none(), "victim must die");
     let survivors: Vec<&(usize, Vec<f32>)> = results.iter().flatten().collect();
