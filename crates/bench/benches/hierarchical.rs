@@ -43,8 +43,13 @@ fn bench_hierarchical(c: &mut Criterion) {
                             let h = Hierarchy::build(&comm).unwrap();
                             let mut buf = vec![1.0f32; elems];
                             for _ in 0..3 {
-                                h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::Ring)
-                                    .unwrap();
+                                comm.hier_allreduce(
+                                    &h,
+                                    &mut buf,
+                                    ReduceOp::Sum,
+                                    AllreduceAlgo::Ring,
+                                )
+                                .unwrap();
                             }
                             buf[0]
                         })

@@ -88,7 +88,7 @@ impl AllreduceAlgo {
 /// `n < p` (a 1-element buffer on a 5-rank ring has four empty chunks that
 /// travel as zero-byte messages). Widened arithmetic so `i·n` cannot wrap
 /// for huge buffers.
-fn chunk_range(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
+pub(crate) fn chunk_range(n: usize, p: usize, i: usize) -> std::ops::Range<usize> {
     debug_assert!(i <= p, "chunk index {i} out of range for {p} chunks");
     let lo = (i as u128 * n as u128 / p as u128) as usize;
     let hi = ((i as u128 + 1) * n as u128 / p as u128) as usize;

@@ -37,6 +37,7 @@ mod elem;
 mod error;
 mod framing;
 mod fusion;
+mod hier;
 mod reduce;
 
 pub use allgather::{allgather, bruck_allgather, ring_allgather, AllgatherAlgo};
@@ -51,6 +52,7 @@ pub use error::CollError;
 pub use fusion::{
     fused_allreduce, observe_bucket, plan_buckets, FusionBuffer, DEFAULT_FUSION_BYTES,
 };
+pub use hier::{hier_allreduce, hier_fused_allreduce, two_tier_chunk_range, NodeMap};
 pub use reduce::{binomial_reduce, gather, scatter};
 
 /// Maximum number of tags any single collective in this crate may consume.

@@ -22,9 +22,12 @@
 //! simulated initialization delay (library loading on real systems), and
 //! are adopted at the next reconfiguration or epoch boundary.
 
-use crate::config::{state_fingerprint, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
+use crate::config::{
+    state_fingerprint, HierMode, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats,
+};
+use crate::cost_model::HierModel;
 use crate::profiler::{RecoveryBreakdown, RecoveryKind};
-use collectives::ReduceOp;
+use collectives::{AllreduceAlgo, NodeMap, ReduceOp};
 use dnn::{Checkpoint, InMemoryCheckpointStore};
 use gloo::{rendezvous, Context, GlooError, KvStore, RendezvousConfig};
 use parking_lot::{Condvar, Mutex};
@@ -278,6 +281,40 @@ impl ElasticDriver {
     }
 }
 
+/// Gradient-allreduce router for the Gloo baseline: flat (the seed
+/// behaviour) or hierarchical, decided per bucket by [`TrainSpec::hier`]
+/// against the two-tier Summit model. Mirrors the forward engine's
+/// router; the node map is the per-rendezvous-epoch one, so it is always
+/// current for `ctx`. With a size-adaptive spec the cross-node exchange
+/// resolves against the leader-count crossover.
+fn gloo_grad_allreduce(
+    ctx: &Context,
+    map: &Option<NodeMap>,
+    spec: &TrainSpec,
+    buf: &mut [f32],
+) -> Result<(), GlooError> {
+    if let Some(map) = map {
+        let model = HierModel::summit();
+        let bytes = std::mem::size_of_val(buf);
+        if spec.hier.use_hier(
+            &model,
+            bytes,
+            ctx.size(),
+            map.n_nodes(),
+            map.max_node_size(),
+        ) {
+            telemetry::counter("elastic.hier.routed_buckets").incr();
+            let algo = if matches!(spec.algo, AllreduceAlgo::Auto { .. }) {
+                model.cross_auto_algo(map.n_nodes())
+            } else {
+                spec.algo
+            };
+            return ctx.hier_allreduce(map, buf, ReduceOp::Sum, algo);
+        }
+    }
+    ctx.allreduce(buf, ReduceOp::Sum, spec.algo)
+}
+
 /// Run one worker under backward recovery. Returns its exit plus the
 /// per-episode phase breakdowns.
 pub fn run_backward_worker(
@@ -400,6 +437,22 @@ pub fn run_backward_worker(
             }
         };
 
+        // Per-epoch node map for hierarchical routing: rebuilt at every
+        // rendezvous epoch (i.e. after every membership change, including
+        // adoption of new workers), from the agreed member list and the
+        // static topology — local and identical on every member.
+        let hier_map: Option<NodeMap> = if spec.hier != HierMode::Off {
+            let colors: Vec<u64> = rdv
+                .members
+                .iter()
+                .map(|&g| driver.topology.node_of(g).0 as u64)
+                .collect();
+            telemetry::counter("elastic.hier.rebuilds").incr();
+            Some(NodeMap::from_colors(&colors))
+        } else {
+            None
+        };
+
         // --- load checkpoint (rollback) ------------------------------------
         let rolled_back = episode.time("load_checkpoint", || {
             if let Some(ck) = driver.checkpoints().load() {
@@ -471,7 +524,7 @@ pub fn run_backward_worker(
                         fs.bucket_tensors(b),
                     );
                     if failed.is_none() {
-                        if let Err(e) = ctx.allreduce(&mut bufs[b], ReduceOp::Sum, spec.algo) {
+                        if let Err(e) = gloo_grad_allreduce(&ctx, &hier_map, spec, &mut bufs[b]) {
                             failed = Some(e);
                         }
                     }
@@ -487,7 +540,7 @@ pub fn run_backward_worker(
                     .map(|g| g.data().iter().map(|v| v * shard_weight).collect())
                     .collect();
                 for g in grads.iter_mut() {
-                    match ctx.allreduce(g, ReduceOp::Sum, spec.algo) {
+                    match gloo_grad_allreduce(&ctx, &hier_map, spec, g) {
                         Ok(()) => {}
                         Err(e) => {
                             failed = Some(e);

@@ -53,6 +53,51 @@ pub struct TrainSpec {
     /// (Elastic Horovod's `--min-np`). The default of 1 never aborts —
     /// training continues down to a single worker, the seed behaviour.
     pub min_workers: usize,
+    /// Hierarchical (topology-aware) routing for gradient allreduces. Both
+    /// engines keep a per-epoch node map — rebuilt after every
+    /// shrink/join/promotion — and consult this mode per bucket.
+    pub hier: HierMode,
+}
+
+/// How gradient buckets choose between the flat and the hierarchical
+/// (intra-node reduce → leader exchange → intra-node bcast) allreduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HierMode {
+    /// Always flat collectives (the seed behaviour).
+    Off,
+    /// Per-bucket selection by the two-tier α–β model
+    /// ([`crate::cost_model::HierModel`]): hierarchical exactly when the
+    /// model predicts a win for this bucket size on this topology. The
+    /// decision is a pure function of (bucket bytes, world, node shape),
+    /// so every SPMD rank picks the same route without communicating.
+    Auto,
+    /// Always hierarchical whenever the topology has a multi-rank node
+    /// (benchmarks and fault-injection tests that must exercise the
+    /// hierarchical path regardless of scale).
+    Force,
+}
+
+impl HierMode {
+    /// Route one bucket: should it take the hierarchical path? `nodes` and
+    /// `local` describe the current communicator epoch's node map
+    /// (`n_nodes`, `max_node_size`).
+    pub fn use_hier(
+        self,
+        model: &crate::cost_model::HierModel,
+        n_bytes: usize,
+        p: usize,
+        nodes: usize,
+        local: usize,
+    ) -> bool {
+        match self {
+            HierMode::Off => false,
+            // A hierarchy over one-rank nodes (or a single node spanning
+            // the world is fine — it degenerates to a local reduce+bcast)
+            // buys nothing when every node is a singleton.
+            HierMode::Force => local > 1 && nodes < p,
+            HierMode::Auto => model.use_hier(n_bytes as f64, p, nodes, local),
+        }
+    }
 }
 
 impl Default for TrainSpec {
@@ -70,6 +115,7 @@ impl Default for TrainSpec {
             algo: AllreduceAlgo::Ring,
             fusion: None,
             min_workers: 1,
+            hier: HierMode::Off,
         }
     }
 }

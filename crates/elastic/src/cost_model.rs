@@ -142,6 +142,94 @@ impl CommModel {
     pub fn auto_algo(&self, p: usize) -> collectives::AllreduceAlgo {
         collectives::AllreduceAlgo::auto_with(self.crossover_bytes(p))
     }
+
+    /// Best (minimum) predicted flat-allreduce time over the algorithms
+    /// the size-adaptive selection can pick.
+    pub fn best_time(&self, n_bytes: f64, p: usize) -> f64 {
+        self.ring_time(n_bytes, p)
+            .min(self.recursive_doubling_time(n_bytes, p))
+    }
+}
+
+/// Two-tier α–β model: separate constants for intra-node (NVLink-class)
+/// and cross-node (injection-network) links, so the allreduce route —
+/// flat over all `p` ranks vs. hierarchical (intra-node reduce → exchange
+/// among node leaders → intra-node bcast) — can be chosen per bucket size
+/// *and* per topology.
+///
+/// Predicted hierarchical time for `p` ranks on nodes of (at most)
+/// `local` ranks, with `nodes` leaders:
+///
+/// ```text
+/// T_hier = 2·⌈log₂ local⌉·(α_intra + n·β_intra)   # binomial reduce + bcast
+///        + T_flat_best(n, nodes; α_cross, β_cross) # leader exchange
+/// ```
+///
+/// versus `T_flat_best(n, p; α_cross, β_cross)` for the flat route. The
+/// regimes this produces on Summit-like constants: at the paper's 192
+/// workers the flat ring's latency term is still small, so flat wins at
+/// every size; by O(10k) workers `2(p−1)·α_cross` dominates and the
+/// hierarchy — whose cross latency scales with nodes, not ranks — wins at
+/// large buckets, while tiny buckets still prefer flat recursive
+/// doubling. One-rank-per-node topologies degenerate to flat exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HierModel {
+    /// Intra-node (NVLink-class) link model.
+    pub intra: CommModel,
+    /// Cross-node (injection-network) link model.
+    pub cross: CommModel,
+}
+
+impl HierModel {
+    /// Summit-like constants: NVLink 2.0 intra-node (≈1 µs launch,
+    /// 150 GB/s per direction) over the cross-node model of
+    /// [`CommModel::summit`].
+    pub fn summit() -> Self {
+        Self {
+            intra: CommModel {
+                alpha: 1.0e-6,
+                beta: 1.0 / 150e9,
+            },
+            cross: CommModel::summit(),
+        }
+    }
+
+    /// Predicted flat-route time (best flat algorithm over cross-node
+    /// constants — every hop may cross the node boundary).
+    pub fn flat_time(&self, n_bytes: f64, p: usize) -> f64 {
+        self.cross.best_time(n_bytes, p)
+    }
+
+    /// Predicted hierarchical-route time for `p` ranks spread over
+    /// `nodes` nodes of at most `local` ranks each.
+    pub fn hier_time(&self, n_bytes: f64, nodes: usize, local: usize) -> f64 {
+        let rounds = if local <= 1 {
+            0.0
+        } else {
+            (local as f64).log2().ceil()
+        };
+        let intra = 2.0 * rounds * (self.intra.alpha + n_bytes * self.intra.beta);
+        intra + self.cross.best_time(n_bytes, nodes)
+    }
+
+    /// Should a bucket of `n_bytes` route through the hierarchy on this
+    /// topology? Deterministic in its arguments, so every SPMD rank makes
+    /// the same choice without communicating. Degenerate topologies
+    /// (one node, or one rank per node) always answer `false`.
+    pub fn use_hier(&self, n_bytes: f64, p: usize, nodes: usize, local: usize) -> bool {
+        if local <= 1 || nodes <= 1 || nodes >= p {
+            return false;
+        }
+        self.hier_time(n_bytes, nodes, local) < self.flat_time(n_bytes, p)
+    }
+
+    /// The size-adaptive selection for the cross-node exchange among
+    /// `nodes` leaders — the second tier of the crossover: the Auto
+    /// threshold is computed from the *leader* count and the cross-node
+    /// constants, not the flat world size.
+    pub fn cross_auto_algo(&self, nodes: usize) -> collectives::AllreduceAlgo {
+        self.cross.auto_algo(nodes)
+    }
 }
 
 /// Live inputs the recovery-policy engine scores the arms with, gathered
@@ -397,5 +485,74 @@ mod tests {
             collectives::AllreduceAlgo::Rabenseifner
         );
         assert_eq!(algo.resolve(x * 2, 5), collectives::AllreduceAlgo::Ring);
+    }
+
+    /// Summit nodes hold 6 ranks; `nodes_for` rounding.
+    fn summit_shape(p: usize) -> (usize, usize) {
+        (p.div_ceil(6), 6.min(p))
+    }
+
+    #[test]
+    fn hier_selection_flips_with_topology() {
+        let m = HierModel::summit();
+        let big = 256.0 * (1 << 20) as f64;
+        // One rank per node: the hierarchy buys nothing, at any size.
+        for p in [2usize, 192, 12288] {
+            assert!(!m.use_hier(big, p, p, 1), "p={p} flat topology");
+            assert!(!m.use_hier(64.0, p, p, 1));
+        }
+        // Same bucket, same node shape, different scale: at the paper's
+        // 192 workers the flat ring's latency term is still negligible and
+        // the intra-node rounds are pure overhead — flat wins. At O(10k)
+        // workers the 2(p−1)α cross latency dominates and hierarchy wins.
+        let (n192, l192) = summit_shape(192);
+        let (n12k, l12k) = summit_shape(12288);
+        assert!(!m.use_hier(big, 192, n192, l192), "flat still wins at 192");
+        assert!(m.use_hier(big, 12288, n12k, l12k), "hier wins at O(10k)");
+    }
+
+    #[test]
+    fn hier_selection_flips_with_bucket_size() {
+        let m = HierModel::summit();
+        let (nodes, local) = summit_shape(12288);
+        // Tiny buckets: flat recursive doubling (⌈log₂ p⌉ rounds) beats
+        // paying the intra-node reduce+bcast on top of the leader exchange.
+        assert!(!m.use_hier(1024.0, 12288, nodes, local));
+        // Large buckets: the saved cross-node latency dwarfs the NVLink
+        // rounds.
+        assert!(m.use_hier(256.0 * (1 << 20) as f64, 12288, nodes, local));
+    }
+
+    #[test]
+    fn cross_auto_algo_uses_leader_count() {
+        let m = HierModel::summit();
+        // The second-tier Auto threshold comes from the *leader* group:
+        // with 2 leaders recursive doubling is never beaten, regardless of
+        // what the flat world size would have chosen.
+        let algo = m.cross_auto_algo(2);
+        assert_eq!(
+            algo.resolve(1 << 30, 2),
+            collectives::AllreduceAlgo::RecursiveDoubling
+        );
+        // With many leaders the calibrated crossover separates regimes.
+        let x = m.cross.crossover_bytes(32) as usize;
+        let algo = m.cross_auto_algo(32);
+        assert_eq!(
+            algo.resolve(x / 2, 32),
+            collectives::AllreduceAlgo::RecursiveDoubling
+        );
+        assert_eq!(
+            algo.resolve(x * 2, 32),
+            collectives::AllreduceAlgo::Rabenseifner
+        );
+    }
+
+    #[test]
+    fn hier_time_degenerates_cleanly() {
+        let m = HierModel::summit();
+        // local = 1 → no intra rounds: exactly the flat time over `nodes`.
+        assert_eq!(m.hier_time(1e6, 8, 1), m.flat_time(1e6, 8));
+        // One node → pure intra cost, no cross term.
+        assert!(m.hier_time(1e6, 1, 6) < m.flat_time(1e6, 6));
     }
 }

@@ -56,15 +56,18 @@
 //! has no preconditions and therefore always applies.
 
 use crate::config::{
-    policy_evictions, state_fingerprint, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats,
+    policy_evictions, state_fingerprint, HierMode, RecoveryPolicy, TrainSpec, WorkerExit,
+    WorkerStats,
 };
-use crate::cost_model::PolicyInputs;
+use crate::cost_model::{HierModel, PolicyInputs};
 use crate::policy::{PolicyEngine, PolicyMode};
 use crate::profiler::{RecoveryBreakdown, RecoveryKind};
-use collectives::ReduceOp;
+use collectives::{AllreduceAlgo, ReduceOp};
 use dnn::Checkpoint;
 use transport::RankId;
-use ulfm::{Communicator, JoinOutcome, PolicyCommit, Proc, RecoveryArm, ShrinkOutcome, UlfmError};
+use ulfm::{
+    Communicator, Hierarchy, JoinOutcome, PolicyCommit, Proc, RecoveryArm, ShrinkOutcome, UlfmError,
+};
 
 /// Configuration of the forward-recovery engine.
 #[derive(Clone, Debug)]
@@ -195,6 +198,59 @@ enum PolicyAction {
     Shrink,
     /// State re-synchronized; restart the step loop here.
     Restart(u64),
+}
+
+/// Gradient-allreduce router: flat (the seed behaviour) or hierarchical,
+/// decided per bucket by [`TrainSpec::hier`]. The cached [`Hierarchy`] is
+/// rebuilt lazily whenever the communicator epoch changed — a shrink,
+/// join, or promotion replaced `comm` — which keeps it correct at *every*
+/// comm-reassignment site in the engine (op-loop shrink, nested barrier
+/// redo, epoch joins, policy arms, checkpoint-sync recovery) without
+/// threading explicit rebuild calls through them. The rebuild itself is
+/// local and deterministic in the agreed membership, so replicas stay
+/// aligned.
+///
+/// When the hierarchical route is taken with a size-adaptive
+/// ([`AllreduceAlgo::Auto`]) spec, the cross-node exchange resolves
+/// against the two-tier model's *leader-count* crossover
+/// ([`HierModel::cross_auto_algo`]), not the flat world's.
+fn grad_allreduce(
+    comm: &Communicator,
+    hier: &mut Option<Hierarchy>,
+    spec: &TrainSpec,
+    model: &HierModel,
+    buf: &mut [f32],
+) -> Result<(), UlfmError> {
+    if spec.hier != HierMode::Off {
+        if hier.as_ref().is_none_or(|h| !h.is_current_for(comm)) {
+            // A failed build (no node color for a member) falls back to
+            // flat collectives instead of aborting the step.
+            *hier = Hierarchy::build(comm).ok();
+            if hier.is_some() {
+                telemetry::counter("elastic.hier.rebuilds").incr();
+            }
+        }
+        if let Some(h) = hier.as_ref() {
+            let map = h.map();
+            let bytes = std::mem::size_of_val(buf);
+            if spec.hier.use_hier(
+                model,
+                bytes,
+                comm.size(),
+                map.n_nodes(),
+                map.max_node_size(),
+            ) {
+                telemetry::counter("elastic.hier.routed_buckets").incr();
+                let algo = if matches!(spec.algo, AllreduceAlgo::Auto { .. }) {
+                    model.cross_auto_algo(map.n_nodes())
+                } else {
+                    spec.algo
+                };
+                return comm.hier_allreduce(h, buf, ReduceOp::Sum, algo);
+            }
+        }
+    }
+    comm.allreduce(buf, ReduceOp::Sum, spec.algo)
 }
 
 /// Run one worker under forward recovery. `is_joiner` workers attach to a
@@ -357,6 +413,11 @@ fn run_inner(
     let fusion = spec
         .fusion
         .map(|cap| crate::fusion::FusionSetup::new(&model, cap));
+    // Per-epoch hierarchical routing state: the two-tier cost model is
+    // static; the node map is rebuilt inside `grad_allreduce` whenever the
+    // communicator epoch changes.
+    let hier_model = HierModel::summit();
+    let mut hier_cache: Option<Hierarchy> = None;
     let n_ops: i64 = fusion
         .as_ref()
         .map_or(model.num_tensors() as i64, |f| f.n_buckets() as i64);
@@ -431,7 +492,13 @@ fn run_inner(
                     );
                     saved[b] = bufs[b].clone();
                     if pending_err.is_none() {
-                        match comm.allreduce(&mut bufs[b], ReduceOp::Sum, spec.algo) {
+                        match grad_allreduce(
+                            &comm,
+                            &mut hier_cache,
+                            spec,
+                            &hier_model,
+                            &mut bufs[b],
+                        ) {
                             Ok(()) => done[b] = true,
                             // Stop launching; the op loop below drives the
                             // recovery from this recorded error.
@@ -469,7 +536,7 @@ fn run_inner(
                 } else if local_op == n_ops {
                     comm.barrier()
                 } else {
-                    comm.allreduce(&mut op_bufs[lo], ReduceOp::Sum, spec.algo)
+                    grad_allreduce(&comm, &mut hier_cache, spec, &hier_model, &mut op_bufs[lo])
                 };
                 match result {
                     Ok(()) => local_op += 1,

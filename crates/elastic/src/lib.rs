@@ -46,8 +46,8 @@ pub mod profiler;
 pub mod scenario;
 
 pub use backward::{run_backward_worker, BackwardConfig, ElasticDriver, Membership};
-pub use config::{RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
-pub use cost_model::{CommModel, Eq1Params, PolicyInputs, RecoveryCostModel};
+pub use config::{HierMode, RecoveryPolicy, TrainSpec, WorkerExit, WorkerStats};
+pub use cost_model::{CommModel, Eq1Params, HierModel, PolicyInputs, RecoveryCostModel};
 pub use forward::{run_forward_role, run_forward_worker, ForwardConfig, LrScaling, Role};
 pub use fusion::FusionSetup;
 pub use policy::{PolicyEngine, PolicyMode};

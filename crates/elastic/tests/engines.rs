@@ -3,7 +3,10 @@
 
 use collectives::AllreduceAlgo;
 use elastic::scenario::{Engine, ScenarioKind};
-use elastic::{run_scenario, RecoveryKind, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit};
+use elastic::{
+    run_scenario, HierMode, RecoveryKind, RecoveryPolicy, ScenarioConfig, TrainSpec, WorkerExit,
+};
+use transport::{FaultPlan, RankId};
 
 fn spec() -> TrainSpec {
     TrainSpec {
@@ -396,4 +399,127 @@ fn forward_recovery_uses_retained_contributions() {
     assert_eq!(res.completed(), cfg.workers - 1);
     let fp = res.assert_consistent_state();
     assert_ne!(fp, 0);
+}
+
+// ----------------------------------------------------------- hierarchical
+
+/// Force the two-level collective regardless of the cost model — the quick
+/// scenario's 6 workers over 2 nodes are far below the crossover, so Auto
+/// would (correctly) stay flat and never exercise the hierarchy.
+fn hier_spec() -> TrainSpec {
+    TrainSpec {
+        hier: HierMode::Force,
+        ..spec()
+    }
+}
+
+/// A node *leader* dying inside the cross-node exchange must feed the same
+/// revoke → agree → shrink path as a flat failure, and survivors must
+/// rebuild the hierarchy (promoting the node's next rank to leader) before
+/// retrying.
+#[test]
+fn forward_hier_downscale_survives_leader_death() {
+    let routed_before = telemetry::counter("elastic.hier.routed_buckets").get();
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+    cfg.spec = hier_spec();
+    cfg.victim = 3; // leader of node 1 (ranks 3,4,5)
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+    for e in res.exits.iter().filter(|e| e.completed()) {
+        let s = e.stats().unwrap();
+        assert_eq!(s.final_world, cfg.workers - 1);
+        assert!(s.recoveries >= 1, "survivor must have recovered");
+    }
+    assert!(
+        telemetry::counter("elastic.hier.routed_buckets").get() > routed_before,
+        "forced hierarchy must actually route gradient buckets"
+    );
+}
+
+/// Killing a *non-leader* exercises the other tentpole fault case: the
+/// victim dies inside the intra-node reduction, its leader notices in the
+/// local phase, and the hierarchy rebuilt after shrink shows a smaller node.
+#[test]
+fn forward_hier_downscale_survives_non_leader_death() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+    cfg.spec = hier_spec();
+    // Rank 4 never enters the cross ring, so the scenario's scripted
+    // "allreduce.step" kill can never fire for it — inject the death at
+    // the intra-node reduction instead.
+    cfg.victim = 4;
+    cfg.extra_faults = FaultPlan::none().kill_at_point(RankId(4), "reduce.step", 7);
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+    for e in res.exits.iter().filter(|e| e.completed()) {
+        assert_eq!(e.stats().unwrap().final_world, cfg.workers - 1);
+    }
+}
+
+/// Hierarchy must be rebuilt across NetJoin epochs too: a leader dies, a
+/// replacement joins, and the final world (and its node map) includes the
+/// joiner.
+#[test]
+fn forward_hier_replacement_restores_world_size() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Replace);
+    cfg.spec = hier_spec();
+    cfg.victim = 3;
+    cfg.joiners = 1;
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers, "{:?}", res.exits);
+    res.assert_consistent_state();
+    for e in res.exits.iter().filter(|e| e.completed()) {
+        assert_eq!(e.stats().unwrap().final_world, cfg.workers);
+    }
+}
+
+/// Hierarchical routing composes with fusion: each fused bucket is
+/// independently routed through the two-level collective, and recovery
+/// still works when the leader dies mid-bucket-sequence.
+#[test]
+fn forward_hier_fused_downscale() {
+    let mut cfg = quick(Engine::UlfmForward, ScenarioKind::Downscale);
+    cfg.spec = TrainSpec {
+        hier: HierMode::Force,
+        ..fused_spec()
+    };
+    cfg.victim = 3;
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), cfg.workers - 1, "{:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+/// The backward engine rebuilds its node map at every rendezvous; node-level
+/// eviction of a leader's node must converge to the 3 survivors on node 0.
+#[test]
+fn backward_hier_downscale_node_level() {
+    let mut cfg = quick(Engine::GlooBackward, ScenarioKind::Downscale);
+    cfg.spec = hier_spec();
+    cfg.policy = RecoveryPolicy::DropNode;
+    cfg.victim = 3; // node 1's leader takes the whole node down
+    let res = run_scenario(&cfg);
+    assert_eq!(res.completed(), 3, "{:?}", res.exits);
+    res.assert_consistent_state();
+}
+
+/// Both engines route the identical two-level collective over the identical
+/// node map, so fault-free hierarchical training must stay bit-identical
+/// across engines — the same guarantee the flat path already pins.
+#[test]
+fn hier_engines_agree_bit_exactly_without_faults() {
+    let mut f_cfg = quick(Engine::UlfmForward, ScenarioKind::Upscale);
+    f_cfg.spec = hier_spec();
+    f_cfg.joiners = 0;
+    let f_fp = run_scenario(&f_cfg).assert_consistent_state();
+
+    let mut b_cfg = quick(Engine::GlooBackward, ScenarioKind::Upscale);
+    b_cfg.spec = hier_spec();
+    b_cfg.joiners = 0;
+    let b_fp = run_scenario(&b_cfg).assert_consistent_state();
+
+    assert_eq!(
+        f_fp, b_fp,
+        "fault-free hierarchical engines must agree bit-exactly"
+    );
 }

@@ -3,8 +3,8 @@
 
 use crate::error::GlooError;
 use collectives::{
-    allgather, allreduce, binomial_bcast, dissemination_barrier, AllgatherAlgo, AllreduceAlgo,
-    CollError, Elem, PeerComm, ReduceOp,
+    allgather, allreduce, binomial_bcast, dissemination_barrier, hier_allreduce, AllgatherAlgo,
+    AllreduceAlgo, CollError, Elem, NodeMap, PeerComm, ReduceOp,
 };
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -181,6 +181,27 @@ impl Context {
         Ok(())
     }
 
+    /// In-place hierarchical (two-level) allreduce: intra-node reduce onto
+    /// each node leader, flat `algo` exchange among leaders, intra-node
+    /// broadcast back. `map` must describe this context's dense ranks
+    /// (size match is asserted); the backward engine rebuilds it at every
+    /// rendezvous epoch. Runs on this flat context through subgroup index
+    /// views, so any failure poisons the whole context exactly like a flat
+    /// collective — the baseline's all-or-nothing semantics are preserved.
+    pub fn hier_allreduce<E: Elem>(
+        &self,
+        map: &NodeMap,
+        buf: &mut [E],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Result<(), GlooError> {
+        let base = self.begin_op()?;
+        hier_allreduce(&GlooAdapter { ctx: self }, map, buf, op, algo, base)
+            .map_err(|e| self.map_coll(e))?;
+        self.collectives.set(self.collectives.get() + 1);
+        Ok(())
+    }
+
     /// Broadcast from dense rank `root`.
     pub fn bcast(&self, root: usize, buf: &mut Vec<u8>) -> Result<(), GlooError> {
         let base = self.begin_op()?;
@@ -291,6 +312,26 @@ mod tests {
         let results = run_ctx(4, FaultPlan::none(), |ctx| ctx.unwrap().stats().connections);
         for c in results {
             assert_eq!(c, 3);
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_matches_flat_for_integers() {
+        // 6 ranks as 3 nodes × 2: exact values, so hier == flat bitwise.
+        let results = run_ctx(6, FaultPlan::none(), |ctx| {
+            let ctx = ctx.unwrap();
+            let colors: Vec<u64> = (0..6).map(|r| (r / 2) as u64).collect();
+            let map = NodeMap::from_colors(&colors);
+            let mut hier: Vec<f32> = (0..9).map(|i| (ctx.rank() * 7 + i) as f32).collect();
+            ctx.hier_allreduce(&map, &mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            let mut flat: Vec<f32> = (0..9).map(|i| (ctx.rank() * 7 + i) as f32).collect();
+            ctx.allreduce(&mut flat, ReduceOp::Sum, AllreduceAlgo::Ring)
+                .unwrap();
+            (hier, flat)
+        });
+        for (hier, flat) in results {
+            assert_eq!(hier, flat);
         }
     }
 

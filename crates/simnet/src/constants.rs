@@ -28,6 +28,12 @@ pub struct ClusterModel {
     /// Per-byte time β (s/B). Summit node injection bandwidth: 23 GB/s
     /// (paper §4.1).
     pub beta: f64,
+    /// Per-message latency α *inside a node* (s). NVLink hops between
+    /// Summit's V100s: ~1 µs software latency.
+    pub alpha_intra: f64,
+    /// Per-byte time β *inside a node* (s/B). NVLink 2.0 link bandwidth:
+    /// ~150 GB/s aggregate per GPU on Summit.
+    pub beta_intra: f64,
     /// Workers per node: 6 V100 GPUs on Summit (paper §4.1).
     pub ranks_per_node: usize,
     /// One KV-store round trip against Horovod's rendezvous server
@@ -78,6 +84,8 @@ impl Default for ClusterModel {
         Self {
             alpha: 1.5e-6,
             beta: 1.0 / 23.0e9,
+            alpha_intra: 1.0e-6,
+            beta_intra: 1.0 / 150.0e9,
             ranks_per_node: 6,
             kv_rtt: 1.0e-3,
             conn_setup: 2.0e-3,
@@ -119,6 +127,13 @@ mod tests {
         // 23 GB/s.
         assert!((1.0 / c.beta - 23.0e9).abs() < 1.0);
         assert_eq!(c.ranks_per_node, 6);
+    }
+
+    #[test]
+    fn intra_node_fabric_is_faster() {
+        let c = ClusterModel::summit();
+        assert!(c.alpha_intra < c.alpha);
+        assert!(c.beta_intra < c.beta);
     }
 
     #[test]

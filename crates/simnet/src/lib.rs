@@ -34,4 +34,6 @@ pub use arrivals::{simulate_scenario3, Scenario3Outcome};
 pub use breakdown::Breakdown;
 pub use constants::ClusterModel;
 pub use recovery::{backward_breakdown, forward_breakdown, EpisodeConfig, Level, SimScenario};
-pub use sweep::{fig4_rows, figure_rows, FigureRow};
+pub use sweep::{
+    fig4_rows, figure_rows, hier_rows, FigureRow, HierRow, HIER_GPU_SWEEP, HIER_SIZES,
+};

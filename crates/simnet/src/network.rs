@@ -35,6 +35,47 @@ pub fn bcast_time(n_bytes: f64, w: usize, alpha: f64, beta: f64) -> f64 {
     (w as f64).log2().ceil() * (alpha + n_bytes * beta)
 }
 
+/// Best flat allreduce time: the runtime's `AllreduceAlgo::Auto` picks
+/// whichever of ring / recursive doubling is cheaper, so the flat baseline
+/// in any comparison is the min of the two closed forms.
+pub fn flat_allreduce_best_time(n_bytes: f64, w: usize, alpha: f64, beta: f64) -> f64 {
+    ring_allreduce_time(n_bytes, w, alpha, beta)
+        .min(recursive_doubling_allreduce_time(n_bytes, w, alpha, beta))
+}
+
+/// Two-level (hierarchical) allreduce time, mirroring
+/// `collectives::hier_allreduce`: a binomial reduce to the node leader over
+/// the intra-node fabric, the best flat allreduce among the `nodes` leaders
+/// over the cross-node fabric, then a binomial broadcast back down. The
+/// intra phases each cost `⌈log₂ local⌉·(α_i + n·β_i)` with
+/// `local = ⌈w/nodes⌉` (the largest node gates the phase).
+///
+/// This is the same expression as `elastic::cost_model::HierModel` — the
+/// runtime's selection model and the simulator's sweep must agree on what
+/// "hierarchical" costs.
+pub fn hier_allreduce_time(
+    n_bytes: f64,
+    w: usize,
+    nodes: usize,
+    alpha_intra: f64,
+    beta_intra: f64,
+    alpha_cross: f64,
+    beta_cross: f64,
+) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    let nodes = nodes.clamp(1, w);
+    let local = w.div_ceil(nodes);
+    let intra_rounds = if local > 1 {
+        (local as f64).log2().ceil()
+    } else {
+        0.0
+    };
+    let intra = 2.0 * intra_rounds * (alpha_intra + n_bytes * beta_intra);
+    intra + flat_allreduce_best_time(n_bytes, nodes, alpha_cross, beta_cross)
+}
+
 /// ERA-style agreement time: two sweeps of a binary tree, i.e.
 /// `2·⌈log₂ w⌉` rounds of `round_cost`.
 pub fn era_agree_time(w: usize, round_cost: f64) -> f64 {
@@ -187,6 +228,74 @@ mod tests {
     #[test]
     fn des_single_rank_trivial() {
         assert_eq!(simulate_ring_allreduce(&[7.0], 1e6, A, B), 7.0);
+    }
+
+    const AI: f64 = 1.0e-6;
+    const BI: f64 = 1.0 / 150.0e9;
+
+    #[test]
+    fn hier_beats_flat_at_scale_with_large_messages() {
+        // 2048 nodes × 6 GPUs, 256 MB bucket: the flat ring's 2(w-1)α
+        // latency term alone is ~37 ms; the hierarchy pays two cheap NVLink
+        // phases and runs the ring over 2048 leaders instead.
+        let n = 256.0 * 1024.0 * 1024.0;
+        let w = 12_288;
+        let hier = hier_allreduce_time(n, w, w / 6, AI, BI, A, B);
+        let flat = flat_allreduce_best_time(n, w, A, B);
+        assert!(hier < flat, "hier {hier} vs flat {flat}");
+    }
+
+    #[test]
+    fn flat_wins_at_paper_scale_in_the_bandwidth_bound_regime() {
+        // At the paper's 192 GPUs the flat ring's latency term is
+        // negligible, so for large bandwidth-bound buckets the hierarchy
+        // only adds intra-node rounds on the same β-bound data. (Mid-size
+        // latency-bound buckets can still flip even at 192 — the sweep
+        // covers that — but the training-dominant large buckets do not.)
+        for &n in &[1024.0, 256.0e6] {
+            let hier = hier_allreduce_time(n, 192, 32, AI, BI, A, B);
+            let flat = flat_allreduce_best_time(n, 192, A, B);
+            assert!(flat <= hier, "n={n}: flat {flat} vs hier {hier}");
+        }
+    }
+
+    #[test]
+    fn flat_recursive_doubling_wins_tiny_messages_everywhere() {
+        let n = 1024.0;
+        for &w in &[192usize, 12_288] {
+            let hier = hier_allreduce_time(n, w, w / 6, AI, BI, A, B);
+            let flat = flat_allreduce_best_time(n, w, A, B);
+            assert!(flat <= hier, "w={w}");
+        }
+    }
+
+    #[test]
+    fn hier_degenerates_to_flat_when_nodes_are_singletons() {
+        let n = 4.0e6;
+        let w = 64;
+        assert_eq!(
+            hier_allreduce_time(n, w, w, AI, BI, A, B),
+            flat_allreduce_best_time(n, w, A, B)
+        );
+        assert_eq!(hier_allreduce_time(n, 1, 1, AI, BI, A, B), 0.0);
+    }
+
+    #[test]
+    fn simnet_and_runtime_cost_models_agree() {
+        // The elastic crate's HierModel gates the hot-path selection; the
+        // simnet closed form drives the sweep. They must be the same curve.
+        let m = elastic::HierModel::summit();
+        for &(w, nodes) in &[(192usize, 32usize), (1536, 256), (12_288, 2048)] {
+            for &n in &[1024.0, 1.0e6, 256.0e6] {
+                let local = w.div_ceil(nodes);
+                let sim = hier_allreduce_time(n, w, nodes, AI, BI, A, B);
+                let rt = m.hier_time(n, nodes, local);
+                assert!(
+                    (sim - rt).abs() <= 1e-12 + rt * 1e-9,
+                    "w={w} n={n}: simnet {sim} vs runtime {rt}"
+                );
+            }
+        }
     }
 
     #[test]

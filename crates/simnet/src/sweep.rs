@@ -2,6 +2,7 @@
 
 use crate::breakdown::Breakdown;
 use crate::constants::ClusterModel;
+use crate::network::{hier_allreduce_time, recursive_doubling_allreduce_time, ring_allreduce_time};
 use crate::recovery::{
     backward_breakdown, forward_breakdown, EpisodeConfig, Level, SimScenario, COMM_SEGMENTS,
     STATE_SEGMENTS,
@@ -115,9 +116,156 @@ pub fn fig4_rows(cluster: &ClusterModel) -> Vec<(String, Breakdown)> {
     out
 }
 
+// ------------------------------------------------------------ hierarchical
+
+/// One data point of the flat-vs-hierarchical scaling sweep
+/// (`repro hier` → BENCH_hier.json): one worker count × one bucket size,
+/// with the closed-form time of each allreduce strategy.
+#[derive(Clone, Debug)]
+pub struct HierRow {
+    /// Worker (GPU) count.
+    pub workers: usize,
+    /// Node count (`⌈workers / ranks_per_node⌉`).
+    pub nodes: usize,
+    /// Allreduce payload in bytes.
+    pub n_bytes: usize,
+    /// Flat ring time (s).
+    pub flat_ring: f64,
+    /// Flat recursive-doubling time (s).
+    pub flat_rd: f64,
+    /// Two-level hierarchical time (s).
+    pub hier: f64,
+}
+
+impl HierRow {
+    /// The best flat time — what `AllreduceAlgo::Auto` would pick without
+    /// a hierarchy.
+    pub fn flat_best(&self) -> f64 {
+        self.flat_ring.min(self.flat_rd)
+    }
+
+    /// Does the two-level collective beat every flat algorithm at this
+    /// (scale, size) point?
+    pub fn hier_wins(&self) -> bool {
+        self.hier < self.flat_best()
+    }
+}
+
+/// The hierarchical scaling sweep's worker counts: from the paper's top
+/// scale (192) to O(10k), doubling — the range where the flat ring's
+/// `2(w-1)·α` latency term goes from negligible to dominant.
+pub const HIER_GPU_SWEEP: &[usize] = &[192, 384, 768, 1536, 3072, 6144, 12_288];
+
+/// Bucket sizes swept per scale: 1 KiB (latency-bound) to 256 MiB
+/// (bandwidth-bound, 4× Horovod's default fusion buffer).
+pub const HIER_SIZES: &[usize] = &[1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 28];
+
+/// Generate every row of the flat-vs-hierarchical sweep for one cluster.
+pub fn hier_rows(cluster: &ClusterModel) -> Vec<HierRow> {
+    let mut rows = Vec::new();
+    for &workers in HIER_GPU_SWEEP {
+        let nodes = cluster.nodes_for(workers);
+        for &n_bytes in HIER_SIZES {
+            let n = n_bytes as f64;
+            rows.push(HierRow {
+                workers,
+                nodes,
+                n_bytes,
+                flat_ring: ring_allreduce_time(n, workers, cluster.alpha, cluster.beta),
+                flat_rd: recursive_doubling_allreduce_time(n, workers, cluster.alpha, cluster.beta),
+                hier: hier_allreduce_time(
+                    n,
+                    workers,
+                    nodes,
+                    cluster.alpha_intra,
+                    cluster.beta_intra,
+                    cluster.alpha,
+                    cluster.beta,
+                ),
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hier_sweep_shape() {
+        let rows = hier_rows(&ClusterModel::summit());
+        assert_eq!(rows.len(), HIER_GPU_SWEEP.len() * HIER_SIZES.len());
+        for r in &rows {
+            assert_eq!(r.nodes, r.workers.div_ceil(6));
+            assert!(r.flat_ring > 0.0 && r.flat_rd > 0.0 && r.hier > 0.0);
+        }
+    }
+
+    #[test]
+    fn flat_stops_scaling_where_the_issue_says() {
+        let rows = hier_rows(&ClusterModel::summit());
+        let at = |w: usize, n: usize| {
+            rows.iter()
+                .find(|r| r.workers == w && r.n_bytes == n)
+                .unwrap()
+        };
+        let big = 1 << 28;
+        // Training wall-clock is dominated by the large bandwidth-bound
+        // buckets. At the paper's 192 GPUs flat still wins those …
+        assert!(
+            !at(192, big).hier_wins(),
+            "hierarchy must not pay off for big buckets at paper scale"
+        );
+        // … but the flat ring's 2(w−1)·α latency grows linearly with the
+        // world, and by O(10k) workers the hierarchy wins the big buckets.
+        for w in [6144usize, 12_288] {
+            let r = at(w, big);
+            assert!(
+                r.hier_wins(),
+                "hier {} vs flat {} at {w}×256MiB",
+                r.hier,
+                r.flat_best()
+            );
+        }
+        // Tiny buckets stay with flat recursive doubling at every scale:
+        // ⌈log₂ w⌉ rounds beat paying the intra phases on top of the
+        // leaders' own log-rounds.
+        assert!(rows
+            .iter()
+            .filter(|r| r.n_bytes == 1 << 10)
+            .all(|r| !r.hier_wins()));
+        // Once the hierarchy wins a (size, scale) point, it keeps winning
+        // that size at every larger scale — the crossover is monotone.
+        for &n in HIER_SIZES {
+            let wins: Vec<bool> = HIER_GPU_SWEEP
+                .iter()
+                .map(|&w| at(w, n).hier_wins())
+                .collect();
+            let first = wins.iter().position(|&b| b);
+            if let Some(i) = first {
+                assert!(
+                    wins[i..].iter().all(|&b| b),
+                    "crossover must be monotone in scale for n={n}: {wins:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hier_row_times_match_network_closed_forms() {
+        use crate::network::flat_allreduce_best_time;
+        let c = ClusterModel::summit();
+        let rows = hier_rows(&c);
+        let r = rows
+            .iter()
+            .find(|r| r.workers == 1536 && r.n_bytes == 1 << 22)
+            .unwrap();
+        assert_eq!(
+            r.flat_best(),
+            flat_allreduce_best_time(1.0 * (1 << 22) as f64, 1536, c.alpha, c.beta)
+        );
+    }
 
     #[test]
     fn row_counts_match_capability_matrix() {

@@ -2,11 +2,13 @@
 
 use crate::agree::{flood_agree, AgreeResult};
 use crate::error::UlfmError;
+use crate::hierarchy::Hierarchy;
 use crate::tags;
 use crate::universe::{CommKey, JoinTicket, Shared};
 use collectives::{
-    allgather, allreduce, binomial_bcast, binomial_reduce, dissemination_barrier, gather, scatter,
-    AllgatherAlgo, AllreduceAlgo, CollError, Elem, PeerComm, ReduceOp,
+    allgather, allreduce, binomial_bcast, binomial_reduce, dissemination_barrier, fused_allreduce,
+    gather, hier_allreduce, hier_fused_allreduce, plan_buckets, scatter, AllgatherAlgo,
+    AllreduceAlgo, CollError, Elem, PeerComm, ReduceOp,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeSet;
@@ -165,6 +167,15 @@ impl Communicator {
         tags::coll_base(self.id, s)
     }
 
+    /// Reserve `n` consecutive collective tag windows (one per fusion
+    /// bucket) and return the first. `n` is a pure function of the tensor
+    /// sizes and the cap, so every member reserves identically.
+    fn reserve_coll_span(&self, n: u64) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + n.max(1));
+        tags::coll_base(self.id, s)
+    }
+
     fn next_recovery_base(&self) -> u64 {
         let s = self.rec_seq.get();
         self.rec_seq.set(s + 1);
@@ -274,6 +285,89 @@ impl Communicator {
     pub fn scatter(&self, root: usize, blocks: Option<&[Vec<u8>]>) -> Result<Vec<u8>, UlfmError> {
         let base = self.next_coll_base();
         scatter(&self.adapter(), root, blocks, base).map_err(|e| self.map_coll(e))
+    }
+
+    /// In-place hierarchical (two-level) allreduce: intra-node reduce onto
+    /// each node leader, flat exchange among leaders, intra-node broadcast
+    /// back. `hier` must have been built from *this* communicator epoch
+    /// ([`Hierarchy::build`]); rebuild it after any shrink/join.
+    ///
+    /// Runs entirely on this (flat) communicator — node subgroups are
+    /// index views, not sub-communicators — so a failure anywhere surfaces
+    /// exactly like a flat collective's ([`UlfmError::ProcFailed`] /
+    /// [`UlfmError::Revoked`]) and feeds the unchanged
+    /// revoke → agree → shrink path.
+    pub fn hier_allreduce<E: Elem>(
+        &self,
+        hier: &Hierarchy,
+        buf: &mut [E],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Result<(), UlfmError> {
+        assert_eq!(
+            (hier.comm_id(), hier.n_ranks()),
+            (self.id, self.group.len()),
+            "hierarchy was built for a different communicator epoch; rebuild after shrink/join"
+        );
+        let base = self.next_coll_base();
+        hier_allreduce(&self.adapter(), hier.map(), buf, op, algo, base)
+            .map_err(|e| self.map_coll(e))
+    }
+
+    /// Fused allreduce: greedily bucket `tensors` under `cap_bytes` and
+    /// allreduce each bucket (Horovod's tensor fusion). Each bucket gets
+    /// its own collective tag window.
+    pub fn fused_allreduce<E: Elem>(
+        &self,
+        tensors: &mut [Vec<E>],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+        cap_bytes: usize,
+    ) -> Result<(), UlfmError> {
+        let base = self.reserve_coll_span(Self::bucket_count::<E>(tensors, cap_bytes));
+        fused_allreduce(&self.adapter(), tensors, op, algo, cap_bytes, base)
+            .map_err(|e| self.map_coll(e))
+    }
+
+    /// Two-level analogue of [`Communicator::fused_allreduce`]: every
+    /// bucket runs through [`Communicator::hier_allreduce`]'s intra-reduce
+    /// → cross-exchange → intra-broadcast pipeline. Same epoch contract as
+    /// `hier_allreduce`.
+    pub fn hier_fused_allreduce<E: Elem>(
+        &self,
+        hier: &Hierarchy,
+        tensors: &mut [Vec<E>],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+        cap_bytes: usize,
+    ) -> Result<(), UlfmError> {
+        assert_eq!(
+            (hier.comm_id(), hier.n_ranks()),
+            (self.id, self.group.len()),
+            "hierarchy was built for a different communicator epoch; rebuild after shrink/join"
+        );
+        let base = self.reserve_coll_span(Self::bucket_count::<E>(tensors, cap_bytes));
+        hier_fused_allreduce(
+            &self.adapter(),
+            hier.map(),
+            tensors,
+            op,
+            algo,
+            cap_bytes,
+            base,
+        )
+        .map_err(|e| self.map_coll(e))
+    }
+
+    /// How many buckets the fusion plan produces — deterministic in the
+    /// tensor sizes, so every member advances its tag sequence identically.
+    fn bucket_count<E: Elem>(tensors: &[Vec<E>], cap_bytes: usize) -> u64 {
+        let sizes: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+        plan_buckets(&sizes, E::WIDTH, cap_bytes).len() as u64
+    }
+
+    pub(crate) fn comm_id(&self) -> u64 {
+        self.id
     }
 
     fn adapter(&self) -> Adapter<'_> {

@@ -38,6 +38,15 @@ pub enum UlfmError {
     /// joiner — it must exit instead of hanging on a rendezvous that will
     /// never answer.
     JoinTimeout,
+    /// [`crate::Hierarchy::build`] could not assign a node to every member
+    /// of the communicator's group (e.g. the endpoint's topology does not
+    /// cover a member's global rank, or the calling rank is missing from
+    /// its own group). Carries the first unmappable global rank. The
+    /// caller should fall back to flat collectives rather than panic.
+    HierarchyUnmapped {
+        /// First global rank that could not be placed on a node.
+        global: RankId,
+    },
     /// An in-process-only operation (spawning threads, killing ranks,
     /// reading the shared alive table) was requested on a *multi-process*
     /// universe, which has no shared fabric. A misconfigured launch should
@@ -66,6 +75,12 @@ impl fmt::Display for UlfmError {
             UlfmError::Excluded => write!(f, "rank excluded from shrunk communicator"),
             UlfmError::Aborted => write!(f, "computation aborted"),
             UlfmError::JoinTimeout => write!(f, "join ticket wait timed out"),
+            UlfmError::HierarchyUnmapped { global } => {
+                write!(
+                    f,
+                    "no node color for global rank {global} in hierarchy build"
+                )
+            }
             UlfmError::NoSharedFabric => {
                 write!(f, "multi-process universe has no shared in-process fabric")
             }
@@ -91,6 +106,7 @@ mod tests {
         assert!(!UlfmError::Excluded.is_recoverable());
         assert!(!UlfmError::Aborted.is_recoverable());
         assert!(!UlfmError::JoinTimeout.is_recoverable());
+        assert!(!UlfmError::HierarchyUnmapped { global: RankId(2) }.is_recoverable());
         assert!(!UlfmError::NoSharedFabric.is_recoverable());
     }
 }

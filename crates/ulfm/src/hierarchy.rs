@@ -1,82 +1,105 @@
-//! Hierarchical allreduce: node-local reduce → cross-node allreduce among
-//! node leaders → node-local broadcast.
+//! Node structure for hierarchical (two-level) collectives.
 //!
 //! This is Horovod's hierarchical-allreduce optimization, which exploits
 //! exactly the node structure the paper's Summit setup has (6 GPUs per
 //! node): intra-node traffic is cheap, so only one rank per node
-//! participates in the expensive cross-node exchange. Provided here both
-//! as a genuinely useful collective and as the natural consumer of
-//! [`Communicator::split`].
+//! participates in the expensive cross-node exchange.
+//!
+//! A [`Hierarchy`] is a *local, communication-free* snapshot of the
+//! communicator's node map: which group ranks share a node, and who each
+//! node's leader is. Earlier revisions built split sub-communicators
+//! here; that was abandoned because a revocation of the parent does not
+//! propagate into splits — a non-leader blocked inside a sub-communicator
+//! broadcast would sleep through the parent's revoke while its leader
+//! died in the cross-node ring, deadlocking recovery. Instead the
+//! hierarchical collective ([`Communicator::hier_allreduce`]) runs on the
+//! **flat** communicator through subgroup index views, so every failure
+//! and every revocation reaches every rank through the unchanged
+//! revoke → agree → shrink path.
+//!
+//! Because the build is local and deterministic in (group, topology),
+//! every survivor of a shrink — and every member of a join — rebuilds an
+//! identical hierarchy from the agreed membership alone. Rebuild after
+//! *every* membership change; [`Communicator::hier_allreduce`] asserts
+//! the epoch matches.
 
 use crate::comm::Communicator;
 use crate::error::UlfmError;
-use collectives::{AllreduceAlgo, Elem, ReduceOp};
+use collectives::NodeMap;
 
-/// Cached split communicators for hierarchical collectives over a parent
-/// communicator. Build once per membership epoch (splits are collective
-/// and not free); rebuild after any shrink/join.
+/// Node map of one communicator epoch. Cheap to build (no communication);
+/// rebuild after any shrink/join/promotion.
 pub struct Hierarchy {
-    /// Node-local communicator (always present; may be size 1).
-    local: Communicator,
-    /// Cross-node communicator of node leaders (present iff this rank is
-    /// its node's leader).
-    cross: Option<Communicator>,
+    map: NodeMap,
+    my_rank: usize,
+    comm_id: u64,
 }
 
 impl Hierarchy {
-    /// Build the node-local and leader communicators from `comm`.
-    /// Collective over `comm`.
+    /// Derive the node map from `comm`'s group and its endpoint's static
+    /// topology. Local and deterministic: all members compute the same
+    /// map without communicating.
+    ///
+    /// Returns [`UlfmError::HierarchyUnmapped`] if a group member cannot
+    /// be placed on a node (instead of panicking, so callers can fall
+    /// back to flat collectives).
     pub fn build(comm: &Communicator) -> Result<Self, UlfmError> {
-        let node = comm.endpoint().node_of(comm.global_rank()).0 as u64;
-        let local = comm
-            .split(node, comm.rank() as u64)?
-            .expect("every rank has a node color");
-        let leader = local.rank() == 0;
-        let cross_color = if leader {
-            0
-        } else {
-            Communicator::SPLIT_UNDEFINED
-        };
-        let cross = comm.split(cross_color, node)?;
-        Ok(Self { local, cross })
+        let ep = comm.endpoint();
+        let me = comm.global_rank();
+        let group = comm.group();
+        if !group.contains(&me) {
+            return Err(UlfmError::HierarchyUnmapped { global: me });
+        }
+        let colors: Vec<u64> = group.iter().map(|&g| ep.node_of(g).0 as u64).collect();
+        Ok(Self {
+            map: NodeMap::from_colors(&colors),
+            my_rank: comm.rank(),
+            comm_id: comm.comm_id(),
+        })
     }
 
-    /// The node-local communicator.
-    pub fn local(&self) -> &Communicator {
-        &self.local
+    /// The underlying node map over flat group ranks.
+    pub fn map(&self) -> &NodeMap {
+        &self.map
     }
 
     /// Is this rank its node's leader (participant in the cross-node
     /// exchange)?
     pub fn is_leader(&self) -> bool {
-        self.cross.is_some()
+        self.map.is_leader(self.my_rank)
     }
 
-    /// Hierarchical in-place allreduce: reduce onto the node leader,
-    /// allreduce among leaders, broadcast back within the node. The result
-    /// equals a flat allreduce up to floating-point reassociation (bit-
-    /// exact for integer elements).
-    pub fn allreduce<E: Elem>(
-        &self,
-        buf: &mut [E],
-        op: ReduceOp,
-        algo: AllreduceAlgo,
-    ) -> Result<(), UlfmError> {
-        self.local.reduce(0, buf, op)?;
-        if let Some(cross) = &self.cross {
-            cross.allreduce(buf, op, algo)?;
-        }
-        // Node-local broadcast of the final values.
-        let mut bytes = if self.local.rank() == 0 {
-            E::encode_slice(buf)
-        } else {
-            Vec::new()
-        };
-        self.local.bcast(0, &mut bytes)?;
-        if self.local.rank() != 0 {
-            buf.copy_from_slice(&E::decode_slice(&bytes));
-        }
-        Ok(())
+    /// Number of ranks on this rank's node.
+    pub fn local_size(&self) -> usize {
+        self.map.node_members(self.my_rank).len()
+    }
+
+    /// Number of distinct nodes in the communicator.
+    pub fn n_nodes(&self) -> usize {
+        self.map.n_nodes()
+    }
+
+    /// Number of group ranks the map covers (the communicator size at
+    /// build time).
+    pub fn n_ranks(&self) -> usize {
+        self.map.n_ranks()
+    }
+
+    /// True when every rank sits alone on its node: the hierarchy buys
+    /// nothing over the flat collective.
+    pub fn is_flat(&self) -> bool {
+        self.map.is_flat()
+    }
+
+    /// Was this hierarchy built from `comm`'s current membership epoch?
+    /// `false` after any shrink/join/promotion replaced the communicator —
+    /// the signal to rebuild before the next hierarchical collective.
+    pub fn is_current_for(&self, comm: &Communicator) -> bool {
+        self.comm_id == comm.comm_id() && self.map.n_ranks() == comm.size()
+    }
+
+    pub(crate) fn comm_id(&self) -> u64 {
+        self.comm_id
     }
 }
 
@@ -84,7 +107,8 @@ impl Hierarchy {
 mod tests {
     use super::*;
     use crate::universe::{Proc, Universe};
-    use transport::Topology;
+    use collectives::{AllreduceAlgo, ReduceOp};
+    use transport::{FaultPlan, RankId, Topology};
 
     fn input_for(rank: usize, len: usize) -> Vec<i64> {
         (0..len).map(|i| (rank * 31 + i * 7) as i64 - 40).collect()
@@ -99,12 +123,12 @@ mod tests {
                 let comm = p.init_comm();
                 let h = Hierarchy::build(&comm).unwrap();
                 let mut hier = input_for(comm.rank(), 25);
-                h.allreduce(&mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
+                comm.hier_allreduce(&h, &mut hier, ReduceOp::Sum, AllreduceAlgo::Ring)
                     .unwrap();
                 let mut flat = input_for(comm.rank(), 25);
                 comm.allreduce(&mut flat, ReduceOp::Sum, AllreduceAlgo::Ring)
                     .unwrap();
-                (hier, flat, h.is_leader(), h.local().size())
+                (hier, flat, h.is_leader(), h.local_size())
             })
             .unwrap();
         let mut leaders = 0;
@@ -126,8 +150,13 @@ mod tests {
                 let comm = p.init_comm();
                 let h = Hierarchy::build(&comm).unwrap();
                 let mut buf = vec![comm.rank() as i64];
-                h.allreduce(&mut buf, ReduceOp::Sum, AllreduceAlgo::RecursiveDoubling)
-                    .unwrap();
+                comm.hier_allreduce(
+                    &h,
+                    &mut buf,
+                    ReduceOp::Sum,
+                    AllreduceAlgo::RecursiveDoubling,
+                )
+                .unwrap();
                 buf[0]
             })
             .unwrap();
@@ -144,7 +173,7 @@ mod tests {
                 let comm = p.init_comm();
                 let h = Hierarchy::build(&comm).unwrap();
                 let mut buf = vec![comm.rank() as i64 * 10];
-                h.allreduce(&mut buf, ReduceOp::Max, AllreduceAlgo::Ring)
+                comm.hier_allreduce(&h, &mut buf, ReduceOp::Max, AllreduceAlgo::Ring)
                     .unwrap();
                 buf[0]
             })
@@ -152,5 +181,80 @@ mod tests {
         for h in handles {
             assert_eq!(h.join(), 30);
         }
+    }
+
+    /// Regression (issue 9 satellite): when the dead rank was a node
+    /// *leader*, survivors must rebuild the hierarchy from the shrunk
+    /// communicator — promoting the node's next rank to leader — and the
+    /// retried hierarchical allreduce must equal the sum over survivors.
+    #[test]
+    fn rebuild_after_shrink_promotes_new_leader() {
+        // 3 nodes × 2 ranks; kill rank 2 — the leader of node 1 — at its
+        // first cross-ring step ("allreduce.step" only fires for leaders
+        // inside the cross-node exchange).
+        let plan = FaultPlan::none().kill_at_point(RankId(2), "allreduce.step", 1);
+        let u = Universe::new(Topology::new(2), plan);
+        let handles = u
+            .spawn_batch(6, |p: Proc| {
+                let orig = p.rank().0;
+                let mut comm = p.init_comm();
+                loop {
+                    let h = Hierarchy::build(&comm).unwrap();
+                    let mut buf = vec![orig as i64];
+                    let attempt =
+                        comm.hier_allreduce(&h, &mut buf, ReduceOp::Sum, AllreduceAlgo::Ring);
+                    let ok = match &attempt {
+                        Ok(_) => true,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(_) => {
+                            comm.revoke();
+                            false
+                        }
+                    };
+                    let agreed = match comm.agree(ok as u64, 0) {
+                        Ok(r) => r,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(e) => panic!("agree must tolerate peer death: {e}"),
+                    };
+                    if agreed.flags == 1 {
+                        return Some((buf[0], h.is_leader(), h.n_nodes(), comm.size()));
+                    }
+                    comm.revoke();
+                    comm = match comm.shrink() {
+                        Ok(c) => c,
+                        Err(UlfmError::SelfDied) => return None,
+                        Err(e) => panic!("survivor shrink failed: {e}"),
+                    };
+                }
+            })
+            .unwrap();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+        assert!(results[2].is_none(), "victim must die");
+        let survivor_sum: i64 = [0, 1, 3, 4, 5].iter().sum();
+        let mut leaders = 0;
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            let (sum, leader, n_nodes, world) = r.expect("survivor died");
+            assert_eq!(sum, survivor_sum, "rank {rank}");
+            assert_eq!(world, 5, "rank {rank} world");
+            assert_eq!(n_nodes, 3, "node survives at size 1");
+            leaders += usize::from(leader);
+            if rank == 3 {
+                assert!(leader, "rank 3 must be promoted to node 1's leader");
+            }
+        }
+        assert_eq!(leaders, 3, "one leader per node after rebuild");
+    }
+
+    /// The build failure is a typed error, not a panic (issue 9
+    /// satellite): `UlfmError::HierarchyUnmapped` exists and is terminal
+    /// (not recoverable via revoke/shrink).
+    #[test]
+    fn unmapped_rank_is_a_typed_error() {
+        let e = UlfmError::HierarchyUnmapped { global: RankId(7) };
+        assert!(!e.is_recoverable());
+        assert!(e.to_string().contains("node color"));
     }
 }

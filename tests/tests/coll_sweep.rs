@@ -270,6 +270,184 @@ fn sweep(p: usize) {
     }
 }
 
+// ----------------------------------------------------------- hierarchical
+//
+// The same exhaustive matrix for the two-level allreduce: every phase of
+// the hierarchical pipeline (intra-node reduce → cross-node exchange among
+// leaders → intra-node broadcast) × every victim rank × every fault index ×
+// p ∈ {2..6} × node shapes {1, 2, 3 ranks per node} (dense packing gives
+// mixed shapes, e.g. p=5 at 2/node → nodes of 2, 2, 1). Fault semantics
+// must be identical to the flat path: any death feeds the unchanged
+// revoke → agree → shrink cycle, the hierarchy is rebuilt from the agreed
+// survivor set, and the accepted replicas equal the sequential sum over the
+// contributing ranks bit-identically (quarter-integer inputs are exact in
+// f32, so "equals the sum" *is* "bit-identical to flat").
+
+/// Which phase of the two-level allreduce the scripted kill targets. Ranks
+/// that never execute a phase (singleton-node ranks never run the intra
+/// phases; non-leaders never run the cross exchange) simply never die —
+/// those cells degenerate into fault-free runs of the full group, pinning
+/// the no-failure path of every shape.
+#[derive(Clone, Copy, Debug)]
+enum HierPhase {
+    /// Intra-node binomial reduce onto the leader (`reduce.step`).
+    Local,
+    /// Cross-node ring among the leaders (`allreduce.step`).
+    Cross,
+    /// Intra-node binomial broadcast of the result (`bcast.step`).
+    Bcast,
+}
+
+impl HierPhase {
+    fn all() -> [HierPhase; 3] {
+        [HierPhase::Local, HierPhase::Cross, HierPhase::Bcast]
+    }
+
+    fn point(&self) -> &'static str {
+        match self {
+            HierPhase::Local => "reduce.step",
+            HierPhase::Cross => "allreduce.step",
+            HierPhase::Bcast => "bcast.step",
+        }
+    }
+
+    /// Upper bound (plus one) on how many times any rank hits this phase's
+    /// fault point in one two-level allreduce, so the sweep covers every
+    /// protocol step and one index past the end.
+    fn max_fault_index(&self, p: usize, rpn: usize) -> u64 {
+        let lg = |x: usize| {
+            if x <= 1 {
+                0
+            } else {
+                (usize::BITS - (x - 1).leading_zeros()) as u64
+            }
+        };
+        let local = rpn.min(p);
+        let nodes = p.div_ceil(rpn);
+        match self {
+            HierPhase::Cross => 2 * (nodes as u64).saturating_sub(1) + 2,
+            HierPhase::Local | HierPhase::Bcast => lg(local) + 2,
+        }
+    }
+}
+
+/// One (p, ranks-per-node, victim, phase, fault index) cell: kill the
+/// victim at exactly that step of the two-level allreduce and drive the
+/// survivors through rebuild-hierarchy → retry until uniform agreement.
+fn run_hier_case(p: usize, rpn: usize, victim: usize, phase: HierPhase, fault_index: u64) {
+    let plan = FaultPlan::none().kill_at_point(RankId(victim), phase.point(), fault_index);
+    let u = Universe::new(Topology::new(rpn), plan);
+    let handles = u
+        .spawn_batch(p, move |proc: Proc| {
+            let orig = proc.rank().0;
+            let mut cur = proc.init_comm();
+            loop {
+                // The hierarchy is rebuilt from the *current* membership on
+                // every attempt — after a shrink this is where a dead
+                // leader's node promotes its next rank.
+                let h = ulfm::Hierarchy::build(&cur).expect("member maps onto a node");
+                let mut buf = grad_input(orig, LEN);
+                let attempt = cur.hier_allreduce(&h, &mut buf, ReduceOp::Sum, AllreduceAlgo::Ring);
+                let ok = match &attempt {
+                    Ok(_) => true,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(_) => {
+                        cur.revoke();
+                        false
+                    }
+                };
+                let agreed = match cur.agree(ok as u64, 0) {
+                    Ok(r) => r,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => panic!("agree must tolerate peer death: {e}"),
+                };
+                if agreed.flags == 1 {
+                    attempt.expect("agreement said every rank succeeded");
+                    return Some((cur.size(), cur.rank(), f32_bytes(&buf)));
+                }
+                cur.revoke();
+                cur = match cur.shrink() {
+                    Ok(c) => c,
+                    Err(UlfmError::SelfDied) => return None,
+                    Err(e) => panic!("survivor shrink failed: {e}"),
+                };
+            }
+        })
+        .unwrap();
+
+    type Outcome = Option<(usize, usize, Vec<u8>)>;
+    let results: Vec<Outcome> = handles.into_iter().map(|h| h.join()).collect();
+    let survivors: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        survivors.len() >= p - 1,
+        "{phase:?} p={p} rpn={rpn} victim={victim} fault_index={fault_index}: \
+         more than the victim died: {survivors:?}"
+    );
+    let world = results[survivors[0]].as_ref().map(|(s, _, _)| *s).unwrap();
+    let contributing: Vec<usize> = if world == p {
+        (0..p).collect()
+    } else {
+        assert_eq!(world, survivors.len(), "single scripted failure");
+        survivors.clone()
+    };
+    let expected = f32_bytes(&sum_over(&contributing, LEN));
+    for (i, r) in results.iter().enumerate() {
+        let ctx = format!(
+            "{phase:?} p={p} rpn={rpn} victim={victim} fault_index={fault_index} \
+             rank={i} world={world}"
+        );
+        match r {
+            None => assert_eq!(i, victim, "unscripted death: {ctx}"),
+            Some((size, _, replica)) => {
+                assert_eq!(*size, world, "survivors disagree on group: {ctx}");
+                assert_eq!(replica, &expected, "{ctx}");
+            }
+        }
+    }
+}
+
+fn hier_sweep(p: usize) {
+    for rpn in [1usize, 2, 3] {
+        for phase in HierPhase::all() {
+            for victim in 0..p {
+                for fault_index in 1..=phase.max_fault_index(p, rpn) {
+                    run_hier_case(p, rpn, victim, phase, fault_index);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hier_sweep_every_phase_every_fault_point_p2() {
+    hier_sweep(2);
+}
+
+#[test]
+fn hier_sweep_every_phase_every_fault_point_p3() {
+    hier_sweep(3);
+}
+
+#[test]
+fn hier_sweep_every_phase_every_fault_point_p4() {
+    hier_sweep(4);
+}
+
+#[test]
+fn hier_sweep_every_phase_every_fault_point_p5() {
+    hier_sweep(5);
+}
+
+#[test]
+fn hier_sweep_every_phase_every_fault_point_p6() {
+    hier_sweep(6);
+}
+
 #[test]
 fn sweep_every_collective_every_fault_point_p2() {
     sweep(2);
