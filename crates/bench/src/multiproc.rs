@@ -64,6 +64,14 @@ fn backend_kind(transport: &str) -> Result<BackendKind, String> {
     }
 }
 
+fn agree_impl(name: &str) -> Result<ulfm::AgreeImpl, String> {
+    match name {
+        "flood" => Ok(ulfm::AgreeImpl::Flood),
+        "lattice" => Ok(ulfm::AgreeImpl::Lattice),
+        other => Err(format!("--agree must be flood or lattice, got `{other}`")),
+    }
+}
+
 /// Parse a death schedule: comma-separated `rank@point:occurrence`, e.g.
 /// `1@allreduce.step:5,2@shrink.attempt:1`.
 fn parse_die_spec(spec: &str) -> Result<Vec<(usize, String, u64)>, String> {
@@ -160,6 +168,7 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
     let suspicion_ms: u64 = flag(&flags, "suspicion-ms", 2000)?;
     let expect_joiners: usize = flag(&flags, "expect-joiners", 0)?;
     let join_wait_secs: u64 = flag(&flags, "join-wait-secs", 30)?;
+    let agree = agree_impl(flags.get("agree").map_or("flood", |s| s.as_str()))?;
     let die = parse_die_spec(flags.get("die").map_or("", |s| s.as_str()))?;
 
     // Address exchange through the rendezvous store: members publish their
@@ -293,6 +302,7 @@ pub fn worker_main(args: &[String]) -> Result<(), String> {
         spec: TrainSpec {
             total_steps: steps,
             min_workers,
+            agree,
             ..TrainSpec::default()
         },
         policy: RecoveryPolicy::DropProcess,
@@ -380,6 +390,11 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
     let steps: usize = flag(&flags, "steps", 16)?;
     let min_workers: usize = flag(&flags, "min-workers", 1)?;
     let suspicion_ms: u64 = flag(&flags, "suspicion-ms", 2000)?;
+    let agree_name = flags
+        .get("agree")
+        .cloned()
+        .unwrap_or_else(|| "flood".into());
+    agree_impl(&agree_name)?; // validate before spawning anything
     let timeout_secs: u64 = flag(&flags, "timeout-secs", 120)?;
     let die_spec = flags.get("die").cloned().unwrap_or_default();
     let die = parse_die_spec(&die_spec)?;
@@ -442,6 +457,8 @@ pub fn launch_main(args: &[String]) -> Result<i32, String> {
                 &expect_joiners.to_string(),
                 "--join-wait-secs",
                 &join_wait_secs.to_string(),
+                "--agree",
+                &agree_name,
                 "--die",
                 &die_spec,
                 "--outdir",

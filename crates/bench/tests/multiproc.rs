@@ -123,6 +123,135 @@ fn assert_survivors_identical(
     }
 }
 
+/// Read one counter back out of a worker's `telemetry-{rank}.json` dump.
+/// The hand-rolled schema nests counters under `"counters"` as flat
+/// `"name": value` pairs, so a token scan suffices.
+fn telemetry_counter(dir: &Path, rank: usize, name: &str) -> u64 {
+    let path = dir.join(format!("telemetry-{rank}.json"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let needle = format!("\"{name}\":");
+    let Some(at) = text.find(&needle) else {
+        return 0;
+    };
+    text[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Every completed recovery must have resolved in exactly one view change:
+/// the shrink-generation counter (`iterations`) equals the completed-shrink
+/// counter, and the lattice protocol actually ran.
+fn assert_one_view_change_per_recovery(dir: &Path, survivors: &[usize]) {
+    for &rank in survivors {
+        let iterations = telemetry_counter(dir, rank, "ulfm.shrink.iterations");
+        let completions = telemetry_counter(dir, rank, "ulfm.shrink.completions");
+        let lattice_rounds = telemetry_counter(dir, rank, "ulfm.lattice.rounds");
+        assert!(completions >= 1, "rank {rank} never completed a shrink");
+        assert_eq!(
+            iterations, completions,
+            "rank {rank}: the burst took {iterations} shrink generations across \
+             {completions} recoveries — lattice must absorb it in one view change each"
+        );
+        assert!(
+            lattice_rounds > 0,
+            "rank {rank}: --agree lattice was requested but no lattice rounds ran"
+        );
+    }
+}
+
+#[test]
+fn sigkill_burst_2_of_5_lattice_resolves_in_one_view_change() {
+    // Rank 1 is SIGKILLed mid-allreduce; rank 3 is SIGKILLed *inside* the
+    // recovery agreement that rank 1's death triggers (its first
+    // `lattice.propose` fault point) — a genuine k=2 concurrent burst seen
+    // by real processes over real sockets. Under lattice agreement the
+    // in-flight proposal widens to cover rank 3, so the survivors install
+    // a single view change and finish bit-identical.
+    let dir = outdir("burst-2of5-lattice");
+    let code = launch(
+        &[
+            "--n",
+            "5",
+            "--transport",
+            "unix",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--agree",
+            "lattice",
+            "--die",
+            "1@allreduce.step:5,3@lattice.propose:1",
+            "--timeout-secs",
+            "90",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 5), &[1, 3], 5);
+    assert_one_view_change_per_recovery(&dir, &[0, 2, 4]);
+}
+
+#[test]
+fn sigkill_burst_3_of_5_lattice_resolves_in_one_view_change() {
+    // k=3 of p=5: one death in training, two more mid-agreement. The two
+    // survivors must still converge through a single widened view change.
+    let dir = outdir("burst-3of5-lattice");
+    let code = launch(
+        &[
+            "--n",
+            "5",
+            "--transport",
+            "tcp",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--agree",
+            "lattice",
+            "--die",
+            "1@allreduce.step:5,2@lattice.propose:1,3@lattice.propose:1",
+            "--timeout-secs",
+            "90",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 5), &[1, 2, 3], 5);
+    assert_one_view_change_per_recovery(&dir, &[0, 4]);
+}
+
+#[test]
+fn clean_run_p3_under_lattice_agreement() {
+    // The lattice protocol as the *only* agreement implementation across a
+    // full multi-process run (including any failure-free commit paths) —
+    // survivors must finish exactly as under flood.
+    let dir = outdir("clean-p3-lattice");
+    let code = launch(
+        &[
+            "--n",
+            "3",
+            "--transport",
+            "tcp",
+            "--steps",
+            "12",
+            "--min-workers",
+            "2",
+            "--agree",
+            "lattice",
+            "--timeout-secs",
+            "60",
+        ],
+        &dir,
+    );
+    assert_eq!(code, 0, "launcher audit failed; logs in {}", dir.display());
+    assert_survivors_identical(&results(&dir, 3), &[], 3);
+}
+
 #[test]
 fn sigkill_mid_allreduce_p3_survivors_shrink_and_finish() {
     let dir = outdir("kill-mid-allreduce-p3");

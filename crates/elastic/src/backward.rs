@@ -179,33 +179,49 @@ impl ElasticDriver {
     /// whole node — and starts a new configuration epoch. Idempotent per
     /// victim, so every member can report the same failure.
     pub fn report_failure(&self, victim: RankId, policy: RecoveryPolicy) {
+        self.report_failures(&[victim], policy);
+    }
+
+    /// Batched failure report: every victim of a concurrent burst is
+    /// evicted under one configuration-epoch bump, so the burst costs one
+    /// reconfiguration instead of one per discovery — the backward-engine
+    /// counterpart of the lattice view change. Stale victims (already
+    /// handled, or never part of the job) are skipped; if none remain the
+    /// call is a no-op.
+    pub fn report_failures(&self, victims: &[RankId], policy: RecoveryPolicy) {
         let mut st = self.state.lock();
-        // Ignore stale or nonsensical reports: already handled, or a rank
-        // that was never part of this job.
-        if st.removed.contains(&victim)
-            || !(st.members.contains(&victim) || st.pending_new.contains(&victim))
-        {
+        let fresh: Vec<RankId> = victims
+            .iter()
+            .copied()
+            .filter(|v| {
+                !st.removed.contains(v) && (st.members.contains(v) || st.pending_new.contains(v))
+            })
+            .collect();
+        if fresh.is_empty() {
             return;
         }
-        let evicted: Vec<RankId> = match policy {
-            RecoveryPolicy::DropProcess => vec![victim],
-            RecoveryPolicy::DropNode => {
-                let node = self.topology.node_of(victim);
-                st.blacklisted_nodes.insert(node.0);
-                let max = st
-                    .members
-                    .iter()
-                    .chain(st.pending_new.iter())
-                    .map(|r| r.0 + 1)
-                    .max()
-                    .unwrap_or(0);
-                self.topology.ranks_on_node(node, max)
+        telemetry::histogram("elastic.recovery.batch_size").record(fresh.len() as u64);
+        for victim in fresh {
+            let evicted: Vec<RankId> = match policy {
+                RecoveryPolicy::DropProcess => vec![victim],
+                RecoveryPolicy::DropNode => {
+                    let node = self.topology.node_of(victim);
+                    st.blacklisted_nodes.insert(node.0);
+                    let max = st
+                        .members
+                        .iter()
+                        .chain(st.pending_new.iter())
+                        .map(|r| r.0 + 1)
+                        .max()
+                        .unwrap_or(0);
+                    self.topology.ranks_on_node(node, max)
+                }
+            };
+            for r in evicted {
+                st.members.remove(&r);
+                st.pending_new.remove(&r);
+                st.removed.insert(r);
             }
-        };
-        for r in evicted {
-            st.members.remove(&r);
-            st.pending_new.remove(&r);
-            st.removed.insert(r);
         }
         st.epoch += 1;
         if st.members.len() < st.min_workers {
@@ -636,10 +652,17 @@ fn report_any_death(
     group: &[RankId],
     policy: RecoveryPolicy,
 ) {
-    for &g in group {
-        if !ep.is_peer_alive(g) {
-            driver.report_failure(g, policy);
-        }
+    // One batched report: a burst that killed several members costs one
+    // configuration epoch, not one per dead peer. With a suspicion batch
+    // window configured, first wait the burst out so the tail is included.
+    ep.settle_suspicions();
+    let dead: Vec<RankId> = group
+        .iter()
+        .copied()
+        .filter(|&g| !ep.is_peer_alive(g))
+        .collect();
+    if !dead.is_empty() {
+        driver.report_failures(&dead, policy);
     }
 }
 

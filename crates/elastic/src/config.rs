@@ -57,6 +57,14 @@ pub struct TrainSpec {
     /// engines keep a per-epoch node map — rebuilt after every
     /// shrink/join/promotion — and consult this mode per bucket.
     pub hier: HierMode,
+    /// Which uniform-agreement protocol recovery uses to decide the failed
+    /// set: the seed flood-set ([`ulfm::AgreeImpl::Flood`], p rounds,
+    /// conformance oracle) or the incremental lattice-agreement fast path
+    /// ([`ulfm::AgreeImpl::Lattice`], constant rounds failure-free,
+    /// mid-protocol deaths absorbed by widening). The engines install this
+    /// on every communicator they acquire — initial, joined, shrunk, or
+    /// promoted.
+    pub agree: ulfm::AgreeImpl,
 }
 
 /// How gradient buckets choose between the flat and the hierarchical
@@ -116,6 +124,7 @@ impl Default for TrainSpec {
             fusion: None,
             min_workers: 1,
             hier: HierMode::Off,
+            agree: ulfm::AgreeImpl::Flood,
         }
     }
 }

@@ -338,6 +338,11 @@ fn run_inner(
             }
         }
     };
+    // Select the agreement protocol for every recovery on this (and, via
+    // inheritance, every derived) communicator. A joiner's ticket cannot
+    // carry the setting, so each worker installs it from its own spec —
+    // identical across the SPMD group by construction.
+    comm.set_agree_impl(spec.agree);
     let mut step: u64 = if role != Role::Member {
         // Receive (state, step) from the group; the paper's "reinitializing
         // the training state for the new workers". The sync survives sender
@@ -1087,6 +1092,10 @@ fn recover(
         Err(UlfmError::SelfDied) => return Err(Fatal::Died),
         Err(e) => unreachable!("agree only fails fatally: {e}"),
     };
+    // How many failures this episode handles as one batch: with suspicion
+    // batching + lattice agreement a whole burst lands here at once and the
+    // eviction policy dispatches on the full set in one view change.
+    telemetry::histogram("elastic.recovery.batch_size").record(agreed.failed.len() as u64);
 
     let total_ranks = proc.endpoint().total_ranks();
     let policy = cfg.policy;

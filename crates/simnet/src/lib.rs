@@ -25,6 +25,7 @@ pub mod arrivals;
 pub mod breakdown;
 pub mod constants;
 pub mod des;
+pub mod members;
 pub mod network;
 pub mod recovery;
 pub mod rendezvous;
@@ -33,6 +34,7 @@ pub mod sweep;
 pub use arrivals::{simulate_scenario3, Scenario3Outcome};
 pub use breakdown::Breakdown;
 pub use constants::ClusterModel;
+pub use members::{members_cell, members_sweep, MembersCell, BURST_SIZES, MEMBER_SIZES};
 pub use recovery::{backward_breakdown, forward_breakdown, EpisodeConfig, Level, SimScenario};
 pub use sweep::{
     fig4_rows, figure_rows, hier_rows, FigureRow, HierRow, HIER_GPU_SWEEP, HIER_SIZES,

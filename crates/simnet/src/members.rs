@@ -1,0 +1,163 @@
+//! Membership-change (view-change) cost sweep: flood-set vs. lattice
+//! agreement at paper scale and beyond.
+//!
+//! The runtime proves both protocols correct at thread scale; this module
+//! projects their cost to `p ∈ {192 … 12288}` ranks with the calibrated
+//! α–β model, for concurrent-failure bursts of `k ∈ {1, 2, 8, 32}`:
+//!
+//! * **flood-set** (`AgreeImpl::Flood`, the conformance oracle) floods the
+//!   merged state for `p` all-to-all rounds, and a burst discovered one
+//!   death at a time costs one full agreement + shrink *generation* per
+//!   discovery wave — `k` view changes;
+//! * **lattice** (`AgreeImpl::Lattice`) decides in a constant number of
+//!   exchange rounds, absorbs mid-protocol deaths by widening the
+//!   in-flight proposal (one extra wave each, bounded by `k`), and
+//!   resolves the whole burst in **one** view change.
+//!
+//! `bench repro members` renders this sweep into `BENCH_members.json`
+//! alongside runtime conformance checks on the threaded protocols.
+
+use crate::constants::ClusterModel;
+use crate::network::{flood_agree_time, lattice_agree_time};
+
+/// Group sizes swept (the paper's 192-GPU ceiling up to a projected 12288).
+pub const MEMBER_SIZES: [usize; 6] = [192, 768, 1536, 3072, 6144, 12_288];
+
+/// Concurrent-failure burst sizes swept (single failure up to a rack).
+pub const BURST_SIZES: [usize; 4] = [1, 2, 8, 32];
+
+/// One cell of the flood-vs-lattice membership sweep.
+#[derive(Clone, Debug)]
+pub struct MembersCell {
+    /// Group size before the burst.
+    pub p: usize,
+    /// Concurrent failures resolved by the episode.
+    pub k: usize,
+    /// Agreement rounds the flood-set path executes across the burst.
+    pub flood_rounds: u64,
+    /// Exchange rounds (including the decide echo) the lattice path runs.
+    pub lattice_rounds: u64,
+    /// Modelled wall time of the flood-set path (seconds).
+    pub flood_s: f64,
+    /// Modelled wall time of the lattice path (seconds).
+    pub lattice_s: f64,
+    /// View changes (shrink generations) the flood-set path needs: one per
+    /// discovery wave of the burst.
+    pub flood_view_changes: u64,
+    /// View changes the lattice path needs: always one — concurrent deaths
+    /// widen the in-flight proposal instead of restarting.
+    pub lattice_view_changes: u64,
+}
+
+/// Per-round cost of one all-to-all exchange wave at group width `w`: every
+/// member sends its state to `w-1` peers (α each) and the state itself is
+/// ~`16 + p/8` bytes (flags + min + failure bitmap) on the β term.
+fn round_cost(model: &ClusterModel, w: usize, p: usize) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    let bytes = 16.0 + p as f64 / 8.0;
+    (w - 1) as f64 * (model.alpha + bytes * model.beta)
+}
+
+/// One sweep cell: flood handles the burst as `k` sequential discovery
+/// waves (each a fresh `w`-round agreement over the then-current survivor
+/// group), lattice as one view change whose in-flight proposal widens at
+/// most `k` times.
+pub fn members_cell(model: &ClusterModel, p: usize, k: usize) -> MembersCell {
+    let k = k.min(p.saturating_sub(1)).max(1);
+
+    // Flood: wave i runs over p-i survivors, p-i rounds each.
+    let mut flood_rounds = 0u64;
+    let mut flood_s = 0.0;
+    for wave in 0..k {
+        let w = p - wave;
+        flood_rounds += w as u64;
+        flood_s += flood_agree_time(w, round_cost(model, w, p));
+    }
+
+    // Lattice: 2 exchange rounds + echo, plus at most one widening wave
+    // per concurrent death observed mid-protocol.
+    let lattice_rounds = 3 + k as u64;
+    let lattice_s = lattice_agree_time(p, k, round_cost(model, p, p));
+
+    MembersCell {
+        p,
+        k,
+        flood_rounds,
+        lattice_rounds,
+        flood_s,
+        lattice_s,
+        flood_view_changes: k as u64,
+        lattice_view_changes: 1,
+    }
+}
+
+/// The full flood-vs-lattice sweep over [`MEMBER_SIZES`] × [`BURST_SIZES`].
+pub fn members_sweep(model: &ClusterModel) -> Vec<MembersCell> {
+    let mut rows = Vec::new();
+    for &p in &MEMBER_SIZES {
+        for &k in &BURST_SIZES {
+            rows.push(members_cell(model, p, k));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_wins_rounds_and_latency_at_scale() {
+        let m = ClusterModel::summit();
+        for cell in members_sweep(&m) {
+            assert!(
+                cell.lattice_rounds < cell.flood_rounds,
+                "p={} k={}: lattice rounds {} vs flood {}",
+                cell.p,
+                cell.k,
+                cell.lattice_rounds,
+                cell.flood_rounds
+            );
+            if cell.p >= 1024 {
+                assert!(
+                    cell.lattice_s < cell.flood_s,
+                    "p={} k={}: lattice {}s vs flood {}s",
+                    cell.p,
+                    cell.k,
+                    cell.lattice_s,
+                    cell.flood_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_resolves_in_one_lattice_view_change() {
+        let m = ClusterModel::summit();
+        for &k in &BURST_SIZES {
+            let cell = members_cell(&m, 1536, k);
+            assert_eq!(cell.lattice_view_changes, 1);
+            assert_eq!(cell.flood_view_changes, k as u64);
+        }
+    }
+
+    #[test]
+    fn flood_cost_grows_with_burst_size() {
+        let m = ClusterModel::summit();
+        let one = members_cell(&m, 3072, 1);
+        let burst = members_cell(&m, 3072, 32);
+        assert!(burst.flood_s > one.flood_s * 20.0);
+        // Lattice only adds widening waves: sub-linear in k.
+        assert!(burst.lattice_s < one.lattice_s * 10.0);
+    }
+
+    #[test]
+    fn degenerate_groups_are_safe() {
+        let m = ClusterModel::summit();
+        let c = members_cell(&m, 2, 8);
+        assert_eq!(c.k, 1, "burst clamped to group size");
+        assert!(c.flood_s.is_finite() && c.lattice_s.is_finite());
+    }
+}

@@ -85,6 +85,27 @@ pub fn era_agree_time(w: usize, round_cost: f64) -> f64 {
     2.0 * (w as f64).log2().ceil() * round_cost
 }
 
+/// Flood-set agreement time: the runtime's conformance-oracle protocol
+/// floods the merged state for `w` all-to-all rounds (one per member, so
+/// at most `w-1` crashes still leave one failure-free round).
+pub fn flood_agree_time(w: usize, round_cost: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    w as f64 * round_cost
+}
+
+/// Lattice-agreement view-change time: failure-free the protocol decides in
+/// two exchange rounds plus the decide echo, **independent of `w`**; every
+/// concurrent death widens the in-flight proposal and costs at most one
+/// extra exchange wave (`waves`), instead of restarting the agreement.
+pub fn lattice_agree_time(w: usize, waves: usize, round_cost: f64) -> f64 {
+    if w <= 1 {
+        return 0.0;
+    }
+    (3.0 + waves as f64) * round_cost
+}
+
 #[derive(Clone)]
 struct RingWorld {
     /// completion[r][s]: when rank r finished protocol step s.
@@ -304,6 +325,27 @@ mod tests {
         let t192 = era_agree_time(192, 5e-4);
         assert!(t192 < t24 * 2.0, "agreement must scale logarithmically");
         assert!(t192 > t24);
+    }
+
+    #[test]
+    fn lattice_beats_flood_and_is_scale_free() {
+        let rc = 5e-4;
+        for &w in &[192usize, 1536, 12_288] {
+            // Failure-free: 3 rounds vs w rounds.
+            assert!(lattice_agree_time(w, 0, rc) < flood_agree_time(w, rc));
+            // Even a 32-death burst (≤32 widening waves) stays far below
+            // one flood pass at scale.
+            assert!(lattice_agree_time(w, 32, rc) < flood_agree_time(w, rc));
+        }
+        // Lattice cost is independent of w; flood grows linearly.
+        assert_eq!(
+            lattice_agree_time(192, 2, rc),
+            lattice_agree_time(12_288, 2, rc)
+        );
+        assert!(flood_agree_time(12_288, rc) > flood_agree_time(192, rc) * 60.0);
+        // Degenerate group: nothing to agree on.
+        assert_eq!(flood_agree_time(1, rc), 0.0);
+        assert_eq!(lattice_agree_time(1, 5, rc), 0.0);
     }
 
     #[test]

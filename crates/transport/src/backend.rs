@@ -178,6 +178,28 @@ pub trait Backend: Send + Sync {
         let _ = (rank, addr);
         true
     }
+
+    /// When the most recent suspicion (a `suspect` call that actually
+    /// transitioned a rank from alive to dead) was recorded, if the backend
+    /// tracks it. Used with [`Backend::suspicion_batch_window`] to let a
+    /// recovery wait out the tail of a failure burst before agreeing on
+    /// the failed set. The default (`None`) disables batching.
+    fn last_suspicion(&self) -> Option<Instant> {
+        None
+    }
+
+    /// The configured suspicion batching window, if any: after a
+    /// suspicion, further suspicions landing within this window are part
+    /// of the same burst and should be resolved by the same view change.
+    fn suspicion_batch_window(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Enable (`Some`) or disable (`None`) suspicion batching. The default
+    /// implementation ignores the setting (no batching).
+    fn set_suspicion_batch_window(&self, window: Option<Duration>) {
+        let _ = window;
+    }
 }
 
 /// A rank's handle onto the transport. Cheap to clone; all operations
@@ -331,6 +353,31 @@ impl Endpoint {
     /// Configure timeout-based failure suspicion for open-ended receives.
     pub fn set_suspicion_timeout(&self, timeout: Option<Duration>) {
         self.backend.set_suspicion_timeout(timeout);
+    }
+
+    /// Configure the suspicion batching window (see
+    /// [`Backend::set_suspicion_batch_window`]).
+    pub fn set_suspicion_batch_window(&self, window: Option<Duration>) {
+        self.backend.set_suspicion_batch_window(window);
+    }
+
+    /// Wait until the suspicion burst (if any) has settled: sleeps while
+    /// the last recorded suspicion is younger than the configured batching
+    /// window, so a node-level burst of near-simultaneous deaths is
+    /// reported to agreement as **one** failed set and resolved by one
+    /// view change. No-op when batching is disabled or no suspicion was
+    /// ever recorded.
+    pub fn settle_suspicions(&self) {
+        let Some(window) = self.backend.suspicion_batch_window() else {
+            return;
+        };
+        while let Some(last) = self.backend.last_suspicion() {
+            let age = last.elapsed();
+            if age >= window {
+                return;
+            }
+            std::thread::sleep(window - age);
+        }
     }
 
     /// Wake every blocked receiver reachable from this backend so it

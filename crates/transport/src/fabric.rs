@@ -43,6 +43,7 @@ pub(crate) struct FabricTelemetry {
     pub(crate) frames_duplicated: Arc<Counter>,
     pub(crate) frames_reordered: Arc<Counter>,
     pub(crate) suspicions: Arc<Counter>,
+    pub(crate) suspicion_coalesced: Arc<Counter>,
     pub(crate) delay_hist: Arc<Histogram>,
     pub(crate) backoff_hist: Arc<Histogram>,
 }
@@ -67,6 +68,7 @@ impl FabricTelemetry {
             frames_duplicated: telemetry::counter("transport.perturb.frames_duplicated"),
             frames_reordered: telemetry::counter("transport.perturb.frames_reordered"),
             suspicions: telemetry::counter("transport.suspicions"),
+            suspicion_coalesced: telemetry::counter("transport.suspicion.coalesced"),
             delay_hist: telemetry::histogram("transport.perturb.delay_ns"),
             backoff_hist: telemetry::histogram("transport.retransmit.backoff_ns"),
         }
@@ -93,6 +95,19 @@ pub struct FabricStats {
     pub suspicions: u64,
 }
 
+/// Deterministic per-rank jitter for suspicion timeouts: stretches `t` by
+/// up to 25%, keyed only on the observing rank's id (a SplitMix-style hash
+/// of the rank, top byte as the jitter fraction). When a whole node dies,
+/// every survivor blocked on it would otherwise hit the suspicion deadline
+/// in the same instant and fire a synchronized storm of redundant revokes;
+/// skewing the deadlines deterministically lets the earliest observer
+/// suspect first and the rest coalesce (`transport.suspicion.coalesced`).
+/// Deterministic so test runs and fault schedules stay reproducible.
+pub(crate) fn suspicion_jitter(rank: RankId, t: Duration) -> Duration {
+    let h = (rank.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 56;
+    t + t.mul_f64(h as f64 / 255.0 * 0.25)
+}
+
 /// The shared interconnect + runtime failure detector.
 ///
 /// One `Fabric` models one job allocation. Ranks are registered dynamically
@@ -109,6 +124,13 @@ pub struct Fabric {
     /// this duration suspects the silent peer dead (timeout-based failure
     /// detection). `None` (the default) models a perfect, hang-free network.
     suspicion: RwLock<Option<Duration>>,
+    /// Suspicion batching window: after a suspicion lands, further
+    /// suspicions within this window belong to the same burst, and
+    /// recovery (via `Endpoint::settle_suspicions`) waits the window out
+    /// before agreeing on the failed set. `None` disables batching.
+    suspicion_batch: RwLock<Option<Duration>>,
+    /// When the most recent alive→dead suspicion transition was recorded.
+    last_suspicion: Mutex<Option<Instant>>,
     messages: AtomicU64,
     bytes: AtomicU64,
     deaths: AtomicU64,
@@ -129,6 +151,8 @@ impl Fabric {
             perturber: RwLock::new(Arc::new(Perturber::inert())),
             tx_seq: Mutex::new(HashMap::new()),
             suspicion: RwLock::new(None),
+            suspicion_batch: RwLock::new(None),
+            last_suspicion: Mutex::new(None),
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             deaths: AtomicU64::new(0),
@@ -172,13 +196,35 @@ impl Fabric {
         *self.suspicion.read()
     }
 
+    /// Enable (`Some`) or disable (`None`) the suspicion batching window.
+    pub fn set_suspicion_batch_window(&self, window: Option<Duration>) {
+        *self.suspicion_batch.write() = window;
+    }
+
+    /// The configured suspicion batching window, if any.
+    pub fn suspicion_batch_window(&self) -> Option<Duration> {
+        *self.suspicion_batch.read()
+    }
+
+    /// When the most recent alive→dead suspicion transition was recorded.
+    pub fn last_suspicion(&self) -> Option<Instant> {
+        *self.last_suspicion.lock()
+    }
+
     /// Declare `rank` dead on suspicion (retry exhaustion or a stalled
-    /// receive past the suspicion deadline). Idempotent; counts once.
+    /// receive past the suspicion deadline). Idempotent; counts once —
+    /// a re-suspicion of an already-dead rank is *coalesced* (counted
+    /// under `transport.suspicion.coalesced`, otherwise a no-op), which
+    /// is what keeps a node-level burst from fanning out into a storm of
+    /// redundant revokes.
     pub fn suspect(&self, rank: RankId) {
         if self.is_alive(rank) {
             self.suspicions.fetch_add(1, Ordering::Relaxed);
             self.telem.suspicions.incr();
+            *self.last_suspicion.lock() = Some(Instant::now());
             self.kill_rank(rank);
+        } else {
+            self.telem.suspicion_coalesced.incr();
         }
     }
 
@@ -499,10 +545,15 @@ impl Backend for InProcBackend {
             .expect("own alive flag must exist");
         // Without an explicit deadline, an open-ended wait is bounded by the
         // suspicion timeout (when configured): a peer silent past it is
-        // treated as failed, not merely slow.
+        // treated as failed, not merely slow. Per-rank jitter desynchronizes
+        // the deadlines so a node-level death is suspected once and
+        // coalesced everywhere else.
         let suspicion = match deadline {
             Some(_) => None,
-            None => self.fabric.suspicion_timeout(),
+            None => self
+                .fabric
+                .suspicion_timeout()
+                .map(|t| suspicion_jitter(self.rank, t)),
         };
         let effective = deadline.or_else(|| suspicion.map(|t| Instant::now() + t));
         use crate::mailbox::RecvOutcome;
@@ -567,6 +618,18 @@ impl Backend for InProcBackend {
 
     fn suspicion_timeout(&self) -> Option<Duration> {
         self.fabric.suspicion_timeout()
+    }
+
+    fn last_suspicion(&self) -> Option<Instant> {
+        self.fabric.last_suspicion()
+    }
+
+    fn suspicion_batch_window(&self) -> Option<Duration> {
+        self.fabric.suspicion_batch_window()
+    }
+
+    fn set_suspicion_batch_window(&self, window: Option<Duration>) {
+        self.fabric.set_suspicion_batch_window(window);
     }
 
     fn broadcast_signal(&self, _payload: &[u8]) {
@@ -835,6 +898,61 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         f.suspect(RankId(1));
         assert_eq!(t.join().unwrap(), Err(TransportError::SelfDied));
+    }
+
+    #[test]
+    fn suspicion_jitter_is_deterministic_and_bounded() {
+        let base = Duration::from_millis(40);
+        for r in 0..256 {
+            let j = suspicion_jitter(RankId(r), base);
+            // Deterministic: same rank, same stretch.
+            assert_eq!(j, suspicion_jitter(RankId(r), base));
+            assert!(j >= base, "jitter must never shrink the timeout");
+            assert!(j <= base + base.mul_f64(0.25), "jitter bounded at +25%");
+        }
+        // Neighboring ranks land on different deadlines (the whole point:
+        // no synchronized suspicion storm on a node-level death).
+        assert_ne!(
+            suspicion_jitter(RankId(1), base),
+            suspicion_jitter(RankId(2), base)
+        );
+    }
+
+    #[test]
+    fn repeat_suspicion_is_coalesced() {
+        let (f, _eps) = fabric_with(3);
+        let coalesced = telemetry::counter("transport.suspicion.coalesced");
+        let before = coalesced.get();
+        f.suspect(RankId(2));
+        assert_eq!(f.stats().suspicions, 1);
+        assert!(f.last_suspicion().is_some());
+        // Every further observer of the same death coalesces: no new
+        // suspicion count, no new revoke trigger.
+        f.suspect(RankId(2));
+        f.suspect(RankId(2));
+        assert_eq!(f.stats().suspicions, 1);
+        assert_eq!(coalesced.get() - before, 2);
+    }
+
+    #[test]
+    fn settle_suspicions_waits_out_the_batch_window() {
+        let (f, eps) = fabric_with(3);
+        // No window configured: settle is a no-op even after a suspicion.
+        f.suspect(RankId(1));
+        let t0 = Instant::now();
+        eps[0].settle_suspicions();
+        assert!(t0.elapsed() < Duration::from_millis(10));
+        // With a window, settling blocks until the last suspicion is at
+        // least a window old.
+        f.set_suspicion_batch_window(Some(Duration::from_millis(25)));
+        f.suspect(RankId(2));
+        let t1 = Instant::now();
+        eps[0].settle_suspicions();
+        assert!(t1.elapsed() >= Duration::from_millis(20));
+        // Already settled: a second call returns immediately.
+        let t2 = Instant::now();
+        eps[0].settle_suspicions();
+        assert!(t2.elapsed() < Duration::from_millis(10));
     }
 
     #[test]

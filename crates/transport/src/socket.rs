@@ -249,6 +249,10 @@ pub struct SocketBackend {
     injector: FaultInjector,
     perturber: RwLock<Arc<Perturber>>,
     suspicion: RwLock<Option<Duration>>,
+    /// Suspicion batching window (see [`Backend::suspicion_batch_window`]).
+    suspicion_batch: RwLock<Option<Duration>>,
+    /// When the most recent alive→dead suspicion transition was recorded.
+    last_suspicion: Mutex<Option<Instant>>,
     tx_seq: Mutex<HashMap<(RankId, u64), u64>>,
     /// Acks received but not yet claimed by a waiting sender.
     acks: Mutex<HashSet<(RankId, u64, u64)>>,
@@ -335,6 +339,8 @@ impl SocketBackend {
             injector,
             perturber: RwLock::new(Arc::new(Perturber::inert())),
             suspicion: RwLock::new(None),
+            suspicion_batch: RwLock::new(None),
+            last_suspicion: Mutex::new(None),
             tx_seq: Mutex::new(HashMap::new()),
             acks: Mutex::new(HashSet::new()),
             ack_cv: Condvar::new(),
@@ -1058,11 +1064,16 @@ impl Backend for SocketBackend {
         if self.alive_local(rank) {
             self.suspicions.fetch_add(1, Ordering::Relaxed);
             self.telem.suspicions.incr();
+            *self.last_suspicion.lock() = Some(Instant::now());
             // Tell the suspect: the in-process alive table made a suspected
             // rank observe its own death; over sockets the Die envelope
             // carries that verdict (best effort — a truly dead process
             // simply won't read it).
             self.mark_peer_dead(rank, true);
+        } else {
+            // Re-suspicion of a known-dead peer: part of the same burst,
+            // coalesced instead of fanning out another revoke.
+            self.telem.suspicion_coalesced.incr();
         }
     }
 
@@ -1203,10 +1214,14 @@ impl Backend for SocketBackend {
         }
         // Same two-tier rule as the in-process fabric: an explicit deadline
         // is the caller's own timeout; an open-ended wait is bounded by the
-        // suspicion timeout when one is configured.
+        // suspicion timeout when one is configured — with the same
+        // deterministic per-rank jitter desynchronizing node-level bursts.
         let suspicion = match deadline {
             Some(_) => None,
-            None => *self.suspicion.read(),
+            None => self
+                .suspicion
+                .read()
+                .map(|t| crate::fabric::suspicion_jitter(self.rank, t)),
         };
         let effective = deadline.or_else(|| suspicion.map(|t| Instant::now() + t));
         match self.mailbox.pop_matching(
@@ -1263,6 +1278,18 @@ impl Backend for SocketBackend {
 
     fn suspicion_timeout(&self) -> Option<Duration> {
         *self.suspicion.read()
+    }
+
+    fn last_suspicion(&self) -> Option<Instant> {
+        *self.last_suspicion.lock()
+    }
+
+    fn suspicion_batch_window(&self) -> Option<Duration> {
+        *self.suspicion_batch.read()
+    }
+
+    fn set_suspicion_batch_window(&self, window: Option<Duration>) {
+        *self.suspicion_batch.write() = window;
     }
 
     fn broadcast_signal(&self, payload: &[u8]) {

@@ -72,6 +72,11 @@ impl State {
 ///
 /// `tag_base` must be a fresh recovery-class tag window; the protocol uses
 /// offsets `0..group.len()`.
+///
+/// `verify` marks re-entries from `shrink_with`'s candidate-verification
+/// loop: their rounds count under `ulfm.shrink.verify_rounds` so a
+/// multi-generation shrink no longer double-counts `ulfm.agree.rounds`
+/// against a single logical recovery.
 pub(crate) fn flood_agree(
     ep: &Endpoint,
     group: &[RankId],
@@ -79,6 +84,7 @@ pub(crate) fn flood_agree(
     tag_base: u64,
     flag: u64,
     min_val: u64,
+    verify: bool,
 ) -> Result<AgreeResult, UlfmError> {
     let p = group.len();
     let words = p.div_ceil(64);
@@ -96,8 +102,14 @@ pub(crate) fn flood_agree(
     }
 
     if p > 1 {
+        let rounds_ctr = telemetry::counter(if verify {
+            "ulfm.shrink.verify_rounds"
+        } else {
+            "ulfm.agree.rounds"
+        });
+        let mut bytes_sent = 0u64;
         for round in 0..p {
-            telemetry::counter("ulfm.agree.rounds").incr();
+            rounds_ctr.incr();
             ep.fault_point("agree.round").map_err(map_self)?;
             let tag = tag_base + round as u64;
             let payload = state.encode();
@@ -106,7 +118,8 @@ pub(crate) fn flood_agree(
                     continue;
                 }
                 match ep.send(peer, tag, &payload) {
-                    Ok(()) | Err(TransportError::PeerDead(_)) => {}
+                    Ok(()) => bytes_sent += payload.len() as u64,
+                    Err(TransportError::PeerDead(_)) => {}
                     Err(TransportError::SelfDied) => return Err(UlfmError::SelfDied),
                     Err(e) => unreachable!("agree send: {e}"),
                 }
@@ -123,6 +136,7 @@ pub(crate) fn flood_agree(
                 }
             }
         }
+        telemetry::histogram("ulfm.agree.bytes").record(bytes_sent);
     }
 
     let failed = group
@@ -181,6 +195,7 @@ mod tests {
                             tags::recovery_base(0, 0),
                             flag_of(i),
                             min_of(i),
+                            false,
                         )
                     })
                 })

@@ -3,6 +3,7 @@
 use crate::agree::{flood_agree, AgreeResult};
 use crate::error::UlfmError;
 use crate::hierarchy::Hierarchy;
+use crate::lattice::{lattice_agree, AgreeImpl};
 use crate::tags;
 use crate::universe::{CommKey, JoinTicket, Shared};
 use collectives::{
@@ -45,6 +46,10 @@ pub struct Communicator {
     shrink_calls: Cell<u64>,
     split_calls: Cell<u64>,
     acked: RefCell<BTreeSet<RankId>>,
+    /// Which uniform-agreement protocol `agree` runs. Inherited by every
+    /// derived communicator (shrink candidate, split, join merge, spare
+    /// promotion); a `Cell` so engines can select it after construction.
+    agree_impl: Cell<AgreeImpl>,
 }
 
 impl Communicator {
@@ -70,7 +75,18 @@ impl Communicator {
             shrink_calls: Cell::new(0),
             split_calls: Cell::new(0),
             acked: RefCell::new(BTreeSet::new()),
+            agree_impl: Cell::new(AgreeImpl::Flood),
         }
+    }
+
+    /// Derive a child communicator that inherits this one's agreement
+    /// implementation — every membership transition (shrink candidate,
+    /// split, join merge, spare promotion) flows through here so the
+    /// flood/lattice selection survives arbitrarily long recovery chains.
+    fn derive(&self, id: u64, group: Vec<RankId>) -> Self {
+        let child = Self::construct(Arc::clone(&self.shared), self.ep.clone(), id, group);
+        child.agree_impl.set(self.agree_impl.get());
+        child
     }
 
     pub(crate) fn from_join_ticket(shared: Arc<Shared>, ep: Endpoint, ticket: &JoinTicket) -> Self {
@@ -382,13 +398,60 @@ impl Communicator {
     /// `MPIX_Comm_agree`: fault-tolerant uniform agreement. Works on a
     /// revoked communicator (that is the point). `flag` contributions are
     /// AND-ed; `min_val` contributions are min-merged; the returned failed
-    /// set is the union of entry-time failure knowledge.
+    /// set is the union of failure knowledge (entry-time under
+    /// [`AgreeImpl::Flood`]; additionally widened by deaths observed
+    /// mid-protocol under [`AgreeImpl::Lattice`]).
     pub fn agree(&self, flag: u64, min_val: u64) -> Result<AgreeResult, UlfmError> {
+        self.agree_inner(flag, min_val, false)
+    }
+
+    fn agree_inner(&self, flag: u64, min_val: u64, verify: bool) -> Result<AgreeResult, UlfmError> {
         let base = self.next_recovery_base();
-        telemetry::counter("ulfm.agree.ops").incr();
-        telemetry::time("ulfm.agree.duration_ns", || {
-            flood_agree(&self.ep, &self.group, self.my_idx, base, flag, min_val)
-        })
+        if !verify {
+            telemetry::counter("ulfm.agree.ops").incr();
+            // Concurrent suspicions within the transport's batching window
+            // settle before inputs freeze, so a burst enters the agreement
+            // as one set instead of one discovery wave per member.
+            self.ep.settle_suspicions();
+        }
+        let t0 = std::time::Instant::now();
+        let out = telemetry::time("ulfm.agree.duration_ns", || match self.agree_impl.get() {
+            AgreeImpl::Flood => flood_agree(
+                &self.ep,
+                &self.group,
+                self.my_idx,
+                base,
+                flag,
+                min_val,
+                verify,
+            ),
+            AgreeImpl::Lattice => lattice_agree(
+                &self.ep,
+                &self.group,
+                self.my_idx,
+                base,
+                flag,
+                min_val,
+                verify,
+            ),
+        });
+        if !verify {
+            telemetry::histogram("ulfm.agree.wall").record_duration(t0.elapsed());
+        }
+        out
+    }
+
+    /// Select the uniform-agreement protocol this communicator (and every
+    /// communicator derived from it) runs. Every member must select the
+    /// same implementation — the usual SPMD contract; engines set it from
+    /// the shared `TrainSpec`.
+    pub fn set_agree_impl(&self, imp: AgreeImpl) {
+        self.agree_impl.set(imp);
+    }
+
+    /// The currently selected agreement implementation.
+    pub fn agree_impl(&self) -> AgreeImpl {
+        self.agree_impl.get()
     }
 
     /// `MPIX_Comm_shrink`: agree on the failed set and construct a new,
@@ -465,16 +528,29 @@ impl Communicator {
                 generation: call << 16 | generation,
                 group: survivors.clone(),
             });
-            let candidate =
-                Communicator::construct(Arc::clone(&self.shared), self.ep.clone(), id, survivors);
+            let candidate = self.derive(id, survivors);
 
             // Verify the candidate: a fault-tolerant agreement doubles as a
             // sync point and uniformly reports any member that was already
-            // dead when we built it.
-            let verdict = candidate.agree(u64::MAX, u64::MAX)?;
+            // dead when we built it. Marked as a verify re-entry so its
+            // rounds land under `ulfm.shrink.verify_rounds` instead of
+            // double-counting the primary agreement's round telemetry.
+            let verdict = candidate.agree_inner(u64::MAX, u64::MAX, true)?;
             if verdict.failed.is_empty() {
-                // Hygiene: drop stale traffic of the abandoned parent.
+                // Install the view as a delta against the parent: drop the
+                // parent's stale traffic, retire the lost ranks from the
+                // join service's pending/spare bookkeeping (a dead parked
+                // spare must never be proposed for promotion), and let the
+                // interned id above serve as the epoch bump. `Hierarchy`
+                // handles are invalidated implicitly — they pin the parent
+                // comm id and epoch, so the next hier collective on the new
+                // view refuses them until rebuilt.
                 self.ep.purge_tags(|t| tags::belongs_to(t, self.id));
+                for &g in &all_failed {
+                    self.shared.join.forget(g);
+                }
+                telemetry::counter("ulfm.view.delta_installs").incr();
+                telemetry::counter("ulfm.shrink.completions").incr();
                 telemetry::counter("ulfm.shrink.iterations").add(generation + 1);
                 telemetry::histogram("ulfm.shrink.generations").record(generation + 1);
                 return Ok(ShrinkOutcome::Member(candidate));
@@ -513,12 +589,7 @@ impl Communicator {
             color,
             group: group.clone(),
         });
-        Ok(Some(Communicator::construct(
-            Arc::clone(&self.shared),
-            self.ep.clone(),
-            id,
-            group,
-        )))
+        Ok(Some(self.derive(id, group)))
     }
 
     /// Color value meaning "I do not join any split communicator"
@@ -657,12 +728,7 @@ impl Communicator {
         // joiner waiting forever.
         self.shared.join.confirm_tickets(&joiners, &ticket);
         telemetry::counter("ulfm.join.accepted").add(joiners.len() as u64);
-        Ok(JoinOutcome::Merged(Communicator::construct(
-            Arc::clone(&self.shared),
-            self.ep.clone(),
-            id,
-            merged,
-        )))
+        Ok(JoinOutcome::Merged(self.derive(id, merged)))
     }
 
     /// Commit a recovery-policy decision uniformly across the (already
@@ -773,12 +839,7 @@ impl Communicator {
                 };
                 self.shared.join.confirm_tickets(&spares, &ticket);
                 telemetry::counter("ulfm.policy.promoted").add(spares.len() as u64);
-                Ok(PolicyCommit::Promoted(Communicator::construct(
-                    Arc::clone(&self.shared),
-                    self.ep.clone(),
-                    id,
-                    merged,
-                )))
+                Ok(PolicyCommit::Promoted(self.derive(id, merged)))
             }
         }
     }

@@ -43,6 +43,7 @@ mod agree;
 mod comm;
 mod error;
 mod hierarchy;
+mod lattice;
 mod netjoin;
 mod tags;
 mod universe;
@@ -51,6 +52,7 @@ pub use agree::AgreeResult;
 pub use comm::{Communicator, JoinOutcome, PolicyCommit, RecoveryArm, ShrinkOutcome};
 pub use error::UlfmError;
 pub use hierarchy::Hierarchy;
+pub use lattice::{lattice_agree, AgreeImpl, Proposal};
 pub use netjoin::NetJoin;
 pub use universe::{JoinService, JoinTicket, Proc, Universe, WorkerHandle};
 

@@ -363,6 +363,18 @@ impl<S: Store> JoinService for NetJoin<S> {
                 .try_set(&self.ticket_key(rank), DISMISS_SENTINEL.to_vec())
         });
     }
+
+    fn forget(&self, rank: RankId) {
+        // The dismissal sentinel is the store-backed "ticketed" marker that
+        // retires the rank from pending *and* spare snapshots. The rank is
+        // dead, so nothing will ever poll the sentinel back — writing it is
+        // pure bookkeeping, and idempotent: every survivor installing the
+        // same view delta overwrites the same key.
+        self.retry("forget", || {
+            self.store
+                .try_set(&self.ticket_key(rank), DISMISS_SENTINEL.to_vec())
+        });
+    }
 }
 
 #[cfg(test)]

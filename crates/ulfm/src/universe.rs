@@ -137,6 +137,15 @@ pub trait JoinService: Send + Sync {
     /// Called by completing workers so unused spares do not idle until
     /// their deadline. Idempotent.
     fn dismiss_spare(&self, rank: RankId);
+
+    /// Retire a rank the view change agreed is **dead** from join-side
+    /// bookkeeping: remove it from the pending-joiner set and the warm
+    /// spare pool. Unlike [`JoinService::dismiss_spare`] there is nothing
+    /// to wake — the rank no longer exists — so no dismissal marker is
+    /// left behind and the id could in principle be reused. Called by
+    /// view-delta installation so a burst that kills a parked spare does
+    /// not leave a ghost entry to be re-proposed forever. Idempotent.
+    fn forget(&self, rank: RankId);
 }
 
 #[derive(Default)]
@@ -274,6 +283,12 @@ impl JoinService for JoinServer {
         st.spares.remove(&rank);
         st.dismissed.insert(rank);
         self.cv.notify_all();
+    }
+
+    fn forget(&self, rank: RankId) {
+        let mut st = self.state.lock();
+        st.pending.remove(&rank);
+        st.spares.remove(&rank);
     }
 }
 
@@ -704,6 +719,17 @@ impl Universe {
         match &self.shared.runtime {
             Runtime::InProc(f) => f.set_suspicion_timeout(Some(timeout)),
             Runtime::Peer(ep) => ep.set_suspicion_timeout(Some(timeout)),
+        }
+    }
+
+    /// Configure the suspicion batching window: once a failure is
+    /// suspected, recovery waits until no further suspicion has landed
+    /// within `window` before agreeing on the failed set, so a node-level
+    /// burst is reported as **one** set and resolved by one view change.
+    pub fn set_suspicion_batch_window(&self, window: std::time::Duration) {
+        match &self.shared.runtime {
+            Runtime::InProc(f) => f.set_suspicion_batch_window(Some(window)),
+            Runtime::Peer(ep) => ep.set_suspicion_batch_window(Some(window)),
         }
     }
 

@@ -43,6 +43,12 @@ const RECOVERY_POINTS: [&str; 5] = [
     "ckpt.sync",
 ];
 
+/// The fault points inside the lattice-agreement fast path. Scheduling a
+/// kill at one of these switches the scenario to `AgreeImpl::Lattice` (the
+/// flood protocol never passes them); on the Gloo backward engine they
+/// never fire at all and the schedule degenerates to a single failure.
+const LATTICE_POINTS: [&str; 3] = ["lattice.propose", "lattice.ack", "lattice.decide"];
+
 /// Run one scenario under a watchdog; a case that neither returns nor
 /// panics within the budget is reported as a deadlock.
 fn run_with_watchdog(cfg: ScenarioConfig, label: &str) -> elastic::ScenarioResult {
@@ -96,12 +102,20 @@ fn cascade_config(engine: Engine, point: &'static str, p: usize) -> ScenarioConf
         "agree.round" => (1, 2),
         _ => (1, 1),
     };
+    // A kill scheduled inside the lattice protocol only fires when that
+    // protocol is the active agreement implementation.
+    let agree = if point.starts_with("lattice.") {
+        ulfm::AgreeImpl::Lattice
+    } else {
+        ulfm::AgreeImpl::Flood
+    };
     ScenarioConfig {
         engine,
         spec: TrainSpec {
             total_steps: 6,
             steps_per_epoch: 3,
             seed: 7700 + p as u64,
+            agree,
             ..TrainSpec::default()
         },
         workers: p,
@@ -177,6 +191,31 @@ fn forward_cascade_sweep() {
 #[test]
 fn backward_cascade_sweep() {
     for point in RECOVERY_POINTS {
+        for p in 3..=5 {
+            check_cell(Engine::GlooBackward, point, p);
+        }
+    }
+}
+
+#[test]
+fn forward_lattice_cascade_sweep() {
+    // The second kill lands *inside* the lattice agreement itself: at a
+    // round entry (widened into the in-flight proposal), between a round's
+    // send and receive phases, or right before the decide echo. Survivors
+    // must converge to one view with bit-identical replicas.
+    for point in LATTICE_POINTS {
+        for p in 3..=5 {
+            check_cell(Engine::UlfmForward, point, p);
+        }
+    }
+}
+
+#[test]
+fn backward_lattice_cascade_sweep() {
+    // The Gloo backward engine never runs ULFM agreement, so `lattice.*`
+    // points never fire there — the cell must degenerate to a clean
+    // single-failure recovery, not an error.
+    for point in LATTICE_POINTS {
         for p in 3..=5 {
             check_cell(Engine::GlooBackward, point, p);
         }
